@@ -1,0 +1,169 @@
+// Ablations of the design choices DESIGN.md calls out:
+//   A. SZB-tree mapper filter on/off (Algorithm 3 lines 2-3).
+//   B. Map-side combiner on/off (shuffle-volume reduction).
+//   C. ZB-tree geometry: leaf capacity x fanout for Z-search.
+//   D. Partition expansion factor delta for ZDG.
+//   E. Pairwise Z-merge (Algorithm 4) vs the k-way ZMergeAll used in
+//      production.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/sort_based.h"
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "index/zmerge.h"
+#include "index/zsearch.h"
+
+namespace zsky::bench {
+namespace {
+
+constexpr uint32_t kGroups = 32;
+
+void AblateSzbFilter(const PointSet& points) {
+  std::printf("\n--- A. SZB-tree mapper filter (zdg+zs+zm, n=%zu, d=%u) "
+              "---\n",
+              points.size(), points.dim());
+  std::printf("%-6s %12s %12s %12s %12s\n", "szb", "filtered", "candidates",
+              "shuffle-rec", "sim-total");
+  for (bool on : {true, false}) {
+    Strategy s{"zdg", PartitioningScheme::kZdg, LocalAlgorithm::kZSearch,
+               MergeAlgorithm::kZMerge};
+    ExecutorOptions options = MakeOptions(s, kGroups);
+    options.enable_szb_filter = on;
+    const auto result = ParallelSkylineExecutor(options).Execute(points);
+    std::printf("%-6s %12zu %12zu %12zu %12.1f\n", on ? "on" : "off",
+                result.metrics.filtered_by_szb, result.metrics.candidates,
+                result.metrics.job1.shuffle_records,
+                result.metrics.sim_total_ms);
+  }
+}
+
+void AblateCombiner(const PointSet& points) {
+  std::printf("\n--- B. map-side combiner (zdg+zs+zm) ---\n");
+  std::printf("%-8s %12s %12s %12s\n", "combiner", "shuffle-rec",
+              "shuffle-MiB", "sim-total");
+  for (bool on : {true, false}) {
+    Strategy s{"zdg", PartitioningScheme::kZdg, LocalAlgorithm::kZSearch,
+               MergeAlgorithm::kZMerge};
+    ExecutorOptions options = MakeOptions(s, kGroups);
+    options.enable_combiner = on;
+    const auto result = ParallelSkylineExecutor(options).Execute(points);
+    std::printf("%-8s %12zu %12.2f %12.1f\n", on ? "on" : "off",
+                result.metrics.job1.shuffle_records,
+                result.metrics.job1.shuffle_bytes / (1024.0 * 1024.0),
+                result.metrics.sim_total_ms);
+  }
+}
+
+void AblateTreeGeometry(const PointSet& points) {
+  std::printf("\n--- C. ZB-tree geometry for centralized Z-search ---\n");
+  std::printf("%6s %6s %12s %12s %12s\n", "leaf", "fanout", "ms",
+              "nodes-visit", "pts-tested");
+  const ZOrderCodec codec(points.dim(), kBits);
+  for (uint32_t leaf : {4u, 8u, 16u, 32u, 64u}) {
+    for (uint32_t fanout : {4u, 8u, 16u}) {
+      ZBTree::Options tree;
+      tree.leaf_capacity = leaf;
+      tree.fanout = fanout;
+      Stopwatch watch;
+      ZSearchStats stats;
+      ZSearchSkyline(codec, points, tree, &stats);
+      std::printf("%6u %6u %12.1f %12zu %12zu\n", leaf, fanout,
+                  watch.ElapsedMs(), stats.nodes_visited,
+                  stats.points_tested);
+    }
+  }
+}
+
+void AblateExpansion(const PointSet& points) {
+  std::printf("\n--- D. partition expansion factor delta (zdg) ---\n");
+  std::printf("%6s %12s %12s %12s %12s\n", "delta", "partitions",
+              "candidates", "pre-ms", "sim-total");
+  for (uint32_t delta : {1u, 2u, 4u, 8u, 16u}) {
+    Strategy s{"zdg", PartitioningScheme::kZdg, LocalAlgorithm::kZSearch,
+               MergeAlgorithm::kZMerge};
+    ExecutorOptions options = MakeOptions(s, kGroups);
+    options.expansion = delta;
+    const auto result = ParallelSkylineExecutor(options).Execute(points);
+    std::printf("%6u %12zu %12zu %12.1f %12.1f\n", delta,
+                result.metrics.num_partitions, result.metrics.candidates,
+                result.metrics.preprocess_ms, result.metrics.sim_total_ms);
+  }
+}
+
+void AblateMergeVariant(const PointSet& points) {
+  std::printf("\n--- E. pairwise Z-merge vs k-way ZMergeAll ---\n");
+  const uint32_t dim = points.dim();
+  const ZOrderCodec codec(dim, kBits);
+  // Build per-chunk local skylines as the candidate trees.
+  const size_t chunks = kGroups;
+  std::vector<std::unique_ptr<ZBTree>> trees;
+  std::vector<const ZBTree*> ptrs;
+  size_t candidates = 0;
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t begin = c * points.size() / chunks;
+    const size_t end = (c + 1) * points.size() / chunks;
+    PointSet chunk(dim);
+    std::vector<uint32_t> rows;
+    for (size_t i = begin; i < end; ++i) {
+      chunk.AppendFrom(points, i);
+      rows.push_back(static_cast<uint32_t>(i));
+    }
+    PointSet local(dim);
+    std::vector<uint32_t> ids;
+    for (uint32_t i : ZSearchSkyline(codec, chunk)) {
+      local.AppendFrom(chunk, i);
+      ids.push_back(rows[i]);
+    }
+    candidates += ids.size();
+    trees.push_back(std::make_unique<ZBTree>(&codec, local, std::move(ids),
+                                             ZBTree::Options()));
+    ptrs.push_back(trees.back().get());
+  }
+  std::printf("candidates: %zu\n", candidates);
+
+  Stopwatch kway_watch;
+  ZMergeStats kway_stats;
+  const auto kway = ZMergeAll(codec, ptrs, ZBTree::Options(), &kway_stats);
+  std::printf("%-18s %10.1f ms  (subtree discards %zu, point tests %zu)\n",
+              "k-way ZMergeAll", kway_watch.ElapsedMs(),
+              kway_stats.subtrees_discarded, kway_stats.points_tested);
+
+  Stopwatch pair_watch;
+  DynamicSkyline sky(&codec);
+  ZMergeStats pair_stats;
+  for (const ZBTree* tree : ptrs) {
+    ZMergeStats stats;
+    ZMerge(*tree, sky, &stats);
+    pair_stats.subtrees_discarded += stats.subtrees_discarded;
+    pair_stats.points_tested += stats.points_tested;
+    pair_stats.skyline_removed += stats.skyline_removed;
+  }
+  std::printf("%-18s %10.1f ms  (subtree discards %zu, point tests %zu, "
+              "removals %zu)\n",
+              "pairwise Z-merge", pair_watch.ElapsedMs(),
+              pair_stats.subtrees_discarded, pair_stats.points_tested,
+              pair_stats.skyline_removed);
+  std::printf("results agree: %s\n",
+              sky.size() == kway.size() ? "yes" : "NO (bug!)");
+}
+
+}  // namespace
+}  // namespace zsky::bench
+
+int main() {
+  using namespace zsky::bench;
+  using zsky::Distribution;
+  PrintBanner("Ablations", "design-choice sensitivity",
+              "100k independent 5-d points unless stated");
+  const zsky::PointSet points =
+      MakeData(Distribution::kIndependent, 100'000, 5, 21);
+  AblateSzbFilter(points);
+  AblateCombiner(points);
+  AblateTreeGeometry(points);
+  AblateExpansion(points);
+  AblateMergeVariant(MakeData(Distribution::kAnticorrelated, 60'000, 5, 22));
+  return 0;
+}

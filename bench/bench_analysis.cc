@@ -1,0 +1,86 @@
+// Section 5.4 model validation: the paper's analytical estimates of (a)
+// how many points job 1 prunes (via the total dominance volume V_t) and
+// (b) Z-merge's cost growth, against measured values.
+//
+// Paper behaviour to reproduce:
+//  - correlated data: nearly everything pruned (n_p -> n - M);
+//  - anti-correlated data: pruning bounded away from n (many skyline
+//    candidates survive);
+//  - measured Z-merge time grows ~ n~ * d * log_d(n~).
+
+#include <string>
+
+#include "bench_util.h"
+#include "core/analysis.h"
+#include "sample/reservoir.h"
+
+namespace zsky::bench {
+namespace {
+
+void ValidatePruning() {
+  std::printf("\n--- V_t pruning model vs measured job-1 pruning ---\n");
+  std::printf("%-15s %10s %12s %12s %12s %12s\n", "distribution", "V_t",
+              "pred-pruned", "meas-pruned", "pred-cand", "meas-cand");
+  const size_t n = 100'000;
+  for (auto dist :
+       {Distribution::kCorrelated, Distribution::kIndependent,
+        Distribution::kAnticorrelated}) {
+    const PointSet points = MakeData(dist, n, 5, 61);
+    // Learn the same plan the executor would.
+    const ZOrderCodec codec(5, kBits);
+    zsky::Rng rng(42);
+    const PointSet sample = ReservoirSample(points, 2048, rng);
+    ZOrderGroupedPartitioner::Options zopt;
+    zopt.num_groups = 32;
+    zopt.expansion = 4;
+    zopt.strategy = GroupingStrategy::kDominance;
+    const ZOrderGroupedPartitioner partitioner(&codec, sample, zopt);
+    const PruningAnalysis analysis = AnalyzePruning(partitioner, n);
+
+    Strategy s{"zdg", PartitioningScheme::kZdg, LocalAlgorithm::kZSearch,
+               MergeAlgorithm::kZMerge};
+    const auto result =
+        ParallelSkylineExecutor(MakeOptions(s, 32)).Execute(points);
+    const size_t measured_pruned = n - result.metrics.candidates;
+    std::printf("%-15s %10.4f %12zu %12zu %12zu %12zu\n",
+                std::string(DistributionName(dist)).c_str(),
+                analysis.total_dominance_volume, analysis.predicted_pruned,
+                measured_pruned, analysis.predicted_candidates,
+                result.metrics.candidates);
+  }
+  std::printf("(prediction is an upper-trend model: it counts geometric "
+              "dominance volume, the SZB filter prunes on top of it)\n");
+}
+
+void ValidateMergeCost() {
+  std::printf("\n--- Z-merge cost model: measured ms vs n~*d*log_d(n~) ---\n");
+  std::printf("%10s %10s %12s %14s %12s\n", "n", "candidates", "merge-ms",
+              "model-units", "ms/unit(e6)");
+  for (size_t n : {40'000ul, 80'000ul, 160'000ul}) {
+    const PointSet points = MakeData(Distribution::kAnticorrelated, n, 5,
+                                     67);
+    Strategy s{"zdg", PartitioningScheme::kZdg, LocalAlgorithm::kZSearch,
+               MergeAlgorithm::kZMerge};
+    const auto result =
+        ParallelSkylineExecutor(MakeOptions(s, 32)).Execute(points);
+    const double model =
+        PredictMergeCost(result.metrics.candidates, points.dim());
+    std::printf("%10zu %10zu %12.1f %14.0f %12.3f\n", n,
+                result.metrics.candidates, result.metrics.sim_job2_ms,
+                model, 1e6 * result.metrics.sim_job2_ms / model);
+  }
+  std::printf("(a roughly constant ms/unit column validates the growth "
+              "model)\n");
+}
+
+}  // namespace
+}  // namespace zsky::bench
+
+int main() {
+  using namespace zsky::bench;
+  PrintBanner("Section 5.4 analysis", "pruning & merge-cost models",
+              "100k 5-d points, ZDG plan with M=32, delta=4");
+  ValidatePruning();
+  ValidateMergeCost();
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Centralized skyline algorithms head-to-head: BNL, sort-based (SB),
+// divide & conquer (D&C), BBS (R-tree) and Z-search (ZS).
+//
+// Supports the paper's Section 2 claim that Z-search is the
+// state-of-the-art centralized algorithm (it is the local algorithm and
+// merge building block of the distributed pipeline), and shows where each
+// classic algorithm's regime ends as size/dimensionality grow.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "algo/bnl.h"
+#include "algo/dnc.h"
+#include "algo/sort_based.h"
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "index/bbs.h"
+#include "index/zsearch.h"
+
+namespace zsky::bench {
+namespace {
+
+struct Algorithm {
+  const char* label;
+  std::function<SkylineIndices(const ZOrderCodec&, const PointSet&)> run;
+};
+
+const std::vector<Algorithm>& Algorithms() {
+  static const std::vector<Algorithm> algorithms{
+      {"bnl",
+       [](const ZOrderCodec&, const PointSet& ps) { return BnlSkyline(ps); }},
+      {"sb",
+       [](const ZOrderCodec&, const PointSet& ps) {
+         return SortBasedSkyline(ps);
+       }},
+      {"dnc",
+       [](const ZOrderCodec&, const PointSet& ps) { return DncSkyline(ps); }},
+      {"bbs",
+       [](const ZOrderCodec& codec, const PointSet& ps) {
+         return BbsSkyline(codec, ps);
+       }},
+      {"zs",
+       [](const ZOrderCodec& codec, const PointSet& ps) {
+         return ZSearchSkyline(codec, ps);
+       }},
+  };
+  return algorithms;
+}
+
+void RunSweep(const char* table, const char* axis_name,
+              Distribution distribution,
+              const std::vector<std::pair<size_t, uint32_t>>& axis) {
+  std::printf("\n--- %s: centralized skyline time (ms), %s sweep, %s ---\n",
+              table, axis_name,
+              std::string(DistributionName(distribution)).c_str());
+  std::printf("%10s %10s", axis_name, "|skyline|");
+  for (const auto& a : Algorithms()) std::printf(" %10s", a.label);
+  std::printf("\n");
+  std::string csv;
+  for (const auto& [n, dim] : axis) {
+    const PointSet points = MakeData(distribution, n, dim, 3 * n + dim);
+    const ZOrderCodec codec(dim, kBits);
+    const size_t axis_value =
+        std::string_view(axis_name) == "n" ? n : static_cast<size_t>(dim);
+    std::vector<double> times;
+    size_t skyline_size = 0;
+    for (const auto& a : Algorithms()) {
+      Stopwatch watch;
+      const SkylineIndices sky = a.run(codec, points);
+      times.push_back(watch.ElapsedMs());
+      skyline_size = sky.size();
+      csv += "# CSV," + std::string(table) + "," +
+             std::string(DistributionName(distribution)) + "," + a.label +
+             "," + std::to_string(axis_value) + "," +
+             std::to_string(times.back()) + "\n";
+    }
+    std::printf("%10zu %10zu", axis_value, skyline_size);
+    for (double t : times) std::printf(" %10.1f", t);
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  std::printf("%s", csv.c_str());
+}
+
+}  // namespace
+}  // namespace zsky::bench
+
+int main() {
+  using namespace zsky::bench;
+  using zsky::Distribution;
+  PrintBanner("Centralized algorithms (Section 2 context)",
+              "BNL vs SB vs D&C vs BBS vs Z-search",
+              "single-threaded wall time; sizes bounded so BNL stays "
+              "runnable");
+  const std::vector<std::pair<size_t, uint32_t>> sizes{
+      {20'000, 5}, {50'000, 5}, {100'000, 5}, {200'000, 5}};
+  RunSweep("central-n-indep", "n", Distribution::kIndependent, sizes);
+  RunSweep("central-n-anti", "n", Distribution::kAnticorrelated, sizes);
+  const std::vector<std::pair<size_t, uint32_t>> dims{
+      {30'000, 2}, {30'000, 4}, {30'000, 6}, {30'000, 8}, {30'000, 10}};
+  RunSweep("central-d-indep", "dim", Distribution::kIndependent, dims);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Figure 7 (load balancing): end-to-end query time for
+// {Grid, Angle, ZDG} x {SB, ZS} while varying (a, b) the data size and
+// (c, d) the dimensionality, on independent and anti-correlated data.
+//
+// Paper behaviour to reproduce:
+//  - ZDG+ZS is fastest, by ~5x over Grid/Angle at scale;
+//  - with SB locals the gap between partitioners narrows (SB dominates
+//    the cost);
+//  - Grid/Angle blow up as dimensionality grows; ZDG grows smoothly.
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace zsky::bench {
+namespace {
+
+const std::vector<Strategy>& Strategies() {
+  static const std::vector<Strategy> strategies{
+      {"grid+sb", PartitioningScheme::kGrid, LocalAlgorithm::kSortBased,
+       MergeAlgorithm::kSortBased},
+      {"grid+zs", PartitioningScheme::kGrid, LocalAlgorithm::kZSearch,
+       MergeAlgorithm::kZSearch},
+      {"angle+sb", PartitioningScheme::kAngle, LocalAlgorithm::kSortBased,
+       MergeAlgorithm::kSortBased},
+      {"angle+zs", PartitioningScheme::kAngle, LocalAlgorithm::kZSearch,
+       MergeAlgorithm::kZSearch},
+      {"zdg+sb", PartitioningScheme::kZdg, LocalAlgorithm::kSortBased,
+       MergeAlgorithm::kSortBased},
+      {"zdg+zs", PartitioningScheme::kZdg, LocalAlgorithm::kZSearch,
+       MergeAlgorithm::kZSearch},
+  };
+  return strategies;
+}
+
+constexpr uint32_t kGroups = 32;  // The paper fixes 32 partitions.
+
+void RunSweep(const char* figure, const char* axis_name,
+              Distribution distribution,
+              const std::vector<std::pair<size_t, uint32_t>>& points_axis) {
+  std::printf("\n--- %s: time (ms), %s sweep, %s ---\n", figure, axis_name,
+              std::string(DistributionName(distribution)).c_str());
+  std::printf("%10s", axis_name);
+  for (const auto& s : Strategies()) std::printf(" %10s", s.label.c_str());
+  std::printf("\n");
+  std::string csv;
+  for (const auto& [n, dim] : points_axis) {
+    const PointSet points = MakeData(distribution, n, dim, 7 * n + dim);
+    const size_t axis_value =
+        std::string_view(axis_name) == "n" ? n : static_cast<size_t>(dim);
+    std::printf("%10zu", axis_value);
+    for (const auto& s : Strategies()) {
+      const auto result =
+          ParallelSkylineExecutor(MakeOptions(s, kGroups)).Execute(points);
+      std::printf(" %10.1f", result.metrics.sim_total_ms);
+      std::fflush(stdout);
+      csv += "# CSV," + std::string(figure) + "," +
+             std::string(DistributionName(distribution)) + "," + s.label +
+             "," + std::to_string(axis_value) + "," +
+             std::to_string(result.metrics.sim_total_ms) + "\n";
+    }
+    std::printf("\n");
+  }
+  std::printf("%s", csv.c_str());
+}
+
+}  // namespace
+}  // namespace zsky::bench
+
+int main() {
+  using namespace zsky::bench;
+  using zsky::Distribution;
+  PrintBanner("Figure 7", "load balancing: query time vs size and dim",
+              "paper: 10M-110M points on a 6-node cluster; here: 40k-200k "
+              "points, in-process MapReduce (shapes comparable, absolutes "
+              "not)");
+  const std::vector<std::pair<size_t, uint32_t>> sizes{
+      {40'000, 5}, {80'000, 5}, {120'000, 5}, {160'000, 5}, {200'000, 5}};
+  RunSweep("fig7a", "n", Distribution::kIndependent, sizes);
+  RunSweep("fig7b", "n", Distribution::kAnticorrelated, sizes);
+  const std::vector<std::pair<size_t, uint32_t>> dims{
+      {60'000, 2}, {60'000, 3}, {60'000, 4}, {60'000, 5},
+      {60'000, 6}, {60'000, 8}, {60'000, 10}};
+  RunSweep("fig7c", "dim", Distribution::kIndependent, dims);
+  RunSweep("fig7d", "dim", Distribution::kAnticorrelated, dims);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Effect of the number of partitions / groups M (the remaining measured
+// parameter of Section 6.1): total time and candidate volume as M varies,
+// for the three Z-order strategies and the Grid baseline.
+//
+// Expected shape: more groups -> better parallelism (map/reduce makespans
+// shrink) but more candidates (each group emits its own local skyline),
+// so the curve is U-shaped around the cluster's slot count.
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace zsky::bench {
+namespace {
+
+void RunSweep(Distribution distribution) {
+  const std::vector<Strategy> strategies{
+      {"grid+zs", PartitioningScheme::kGrid, LocalAlgorithm::kZSearch,
+       MergeAlgorithm::kZSearch},
+      {"naive-z", PartitioningScheme::kNaiveZ, LocalAlgorithm::kZSearch,
+       MergeAlgorithm::kZMerge},
+      {"zdg+zm", PartitioningScheme::kZdg, LocalAlgorithm::kZSearch,
+       MergeAlgorithm::kZMerge},
+  };
+  const size_t n = 100'000;
+  const PointSet points = MakeData(distribution, n, 5, 81);
+  std::printf("\n--- M sweep (%s, n=%zu, d=5): sim-total ms / candidates "
+              "---\n",
+              std::string(DistributionName(distribution)).c_str(), n);
+  std::printf("%6s", "M");
+  for (const auto& s : strategies) std::printf(" %20s", s.label.c_str());
+  std::printf("\n");
+  std::string csv;
+  for (uint32_t m : {4u, 8u, 16u, 32u, 64u, 128u}) {
+    std::printf("%6u", m);
+    for (const auto& s : strategies) {
+      const auto result =
+          ParallelSkylineExecutor(MakeOptions(s, m)).Execute(points);
+      char cell[32];
+      std::snprintf(cell, sizeof(cell), "%.1f / %zu",
+                    result.metrics.sim_total_ms, result.metrics.candidates);
+      std::printf(" %20s", cell);
+      csv += "# CSV,msweep," +
+             std::string(DistributionName(distribution)) + "," + s.label +
+             "," + std::to_string(m) + "," +
+             std::to_string(result.metrics.sim_total_ms) + "," +
+             std::to_string(result.metrics.candidates) + "\n";
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  std::printf("%s", csv.c_str());
+}
+
+}  // namespace
+}  // namespace zsky::bench
+
+int main() {
+  using namespace zsky::bench;
+  using zsky::Distribution;
+  PrintBanner("Partitions sweep (Section 6.1 parameter)",
+              "time & candidates vs number of groups M",
+              "100k 5-d points; simulated cluster has M slots");
+  RunSweep(Distribution::kIndependent);
+  RunSweep(Distribution::kAnticorrelated);
+  return 0;
+}

@@ -1,0 +1,56 @@
+#ifndef ZSKY_BENCH_BENCH_UTIL_H_
+#define ZSKY_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the figure-reproduction benchmarks. Each bench prints
+// a human-readable table mirroring one paper figure plus machine-readable
+// "# CSV," rows for plotting.
+
+#include <cstdio>
+#include <string>
+
+#include "common/quantizer.h"
+#include "core/executor.h"
+#include "core/options.h"
+#include "gen/synthetic.h"
+
+namespace zsky::bench {
+
+inline constexpr uint32_t kBits = 16;
+
+inline PointSet MakeData(Distribution d, size_t n, uint32_t dim,
+                         uint64_t seed) {
+  return GenerateQuantized(d, n, dim, seed, Quantizer(kBits));
+}
+
+// A named strategy configuration, e.g. {"grid+sb", ...}.
+struct Strategy {
+  std::string label;
+  PartitioningScheme partitioning;
+  LocalAlgorithm local;
+  MergeAlgorithm merge;
+};
+
+inline ExecutorOptions MakeOptions(const Strategy& strategy,
+                                   uint32_t num_groups) {
+  ExecutorOptions options;
+  options.partitioning = strategy.partitioning;
+  options.local = strategy.local;
+  options.merge = strategy.merge;
+  options.num_groups = num_groups;
+  options.bits = kBits;
+  return options;
+}
+
+inline void PrintBanner(const char* figure, const char* what,
+                        const char* scale_note) {
+  std::printf("==============================================================="
+              "=\n");
+  std::printf("%s: %s\n", figure, what);
+  std::printf("scale: %s\n", scale_note);
+  std::printf("==============================================================="
+              "=\n");
+}
+
+}  // namespace zsky::bench
+
+#endif  // ZSKY_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,63 @@
+// Streaming skyline over a live feed: maintain the "efficient frontier"
+// of listings as offers arrive, using StreamingSkyline (the online
+// counterpart of the batch pipeline).
+//
+// Scenario: a used-car marketplace streams offers (price, mileage, age,
+// distance-to-buyer — all minimized). The dashboard keeps the current
+// not-dominated set updated per arrival instead of recomputing batches.
+
+#include <cstdio>
+
+#include "zsky.h"
+
+int main() {
+  using namespace zsky;
+
+  constexpr uint32_t kDim = 4;
+  constexpr size_t kOffers = 200'000;
+  const Quantizer quantizer(16);
+  const ZOrderCodec codec(kDim, quantizer.bits());
+
+  StreamingSkyline frontier(&codec);
+  Rng rng(99);
+  Stopwatch watch;
+  size_t entered = 0;
+
+  std::vector<Coord> offer(kDim);
+  for (size_t i = 0; i < kOffers; ++i) {
+    // Correlated listing: newer cars cost more and have fewer miles.
+    const double age = rng.NextDouble();
+    const double price =
+        std::min(1.0, std::max(0.0, (1.0 - age) * 0.8 +
+                                        0.2 * rng.NextDouble()));
+    const double mileage =
+        std::min(1.0, std::max(0.0, age * 0.7 + 0.3 * rng.NextDouble()));
+    const double distance = rng.NextDouble();
+    offer[0] = quantizer.Quantize(price);
+    offer[1] = quantizer.Quantize(mileage);
+    offer[2] = quantizer.Quantize(age);
+    offer[3] = quantizer.Quantize(distance);
+    if (frontier.Insert(offer, static_cast<uint32_t>(i))) ++entered;
+
+    if ((i + 1) % 50'000 == 0) {
+      std::printf("after %7zu offers: frontier %5zu  (entered %6zu, "
+                  "rejected %6zu, evicted %6zu)  %.1f ms elapsed\n",
+                  i + 1, frontier.size(), entered,
+                  frontier.rejected_total(), frontier.evicted_total(),
+                  watch.ElapsedMs());
+    }
+  }
+
+  const double total_ms = watch.ElapsedMs();
+  std::printf("\nprocessed %zu offers in %.1f ms (%.0f offers/ms)\n",
+              kOffers, total_ms, kOffers / total_ms);
+  std::printf("final frontier: %zu listings\n", frontier.size());
+
+  // Cross-check against a batch run over the retained history would need
+  // the full stream stored; here we verify internal accounting instead.
+  const bool consistent =
+      frontier.seen_total() ==
+      frontier.size() + frontier.rejected_total() + frontier.evicted_total();
+  std::printf("accounting consistent: %s\n", consistent ? "yes" : "NO");
+  return consistent ? 0 : 1;
+}

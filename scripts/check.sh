@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full local check: Release + Debug builds, tests in both, then the bench
+# suite in Release. Mirrors what CI would run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== Release build + tests ==="
+cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+echo "=== Debug build + tests (assertions on) ==="
+cmake -B build-debug -G Ninja -DCMAKE_BUILD_TYPE=Debug \
+      -DZSKY_BUILD_BENCHMARKS=OFF -DZSKY_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-debug
+ctest --test-dir build-debug --output-on-failure
+
+echo "=== Benchmarks (Release) ==="
+for b in build/bench/bench_*; do
+  [ -x "$b" ] || continue
+  echo "--- $b ---"
+  "$b"
+done
+
+echo "ALL CHECKS PASSED"

@@ -1,0 +1,36 @@
+#include "algo/bnl.h"
+
+#include <algorithm>
+
+#include "common/dominance.h"
+
+namespace zsky {
+
+SkylineIndices BnlSkyline(const PointSet& points) {
+  // Window of candidate skyline indices. With unbounded memory (our case)
+  // BNL needs a single pass.
+  SkylineIndices window;
+  const size_t n = points.size();
+  for (size_t i = 0; i < n; ++i) {
+    const auto p = points[i];
+    bool dominated = false;
+    size_t kept = 0;
+    for (size_t w = 0; w < window.size(); ++w) {
+      const auto q = points[window[w]];
+      if (Dominates(q, p)) {
+        dominated = true;
+        // Keep the remaining window entries untouched.
+        for (size_t r = w; r < window.size(); ++r) window[kept++] = window[r];
+        break;
+      }
+      if (!Dominates(p, q)) window[kept++] = window[w];
+      // Entries dominated by p are dropped (not copied to `kept`).
+    }
+    window.resize(kept);
+    if (!dominated) window.push_back(static_cast<uint32_t>(i));
+  }
+  SortSkyline(window);
+  return window;
+}
+
+}  // namespace zsky

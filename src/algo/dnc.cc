@@ -1,0 +1,85 @@
+#include "algo/dnc.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "algo/bnl.h"
+#include "common/dominance.h"
+
+namespace zsky {
+
+namespace {
+
+// Dominance restricted to dimensions [1, d): used when the left operand is
+// known to be strictly smaller in dimension 0.
+bool DominatesTail(std::span<const Coord> p, std::span<const Coord> q) {
+  for (size_t i = 1; i < p.size(); ++i) {
+    if (p[i] > q[i]) return false;
+  }
+  return true;
+}
+
+// Recursive worker over an index range (rows into `points`).
+SkylineIndices Solve(const PointSet& points, std::vector<uint32_t> rows,
+                     size_t leaf_size) {
+  if (rows.size() <= leaf_size) {
+    const PointSet local = PointSet::Gather(points, rows);
+    SkylineIndices result;
+    for (uint32_t i : BnlSkyline(local)) result.push_back(rows[i]);
+    return result;
+  }
+  // Median split on dimension 0. All rows with p[0] <= pivot go low; the
+  // rest go high, so every low point is <= every high point in dim 0.
+  std::vector<Coord> dim0(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) dim0[i] = points[rows[i]][0];
+  std::nth_element(dim0.begin(), dim0.begin() + dim0.size() / 2, dim0.end());
+  const Coord pivot = dim0[dim0.size() / 2];
+
+  std::vector<uint32_t> low;
+  std::vector<uint32_t> high;
+  for (uint32_t row : rows) {
+    (points[row][0] <= pivot ? low : high).push_back(row);
+  }
+  if (low.empty() || high.empty()) {
+    // Dimension 0 is constant across the range: fall back to BNL (no
+    // useful split exists on this axis).
+    const PointSet local = PointSet::Gather(points, rows);
+    SkylineIndices result;
+    for (uint32_t i : BnlSkyline(local)) result.push_back(rows[i]);
+    return result;
+  }
+
+  const SkylineIndices sky_low = Solve(points, std::move(low), leaf_size);
+  const SkylineIndices sky_high = Solve(points, std::move(high), leaf_size);
+
+  // Merge: low-half skyline survives unconditionally (nothing in the high
+  // half can dominate it in dim 0); each high-half survivor must not be
+  // dominated by a low survivor. Low points have dim0 <= pivot < high
+  // dim0, so strictness in dim 0 is guaranteed and only the tail
+  // dimensions need checking.
+  SkylineIndices result = sky_low;
+  for (uint32_t h : sky_high) {
+    bool dominated = false;
+    for (uint32_t l : sky_low) {
+      if (DominatesTail(points[l], points[h])) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) result.push_back(h);
+  }
+  return result;
+}
+
+}  // namespace
+
+SkylineIndices DncSkyline(const PointSet& points, size_t leaf_size) {
+  ZSKY_CHECK(leaf_size >= 1);
+  std::vector<uint32_t> rows(points.size());
+  std::iota(rows.begin(), rows.end(), 0u);
+  SkylineIndices result = Solve(points, std::move(rows), leaf_size);
+  SortSkyline(result);
+  return result;
+}
+
+}  // namespace zsky

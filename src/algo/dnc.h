@@ -1,0 +1,21 @@
+#ifndef ZSKY_ALGO_DNC_H_
+#define ZSKY_ALGO_DNC_H_
+
+#include "algo/skyline.h"
+#include "common/point_set.h"
+
+namespace zsky {
+
+// Divide-and-conquer skyline (Borzsony et al. [1]): split at the median of
+// the first dimension, compute both halves' skylines recursively, then
+// filter the high half against the low half (a low-half point can dominate
+// a high-half point using only the remaining dimensions, never vice
+// versa). Inputs below `leaf_size` use BNL directly.
+//
+// One of the classic centralized baselines; kept for completeness and as
+// an independent oracle in tests.
+SkylineIndices DncSkyline(const PointSet& points, size_t leaf_size = 64);
+
+}  // namespace zsky
+
+#endif  // ZSKY_ALGO_DNC_H_

@@ -1,0 +1,62 @@
+#include "algo/ranked.h"
+
+#include <algorithm>
+
+#include "algo/sort_based.h"
+#include "common/dominance.h"
+
+namespace zsky {
+
+std::string_view SkylineRankName(SkylineRank rank) {
+  switch (rank) {
+    case SkylineRank::kDominanceCount:
+      return "dominance-count";
+    case SkylineRank::kScoreSum:
+      return "score-sum";
+  }
+  return "unknown";
+}
+
+std::vector<RankedPoint> TopKSkyline(const PointSet& points,
+                                     const SkylineIndices& skyline, size_t k,
+                                     SkylineRank rank) {
+  std::vector<RankedPoint> ranked;
+  ranked.reserve(skyline.size());
+  switch (rank) {
+    case SkylineRank::kDominanceCount: {
+      for (uint32_t row : skyline) {
+        const auto p = points[row];
+        size_t count = 0;
+        for (size_t j = 0; j < points.size(); ++j) {
+          if (j != row && Dominates(p, points[j])) ++count;
+        }
+        ranked.push_back({row, static_cast<double>(count)});
+      }
+      break;
+    }
+    case SkylineRank::kScoreSum: {
+      for (uint32_t row : skyline) {
+        uint64_t sum = 0;
+        for (Coord c : points[row]) sum += c;
+        // Negate so that "sort descending by score" yields smallest sums
+        // first for both metrics.
+        ranked.push_back({row, -static_cast<double>(sum)});
+      }
+      break;
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedPoint& a, const RankedPoint& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.row < b.row;
+            });
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+std::vector<RankedPoint> TopKSkyline(const PointSet& points, size_t k,
+                                     SkylineRank rank) {
+  return TopKSkyline(points, SortBasedSkyline(points), k, rank);
+}
+
+}  // namespace zsky

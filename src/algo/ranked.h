@@ -1,0 +1,48 @@
+#ifndef ZSKY_ALGO_RANKED_H_
+#define ZSKY_ALGO_RANKED_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "algo/skyline.h"
+#include "common/point_set.h"
+
+namespace zsky {
+
+// How to order skyline points when the user wants a top-k shortlist.
+// The paper (Section 1) points to ranking the skyline by user preference
+// as the standard follow-up once skylines get large; these are the two
+// common preference-free rankings from that literature.
+enum class SkylineRank {
+  // Number of input points the skyline point dominates: "covers the most
+  // alternatives". Robust and scale-free.
+  kDominanceCount,
+  // Ascending coordinate sum: "best average criterion". Cheap.
+  kScoreSum,
+};
+
+std::string_view SkylineRankName(SkylineRank rank);
+
+// A skyline point with its rank key (higher = better for
+// kDominanceCount; lower = better for kScoreSum, normalized so that
+// callers always sort descending by `score`).
+struct RankedPoint {
+  uint32_t row = 0;
+  double score = 0.0;
+};
+
+// Ranks `skyline` (row indices into `points`) and returns the best `k`
+// entries, best first. `skyline` must be a subset of rows; pass the full
+// skyline for a true top-k.
+std::vector<RankedPoint> TopKSkyline(const PointSet& points,
+                                     const SkylineIndices& skyline, size_t k,
+                                     SkylineRank rank);
+
+// Convenience: computes the skyline (sort-based) then ranks it.
+std::vector<RankedPoint> TopKSkyline(const PointSet& points, size_t k,
+                                     SkylineRank rank);
+
+}  // namespace zsky
+
+#endif  // ZSKY_ALGO_RANKED_H_

@@ -1,0 +1,28 @@
+#ifndef ZSKY_ALGO_SKYBAND_H_
+#define ZSKY_ALGO_SKYBAND_H_
+
+#include "algo/skyline.h"
+#include "common/point_set.h"
+#include "zorder/zorder_codec.h"
+
+namespace zsky {
+
+// k-skyband: the points dominated by fewer than `k` other points. The
+// 1-skyband is exactly the skyline; growing k thickens the band toward the
+// interior. A common skyline extension (and the paper's natural follow-up
+// for preference queries that need more than |skyline| answers).
+//
+// Reference implementation: O(n^2) dominance counting with early exit at
+// count k. For tests and small inputs.
+SkylineIndices NaiveSkyband(const PointSet& points, uint32_t k);
+
+// Z-order-accelerated skyband: sorts by Z-address so that all potential
+// dominators of a point precede it (Z-order is monotone w.r.t dominance),
+// then counts dominators only among z-predecessors, pruning points whose
+// count reaches k. Exact, typically far fewer tests than the naive scan.
+SkylineIndices ZOrderSkyband(const ZOrderCodec& codec, const PointSet& points,
+                             uint32_t k);
+
+}  // namespace zsky
+
+#endif  // ZSKY_ALGO_SKYBAND_H_

@@ -1,0 +1,26 @@
+#include "algo/skyline.h"
+
+#include <algorithm>
+
+#include "common/dominance.h"
+
+namespace zsky {
+
+void SortSkyline(SkylineIndices& skyline) {
+  std::sort(skyline.begin(), skyline.end());
+}
+
+SkylineIndices NaiveSkyline(const PointSet& points) {
+  SkylineIndices result;
+  const size_t n = points.size();
+  for (size_t i = 0; i < n; ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < n && !dominated; ++j) {
+      if (j != i && Dominates(points[j], points[i])) dominated = true;
+    }
+    if (!dominated) result.push_back(static_cast<uint32_t>(i));
+  }
+  return result;
+}
+
+}  // namespace zsky

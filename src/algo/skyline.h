@@ -1,0 +1,24 @@
+#ifndef ZSKY_ALGO_SKYLINE_H_
+#define ZSKY_ALGO_SKYLINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/point_set.h"
+
+namespace zsky {
+
+// A skyline result: row indices into the queried PointSet, in ascending
+// index order, of the points not dominated by any other point in the set.
+using SkylineIndices = std::vector<uint32_t>;
+
+// Normalizes a result to ascending index order (algorithms may produce
+// results in traversal order).
+void SortSkyline(SkylineIndices& skyline);
+
+// Reference oracle: O(n^2) pairwise test. Only for tests and tiny inputs.
+SkylineIndices NaiveSkyline(const PointSet& points);
+
+}  // namespace zsky
+
+#endif  // ZSKY_ALGO_SKYLINE_H_

@@ -1,0 +1,29 @@
+#include "algo/subspace.h"
+
+#include "algo/sort_based.h"
+#include "common/macros.h"
+
+namespace zsky {
+
+PointSet ProjectDims(const PointSet& points,
+                     std::span<const uint32_t> dims) {
+  ZSKY_CHECK(!dims.empty());
+  for (uint32_t d : dims) ZSKY_CHECK(d < points.dim());
+  PointSet projected(static_cast<uint32_t>(dims.size()));
+  projected.Reserve(points.size());
+  std::vector<Coord> row(dims.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    const auto p = points[i];
+    for (size_t k = 0; k < dims.size(); ++k) row[k] = p[dims[k]];
+    projected.Append(row);
+  }
+  return projected;
+}
+
+SkylineIndices SubspaceSkyline(const PointSet& points,
+                               std::span<const uint32_t> dims) {
+  if (points.empty()) return {};
+  return SortBasedSkyline(ProjectDims(points, dims));
+}
+
+}  // namespace zsky

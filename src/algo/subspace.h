@@ -1,0 +1,27 @@
+#ifndef ZSKY_ALGO_SUBSPACE_H_
+#define ZSKY_ALGO_SUBSPACE_H_
+
+#include <span>
+
+#include "algo/skyline.h"
+#include "common/point_set.h"
+
+namespace zsky {
+
+// Subspace skyline: the skyline when only the dimensions in `dims` count
+// (the standard "which criteria matter to *this* user" extension).
+// `dims` must be non-empty, unique, and within points.dim().
+//
+// Note that a full-space skyline point need not be a subspace skyline
+// point and vice versa (only for distinct-value data is the subspace
+// skyline a subset of the full skyline).
+SkylineIndices SubspaceSkyline(const PointSet& points,
+                               std::span<const uint32_t> dims);
+
+// Projects `points` onto `dims` (helper for subspace queries; exposed for
+// reuse and tests).
+PointSet ProjectDims(const PointSet& points, std::span<const uint32_t> dims);
+
+}  // namespace zsky
+
+#endif  // ZSKY_ALGO_SUBSPACE_H_

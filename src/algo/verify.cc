@@ -1,0 +1,61 @@
+#include "algo/verify.h"
+
+#include <vector>
+
+#include "common/dominance.h"
+
+namespace zsky {
+
+std::string SkylineViolation::ToString() const {
+  switch (kind) {
+    case Kind::kDominatedMember:
+      return "row " + std::to_string(row) +
+             " is claimed but dominated by row " + std::to_string(witness);
+    case Kind::kMissingMember:
+      return "row " + std::to_string(row) +
+             " is not dominated but missing from the claim";
+    case Kind::kOutOfRange:
+      return "row " + std::to_string(row) + " is out of range";
+    case Kind::kDuplicateMember:
+      return "row " + std::to_string(row) + " appears more than once";
+  }
+  return "unknown violation";
+}
+
+std::optional<SkylineViolation> VerifySkyline(
+    const PointSet& points, const SkylineIndices& claimed) {
+  const size_t n = points.size();
+  std::vector<uint8_t> in_claim(n, 0);
+  for (uint32_t row : claimed) {
+    if (row >= n) {
+      return SkylineViolation{SkylineViolation::Kind::kOutOfRange, row, 0};
+    }
+    if (in_claim[row]) {
+      return SkylineViolation{SkylineViolation::Kind::kDuplicateMember, row,
+                              0};
+    }
+    in_claim[row] = 1;
+  }
+  // Every claimed member must be undominated; every unclaimed row must
+  // have a dominator.
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t dominator = 0;
+    bool dominated = false;
+    for (uint32_t j = 0; j < n && !dominated; ++j) {
+      if (j != i && Dominates(points[j], points[i])) {
+        dominated = true;
+        dominator = j;
+      }
+    }
+    if (in_claim[i] && dominated) {
+      return SkylineViolation{SkylineViolation::Kind::kDominatedMember, i,
+                              dominator};
+    }
+    if (!in_claim[i] && !dominated) {
+      return SkylineViolation{SkylineViolation::Kind::kMissingMember, i, i};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace zsky

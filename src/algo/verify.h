@@ -1,0 +1,37 @@
+#ifndef ZSKY_ALGO_VERIFY_H_
+#define ZSKY_ALGO_VERIFY_H_
+
+#include <optional>
+#include <string>
+
+#include "algo/skyline.h"
+#include "common/point_set.h"
+
+namespace zsky {
+
+// A violation found by VerifySkyline.
+struct SkylineViolation {
+  enum class Kind {
+    kDominatedMember,   // A claimed skyline row is dominated.
+    kMissingMember,     // A non-dominated row is absent from the claim.
+    kOutOfRange,        // A claimed row index exceeds the input size.
+    kDuplicateMember,   // A row appears twice in the claim.
+  };
+  Kind kind;
+  uint32_t row = 0;      // The offending row.
+  uint32_t witness = 0;  // Dominator (kDominatedMember) / absent row's
+                         // evidence is itself (kMissingMember).
+  std::string ToString() const;
+};
+
+// Exhaustively checks that `claimed` (ascending row indices) is exactly
+// the skyline of `points`. Returns nullopt when correct, or the first
+// violation found. O(n * |claimed| + n^2 / heavily pruned) — intended for
+// tests, sanity checks in examples, and downstream users validating
+// custom pipelines.
+std::optional<SkylineViolation> VerifySkyline(const PointSet& points,
+                                              const SkylineIndices& claimed);
+
+}  // namespace zsky
+
+#endif  // ZSKY_ALGO_VERIFY_H_

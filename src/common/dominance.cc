@@ -1,0 +1,27 @@
+#include "common/dominance.h"
+
+namespace zsky {
+
+bool Dominates(std::span<const Coord> p, std::span<const Coord> q) {
+  ZSKY_DCHECK(p.size() == q.size());
+  bool strict = false;
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (p[i] > q[i]) return false;
+    if (p[i] < q[i]) strict = true;
+  }
+  return strict;
+}
+
+bool DominatesOrEqual(std::span<const Coord> p, std::span<const Coord> q) {
+  ZSKY_DCHECK(p.size() == q.size());
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (p[i] > q[i]) return false;
+  }
+  return true;
+}
+
+bool Incomparable(std::span<const Coord> p, std::span<const Coord> q) {
+  return !DominatesOrEqual(p, q) && !DominatesOrEqual(q, p);
+}
+
+}  // namespace zsky

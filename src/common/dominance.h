@@ -1,0 +1,24 @@
+#ifndef ZSKY_COMMON_DOMINANCE_H_
+#define ZSKY_COMMON_DOMINANCE_H_
+
+#include <span>
+
+#include "common/point_set.h"
+
+namespace zsky {
+
+// Dominance under the minimization convention: `p` dominates `q` iff
+// p[i] <= q[i] for every dimension and p[i] < q[i] for at least one.
+bool Dominates(std::span<const Coord> p, std::span<const Coord> q);
+
+// Weak dominance: p[i] <= q[i] for every dimension (p == q qualifies).
+// This is the test used for RZ-region reasoning where bounds, not actual
+// points, are compared.
+bool DominatesOrEqual(std::span<const Coord> p, std::span<const Coord> q);
+
+// True iff neither point dominates the other and they are not equal.
+bool Incomparable(std::span<const Coord> p, std::span<const Coord> q);
+
+}  // namespace zsky
+
+#endif  // ZSKY_COMMON_DOMINANCE_H_

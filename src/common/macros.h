@@ -1,0 +1,36 @@
+#ifndef ZSKY_COMMON_MACROS_H_
+#define ZSKY_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Fatal precondition / invariant check. Always on (benchmark-relevant code
+// avoids placing these on per-point hot paths; structural checks only).
+#define ZSKY_CHECK(cond)                                                      \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "ZSKY_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                          \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#define ZSKY_CHECK_MSG(cond, msg)                                             \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "ZSKY_CHECK failed at %s:%d: %s (%s)\n", __FILE__, \
+                   __LINE__, #cond, msg);                                     \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+// Debug-only check, compiled out in release builds.
+#ifndef NDEBUG
+#define ZSKY_DCHECK(cond) ZSKY_CHECK(cond)
+#else
+#define ZSKY_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#endif
+
+#endif  // ZSKY_COMMON_MACROS_H_

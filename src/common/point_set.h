@@ -1,0 +1,81 @@
+#ifndef ZSKY_COMMON_POINT_SET_H_
+#define ZSKY_COMMON_POINT_SET_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace zsky {
+
+// Coordinate type of all points after quantization. Smaller is better in
+// every dimension (minimization convention).
+using Coord = uint32_t;
+
+// A dense, row-major table of fixed-dimensionality points.
+//
+// PointSet is the universal data container of the library: generators fill
+// it, partitioners route its rows, skyline algorithms consume it and report
+// results as row indices into it. Points are identified by their row index;
+// algorithms that reshuffle data carry the original index alongside.
+class PointSet {
+ public:
+  // Creates an empty set of `dim`-dimensional points. `dim` must be >= 1.
+  explicit PointSet(uint32_t dim) : dim_(dim) { ZSKY_CHECK(dim >= 1); }
+
+  PointSet(const PointSet&) = default;
+  PointSet& operator=(const PointSet&) = default;
+  PointSet(PointSet&&) = default;
+  PointSet& operator=(PointSet&&) = default;
+
+  uint32_t dim() const { return dim_; }
+  size_t size() const { return coords_.size() / dim_; }
+  bool empty() const { return coords_.empty(); }
+
+  // Returns point `i` as a read-only span of `dim()` coordinates.
+  std::span<const Coord> operator[](size_t i) const {
+    ZSKY_DCHECK(i < size());
+    return {coords_.data() + i * dim_, dim_};
+  }
+
+  // Appends one point. The span must have exactly `dim()` coordinates.
+  void Append(std::span<const Coord> point) {
+    ZSKY_DCHECK(point.size() == dim_);
+    coords_.insert(coords_.end(), point.begin(), point.end());
+  }
+
+  void Append(std::initializer_list<Coord> point) {
+    Append(std::span<const Coord>(point.begin(), point.size()));
+  }
+
+  // Appends point `i` of `other` (dimensions must match).
+  void AppendFrom(const PointSet& other, size_t i) {
+    ZSKY_DCHECK(other.dim_ == dim_);
+    Append(other[i]);
+  }
+
+  void Reserve(size_t n) { coords_.reserve(n * dim_); }
+  void Clear() { coords_.clear(); }
+
+  // Raw storage access (row-major), for bulk operations / serialization.
+  const std::vector<Coord>& raw() const { return coords_; }
+  std::vector<Coord>& mutable_raw() { return coords_; }
+
+  // Builds a PointSet from an index list into `src` (gather).
+  static PointSet Gather(const PointSet& src, std::span<const uint32_t> rows) {
+    PointSet out(src.dim());
+    out.Reserve(rows.size());
+    for (uint32_t r : rows) out.AppendFrom(src, r);
+    return out;
+  }
+
+ private:
+  uint32_t dim_;
+  std::vector<Coord> coords_;
+};
+
+}  // namespace zsky
+
+#endif  // ZSKY_COMMON_POINT_SET_H_

@@ -1,0 +1,39 @@
+#include "common/quantizer.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace zsky {
+
+Quantizer::Quantizer(uint32_t bits) : bits_(bits) {
+  ZSKY_CHECK(bits >= 1 && bits <= 32);
+  max_value_ = (bits == 32) ? 0xFFFFFFFFu : ((Coord{1} << bits) - 1);
+  scale_ = static_cast<double>(max_value_) + 1.0;
+}
+
+Coord Quantizer::Quantize(double v) const {
+  if (v < 0.0) v = 0.0;
+  if (v >= 1.0) return max_value_;
+  auto c = static_cast<Coord>(v * scale_);
+  return std::min(c, max_value_);
+}
+
+PointSet Quantizer::QuantizeAll(std::span<const double> values,
+                                uint32_t dim) const {
+  ZSKY_CHECK(dim >= 1 && values.size() % dim == 0);
+  PointSet out(dim);
+  out.Reserve(values.size() / dim);
+  std::vector<Coord> row(dim);
+  for (size_t i = 0; i < values.size(); i += dim) {
+    for (uint32_t k = 0; k < dim; ++k) row[k] = Quantize(values[i + k]);
+    out.Append(row);
+  }
+  return out;
+}
+
+double Quantizer::Dequantize(Coord c) const {
+  return (static_cast<double>(c) + 0.5) / scale_;
+}
+
+}  // namespace zsky

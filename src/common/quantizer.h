@@ -1,0 +1,43 @@
+#ifndef ZSKY_COMMON_QUANTIZER_H_
+#define ZSKY_COMMON_QUANTIZER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/point_set.h"
+
+namespace zsky {
+
+// Maps real-valued points in [0, 1)^d onto a b-bit integer grid.
+//
+// Z-addresses require integer coordinates; the paper's generators and real
+// datasets are real-valued, so every pipeline starts by quantizing. `bits`
+// is the per-dimension resolution (default 16, the value used by all
+// benches; ablations sweep it).
+class Quantizer {
+ public:
+  explicit Quantizer(uint32_t bits = 16);
+
+  uint32_t bits() const { return bits_; }
+  Coord max_value() const { return max_value_; }
+
+  // Quantizes a single coordinate. Values outside [0, 1) are clamped.
+  Coord Quantize(double v) const;
+
+  // Quantizes a full real-valued dataset (row-major doubles, `dim` columns)
+  // into a PointSet.
+  PointSet QuantizeAll(std::span<const double> values, uint32_t dim) const;
+
+  // Inverse map to the center of the grid cell, for volume computations.
+  double Dequantize(Coord c) const;
+
+ private:
+  uint32_t bits_;
+  Coord max_value_;
+  double scale_;
+};
+
+}  // namespace zsky
+
+#endif  // ZSKY_COMMON_QUANTIZER_H_

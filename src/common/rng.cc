@@ -1,0 +1,13 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace zsky {
+
+double Rng::BoxMuller(double u1, double u2) {
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace zsky

@@ -1,0 +1,64 @@
+#ifndef ZSKY_COMMON_RNG_H_
+#define ZSKY_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace zsky {
+
+// Small, fast, reproducible PRNG (xoshiro256** seeded via splitmix64).
+// Used everywhere instead of std::mt19937 so that generated datasets are
+// identical across platforms and standard-library versions.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      // splitmix64 step.
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  // Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound) { return Next() % bound; }
+
+  // Standard normal via Box-Muller (one value per call; simple and
+  // deterministic, throughput is not a concern for data generation).
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    while (u1 <= 1e-300) u1 = NextDouble();
+    return BoxMuller(u1, u2);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t v, int k) { return (v << k) | (v >> (64 - k)); }
+  static double BoxMuller(double u1, double u2);
+
+  uint64_t state_[4];
+};
+
+}  // namespace zsky
+
+#endif  // ZSKY_COMMON_RNG_H_

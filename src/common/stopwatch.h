@@ -1,0 +1,30 @@
+#ifndef ZSKY_COMMON_STOPWATCH_H_
+#define ZSKY_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace zsky {
+
+// Wall-clock stopwatch used for phase timing in the executor and benches.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Elapsed time since construction / last Restart, in milliseconds.
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedSeconds() const { return ElapsedMs() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace zsky
+
+#endif  // ZSKY_COMMON_STOPWATCH_H_

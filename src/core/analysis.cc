@@ -1,0 +1,63 @@
+#include "core/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "partition/dominance_volume.h"
+
+namespace zsky {
+
+PruningAnalysis AnalyzePruning(const ZOrderGroupedPartitioner& partitioner,
+                               size_t n) {
+  PruningAnalysis analysis;
+  const uint32_t bits = partitioner.codec().bits();
+  const double scale = static_cast<double>(uint64_t{1} << bits);
+
+  // Collect surviving partition regions; pruned partitions contribute
+  // their whole box volume (every point in them is provably dominated).
+  std::vector<RZRegion> regions;
+  double pruned_volume = 0.0;
+  for (size_t i = 0; i < partitioner.num_partitions(); ++i) {
+    const RZRegion& region = partitioner.partition_region(i);
+    if (partitioner.group_of_partition(i) == kDroppedGroup) {
+      double v = 1.0;
+      for (uint32_t k = 0; k < region.dim(); ++k) {
+        v *= (static_cast<double>(region.max_corner()[k]) + 1.0 -
+              static_cast<double>(region.min_corner()[k])) /
+             scale;
+      }
+      pruned_volume += v;
+      continue;
+    }
+    regions.push_back(region);
+  }
+
+  // V_t = 1/2 sum_{i != j} Vdom: the matrix is symmetric with a zero
+  // diagonal, so half the full sum.
+  const std::vector<double> dm = DominanceMatrix(regions, bits);
+  double vt = 0.0;
+  for (double v : dm) vt += v;
+  analysis.total_dominance_volume = vt / 2.0 + pruned_volume;
+
+  // Q: partition regions are derived from pivot addresses and tile the
+  // whole space, so the data volume is the normalized full volume.
+  analysis.data_volume = 1.0;
+
+  const size_t m = partitioner.num_groups();
+  const double raw = static_cast<double>(n) *
+                     analysis.total_dominance_volume / analysis.data_volume;
+  const auto upper = static_cast<double>(n > m ? n - m : 0);
+  analysis.predicted_pruned =
+      static_cast<size_t>(std::clamp(raw, 0.0, upper));
+  analysis.predicted_candidates = n - analysis.predicted_pruned;
+  return analysis;
+}
+
+double PredictMergeCost(size_t candidates, uint32_t dim) {
+  if (candidates < 2 || dim < 2) return static_cast<double>(candidates);
+  const double log_d =
+      std::log(static_cast<double>(candidates)) / std::log(dim);
+  return static_cast<double>(candidates) * dim * log_d;
+}
+
+}  // namespace zsky

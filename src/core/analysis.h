@@ -1,0 +1,40 @@
+#ifndef ZSKY_CORE_ANALYSIS_H_
+#define ZSKY_CORE_ANALYSIS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "partition/zorder_grouping.h"
+
+namespace zsky {
+
+// Section 5.4's analytical model: how many input points the first
+// MapReduce job should prune, derived from the partitions' pairwise
+// dominance volumes.
+struct PruningAnalysis {
+  // V_t = 1/2 * sum_{i,j} Vdom(Pt_i, Pt_j) over surviving partitions,
+  // in normalized [0,1]^d space.
+  double total_dominance_volume = 0.0;
+  // Q: the volume of the data's bounding box (normalized).
+  double data_volume = 0.0;
+  // n_p for independently distributed data: n * V_t / Q, clamped to
+  // [0, n - M] (the paper's correlated/anti-correlated extremes).
+  size_t predicted_pruned = 0;
+  // n - n_p: expected skyline-candidate volume entering the merge phase.
+  size_t predicted_candidates = 0;
+};
+
+// Evaluates the model for a learned ZDG/ZHG/Naive-Z plan over an input of
+// `n` points. Pruned partitions contribute their full region volume (they
+// are provably dominated).
+PruningAnalysis AnalyzePruning(const ZOrderGroupedPartitioner& partitioner,
+                               size_t n);
+
+// Section 5.4's Z-merge running-time model, in abstract comparison units:
+//   independent / anti-correlated: O(n~ * d * log_d n~)
+//   (candidates == skyline worst case). Returns 0 for empty inputs.
+double PredictMergeCost(size_t candidates, uint32_t dim);
+
+}  // namespace zsky
+
+#endif  // ZSKY_CORE_ANALYSIS_H_

@@ -1,0 +1,363 @@
+#include "core/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "algo/sort_based.h"
+#include "common/rng.h"
+#include "index/bbs.h"
+#include "common/stopwatch.h"
+#include "index/dynamic_skyline.h"
+#include "index/zsearch.h"
+#include "mapreduce/job.h"
+#include "partition/angle_partitioner.h"
+#include "partition/grid_partitioner.h"
+#include "partition/quadtree_partitioner.h"
+#include "partition/random_partitioner.h"
+#include "partition/zorder_grouping.h"
+#include "sample/reservoir.h"
+
+namespace zsky {
+
+namespace {
+
+SkylineIndices LocalSkyline(const ZOrderCodec& codec, const PointSet& points,
+                            LocalAlgorithm algorithm,
+                            const ZBTree::Options& tree_options) {
+  if (points.empty()) return {};
+  switch (algorithm) {
+    case LocalAlgorithm::kSortBased:
+      return SortBasedSkyline(points);
+    case LocalAlgorithm::kZSearch:
+      return ZSearchSkyline(codec, points, tree_options);
+    case LocalAlgorithm::kBbs: {
+      RTree::Options rtree_options;
+      rtree_options.leaf_capacity = tree_options.leaf_capacity;
+      rtree_options.fanout = tree_options.fanout;
+      return BbsSkyline(codec, points, rtree_options);
+    }
+  }
+  return {};
+}
+
+GroupingStrategy ToGroupingStrategy(PartitioningScheme scheme) {
+  switch (scheme) {
+    case PartitioningScheme::kNaiveZ:
+      return GroupingStrategy::kNaiveZ;
+    case PartitioningScheme::kZhg:
+      return GroupingStrategy::kHeuristic;
+    default:
+      return GroupingStrategy::kDominance;
+  }
+}
+
+}  // namespace
+
+ParallelSkylineExecutor::ParallelSkylineExecutor(const ExecutorOptions& options)
+    : options_(options) {
+  ZSKY_CHECK(options.num_groups >= 1);
+  ZSKY_CHECK(options.expansion >= 1);
+  ZSKY_CHECK(options.num_map_tasks >= 1);
+  ZSKY_CHECK(options.sample_ratio > 0.0 && options.sample_ratio <= 1.0);
+  ZSKY_CHECK(options.bits >= 1 && options.bits <= 32);
+}
+
+SkylineQueryResult ParallelSkylineExecutor::Execute(
+    const PointSet& points) const {
+  SkylineQueryResult result;
+  PhaseMetrics& pm = result.metrics;
+  if (points.empty()) return result;
+
+  Stopwatch total_watch;
+  const size_t n = points.size();
+  const uint32_t dim = points.dim();
+  ZOrderCodec codec(dim, options_.bits);
+
+  // ----- Phase 1: preprocessing (Section 5.1). -----
+  Stopwatch pre_watch;
+  Rng rng(options_.seed);
+  size_t sample_target = static_cast<size_t>(
+      options_.sample_ratio * static_cast<double>(n));
+  // Floor: enough sample mass to cut M*delta partitions meaningfully.
+  sample_target = std::max<size_t>(
+      sample_target,
+      std::max<size_t>(256, 4ull * options_.num_groups * options_.expansion));
+  sample_target = std::min(sample_target, n);
+  const PointSet sample = ReservoirSample(points, sample_target, rng);
+
+  std::unique_ptr<Partitioner> partitioner;
+  PointSet sample_skyline(dim);
+  switch (options_.partitioning) {
+    case PartitioningScheme::kRandom: {
+      partitioner = std::make_unique<RandomPartitioner>(options_.num_groups,
+                                                        options_.seed);
+      break;
+    }
+    case PartitioningScheme::kGrid: {
+      partitioner =
+          std::make_unique<GridPartitioner>(sample, options_.num_groups);
+      break;
+    }
+    case PartitioningScheme::kAngle: {
+      if (dim >= 2) {
+        partitioner =
+            std::make_unique<AnglePartitioner>(sample, options_.num_groups);
+      } else {
+        partitioner =
+            std::make_unique<GridPartitioner>(sample, options_.num_groups);
+      }
+      break;
+    }
+    case PartitioningScheme::kQuadTree: {
+      partitioner =
+          std::make_unique<QuadTreePartitioner>(sample, options_.num_groups);
+      break;
+    }
+    case PartitioningScheme::kNaiveZ:
+    case PartitioningScheme::kZhg:
+    case PartitioningScheme::kZdg: {
+      ZOrderGroupedPartitioner::Options zopt;
+      zopt.num_groups = options_.num_groups;
+      zopt.expansion = options_.expansion;
+      zopt.strategy = ToGroupingStrategy(options_.partitioning);
+      auto z = std::make_unique<ZOrderGroupedPartitioner>(&codec, sample,
+                                                          zopt);
+      sample_skyline = z->sample_skyline();
+      pm.num_partitions = z->num_partitions();
+      pm.pruned_partitions = z->pruned_partition_count();
+      partitioner = std::move(z);
+      break;
+    }
+  }
+  if (sample_skyline.empty()) {
+    // Grid/Angle path: compute the sample skyline for the mapper filter.
+    for (uint32_t idx : SortBasedSkyline(sample)) {
+      sample_skyline.AppendFrom(sample, idx);
+    }
+  }
+  pm.sample_size = sample.size();
+  pm.sample_skyline_size = sample_skyline.size();
+  pm.num_groups = partitioner->num_groups();
+
+  // The SZB-tree mapper filter is part of the paper's Z-order pipeline
+  // (Algorithm 3 lines 2-3); the Grid/Angle baselines as published have no
+  // sample-skyline prefilter, so it only activates for Z-order schemes.
+  const bool z_scheme =
+      options_.partitioning == PartitioningScheme::kNaiveZ ||
+      options_.partitioning == PartitioningScheme::kZhg ||
+      options_.partitioning == PartitioningScheme::kZdg;
+  std::optional<ZBTree> szb_tree;
+  if (options_.enable_szb_filter && z_scheme && !sample_skyline.empty()) {
+    szb_tree.emplace(&codec, sample_skyline, options_.tree);
+  }
+  pm.preprocess_ms = pre_watch.ElapsedMs();
+
+  // ----- Phase 2: MR job 1 — compute skyline candidates (Algorithm 3). ---
+  Stopwatch job1_watch;
+  const size_t num_map_tasks =
+      std::min<size_t>(options_.num_map_tasks, n);
+  std::atomic<size_t> filtered{0};
+  std::atomic<size_t> dropped{0};
+  std::mutex candidates_mutex;
+  std::vector<std::pair<int32_t, uint32_t>> candidates;  // (gid, row).
+
+  typename mr::MapReduceJob<uint32_t>::Options job1_options;
+  job1_options.num_reduce_tasks = partitioner->num_groups();
+  job1_options.num_threads = options_.num_threads;
+  job1_options.enable_combiner = options_.enable_combiner;
+  job1_options.max_task_attempts = options_.max_task_attempts;
+  if (options_.failure_injector != nullptr) {
+    job1_options.failure_injector =
+        [this](mr::MapReduceJob<uint32_t>::Wave wave, size_t task,
+               uint32_t attempt) {
+          return options_.failure_injector(static_cast<int>(wave), task,
+                                           attempt);
+        };
+  }
+  mr::MapReduceJob<uint32_t> job1(job1_options);
+
+  auto job1_map = [&](size_t task, const mr::MapReduceJob<uint32_t>::Emit&
+                                       emit) {
+    const size_t begin = task * n / num_map_tasks;
+    const size_t end = (task + 1) * n / num_map_tasks;
+    size_t local_filtered = 0;
+    size_t local_dropped = 0;
+    for (size_t row = begin; row < end; ++row) {
+      const auto p = points[row];
+      if (szb_tree.has_value() && szb_tree->ExistsDominatorOf(p)) {
+        ++local_filtered;
+        continue;
+      }
+      const int32_t gid = partitioner->GroupOf(p);
+      if (gid == kDroppedGroup) {
+        ++local_dropped;
+        continue;
+      }
+      emit(gid, static_cast<uint32_t>(row));
+    }
+    filtered.fetch_add(local_filtered, std::memory_order_relaxed);
+    dropped.fetch_add(local_dropped, std::memory_order_relaxed);
+  };
+  auto local_skyline_of_rows =
+      [&](std::vector<uint32_t> rows) -> std::vector<uint32_t> {
+    const PointSet local = PointSet::Gather(points, rows);
+    const SkylineIndices sky =
+        LocalSkyline(codec, local, options_.local, options_.tree);
+    std::vector<uint32_t> out;
+    out.reserve(sky.size());
+    for (uint32_t i : sky) out.push_back(rows[i]);
+    return out;
+  };
+  auto job1_combine = [&](int32_t /*gid*/, std::vector<uint32_t> rows) {
+    return local_skyline_of_rows(std::move(rows));
+  };
+  auto job1_reduce = [&](int32_t gid, std::vector<uint32_t> rows) {
+    const std::vector<uint32_t> sky = local_skyline_of_rows(std::move(rows));
+    const std::lock_guard<std::mutex> lock(candidates_mutex);
+    for (uint32_t row : sky) candidates.emplace_back(gid, row);
+  };
+  const size_t point_bytes = static_cast<size_t>(dim) * sizeof(Coord);
+  pm.job1 = job1.Run(
+      num_map_tasks, job1_map, job1_combine, job1_reduce,
+      [point_bytes](const uint32_t&) { return point_bytes; });
+  pm.job1_ms = job1_watch.ElapsedMs();
+  pm.candidates = candidates.size();
+  pm.filtered_by_szb = filtered.load();
+  pm.dropped_by_pruning = dropped.load();
+
+  // ----- Phase 3: MR job 2 — merge skyline candidates (Section 5.3). ----
+  Stopwatch job2_watch;
+  using Candidate = std::pair<int32_t, uint32_t>;
+  const bool parallel_merge =
+      options_.merge == MergeAlgorithm::kParallelZMerge;
+  const uint32_t merge_reducers =
+      parallel_merge ? std::max<uint32_t>(1, options_.merge_reducers) : 1;
+  std::mutex result_mutex;
+  SkylineIndices final_skyline;
+  // With parallel merge, each reducer produces a partial skyline; the
+  // master then merges the partials once (two-level merge tree).
+  std::vector<SkylineIndices> partials;
+
+  typename mr::MapReduceJob<Candidate>::Options job2_options;
+  job2_options.num_reduce_tasks = merge_reducers;
+  job2_options.num_threads = options_.num_threads;
+  job2_options.enable_combiner = false;
+  job2_options.max_task_attempts = options_.max_task_attempts;
+  if (options_.failure_injector != nullptr) {
+    job2_options.failure_injector =
+        [this](mr::MapReduceJob<Candidate>::Wave wave, size_t task,
+               uint32_t attempt) {
+          return options_.failure_injector(static_cast<int>(wave), task,
+                                           attempt);
+        };
+  }
+  mr::MapReduceJob<Candidate> job2(job2_options);
+
+  auto job2_map = [&](size_t /*task*/,
+                      const mr::MapReduceJob<Candidate>::Emit& emit) {
+    for (const Candidate& c : candidates) {
+      emit(parallel_merge
+               ? static_cast<int32_t>(static_cast<uint32_t>(c.first) %
+                                      merge_reducers)
+               : 0,
+           c);
+    }
+  };
+  // Z-merges a set of candidates grouped by gid; every gid's candidate
+  // set is dominance-free (a group-local skyline), as Z-merge requires.
+  auto zmerge_by_group = [&](const std::vector<Candidate>& values,
+                             ZMergeStats* stats) {
+    std::map<int32_t, std::vector<uint32_t>> by_group;
+    for (const Candidate& c : values) by_group[c.first].push_back(c.second);
+    std::vector<std::unique_ptr<ZBTree>> group_trees;
+    std::vector<const ZBTree*> tree_ptrs;
+    for (auto& [gid, rows] : by_group) {
+      const PointSet group_points = PointSet::Gather(points, rows);
+      group_trees.push_back(std::make_unique<ZBTree>(
+          &codec, group_points, std::move(rows), options_.tree));
+      tree_ptrs.push_back(group_trees.back().get());
+    }
+    return ZMergeAll(codec, tree_ptrs, options_.tree, stats);
+  };
+  auto job2_reduce = [&](int32_t /*key*/, std::vector<Candidate> values) {
+    SkylineIndices merged;
+    ZMergeStats stats;
+    switch (options_.merge) {
+      case MergeAlgorithm::kZMerge:
+      case MergeAlgorithm::kParallelZMerge: {
+        merged = zmerge_by_group(values, &stats);
+        break;
+      }
+      case MergeAlgorithm::kZSearch:
+      case MergeAlgorithm::kSortBased: {
+        std::vector<uint32_t> rows;
+        rows.reserve(values.size());
+        for (const Candidate& c : values) rows.push_back(c.second);
+        const PointSet all = PointSet::Gather(points, rows);
+        const LocalAlgorithm merge_algo =
+            options_.merge == MergeAlgorithm::kZSearch
+                ? LocalAlgorithm::kZSearch
+                : LocalAlgorithm::kSortBased;
+        for (uint32_t i :
+             LocalSkyline(codec, all, merge_algo, options_.tree)) {
+          merged.push_back(rows[i]);
+        }
+        break;
+      }
+    }
+    const std::lock_guard<std::mutex> lock(result_mutex);
+    pm.merge_stats.subtrees_discarded += stats.subtrees_discarded;
+    pm.merge_stats.subtrees_appended += stats.subtrees_appended;
+    pm.merge_stats.points_tested += stats.points_tested;
+    pm.merge_stats.skyline_removed += stats.skyline_removed;
+    if (parallel_merge) {
+      partials.push_back(std::move(merged));
+    } else {
+      final_skyline.insert(final_skyline.end(), merged.begin(),
+                           merged.end());
+    }
+  };
+  pm.job2 = job2.Run(
+      1, job2_map, nullptr, job2_reduce,
+      [point_bytes](const Candidate&) { return point_bytes + 4; });
+
+  // Final master-side merge of the partial skylines (parallel merge only).
+  double final_merge_ms = 0.0;
+  if (parallel_merge) {
+    Stopwatch final_watch;
+    std::vector<std::unique_ptr<ZBTree>> partial_trees;
+    std::vector<const ZBTree*> tree_ptrs;
+    for (auto& rows : partials) {
+      if (rows.empty()) continue;
+      const PointSet partial_points = PointSet::Gather(points, rows);
+      partial_trees.push_back(std::make_unique<ZBTree>(
+          &codec, partial_points, std::move(rows), options_.tree));
+      tree_ptrs.push_back(partial_trees.back().get());
+    }
+    ZMergeStats stats;
+    final_skyline = ZMergeAll(codec, tree_ptrs, options_.tree, &stats);
+    pm.merge_stats.subtrees_discarded += stats.subtrees_discarded;
+    pm.merge_stats.points_tested += stats.points_tested;
+    final_merge_ms = final_watch.ElapsedMs();
+  }
+  pm.job2_ms = job2_watch.ElapsedMs();
+
+  SortSkyline(final_skyline);
+  result.skyline = std::move(final_skyline);
+  pm.total_ms = total_watch.ElapsedMs();
+
+  const uint32_t slots = options_.sim_workers != 0 ? options_.sim_workers
+                                                   : options_.num_groups;
+  pm.sim_job1_ms = pm.job1.SimulatedMs(slots, options_.sim_net_mbps);
+  pm.sim_job2_ms =
+      pm.job2.SimulatedMs(slots, options_.sim_net_mbps) + final_merge_ms;
+  pm.sim_total_ms = pm.preprocess_ms + pm.sim_job1_ms + pm.sim_job2_ms;
+  return result;
+}
+
+}  // namespace zsky

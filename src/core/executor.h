@@ -1,0 +1,80 @@
+#ifndef ZSKY_CORE_EXECUTOR_H_
+#define ZSKY_CORE_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "algo/skyline.h"
+#include "common/point_set.h"
+#include "core/options.h"
+#include "index/zmerge.h"
+#include "mapreduce/metrics.h"
+
+namespace zsky {
+
+// Per-phase timings and counters of one pipeline run.
+struct PhaseMetrics {
+  // Phase timings (preprocess = sampling + plan learning; job1 = candidate
+  // computation; job2 = candidate merging).
+  double preprocess_ms = 0.0;
+  double job1_ms = 0.0;
+  double job2_ms = 0.0;
+  double total_ms = 0.0;
+
+  // Simulated cluster times (per-task times scheduled onto
+  // ExecutorOptions::sim_workers slots + shuffle bandwidth): what the run
+  // would cost on a real cluster. These are the benchmark quantities; see
+  // mr::JobMetrics::SimulatedMs.
+  double sim_job1_ms = 0.0;
+  double sim_job2_ms = 0.0;
+  double sim_total_ms = 0.0;
+
+  // Intermediate-data metrics (the paper's Figure 9 quantities).
+  size_t candidates = 0;          // Skyline candidates emitted by job 1.
+  size_t filtered_by_szb = 0;     // Points dropped by the SZB-tree filter.
+  size_t dropped_by_pruning = 0;  // Points in pruned partitions (ZDG).
+
+  // Preprocessing plan shape.
+  size_t sample_size = 0;
+  size_t sample_skyline_size = 0;
+  size_t num_partitions = 0;
+  size_t pruned_partitions = 0;
+  size_t num_groups = 0;
+
+  mr::JobMetrics job1;
+  mr::JobMetrics job2;
+  ZMergeStats merge_stats;
+};
+
+// Result of a distributed skyline query.
+struct SkylineQueryResult {
+  SkylineIndices skyline;  // Ascending row indices into the input.
+  PhaseMetrics metrics;
+};
+
+// The paper's three-phase parallel skyline pipeline:
+//   1. preprocess: reservoir-sample, learn partition pivots and the
+//      partition->group map (PGmap), build the sample-skyline ZB-tree;
+//   2. MR job 1: route points to groups (filtering against the sample
+//      skyline), compute per-group local skylines -> candidates;
+//   3. MR job 2: merge candidates (Z-merge or a centralized re-run).
+//
+// Configured by ExecutorOptions to realize every strategy combination the
+// paper evaluates (Grid/Angle/Naive-Z/ZHG/ZDG x SB/ZS x SB/ZS/ZM).
+class ParallelSkylineExecutor {
+ public:
+  explicit ParallelSkylineExecutor(const ExecutorOptions& options);
+
+  const ExecutorOptions& options() const { return options_; }
+
+  // Computes the skyline of `points`. Coordinates must fit in
+  // options().bits bits per dimension (the Quantizer guarantees this).
+  SkylineQueryResult Execute(const PointSet& points) const;
+
+ private:
+  ExecutorOptions options_;
+};
+
+}  // namespace zsky
+
+#endif  // ZSKY_CORE_EXECUTOR_H_

@@ -1,0 +1,125 @@
+#include "core/metrics_json.h"
+
+#include <cstdio>
+
+namespace zsky {
+
+namespace {
+
+void AppendKey(std::string& out, const char* key) {
+  out += '"';
+  out += key;
+  out += "\":";
+}
+
+void AppendNumber(std::string& out, double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", value);
+  out += buffer;
+}
+
+void AppendNumber(std::string& out, size_t value) {
+  out += std::to_string(value);
+}
+
+void AppendJob(std::string& out, const char* name,
+               const mr::JobMetrics& job) {
+  AppendKey(out, name);
+  out += '{';
+  AppendKey(out, "map_tasks");
+  AppendNumber(out, job.map_tasks.size());
+  out += ',';
+  AppendKey(out, "reduce_tasks");
+  AppendNumber(out, job.reduce_tasks.size());
+  out += ',';
+  AppendKey(out, "shuffle_records");
+  AppendNumber(out, job.shuffle_records);
+  out += ',';
+  AppendKey(out, "shuffle_bytes");
+  AppendNumber(out, job.shuffle_bytes);
+  out += ',';
+  AppendKey(out, "combiner_in");
+  AppendNumber(out, job.combiner_in);
+  out += ',';
+  AppendKey(out, "combiner_out");
+  AppendNumber(out, job.combiner_out);
+  out += ',';
+  AppendKey(out, "failed_attempts");
+  AppendNumber(out, job.failed_attempts);
+  out += ',';
+  AppendKey(out, "succeeded");
+  out += job.succeeded ? "true" : "false";
+  out += ',';
+  const auto map_stats = job.map_stats();
+  const auto reduce_stats = job.reduce_stats();
+  AppendKey(out, "map_max_ms");
+  AppendNumber(out, map_stats.max_ms);
+  out += ',';
+  AppendKey(out, "map_skew");
+  AppendNumber(out, map_stats.skew);
+  out += ',';
+  AppendKey(out, "reduce_max_ms");
+  AppendNumber(out, reduce_stats.max_ms);
+  out += ',';
+  AppendKey(out, "reduce_skew");
+  AppendNumber(out, reduce_stats.skew);
+  out += '}';
+}
+
+}  // namespace
+
+std::string MetricsToJson(const PhaseMetrics& pm) {
+  std::string out = "{";
+  AppendKey(out, "preprocess_ms");
+  AppendNumber(out, pm.preprocess_ms);
+  out += ',';
+  AppendKey(out, "job1_ms");
+  AppendNumber(out, pm.job1_ms);
+  out += ',';
+  AppendKey(out, "job2_ms");
+  AppendNumber(out, pm.job2_ms);
+  out += ',';
+  AppendKey(out, "total_ms");
+  AppendNumber(out, pm.total_ms);
+  out += ',';
+  AppendKey(out, "sim_job1_ms");
+  AppendNumber(out, pm.sim_job1_ms);
+  out += ',';
+  AppendKey(out, "sim_job2_ms");
+  AppendNumber(out, pm.sim_job2_ms);
+  out += ',';
+  AppendKey(out, "sim_total_ms");
+  AppendNumber(out, pm.sim_total_ms);
+  out += ',';
+  AppendKey(out, "candidates");
+  AppendNumber(out, pm.candidates);
+  out += ',';
+  AppendKey(out, "filtered_by_szb");
+  AppendNumber(out, pm.filtered_by_szb);
+  out += ',';
+  AppendKey(out, "dropped_by_pruning");
+  AppendNumber(out, pm.dropped_by_pruning);
+  out += ',';
+  AppendKey(out, "sample_size");
+  AppendNumber(out, pm.sample_size);
+  out += ',';
+  AppendKey(out, "sample_skyline_size");
+  AppendNumber(out, pm.sample_skyline_size);
+  out += ',';
+  AppendKey(out, "num_partitions");
+  AppendNumber(out, pm.num_partitions);
+  out += ',';
+  AppendKey(out, "pruned_partitions");
+  AppendNumber(out, pm.pruned_partitions);
+  out += ',';
+  AppendKey(out, "num_groups");
+  AppendNumber(out, pm.num_groups);
+  out += ',';
+  AppendJob(out, "job1", pm.job1);
+  out += ',';
+  AppendJob(out, "job2", pm.job2);
+  out += '}';
+  return out;
+}
+
+}  // namespace zsky

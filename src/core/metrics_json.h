@@ -1,0 +1,17 @@
+#ifndef ZSKY_CORE_METRICS_JSON_H_
+#define ZSKY_CORE_METRICS_JSON_H_
+
+#include <string>
+
+#include "core/executor.h"
+
+namespace zsky {
+
+// Serializes a run's metrics as a single JSON object (stable key names,
+// no external dependencies) for dashboards / regression tracking:
+// {"preprocess_ms":..., "job1":{"shuffle_records":...,...}, ...}
+std::string MetricsToJson(const PhaseMetrics& metrics);
+
+}  // namespace zsky
+
+#endif  // ZSKY_CORE_METRICS_JSON_H_

@@ -1,0 +1,215 @@
+#include "core/mr_gpmrs.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "algo/sort_based.h"
+#include "common/dominance.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "index/bbs.h"
+#include "index/zsearch.h"
+#include "mapreduce/job.h"
+#include "partition/grid_partitioner.h"
+#include "sample/reservoir.h"
+
+namespace zsky {
+
+namespace {
+
+SkylineIndices LocalSkyline(const ZOrderCodec& codec, const PointSet& points,
+                            LocalAlgorithm algorithm) {
+  if (points.empty()) return {};
+  switch (algorithm) {
+    case LocalAlgorithm::kZSearch:
+      return ZSearchSkyline(codec, points);
+    case LocalAlgorithm::kBbs:
+      return BbsSkyline(codec, points);
+    case LocalAlgorithm::kSortBased:
+      break;
+  }
+  return SortBasedSkyline(points);
+}
+
+}  // namespace
+
+SkylineQueryResult MrGpmrsSkyline(const PointSet& points,
+                                  const MrGpmrsOptions& options) {
+  SkylineQueryResult result;
+  PhaseMetrics& pm = result.metrics;
+  if (points.empty()) return result;
+
+  Stopwatch total_watch;
+  const size_t n = points.size();
+  const uint32_t dim = points.dim();
+  ZOrderCodec codec(dim, options.bits);
+  const Coord max_value =
+      options.bits == 32 ? 0xFFFFFFFFu : ((Coord{1} << options.bits) - 1);
+
+  // ----- Preprocess: learn the grid from a sample. -----
+  Stopwatch pre_watch;
+  Rng rng(options.seed);
+  size_t sample_target = static_cast<size_t>(
+      options.sample_ratio * static_cast<double>(n));
+  sample_target = std::min(n, std::max<size_t>(sample_target, 256));
+  const PointSet sample = ReservoirSample(points, sample_target, rng);
+  GridPartitioner grid(sample, options.num_cells);
+  pm.sample_size = sample.size();
+  pm.num_partitions = grid.num_groups();
+  pm.num_groups = options.num_merge_reducers;
+  pm.preprocess_ms = pre_watch.ElapsedMs();
+
+  // ----- Job 1: per-cell local skylines. -----
+  Stopwatch job1_watch;
+  const size_t num_map_tasks = std::min<size_t>(options.num_map_tasks, n);
+  std::mutex candidates_mutex;
+  std::map<int32_t, std::vector<uint32_t>> candidates_by_cell;
+
+  typename mr::MapReduceJob<uint32_t>::Options job1_options;
+  job1_options.num_reduce_tasks = grid.num_groups();
+  job1_options.num_threads = options.num_threads;
+  job1_options.enable_combiner = options.enable_combiner;
+  mr::MapReduceJob<uint32_t> job1(job1_options);
+
+  auto local_skyline_of_rows =
+      [&](std::vector<uint32_t> rows) -> std::vector<uint32_t> {
+    const PointSet local = PointSet::Gather(points, rows);
+    std::vector<uint32_t> out;
+    for (uint32_t i : LocalSkyline(codec, local, options.local)) {
+      out.push_back(rows[i]);
+    }
+    return out;
+  };
+  pm.job1 = job1.Run(
+      num_map_tasks,
+      [&](size_t task, const mr::MapReduceJob<uint32_t>::Emit& emit) {
+        const size_t begin = task * n / num_map_tasks;
+        const size_t end = (task + 1) * n / num_map_tasks;
+        for (size_t row = begin; row < end; ++row) {
+          emit(grid.GroupOf(points[row]), static_cast<uint32_t>(row));
+        }
+      },
+      [&](int32_t /*cell*/, std::vector<uint32_t> rows) {
+        return local_skyline_of_rows(std::move(rows));
+      },
+      [&](int32_t cell, std::vector<uint32_t> rows) {
+        std::vector<uint32_t> sky = local_skyline_of_rows(std::move(rows));
+        const std::lock_guard<std::mutex> lock(candidates_mutex);
+        candidates_by_cell[cell] = std::move(sky);
+      },
+      [dim](const uint32_t&) { return static_cast<size_t>(dim) * 4; });
+  pm.job1_ms = job1_watch.ElapsedMs();
+  for (const auto& [cell, rows] : candidates_by_cell) {
+    pm.candidates += rows.size();
+  }
+
+  // ----- Bitstring step: cell-level dominance over non-empty cells. -----
+  Stopwatch job2_watch;
+  std::vector<int32_t> cells;
+  cells.reserve(candidates_by_cell.size());
+  for (const auto& [cell, rows] : candidates_by_cell) cells.push_back(cell);
+  std::vector<RZRegion> cell_regions;
+  cell_regions.reserve(cells.size());
+  for (int32_t cell : cells) {
+    cell_regions.push_back(
+        grid.CellRegion(static_cast<uint32_t>(cell), max_value));
+  }
+  // fully_dominated[i]: drop cell i's candidates outright.
+  // partial[i]: indices j of cells partially dominated by cell i (cell i's
+  // candidates must be shipped to cell j's reducer key).
+  std::vector<uint8_t> fully_dominated(cells.size(), 0);
+  std::vector<std::vector<size_t>> partial(cells.size());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    for (size_t j = 0; j < cells.size(); ++j) {
+      if (i == j) continue;
+      switch (cell_regions[i].Classify(cell_regions[j])) {
+        case RegionRelation::kDominates:
+          fully_dominated[j] = 1;
+          break;
+        case RegionRelation::kPartial:
+          partial[i].push_back(j);
+          break;
+        case RegionRelation::kIncomparable:
+          break;
+      }
+    }
+  }
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (fully_dominated[i]) {
+      pm.dropped_by_pruning += candidates_by_cell[cells[i]].size();
+    }
+  }
+
+  // ----- Job 2: multi-reducer merge. -----
+  // Record: (row, native flag). Key: ordinal of the *target* cell; the
+  // engine hashes keys onto the configured reducers.
+  struct Record {
+    uint32_t row;
+    uint8_t native;
+  };
+  std::mutex result_mutex;
+  SkylineIndices final_skyline;
+
+  typename mr::MapReduceJob<Record>::Options job2_options;
+  job2_options.num_reduce_tasks =
+      std::max<uint32_t>(1, options.num_merge_reducers);
+  job2_options.num_threads = options.num_threads;
+  job2_options.enable_combiner = false;
+  mr::MapReduceJob<Record> job2(job2_options);
+
+  pm.job2 = job2.Run(
+      1,
+      [&](size_t /*task*/, const mr::MapReduceJob<Record>::Emit& emit) {
+        for (size_t i = 0; i < cells.size(); ++i) {
+          if (fully_dominated[i]) continue;
+          const auto& rows = candidates_by_cell[cells[i]];
+          for (uint32_t row : rows) {
+            emit(static_cast<int32_t>(i), Record{row, 1});
+          }
+          for (size_t j : partial[i]) {
+            if (fully_dominated[j]) continue;
+            for (uint32_t row : rows) {
+              emit(static_cast<int32_t>(j), Record{row, 0});
+            }
+          }
+        }
+      },
+      nullptr,
+      [&](int32_t /*cell_ordinal*/, std::vector<Record> records) {
+        // A native candidate survives iff no shipped record dominates it.
+        SkylineIndices survivors;
+        for (const Record& r : records) {
+          if (!r.native) continue;
+          const auto p = points[r.row];
+          bool dominated = false;
+          for (const Record& q : records) {
+            if (q.row != r.row && Dominates(points[q.row], p)) {
+              dominated = true;
+              break;
+            }
+          }
+          if (!dominated) survivors.push_back(r.row);
+        }
+        const std::lock_guard<std::mutex> lock(result_mutex);
+        final_skyline.insert(final_skyline.end(), survivors.begin(),
+                             survivors.end());
+      },
+      [dim](const Record&) { return static_cast<size_t>(dim) * 4 + 1; });
+  pm.job2_ms = job2_watch.ElapsedMs();
+
+  SortSkyline(final_skyline);
+  result.skyline = std::move(final_skyline);
+  pm.total_ms = total_watch.ElapsedMs();
+
+  const uint32_t slots =
+      options.sim_workers != 0 ? options.sim_workers : options.num_cells;
+  pm.sim_job1_ms = pm.job1.SimulatedMs(slots, options.sim_net_mbps);
+  pm.sim_job2_ms = pm.job2.SimulatedMs(slots, options.sim_net_mbps);
+  pm.sim_total_ms = pm.preprocess_ms + pm.sim_job1_ms + pm.sim_job2_ms;
+  return result;
+}
+
+}  // namespace zsky

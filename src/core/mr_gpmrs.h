@@ -1,0 +1,45 @@
+#ifndef ZSKY_CORE_MR_GPMRS_H_
+#define ZSKY_CORE_MR_GPMRS_H_
+
+#include <cstdint>
+
+#include "common/point_set.h"
+#include "core/executor.h"
+#include "core/options.h"
+
+namespace zsky {
+
+// Configuration of the MR-GPMRS baseline [12]: grid partitioning with
+// bitstring-based cell pruning and multiple merge reducers.
+struct MrGpmrsOptions {
+  // Grid cells (the algorithm's partitions).
+  uint32_t num_cells = 32;
+  // Reducers of the merging job (the approach's signature feature: the
+  // global skyline is computed by several reducers, not one).
+  uint32_t num_merge_reducers = 8;
+  double sample_ratio = 0.01;
+  uint32_t num_map_tasks = 16;
+  uint32_t num_threads = 0;  // 0 = hardware concurrency.
+  bool enable_combiner = true;
+  LocalAlgorithm local = LocalAlgorithm::kSortBased;
+  uint32_t bits = 16;
+  uint64_t seed = 42;
+  // Simulated-cluster model (same semantics as ExecutorOptions):
+  // 0 = use num_cells slots.
+  uint32_t sim_workers = 0;
+  double sim_net_mbps = 1024.0;
+};
+
+// Runs the MR-GPMRS pipeline:
+//   job 1: grid-route points, per-cell local skylines -> candidates;
+//   bitstring step: drop cells whose region is fully dominated by a
+//     non-empty cell; record partial cell-dominance pairs;
+//   job 2: each reducer receives, per assigned cell, the cell's own
+//     candidates plus the candidates of partially-dominating cells, and
+//     emits the cell's surviving (global) skyline points.
+SkylineQueryResult MrGpmrsSkyline(const PointSet& points,
+                                  const MrGpmrsOptions& options);
+
+}  // namespace zsky
+
+#endif  // ZSKY_CORE_MR_GPMRS_H_

@@ -1,0 +1,101 @@
+#ifndef ZSKY_CORE_OPTIONS_H_
+#define ZSKY_CORE_OPTIONS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "index/zbtree.h"
+
+namespace zsky {
+
+// Data-partitioning strategies evaluated by the paper (Section 6.1).
+enum class PartitioningScheme {
+  kRandom,    // Random/hash partitioning [18].
+  kGrid,      // Grid-based partitioning [9], [11].
+  kAngle,     // Angle-based partitioning [8].
+  kQuadTree,  // Quad-tree-based partitioning [20].
+  kNaiveZ,    // Z-order partitioning, no grouping (Section 4.1).
+  kZhg,       // Z-order + Heuristic Grouping (Algorithm 1).
+  kZdg,       // Z-order + Dominance-based Grouping (Algorithm 2).
+};
+
+// Local (per-group) skyline algorithms.
+enum class LocalAlgorithm {
+  kSortBased,  // "SB": sort + block-nested-loop.
+  kZSearch,    // "ZS": state-of-the-art ZB-tree search [5].
+  kBbs,        // Branch-and-bound skyline over an R-tree (classic
+               // progressive competitor; ours to show the pipeline is
+               // local-algorithm-agnostic).
+};
+
+// Final candidate-merging algorithms (MR job 2).
+enum class MergeAlgorithm {
+  kSortBased,       // Re-run a centralized sort-based skyline over
+                    // candidates.
+  kZSearch,         // Re-run Z-search over candidates ("ZDG+ZS", §6).
+  kZMerge,          // Tree-vs-tree Z-merge (Algorithm 4, "ZM").
+  kParallelZMerge,  // Two-level merge (ours): `merge_reducers` reducers
+                    // Z-merge disjoint group subsets in parallel, then the
+                    // partial skylines are Z-merged once. Addresses §5.3's
+                    // single-reducer bottleneck.
+};
+
+std::string_view PartitioningSchemeName(PartitioningScheme s);
+std::string_view LocalAlgorithmName(LocalAlgorithm a);
+std::string_view MergeAlgorithmName(MergeAlgorithm m);
+
+// Configuration of the three-phase parallel skyline pipeline.
+struct ExecutorOptions {
+  PartitioningScheme partitioning = PartitioningScheme::kZdg;
+  LocalAlgorithm local = LocalAlgorithm::kZSearch;
+  MergeAlgorithm merge = MergeAlgorithm::kZMerge;
+
+  // M: number of groups / reduce-side workers.
+  uint32_t num_groups = 8;
+  // delta: partition expansion factor for ZHG/ZDG.
+  uint32_t expansion = 4;
+  // Preprocessing sample ratio (of input size); clamped to a small floor so
+  // tiny inputs still learn a plan.
+  double sample_ratio = 0.01;
+
+  uint32_t num_map_tasks = 16;
+  // Reducers of MR job 2 when merge == kParallelZMerge.
+  uint32_t merge_reducers = 8;
+  // Worker threads (0 = hardware concurrency).
+  uint32_t num_threads = 0;
+  bool enable_combiner = true;
+  // Mapper-side filter against the sample-skyline ZB-tree (Algorithm 3
+  // lines 2-3). Disable for ablation.
+  bool enable_szb_filter = true;
+
+  // Per-dimension coordinate resolution (must cover the input's values;
+  // inputs produced via Quantizer share this).
+  uint32_t bits = 16;
+
+  // --- Simulated-cluster model (see DESIGN.md "Substitutions"). ---
+  // The host may have few cores, so the executor also reports a simulated
+  // cluster time: per-task wall times scheduled onto `sim_workers` slots
+  // plus a shuffle-bandwidth term. 0 = use num_groups slots.
+  uint32_t sim_workers = 0;
+  // Aggregate shuffle bandwidth in MiB/s (0 disables the network term).
+  double sim_net_mbps = 1024.0;
+
+  // Hadoop-style task retry (both jobs); attempts beyond the first only
+  // matter together with mr::MapReduceJob failure injection, which the
+  // executor enables for resilience tests via `failure_injector`.
+  uint32_t max_task_attempts = 1;
+  std::function<bool(int wave, size_t task, uint32_t attempt)>
+      failure_injector;
+
+  uint64_t seed = 42;
+  ZBTree::Options tree;
+
+  // Short label like "zdg+zs+zm" for benchmark tables.
+  std::string Label() const;
+};
+
+}  // namespace zsky
+
+#endif  // ZSKY_CORE_OPTIONS_H_

@@ -1,0 +1,64 @@
+#include "core/planner.h"
+
+#include <algorithm>
+
+#include "algo/sort_based.h"
+#include "common/rng.h"
+#include "sample/reservoir.h"
+
+namespace zsky {
+
+PlanDecision PlanQuery(const PointSet& points, const ExecutorOptions& base) {
+  PlanDecision decision;
+  decision.options = base;
+  ExecutorOptions& options = decision.options;
+  options.partitioning = PartitioningScheme::kZdg;
+
+  if (points.empty()) {
+    decision.rationale = "empty input: defaults";
+    return decision;
+  }
+  const uint32_t dim = points.dim();
+
+  // Cheap statistics from a small sample.
+  Rng rng(base.seed ^ 0x9E3779B97F4A7C15ULL);
+  const size_t sample_size = std::min<size_t>(points.size(), 2000);
+  const PointSet sample = ReservoirSample(points, sample_size, rng);
+  const size_t sample_skyline = SortBasedSkyline(sample).size();
+  decision.sample_size = sample.size();
+  decision.estimated_skyline_fraction =
+      static_cast<double>(sample_skyline) /
+      static_cast<double>(sample.size());
+
+  const bool skyline_heavy = decision.estimated_skyline_fraction > 0.10;
+  const bool high_dim = dim >= 7;
+  const bool extreme_dim = dim >= 32;
+
+  if (extreme_dim) {
+    // Nearly everything is a skyline point: the SZB filter rejects almost
+    // nothing but costs an index query per input point.
+    options.local = LocalAlgorithm::kZSearch;
+    options.merge = MergeAlgorithm::kZMerge;
+    options.enable_szb_filter = false;
+    decision.rationale =
+        "extreme dimensionality: ZS locals + Z-merge, SZB filter off";
+  } else if (high_dim || skyline_heavy) {
+    options.local = LocalAlgorithm::kZSearch;
+    options.merge = MergeAlgorithm::kZMerge;
+    decision.rationale =
+        skyline_heavy ? "skyline-heavy sample: ZS locals + Z-merge"
+                      : "high dimensionality: ZS locals + Z-merge";
+  } else {
+    // Small skylines at low dimensionality: pairwise passes win and the
+    // merge input is tiny.
+    options.local = LocalAlgorithm::kSortBased;
+    options.merge = MergeAlgorithm::kSortBased;
+    decision.rationale = "small skyline at low dimensionality: SB + SB";
+  }
+
+  // Larger samples pay off when the skyline is large (Figure 13).
+  options.sample_ratio = skyline_heavy ? 0.02 : 0.01;
+  return decision;
+}
+
+}  // namespace zsky

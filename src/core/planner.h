@@ -1,0 +1,33 @@
+#ifndef ZSKY_CORE_PLANNER_H_
+#define ZSKY_CORE_PLANNER_H_
+
+#include <string>
+
+#include "common/point_set.h"
+#include "core/options.h"
+
+namespace zsky {
+
+// What the planner saw and why it chose what it chose.
+struct PlanDecision {
+  ExecutorOptions options;
+  // Sample-estimated skyline fraction (|sky(sample)| / |sample|).
+  double estimated_skyline_fraction = 0.0;
+  size_t sample_size = 0;
+  std::string rationale;  // Human-readable explanation.
+};
+
+// Picks a strategy combination from cheap sample statistics (the decision
+// rules follow the paper's measured regimes, reproduced by bench_fig7 and
+// bench_centralized):
+//  - low dimensionality & tiny skylines: SB locals beat index-based ones;
+//  - d >= 7 or skyline-heavy data: Z-search locals, Z-merge final merge;
+//  - very high dimensionality (>= 32): skip the SZB filter (it filters
+//    almost nothing and costs a query per point).
+// `base` carries the caller's fixed settings (num_groups, bits, threads);
+// the planner fills partitioning/local/merge/sample knobs.
+PlanDecision PlanQuery(const PointSet& points, const ExecutorOptions& base);
+
+}  // namespace zsky
+
+#endif  // ZSKY_CORE_PLANNER_H_

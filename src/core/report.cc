@@ -1,0 +1,80 @@
+#include "core/report.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace zsky {
+
+namespace {
+
+void AppendLine(std::string& out, const char* format, ...) {
+  char buffer[256];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  out += buffer;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string FormatPhaseMetrics(const PhaseMetrics& pm) {
+  std::string out;
+  AppendLine(out,
+             "phases        preprocess %.1f ms | job1 %.1f ms | job2 %.1f "
+             "ms | total %.1f ms",
+             pm.preprocess_ms, pm.job1_ms, pm.job2_ms, pm.total_ms);
+  AppendLine(out,
+             "simulated     job1 %.1f ms | job2 %.1f ms | total %.1f ms",
+             pm.sim_job1_ms, pm.sim_job2_ms, pm.sim_total_ms);
+  AppendLine(out,
+             "plan          sample %zu (skyline %zu) | partitions %zu "
+             "(pruned %zu) | groups %zu",
+             pm.sample_size, pm.sample_skyline_size, pm.num_partitions,
+             pm.pruned_partitions, pm.num_groups);
+  AppendLine(out,
+             "intermediate  candidates %zu | SZB-filtered %zu | "
+             "partition-dropped %zu",
+             pm.candidates, pm.filtered_by_szb, pm.dropped_by_pruning);
+  AppendLine(out,
+             "shuffle       job1 %zu records (%.2f MiB) | job2 %zu records "
+             "(%.2f MiB)",
+             pm.job1.shuffle_records,
+             pm.job1.shuffle_bytes / (1024.0 * 1024.0),
+             pm.job2.shuffle_records,
+             pm.job2.shuffle_bytes / (1024.0 * 1024.0));
+  const auto map1 = pm.job1.map_stats();
+  const auto red1 = pm.job1.reduce_stats();
+  AppendLine(out,
+             "balance       map max/mean %.2f/%.2f ms (skew %.2fx) | "
+             "reduce max/mean %.2f/%.2f ms (skew %.2fx)",
+             map1.max_ms, map1.mean_ms, map1.skew, red1.max_ms, red1.mean_ms,
+             red1.skew);
+  if (pm.merge_stats.points_tested > 0 ||
+      pm.merge_stats.subtrees_discarded > 0) {
+    AppendLine(out,
+               "z-merge       %zu point tests | %zu subtrees discarded | "
+               "%zu subtrees appended | %zu members evicted",
+               pm.merge_stats.points_tested,
+               pm.merge_stats.subtrees_discarded,
+               pm.merge_stats.subtrees_appended,
+               pm.merge_stats.skyline_removed);
+  }
+  return out;
+}
+
+std::string FormatRunSummary(const ExecutorOptions& options,
+                             size_t input_size,
+                             const SkylineQueryResult& result) {
+  char buffer[192];
+  std::snprintf(buffer, sizeof(buffer),
+                "%-14s %zu points -> %zu candidates -> %zu skyline | "
+                "%.1f ms (simulated cluster %.1f ms)",
+                options.Label().c_str(), input_size,
+                result.metrics.candidates, result.skyline.size(),
+                result.metrics.total_ms, result.metrics.sim_total_ms);
+  return buffer;
+}
+
+}  // namespace zsky

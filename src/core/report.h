@@ -1,0 +1,22 @@
+#ifndef ZSKY_CORE_REPORT_H_
+#define ZSKY_CORE_REPORT_H_
+
+#include <string>
+
+#include "core/executor.h"
+#include "core/options.h"
+
+namespace zsky {
+
+// Human-readable multi-line summary of one pipeline run: phase timings,
+// intermediate-data volumes, plan shape, shuffle traffic, and wave
+// balance. Used by the CLI's --metrics and the examples.
+std::string FormatPhaseMetrics(const PhaseMetrics& metrics);
+
+// One-line summary: "zdg+zs+zm  n->candidates->skyline  total ms (sim ms)".
+std::string FormatRunSummary(const ExecutorOptions& options, size_t input_size,
+                             const SkylineQueryResult& result);
+
+}  // namespace zsky
+
+#endif  // ZSKY_CORE_REPORT_H_

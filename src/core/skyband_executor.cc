@@ -1,0 +1,136 @@
+#include "core/skyband_executor.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "algo/skyband.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "index/zbtree.h"
+#include "mapreduce/job.h"
+#include "partition/zorder_grouping.h"
+#include "sample/reservoir.h"
+
+namespace zsky {
+
+SkylineQueryResult DistributedSkyband(const PointSet& points,
+                                      const SkybandOptions& options) {
+  ZSKY_CHECK(options.k >= 1);
+  SkylineQueryResult result;
+  PhaseMetrics& pm = result.metrics;
+  if (points.empty()) return result;
+
+  Stopwatch total_watch;
+  const size_t n = points.size();
+  const uint32_t dim = points.dim();
+  ZOrderCodec codec(dim, options.bits);
+
+  // ----- Preprocess: plan + sample k-skyband filter. -----
+  Stopwatch pre_watch;
+  Rng rng(options.seed);
+  size_t sample_target = static_cast<size_t>(
+      options.sample_ratio * static_cast<double>(n));
+  sample_target = std::min(
+      n, std::max<size_t>(sample_target,
+                          std::max<size_t>(256, 4ull * options.num_groups *
+                                                    options.expansion)));
+  const PointSet sample = ReservoirSample(points, sample_target, rng);
+
+  ZOrderGroupedPartitioner::Options zopt;
+  zopt.num_groups = options.num_groups;
+  zopt.expansion = options.expansion;
+  // No partition pruning: a dominated partition can still contribute to a
+  // k-skyband. ZHG balances without pruning.
+  zopt.strategy = GroupingStrategy::kHeuristic;
+  const ZOrderGroupedPartitioner partitioner(&codec, sample, zopt);
+  pm.num_partitions = partitioner.num_partitions();
+  pm.num_groups = partitioner.num_groups();
+  pm.sample_size = sample.size();
+
+  // The mapper filter indexes the *sample k-skyband*: a point with >= k
+  // dominators inside it has >= k real dominators.
+  std::unique_ptr<ZBTree> filter_tree;
+  if (options.enable_sample_filter) {
+    const SkylineIndices band = ZOrderSkyband(codec, sample, options.k);
+    const PointSet band_points = PointSet::Gather(sample, band);
+    pm.sample_skyline_size = band_points.size();
+    filter_tree = std::make_unique<ZBTree>(&codec, band_points,
+                                           ZBTree::Options());
+  }
+  pm.preprocess_ms = pre_watch.ElapsedMs();
+
+  // ----- Job 1: per-group local k-skybands. -----
+  Stopwatch job1_watch;
+  const size_t num_map_tasks = std::min<size_t>(options.num_map_tasks, n);
+  std::atomic<size_t> filtered{0};
+  std::mutex candidates_mutex;
+  std::vector<uint32_t> candidates;
+
+  typename mr::MapReduceJob<uint32_t>::Options job_options;
+  job_options.num_reduce_tasks = partitioner.num_groups();
+  job_options.num_threads = options.num_threads;
+  job_options.enable_combiner = options.enable_combiner;
+  mr::MapReduceJob<uint32_t> job1(job_options);
+
+  auto local_band_of_rows =
+      [&](std::vector<uint32_t> rows) -> std::vector<uint32_t> {
+    const PointSet local = PointSet::Gather(points, rows);
+    std::vector<uint32_t> out;
+    for (uint32_t i : ZOrderSkyband(codec, local, options.k)) {
+      out.push_back(rows[i]);
+    }
+    return out;
+  };
+  pm.job1 = job1.Run(
+      num_map_tasks,
+      [&](size_t task, const mr::MapReduceJob<uint32_t>::Emit& emit) {
+        const size_t begin = task * n / num_map_tasks;
+        const size_t end = (task + 1) * n / num_map_tasks;
+        size_t local_filtered = 0;
+        for (size_t row = begin; row < end; ++row) {
+          const auto p = points[row];
+          if (filter_tree != nullptr &&
+              filter_tree->CountDominatorsOf(p, options.k) >= options.k) {
+            ++local_filtered;
+            continue;
+          }
+          emit(partitioner.GroupOf(p), static_cast<uint32_t>(row));
+        }
+        filtered.fetch_add(local_filtered, std::memory_order_relaxed);
+      },
+      [&](int32_t /*gid*/, std::vector<uint32_t> rows) {
+        return local_band_of_rows(std::move(rows));
+      },
+      [&](int32_t /*gid*/, std::vector<uint32_t> rows) {
+        std::vector<uint32_t> band = local_band_of_rows(std::move(rows));
+        const std::lock_guard<std::mutex> lock(candidates_mutex);
+        candidates.insert(candidates.end(), band.begin(), band.end());
+      },
+      [dim](const uint32_t&) { return static_cast<size_t>(dim) * 4; });
+  pm.job1_ms = job1_watch.ElapsedMs();
+  pm.candidates = candidates.size();
+  pm.filtered_by_szb = filtered.load();
+
+  // ----- Job 2: global recount over the candidate set. -----
+  Stopwatch job2_watch;
+  const PointSet candidate_points = PointSet::Gather(points, candidates);
+  SkylineIndices band;
+  for (uint32_t i : ZOrderSkyband(codec, candidate_points, options.k)) {
+    band.push_back(candidates[i]);
+  }
+  SortSkyline(band);
+  pm.job2_ms = job2_watch.ElapsedMs();
+
+  result.skyline = std::move(band);
+  pm.total_ms = total_watch.ElapsedMs();
+  const uint32_t slots = options.num_groups;
+  pm.sim_job1_ms = pm.job1.SimulatedMs(slots, 1024.0);
+  pm.sim_job2_ms = pm.job2_ms;  // Master-side merge.
+  pm.sim_total_ms = pm.preprocess_ms + pm.sim_job1_ms + pm.sim_job2_ms;
+  return result;
+}
+
+}  // namespace zsky

@@ -1,0 +1,45 @@
+#ifndef ZSKY_CORE_SKYBAND_EXECUTOR_H_
+#define ZSKY_CORE_SKYBAND_EXECUTOR_H_
+
+#include <cstdint>
+
+#include "algo/skyline.h"
+#include "common/point_set.h"
+#include "core/executor.h"
+
+namespace zsky {
+
+// Configuration of the distributed k-skyband pipeline.
+struct SkybandOptions {
+  uint32_t k = 2;
+  uint32_t num_groups = 8;
+  uint32_t expansion = 4;
+  double sample_ratio = 0.01;
+  uint32_t num_map_tasks = 16;
+  uint32_t num_threads = 0;
+  bool enable_combiner = true;
+  // Mapper-side filter: drop points with >= k dominators among the sample
+  // skyband (sound: those dominators are real points).
+  bool enable_sample_filter = true;
+  uint32_t bits = 16;
+  uint64_t seed = 42;
+};
+
+// Distributed k-skyband (our extension of the paper's pipeline): the same
+// three phases, generalized from "dominated by anyone" to "dominated by
+// fewer than k".
+//
+// Correctness sketch: a global k-skyband point has < k dominators in its
+// own group, so it survives the local k-skyband (candidates are a
+// superset); and if a point has >= k global dominators, at least k of
+// them are themselves global k-skyband points (the z-minimal dominators
+// have fewer dominators than their rank), so the final recount over the
+// candidate set reaches k. Partition pruning is disabled — a region-
+// dominated partition may still hold k-skyband points when the dominating
+// partition is small — so Z-order heuristic grouping (ZHG) routes points.
+SkylineQueryResult DistributedSkyband(const PointSet& points,
+                                      const SkybandOptions& options);
+
+}  // namespace zsky
+
+#endif  // ZSKY_CORE_SKYBAND_EXECUTOR_H_

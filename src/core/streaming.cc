@@ -1,0 +1,35 @@
+#include "core/streaming.h"
+
+#include <algorithm>
+
+namespace zsky {
+
+StreamingSkyline::StreamingSkyline(const ZOrderCodec* codec,
+                                   const ZBTree::Options& options)
+    : sky_(codec, options) {}
+
+bool StreamingSkyline::Insert(std::span<const Coord> p, uint32_t id) {
+  ++seen_;
+  if (sky_.ExistsDominatorOf(p)) {
+    ++rejected_;
+    return false;
+  }
+  evicted_ += sky_.RemoveDominatedBy(p);
+  sky_.Append(p, id);
+  return true;
+}
+
+SkylineIndices StreamingSkyline::CurrentIds() const {
+  PointSet scratch(codec().dim());
+  SkylineIndices ids;
+  sky_.Export(scratch, ids);
+  SortSkyline(ids);
+  return ids;
+}
+
+void StreamingSkyline::Snapshot(PointSet& points,
+                                std::vector<uint32_t>& ids) const {
+  sky_.Export(points, ids);
+}
+
+}  // namespace zsky

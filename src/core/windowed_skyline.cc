@@ -1,0 +1,48 @@
+#include "core/windowed_skyline.h"
+
+#include <algorithm>
+
+#include "common/dominance.h"
+#include "common/macros.h"
+
+namespace zsky {
+
+WindowedSkyline::WindowedSkyline(uint32_t dim, size_t window)
+    : dim_(dim), window_(window) {
+  ZSKY_CHECK(dim >= 1);
+  ZSKY_CHECK(window >= 1);
+}
+
+void WindowedSkyline::Insert(std::span<const Coord> p, uint32_t id) {
+  ZSKY_DCHECK(p.size() == dim_);
+  const size_t arrival = seen_++;
+  // Expire points that fell out of the window.
+  while (!critical_.empty() &&
+         critical_.front().arrival + window_ <= arrival) {
+    critical_.pop_front();
+  }
+  // Discard older critical points dominated by the newcomer: their
+  // dominator outlives them, so they can never re-enter a skyline.
+  std::erase_if(critical_, [&](const Critical& c) {
+    return Dominates(p, c.coords);
+  });
+  critical_.push_back(
+      Critical{arrival, id, std::vector<Coord>(p.begin(), p.end())});
+}
+
+SkylineIndices WindowedSkyline::CurrentIds() const {
+  // Critical points are never dominated by younger critical points, so
+  // only older ones can dominate; a single ordered pass suffices.
+  SkylineIndices result;
+  for (size_t i = 0; i < critical_.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < i && !dominated; ++j) {
+      dominated = Dominates(critical_[j].coords, critical_[i].coords);
+    }
+    if (!dominated) result.push_back(critical_[i].id);
+  }
+  SortSkyline(result);
+  return result;
+}
+
+}  // namespace zsky

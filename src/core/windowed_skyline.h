@@ -1,0 +1,56 @@
+#ifndef ZSKY_CORE_WINDOWED_SKYLINE_H_
+#define ZSKY_CORE_WINDOWED_SKYLINE_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "algo/skyline.h"
+#include "common/point_set.h"
+
+namespace zsky {
+
+// Exact skyline over the most recent `window` points of a stream
+// (the classic n-of-N problem, simplified to a fixed window).
+//
+// Key pruning invariant (Lin et al.): a point dominated by a *younger*
+// point can never appear in any future window skyline — the dominator
+// expires later — so it is discarded permanently. The retained "critical"
+// points are kept in arrival order; the current skyline is the subset not
+// dominated by an older critical point, computed on demand (critical sets
+// are small in practice).
+class WindowedSkyline {
+ public:
+  // `window` >= 1: the number of most recent points that are alive.
+  explicit WindowedSkyline(uint32_t dim, size_t window);
+
+  uint32_t dim() const { return dim_; }
+  size_t window() const { return window_; }
+
+  // Feeds the next stream point with caller id `id`.
+  void Insert(std::span<const Coord> p, uint32_t id);
+
+  // Number of stream points seen.
+  size_t seen_total() const { return seen_; }
+  // Retained critical points (upper bound on any future skyline size).
+  size_t critical_size() const { return critical_.size(); }
+
+  // The skyline of the current window: ids, ascending.
+  SkylineIndices CurrentIds() const;
+
+ private:
+  struct Critical {
+    size_t arrival;  // Sequence number (expires at arrival + window_).
+    uint32_t id;
+    std::vector<Coord> coords;
+  };
+
+  uint32_t dim_;
+  size_t window_;
+  size_t seen_ = 0;
+  // Arrival-ordered; front is oldest.
+  std::deque<Critical> critical_;
+};
+
+}  // namespace zsky
+
+#endif  // ZSKY_CORE_WINDOWED_SKYLINE_H_

@@ -1,0 +1,182 @@
+#include "gen/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/rng.h"
+
+namespace zsky {
+
+namespace {
+
+double Clamp01(double v) {
+  if (v < 0.0) return 0.0;
+  if (v >= 1.0) return std::nextafter(1.0, 0.0);
+  return v;
+}
+
+// Marsaglia-Tsang gamma sampler (shape < 1 handled via boost).
+double SampleGamma(Rng& rng, double shape) {
+  if (shape < 1.0) {
+    const double u = rng.NextDouble();
+    return SampleGamma(rng, shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = rng.NextGaussian();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    const double u = rng.NextDouble();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) return d * v;
+  }
+}
+
+}  // namespace
+
+std::string_view DistributionName(Distribution d) {
+  switch (d) {
+    case Distribution::kIndependent:
+      return "independent";
+    case Distribution::kCorrelated:
+      return "correlated";
+    case Distribution::kAnticorrelated:
+      return "anticorrelated";
+  }
+  return "unknown";
+}
+
+std::vector<double> GenerateSynthetic(Distribution distribution, size_t n,
+                                      uint32_t dim, uint64_t seed) {
+  ZSKY_CHECK(dim >= 1);
+  Rng rng(seed);
+  std::vector<double> out;
+  out.reserve(n * dim);
+  switch (distribution) {
+    case Distribution::kIndependent: {
+      for (size_t i = 0; i < n * dim; ++i) out.push_back(rng.NextDouble());
+      break;
+    }
+    case Distribution::kCorrelated: {
+      // Diagonal anchor + small Gaussian spread: all attributes of a point
+      // are close to one another.
+      constexpr double kSigma = 0.05;
+      for (size_t i = 0; i < n; ++i) {
+        const double anchor = rng.NextDouble();
+        for (uint32_t k = 0; k < dim; ++k) {
+          out.push_back(Clamp01(anchor + kSigma * rng.NextGaussian()));
+        }
+      }
+      break;
+    }
+    case Distribution::kAnticorrelated: {
+      // Constant-sum hyperplane: sample a plane offset near 0.5, draw a
+      // uniform direction, rescale to the plane. Good values in one
+      // dimension force bad values in others.
+      for (size_t i = 0; i < n; ++i) {
+        const double plane =
+            Clamp01(0.5 + 0.08 * rng.NextGaussian());  // Mean attribute.
+        double sum = 0.0;
+        const size_t base = out.size();
+        for (uint32_t k = 0; k < dim; ++k) {
+          const double v = rng.NextDouble();
+          out.push_back(v);
+          sum += v;
+        }
+        const double scale = (sum > 0.0) ? plane * dim / sum : 1.0;
+        for (uint32_t k = 0; k < dim; ++k) {
+          out[base + k] = Clamp01(out[base + k] * scale);
+        }
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+PointSet GenerateQuantized(Distribution distribution, size_t n, uint32_t dim,
+                           uint64_t seed, const Quantizer& quantizer) {
+  const auto values = GenerateSynthetic(distribution, n, dim, seed);
+  return quantizer.QuantizeAll(values, dim);
+}
+
+std::vector<double> GenerateClustered(size_t n, uint32_t dim, uint32_t k,
+                                      double sigma, uint64_t seed) {
+  ZSKY_CHECK(dim >= 1 && k >= 1);
+  Rng rng(seed);
+  constexpr double kMargin = 0.15;
+  std::vector<double> centers(static_cast<size_t>(k) * dim);
+  for (auto& c : centers) {
+    c = kMargin + (1.0 - 2.0 * kMargin) * rng.NextDouble();
+  }
+  std::vector<double> out;
+  out.reserve(n * dim);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t c = rng.NextBounded(k);
+    for (uint32_t j = 0; j < dim; ++j) {
+      out.push_back(
+          Clamp01(centers[c * dim + j] + sigma * rng.NextGaussian()));
+    }
+  }
+  return out;
+}
+
+std::vector<double> GenerateDirichlet(size_t n, uint32_t dim, double alpha,
+                                      uint64_t seed) {
+  ZSKY_CHECK(dim >= 1 && alpha > 0.0);
+  Rng rng(seed);
+  std::vector<double> out;
+  out.reserve(n * dim);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    const size_t base = out.size();
+    for (uint32_t k = 0; k < dim; ++k) {
+      const double g = SampleGamma(rng, alpha);
+      out.push_back(g);
+      sum += g;
+    }
+    for (uint32_t k = 0; k < dim; ++k) {
+      out[base + k] = (sum > 0.0) ? Clamp01(out[base + k] / sum) : 0.0;
+    }
+  }
+  return out;
+}
+
+std::vector<double> GenerateNuswLike(size_t n, uint64_t seed) {
+  // 225-d block-wise color moments: dense, moderately clustered.
+  return GenerateClustered(n, /*dim=*/225, /*k=*/32, /*sigma=*/0.05, seed);
+}
+
+std::vector<double> GenerateFlickrLike(size_t n, uint64_t seed) {
+  // 512-d GIST descriptors: dense, more clusters, tighter spread.
+  return GenerateClustered(n, /*dim=*/512, /*k=*/64, /*sigma=*/0.03, seed);
+}
+
+std::vector<double> GenerateDbpediaLike(size_t n, uint64_t seed) {
+  // 250-topic LDA mixtures: sparse simplex vectors.
+  return GenerateDirichlet(n, /*dim=*/250, /*alpha=*/0.1, seed);
+}
+
+std::vector<double> ScaleExpand(const std::vector<double>& base, uint32_t dim,
+                                double factor, uint64_t seed) {
+  ZSKY_CHECK(dim >= 1 && base.size() % dim == 0 && factor >= 1.0);
+  const size_t base_n = base.size() / dim;
+  ZSKY_CHECK(base_n > 0);
+  const auto target_n = static_cast<size_t>(base_n * factor);
+  Rng rng(seed);
+  constexpr double kJitter = 0.01;
+  std::vector<double> out(base);
+  out.reserve(target_n * dim);
+  for (size_t i = base_n; i < target_n; ++i) {
+    const size_t src = rng.NextBounded(base_n);
+    for (uint32_t k = 0; k < dim; ++k) {
+      out.push_back(Clamp01(base[src * dim + k] + kJitter * rng.NextGaussian()));
+    }
+  }
+  return out;
+}
+
+}  // namespace zsky

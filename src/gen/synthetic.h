@@ -1,0 +1,62 @@
+#ifndef ZSKY_GEN_SYNTHETIC_H_
+#define ZSKY_GEN_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/point_set.h"
+#include "common/quantizer.h"
+
+namespace zsky {
+
+// The three synthetic benchmark distributions of Borzsony et al., used by
+// every skyline paper (values in [0, 1), minimization convention):
+//   - kIndependent:     every attribute i.i.d. uniform.
+//   - kCorrelated:      points hug the main diagonal (a point good in one
+//                       dimension is good in all): tiny skylines.
+//   - kAnticorrelated:  points hug a constant-sum hyperplane (good in one
+//                       dimension means bad in others): huge skylines.
+enum class Distribution {
+  kIndependent,
+  kCorrelated,
+  kAnticorrelated,
+};
+
+std::string_view DistributionName(Distribution d);
+
+// Generates `n` points of dimension `dim`, row-major doubles in [0, 1).
+// Deterministic in `seed`.
+std::vector<double> GenerateSynthetic(Distribution distribution, size_t n,
+                                      uint32_t dim, uint64_t seed);
+
+// Convenience: generate + quantize into a PointSet.
+PointSet GenerateQuantized(Distribution distribution, size_t n, uint32_t dim,
+                           uint64_t seed, const Quantizer& quantizer);
+
+// Clustered Gaussian-mixture data: `k` cluster centers drawn uniformly in
+// [margin, 1-margin)^dim, points = center + N(0, sigma), clamped. Used to
+// emulate image-feature datasets (NUS-WIDE / Flickr).
+std::vector<double> GenerateClustered(size_t n, uint32_t dim, uint32_t k,
+                                      double sigma, uint64_t seed);
+
+// Dirichlet(alpha) topic vectors (non-negative, sum to 1): emulates LDA
+// document-topic mixtures (DBpedia).
+std::vector<double> GenerateDirichlet(size_t n, uint32_t dim, double alpha,
+                                      uint64_t seed);
+
+// Real-dataset simulacra used by the high-dimensional experiments, with the
+// paper's dimensionalities (see DESIGN.md "Substitutions").
+std::vector<double> GenerateNuswLike(size_t n, uint64_t seed);     // 225-d
+std::vector<double> GenerateFlickrLike(size_t n, uint64_t seed);   // 512-d
+std::vector<double> GenerateDbpediaLike(size_t n, uint64_t seed);  // 250-d
+
+// The paper's scale-factor expansion: grows `base` (row-major, `dim`
+// columns) by `factor` (>= 1) by resampling existing rows with small
+// jitter, preserving the original distribution.
+std::vector<double> ScaleExpand(const std::vector<double>& base, uint32_t dim,
+                                double factor, uint64_t seed);
+
+}  // namespace zsky
+
+#endif  // ZSKY_GEN_SYNTHETIC_H_

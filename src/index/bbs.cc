@@ -1,0 +1,87 @@
+#include "index/bbs.h"
+
+#include <queue>
+#include <vector>
+
+#include "index/dynamic_skyline.h"
+
+namespace zsky {
+
+namespace {
+
+uint64_t MinDistOf(std::span<const Coord> corner) {
+  uint64_t sum = 0;
+  for (Coord c : corner) sum += c;
+  return sum;
+}
+
+struct HeapEntry {
+  uint64_t mindist;
+  bool is_node;
+  uint32_t index;  // Node index or entry slot.
+};
+
+struct HeapOrder {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    return a.mindist > b.mindist;  // Min-heap.
+  }
+};
+
+}  // namespace
+
+SkylineIndices BbsSkyline(const ZOrderCodec& codec, const PointSet& points,
+                          const RTree::Options& options, BbsStats* stats) {
+  SkylineIndices result;
+  BbsStats local;
+  if (points.empty()) {
+    if (stats != nullptr) *stats = local;
+    return result;
+  }
+  ZSKY_CHECK(points.dim() == codec.dim());
+
+  const RTree tree(points, options);
+  DynamicSkyline sky(&codec);
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapOrder> heap;
+  heap.push({MinDistOf(tree.box(tree.root()).min_corner()), true,
+             tree.root().index});
+
+  while (!heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    ++local.heap_pops;
+    if (top.is_node) {
+      const RTree::NodeRef node{top.index};
+      // A skyline point dominating the box's min corner dominates every
+      // point the box can contain.
+      if (sky.ExistsDominatorOf(tree.box(node).min_corner())) {
+        ++local.nodes_pruned;
+        continue;
+      }
+      if (tree.is_leaf(node)) {
+        const auto [begin, end] = tree.entry_range(node);
+        for (size_t slot = begin; slot < end; ++slot) {
+          heap.push({MinDistOf(tree.point(slot)), false,
+                     static_cast<uint32_t>(slot)});
+        }
+      } else {
+        const auto [cb, ce] = tree.child_range(node);
+        for (uint32_t c = cb; c < ce; ++c) {
+          heap.push(
+              {MinDistOf(tree.box(RTree::NodeRef{c}).min_corner()), true, c});
+        }
+      }
+      continue;
+    }
+    ++local.points_tested;
+    const auto p = tree.point(top.index);
+    if (!sky.ExistsDominatorOf(p)) {
+      result.push_back(tree.id(top.index));
+      sky.Append(p, tree.id(top.index));
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  SortSkyline(result);
+  return result;
+}
+
+}  // namespace zsky

@@ -1,0 +1,33 @@
+#ifndef ZSKY_INDEX_BBS_H_
+#define ZSKY_INDEX_BBS_H_
+
+#include "algo/skyline.h"
+#include "common/point_set.h"
+#include "index/rtree.h"
+#include "zorder/zorder_codec.h"
+
+namespace zsky {
+
+// Counters exposed by BBS for comparison experiments.
+struct BbsStats {
+  size_t heap_pops = 0;
+  size_t nodes_pruned = 0;   // R-tree subtrees discarded by dominance.
+  size_t points_tested = 0;
+};
+
+// BBS — branch-and-bound skyline over an R-tree (Papadias et al.), the
+// classic progressive centralized algorithm and the third baseline family
+// the paper's related work covers.
+//
+// Entries are processed in ascending "mindist" (the L1 norm of a box's
+// min corner). A point's dominators always have strictly smaller mindist,
+// so the skyline set is append-only and whole subtrees whose box min
+// corner is dominated can be discarded unseen. `codec` only parameterizes
+// the skyline set's internal ZB-trees.
+SkylineIndices BbsSkyline(const ZOrderCodec& codec, const PointSet& points,
+                          const RTree::Options& options = RTree::Options(),
+                          BbsStats* stats = nullptr);
+
+}  // namespace zsky
+
+#endif  // ZSKY_INDEX_BBS_H_

@@ -1,0 +1,22 @@
+#include "index/constrained.h"
+
+#include "index/zsearch.h"
+
+namespace zsky {
+
+SkylineIndices ConstrainedSkyline(const ZOrderCodec& codec,
+                                  const PointSet& points, const RTree& tree,
+                                  std::span<const Coord> lo,
+                                  std::span<const Coord> hi) {
+  const std::vector<uint32_t> inside = tree.QueryBox(lo, hi);
+  if (inside.empty()) return {};
+  const PointSet region = PointSet::Gather(points, inside);
+  SkylineIndices result;
+  for (uint32_t i : ZSearchSkyline(codec, region)) {
+    result.push_back(inside[i]);
+  }
+  SortSkyline(result);
+  return result;
+}
+
+}  // namespace zsky

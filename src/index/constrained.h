@@ -1,0 +1,26 @@
+#ifndef ZSKY_INDEX_CONSTRAINED_H_
+#define ZSKY_INDEX_CONSTRAINED_H_
+
+#include <span>
+
+#include "algo/skyline.h"
+#include "common/point_set.h"
+#include "index/rtree.h"
+#include "zorder/zorder_codec.h"
+
+namespace zsky {
+
+// Constrained skyline: the skyline of the points inside the closed box
+// [lo, hi] — the classic "skyline within my filters" query. Served from an
+// R-tree window query followed by Z-search over the qualifying points.
+//
+// `tree` must index `points` with identity ids (the default RTree
+// construction); returned indices are rows into `points`.
+SkylineIndices ConstrainedSkyline(const ZOrderCodec& codec,
+                                  const PointSet& points, const RTree& tree,
+                                  std::span<const Coord> lo,
+                                  std::span<const Coord> hi);
+
+}  // namespace zsky
+
+#endif  // ZSKY_INDEX_CONSTRAINED_H_

@@ -1,0 +1,141 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace zsky {
+
+namespace {
+
+// Sort-Tile-Recursive packing: orders `rows` so that consecutive runs of
+// `leaf_capacity` entries are spatially coherent. Recursively slices on
+// each dimension in turn, slab sizes chosen so that the final tiles hold
+// ~leaf_capacity points each.
+void StrPack(const PointSet& points, std::vector<uint32_t>& rows,
+             size_t begin, size_t end, uint32_t dim_index,
+             uint32_t leaf_capacity) {
+  const size_t n = end - begin;
+  if (n <= leaf_capacity || dim_index >= points.dim()) return;
+  std::sort(rows.begin() + begin, rows.begin() + end,
+            [&](uint32_t a, uint32_t b) {
+              return points[a][dim_index] < points[b][dim_index];
+            });
+  // Number of slabs along this dimension: spread the remaining dims'
+  // tiling evenly -> (n / leaf)^(1/remaining_dims).
+  const auto remaining = static_cast<double>(points.dim() - dim_index);
+  const double tiles = std::ceil(static_cast<double>(n) / leaf_capacity);
+  auto slabs = static_cast<size_t>(
+      std::ceil(std::pow(tiles, 1.0 / remaining)));
+  slabs = std::max<size_t>(1, std::min(slabs, n));
+  const size_t slab_size = (n + slabs - 1) / slabs;
+  for (size_t s = 0; s < slabs; ++s) {
+    const size_t slab_begin = begin + s * slab_size;
+    if (slab_begin >= end) break;
+    const size_t slab_end = std::min(end, slab_begin + slab_size);
+    StrPack(points, rows, slab_begin, slab_end, dim_index + 1,
+            leaf_capacity);
+  }
+}
+
+}  // namespace
+
+RTree::RTree(const PointSet& points, std::vector<uint32_t> ids,
+             const Options& options)
+    : options_(options), points_(points.dim()) {
+  ZSKY_CHECK(options.leaf_capacity >= 1 && options.fanout >= 2);
+  const size_t n = points.size();
+  ZSKY_CHECK(ids.empty() || ids.size() == n);
+  if (n == 0) return;
+
+  std::vector<uint32_t> rows(n);
+  std::iota(rows.begin(), rows.end(), 0u);
+  StrPack(points, rows, 0, n, 0, options_.leaf_capacity);
+
+  points_.Reserve(n);
+  ids_.reserve(n);
+  for (uint32_t row : rows) {
+    points_.AppendFrom(points, row);
+    ids_.push_back(ids.empty() ? row : ids[row]);
+  }
+
+  auto box_of_entries = [&](size_t begin, size_t end) {
+    std::vector<Coord> lo(points_[begin].begin(), points_[begin].end());
+    std::vector<Coord> hi = lo;
+    for (size_t slot = begin + 1; slot < end; ++slot) {
+      const auto p = points_[slot];
+      for (uint32_t k = 0; k < points_.dim(); ++k) {
+        lo[k] = std::min(lo[k], p[k]);
+        hi[k] = std::max(hi[k], p[k]);
+      }
+    }
+    return RZRegion(std::move(lo), std::move(hi));
+  };
+
+  const size_t num_leaves =
+      (n + options_.leaf_capacity - 1) / options_.leaf_capacity;
+  nodes_.reserve(num_leaves * 2 + 2);
+  for (size_t l = 0; l < num_leaves; ++l) {
+    const size_t begin = l * options_.leaf_capacity;
+    const size_t end = std::min(n, begin + options_.leaf_capacity);
+    nodes_.push_back(Node{static_cast<uint32_t>(begin),
+                          static_cast<uint32_t>(end), 0, 0,
+                          box_of_entries(begin, end)});
+  }
+  height_ = 1;
+  size_t level_begin = 0;
+  size_t level_end = nodes_.size();
+  while (level_end - level_begin > 1) {
+    const size_t level_size = level_end - level_begin;
+    const size_t parents =
+        (level_size + options_.fanout - 1) / options_.fanout;
+    for (size_t p = 0; p < parents; ++p) {
+      const size_t cb = level_begin + p * options_.fanout;
+      const size_t ce = std::min(level_end, cb + options_.fanout);
+      RZRegion box = nodes_[cb].box;
+      for (size_t c = cb + 1; c < ce; ++c) box.ExtendToCover(nodes_[c].box);
+      nodes_.push_back(Node{nodes_[cb].entry_begin,
+                            nodes_[ce - 1].entry_end,
+                            static_cast<uint32_t>(cb),
+                            static_cast<uint32_t>(ce), std::move(box)});
+    }
+    level_begin = level_end;
+    level_end = nodes_.size();
+    ++height_;
+  }
+}
+
+std::vector<uint32_t> RTree::QueryBox(std::span<const Coord> lo,
+                                      std::span<const Coord> hi) const {
+  std::vector<uint32_t> out;
+  if (!nodes_.empty()) QueryBoxIn(root().index, lo, hi, out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void RTree::QueryBoxIn(uint32_t node_index, std::span<const Coord> lo,
+                       std::span<const Coord> hi,
+                       std::vector<uint32_t>& out) const {
+  const Node& node = nodes_[node_index];
+  // Reject if the boxes are disjoint in any dimension.
+  for (uint32_t k = 0; k < points_.dim(); ++k) {
+    if (node.box.max_corner()[k] < lo[k] || node.box.min_corner()[k] > hi[k])
+      return;
+  }
+  if (node.child_end == 0) {
+    for (size_t slot = node.entry_begin; slot < node.entry_end; ++slot) {
+      const auto p = points_[slot];
+      bool inside = true;
+      for (uint32_t k = 0; k < points_.dim() && inside; ++k) {
+        inside = p[k] >= lo[k] && p[k] <= hi[k];
+      }
+      if (inside) out.push_back(ids_[slot]);
+    }
+    return;
+  }
+  for (uint32_t c = node.child_begin; c < node.child_end; ++c) {
+    QueryBoxIn(c, lo, hi, out);
+  }
+}
+
+}  // namespace zsky

@@ -1,0 +1,95 @@
+#ifndef ZSKY_INDEX_RTREE_H_
+#define ZSKY_INDEX_RTREE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/point_set.h"
+#include "zorder/rz_region.h"
+
+namespace zsky {
+
+// A bulk-loaded R-tree over points, packed with Sort-Tile-Recursive (STR):
+// the substrate for the BBS skyline baseline (branch-and-bound over an
+// R-tree, Papadias et al.) and for window queries.
+//
+// Immutable after construction. Leaves store runs of entries (row + point
+// copy); every node carries the exact minimum bounding box of its subtree
+// (reusing RZRegion as the box type, same dominance helpers as the
+// ZB-tree).
+class RTree {
+ public:
+  struct Options {
+    uint32_t leaf_capacity = 16;
+    uint32_t fanout = 8;
+  };
+
+  struct NodeRef {
+    uint32_t index;
+  };
+
+  // Builds over `points` (copied). `ids` are caller identifiers parallel
+  // to rows (defaults to row indices).
+  RTree(const PointSet& points, std::vector<uint32_t> ids,
+        const Options& options);
+  RTree(const PointSet& points, const Options& options)
+      : RTree(points, {}, options) {}
+  explicit RTree(const PointSet& points) : RTree(points, {}, Options()) {}
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+  RTree(RTree&&) = default;
+  RTree& operator=(RTree&&) = default;
+
+  size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+  uint32_t height() const { return height_; }
+  uint32_t dim() const { return points_.dim(); }
+
+  // Entry accessors by slot (STR order).
+  std::span<const Coord> point(size_t slot) const { return points_[slot]; }
+  uint32_t id(size_t slot) const { return ids_[slot]; }
+
+  // Structural traversal (same shape as ZBTree's).
+  bool has_root() const { return !nodes_.empty(); }
+  NodeRef root() const {
+    ZSKY_DCHECK(has_root());
+    return {static_cast<uint32_t>(nodes_.size() - 1)};
+  }
+  bool is_leaf(NodeRef n) const { return nodes_[n.index].child_end == 0; }
+  const RZRegion& box(NodeRef n) const { return nodes_[n.index].box; }
+  std::pair<uint32_t, uint32_t> child_range(NodeRef n) const {
+    return {nodes_[n.index].child_begin, nodes_[n.index].child_end};
+  }
+  std::pair<size_t, size_t> entry_range(NodeRef n) const {
+    return {nodes_[n.index].entry_begin, nodes_[n.index].entry_end};
+  }
+
+  // Window query: ids of all points inside the closed box [lo, hi].
+  std::vector<uint32_t> QueryBox(std::span<const Coord> lo,
+                                 std::span<const Coord> hi) const;
+
+ private:
+  struct Node {
+    uint32_t entry_begin = 0;
+    uint32_t entry_end = 0;
+    uint32_t child_begin = 0;  // Node index range; 0/0 for leaves.
+    uint32_t child_end = 0;
+    RZRegion box;
+  };
+
+  void QueryBoxIn(uint32_t node_index, std::span<const Coord> lo,
+                  std::span<const Coord> hi,
+                  std::vector<uint32_t>& out) const;
+
+  Options options_;
+  PointSet points_;            // Entries, STR order.
+  std::vector<uint32_t> ids_;  // Parallel to entries.
+  std::vector<Node> nodes_;    // Leaves first, root last.
+  uint32_t height_ = 0;
+};
+
+}  // namespace zsky
+
+#endif  // ZSKY_INDEX_RTREE_H_

@@ -1,0 +1,59 @@
+#ifndef ZSKY_INDEX_ZMERGE_H_
+#define ZSKY_INDEX_ZMERGE_H_
+
+#include <vector>
+
+#include "algo/skyline.h"
+#include "common/point_set.h"
+#include "index/dynamic_skyline.h"
+#include "index/zbtree.h"
+#include "zorder/zorder_codec.h"
+
+namespace zsky {
+
+// Counters exposed by Z-merge for experiments/ablations.
+struct ZMergeStats {
+  size_t subtrees_discarded = 0;  // Source subtrees dominated as a region.
+  size_t subtrees_appended = 0;   // Source subtrees appended wholesale
+                                  // (incomparable with the whole skyline).
+  size_t points_tested = 0;       // Per-point dominance tests at leaves.
+  size_t skyline_removed = 0;     // Existing members evicted by new points.
+};
+
+// Z-merge (Algorithm 4): merges the candidate set indexed by `src` into the
+// existing skyline `sky`.
+//
+// Precondition: the entries of `src` form a *dominance-free* set (e.g. a
+// group-local skyline) — required for the wholesale-subtree append path to
+// be sound. `sky` is updated in place.
+//
+// Traversal visits `src` nodes in Z-order. For each node region R:
+//   - if some skyline point dominates R's min corner, the whole subtree is
+//     discarded without touching its points;
+//   - if R is incomparable with the bounding region of the entire skyline,
+//     the whole subtree joins the skyline without any point tests;
+//   - otherwise the traversal descends; at leaves, each surviving point
+//     evicts the skyline members it dominates (UDominate) and is appended.
+void ZMerge(const ZBTree& src, DynamicSkyline& sky,
+            ZMergeStats* stats = nullptr);
+
+// Production multi-way variant: merges many candidate trees (each a
+// dominance-free set, e.g. the group-local skylines of MR job 2) in one
+// globally Z-ordered pass.
+//
+// Because Z-order is monotone w.r.t. dominance, visiting candidates in
+// merged Z-order makes the growing skyline append-only — the pairwise
+// algorithm's UDominate removals (its dominant cost) disappear — while
+// Algorithm 4's region-level subtree discards are kept: whenever a
+// stream's cursor sits at a subtree boundary whose region is dominated,
+// the whole subtree is skipped without touching its points.
+//
+// Returns the merged skyline as the trees' entry ids, ascending.
+SkylineIndices ZMergeAll(const ZOrderCodec& codec,
+                         const std::vector<const ZBTree*>& trees,
+                         const ZBTree::Options& options,
+                         ZMergeStats* stats = nullptr);
+
+}  // namespace zsky
+
+#endif  // ZSKY_INDEX_ZMERGE_H_

@@ -1,0 +1,53 @@
+#include "index/zsearch.h"
+
+#include "index/dynamic_skyline.h"
+
+namespace zsky {
+
+namespace {
+
+void Visit(const ZBTree& tree, ZBTree::NodeRef node, DynamicSkyline& skyline,
+           SkylineIndices& result, ZSearchStats& stats) {
+  ++stats.nodes_visited;
+  const RZRegion& region = tree.region(node);
+  // If a skyline point strictly dominates the region's min corner, it
+  // dominates every point the region can contain.
+  if (skyline.ExistsDominatorOf(region.min_corner())) {
+    ++stats.nodes_pruned;
+    return;
+  }
+  if (tree.is_leaf(node)) {
+    auto [begin, end] = tree.entry_range(node);
+    for (size_t slot = begin; slot < end; ++slot) {
+      ++stats.points_tested;
+      const auto p = tree.point(slot);
+      if (!skyline.ExistsDominatorOf(p)) {
+        result.push_back(tree.id(slot));
+        skyline.Append(p, tree.id(slot));
+      }
+    }
+    return;
+  }
+  auto [cb, ce] = tree.child_range(node);
+  for (uint32_t c = cb; c < ce; ++c) {
+    Visit(tree, {c}, skyline, result, stats);
+  }
+}
+
+}  // namespace
+
+SkylineIndices ZSearchSkyline(const ZOrderCodec& codec, const PointSet& points,
+                              const ZBTree::Options& options,
+                              ZSearchStats* stats) {
+  SkylineIndices result;
+  if (points.empty()) return result;
+  ZBTree tree(&codec, points, options);
+  DynamicSkyline skyline(&codec, options);
+  ZSearchStats local_stats;
+  Visit(tree, tree.root(), skyline, result, local_stats);
+  if (stats != nullptr) *stats = local_stats;
+  SortSkyline(result);
+  return result;
+}
+
+}  // namespace zsky

@@ -1,0 +1,101 @@
+#include "io/binary.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace zsky {
+
+namespace {
+
+constexpr char kMagic[4] = {'Z', 'S', 'K', 'Y'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void AppendRaw(std::string& out, const T& value) {
+  out.append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadRaw(std::string_view& bytes, T* value) {
+  if (bytes.size() < sizeof(T)) return false;
+  std::memcpy(value, bytes.data(), sizeof(T));
+  bytes.remove_prefix(sizeof(T));
+  return true;
+}
+
+}  // namespace
+
+std::string SerializePointSet(const PointSet& points) {
+  std::string out;
+  out.reserve(20 + points.raw().size() * sizeof(Coord));
+  out.append(kMagic, sizeof(kMagic));
+  AppendRaw(out, kVersion);
+  AppendRaw(out, points.dim());
+  AppendRaw(out, static_cast<uint64_t>(points.size()));
+  out.append(reinterpret_cast<const char*>(points.raw().data()),
+             points.raw().size() * sizeof(Coord));
+  return out;
+}
+
+std::optional<PointSet> DeserializePointSet(std::string_view bytes,
+                                            std::string* error) {
+  auto fail = [&](const char* reason) -> std::optional<PointSet> {
+    if (error != nullptr) *error = reason;
+    return std::nullopt;
+  };
+  if (bytes.size() < sizeof(kMagic) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return fail("bad magic");
+  }
+  bytes.remove_prefix(sizeof(kMagic));
+  uint32_t version = 0;
+  uint32_t dim = 0;
+  uint64_t count = 0;
+  if (!ReadRaw(bytes, &version) || version != kVersion) {
+    return fail("unsupported version");
+  }
+  if (!ReadRaw(bytes, &dim) || dim == 0) return fail("bad dimension");
+  if (!ReadRaw(bytes, &count)) return fail("truncated header");
+  const uint64_t expected = count * dim * sizeof(Coord);
+  if (bytes.size() != expected) return fail("payload size mismatch");
+  PointSet points(dim);
+  points.mutable_raw().resize(count * dim);
+  std::memcpy(points.mutable_raw().data(), bytes.data(), expected);
+  return points;
+}
+
+bool WritePointSetFile(const std::string& path, const PointSet& points,
+                       std::string* error) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  const std::string bytes = SerializePointSet(points);
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), file);
+  std::fclose(file);
+  if (written != bytes.size()) {
+    if (error != nullptr) *error = "short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+std::optional<PointSet> ReadPointSetFile(const std::string& path,
+                                         std::string* error) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::string bytes;
+  char buffer[1 << 16];
+  size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    bytes.append(buffer, got);
+  }
+  std::fclose(file);
+  return DeserializePointSet(bytes, error);
+}
+
+}  // namespace zsky

@@ -1,0 +1,31 @@
+#ifndef ZSKY_IO_BINARY_H_
+#define ZSKY_IO_BINARY_H_
+
+#include <optional>
+#include <string>
+
+#include "common/point_set.h"
+
+namespace zsky {
+
+// Compact binary PointSet format for dataset caching between runs:
+//   magic "ZSKY" | version u32 | dim u32 | count u64 | coords u32[]
+// Little-endian, no alignment padding.
+
+// Serializes `points` to a byte string.
+std::string SerializePointSet(const PointSet& points);
+
+// Parses a byte string produced by SerializePointSet; nullopt + `error`
+// on malformed input.
+std::optional<PointSet> DeserializePointSet(std::string_view bytes,
+                                            std::string* error);
+
+// File convenience wrappers.
+bool WritePointSetFile(const std::string& path, const PointSet& points,
+                       std::string* error);
+std::optional<PointSet> ReadPointSetFile(const std::string& path,
+                                         std::string* error);
+
+}  // namespace zsky
+
+#endif  // ZSKY_IO_BINARY_H_

@@ -1,0 +1,188 @@
+#include "io/csv.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace zsky {
+
+namespace {
+
+std::vector<std::string_view> SplitLine(std::string_view line,
+                                        char delimiter) {
+  std::vector<std::string_view> fields;
+  size_t start = 0;
+  for (size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == delimiter) {
+      fields.push_back(line.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return fields;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
+                        s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool ParseDouble(std::string_view field, double* out) {
+  field = Trim(field);
+  if (field.empty()) return false;
+  const char* begin = field.data();
+  const char* end = begin + field.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+}  // namespace
+
+std::optional<CsvTable> ParseCsv(std::string_view text,
+                                 const CsvOptions& options,
+                                 std::string* error) {
+  CsvTable table;
+  size_t line_number = 0;
+  bool header_pending = options.has_header;
+  size_t cursor = 0;
+  while (cursor <= text.size()) {
+    const size_t newline = text.find('\n', cursor);
+    const std::string_view line =
+        text.substr(cursor, newline == std::string_view::npos
+                                ? std::string_view::npos
+                                : newline - cursor);
+    cursor = newline == std::string_view::npos ? text.size() + 1
+                                               : newline + 1;
+    ++line_number;
+    if (Trim(line).empty()) continue;
+
+    const auto fields = SplitLine(line, options.delimiter);
+    if (header_pending) {
+      for (const auto field : fields) {
+        table.columns.emplace_back(Trim(field));
+      }
+      table.dim = static_cast<uint32_t>(fields.size());
+      header_pending = false;
+      continue;
+    }
+    if (table.dim == 0) {
+      table.dim = static_cast<uint32_t>(fields.size());
+      for (uint32_t c = 0; c < table.dim; ++c) {
+        table.columns.push_back("col" + std::to_string(c));
+      }
+    }
+    if (fields.size() != table.dim) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_number) + ": expected " +
+                 std::to_string(table.dim) + " fields, got " +
+                 std::to_string(fields.size());
+      }
+      return std::nullopt;
+    }
+    for (const auto field : fields) {
+      double value = 0.0;
+      if (!ParseDouble(field, &value)) {
+        if (error != nullptr) {
+          *error = "line " + std::to_string(line_number) +
+                   ": not a number: '" + std::string(Trim(field)) + "'";
+        }
+        return std::nullopt;
+      }
+      table.values.push_back(value);
+    }
+    ++table.rows;
+  }
+  if (table.dim == 0) {
+    if (error != nullptr) *error = "empty input";
+    return std::nullopt;
+  }
+  return table;
+}
+
+std::optional<CsvTable> ReadCsvFile(const std::string& path,
+                                    const CsvOptions& options,
+                                    std::string* error) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::string text;
+  char buffer[1 << 16];
+  size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    text.append(buffer, got);
+  }
+  std::fclose(file);
+  return ParseCsv(text, options, error);
+}
+
+std::string WriteCsv(const CsvTable& table, const CsvOptions& options) {
+  std::string out;
+  if (options.has_header) {
+    for (uint32_t c = 0; c < table.dim; ++c) {
+      if (c > 0) out.push_back(options.delimiter);
+      out += table.columns[c];
+    }
+    out.push_back('\n');
+  }
+  char buffer[64];
+  for (size_t r = 0; r < table.rows; ++r) {
+    for (uint32_t c = 0; c < table.dim; ++c) {
+      if (c > 0) out.push_back(options.delimiter);
+      std::snprintf(buffer, sizeof(buffer), "%.9g",
+                    table.values[r * table.dim + c]);
+      out += buffer;
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+PointSet TableToPoints(const CsvTable& table,
+                       std::span<const uint32_t> maximize,
+                       const Quantizer& quantizer) {
+  const uint32_t dim = table.dim;
+  std::vector<bool> flip(dim, false);
+  for (uint32_t c : maximize) {
+    ZSKY_CHECK(c < dim);
+    flip[c] = true;
+  }
+  std::vector<double> lo(dim, std::numeric_limits<double>::infinity());
+  std::vector<double> hi(dim, -std::numeric_limits<double>::infinity());
+  for (size_t r = 0; r < table.rows; ++r) {
+    for (uint32_t c = 0; c < dim; ++c) {
+      const double v = table.values[r * dim + c];
+      lo[c] = std::min(lo[c], v);
+      hi[c] = std::max(hi[c], v);
+    }
+  }
+  PointSet points(dim);
+  points.Reserve(table.rows);
+  std::vector<Coord> row(dim);
+  for (size_t r = 0; r < table.rows; ++r) {
+    for (uint32_t c = 0; c < dim; ++c) {
+      const double span = hi[c] - lo[c];
+      double v = span > 0.0 ? (table.values[r * dim + c] - lo[c]) / span
+                            : 0.0;
+      // Keep normalized values strictly below 1 so the quantizer's [0,1)
+      // domain is respected.
+      v = std::min(v, std::nextafter(1.0, 0.0));
+      if (flip[c]) v = std::nextafter(1.0, 0.0) - v;
+      row[c] = quantizer.Quantize(v);
+    }
+    points.Append(row);
+  }
+  return points;
+}
+
+}  // namespace zsky

@@ -1,0 +1,56 @@
+#ifndef ZSKY_IO_CSV_H_
+#define ZSKY_IO_CSV_H_
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/point_set.h"
+#include "common/quantizer.h"
+
+namespace zsky {
+
+// Minimal numeric-CSV support so real datasets can be queried with the
+// CLI and examples: parse -> normalize -> quantize -> PointSet.
+
+struct CsvOptions {
+  char delimiter = ',';
+  bool has_header = true;
+};
+
+// A parsed numeric table (row-major doubles).
+struct CsvTable {
+  std::vector<std::string> columns;  // Header names (col0.. if absent).
+  std::vector<double> values;        // rows x dim, row-major.
+  uint32_t dim = 0;
+  size_t rows = 0;
+};
+
+// Parses CSV text. On malformed input returns nullopt and fills `error`
+// (line number + reason). Empty lines are skipped; every row must have
+// the same number of numeric fields.
+std::optional<CsvTable> ParseCsv(std::string_view text,
+                                 const CsvOptions& options,
+                                 std::string* error);
+
+// Reads and parses a CSV file.
+std::optional<CsvTable> ReadCsvFile(const std::string& path,
+                                    const CsvOptions& options,
+                                    std::string* error);
+
+// Serializes a table (used by the CLI's generator and for round-trips).
+std::string WriteCsv(const CsvTable& table, const CsvOptions& options);
+
+// Converts a table to quantized points under the minimization convention:
+// each column is min-max normalized to [0, 1); columns whose index appears
+// in `maximize` are flipped (1 - v) so that larger raw values are better.
+// Constant columns map to 0.
+PointSet TableToPoints(const CsvTable& table,
+                       std::span<const uint32_t> maximize,
+                       const Quantizer& quantizer);
+
+}  // namespace zsky
+
+#endif  // ZSKY_IO_CSV_H_

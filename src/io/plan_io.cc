@@ -1,0 +1,122 @@
+#include "io/plan_io.h"
+
+#include <cstring>
+
+#include "io/binary.h"
+
+namespace zsky {
+
+namespace {
+
+constexpr char kMagic[4] = {'Z', 'P', 'L', 'N'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void AppendRaw(std::string& out, const T& value) {
+  out.append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadRaw(std::string_view& bytes, T* value) {
+  if (bytes.size() < sizeof(T)) return false;
+  std::memcpy(value, bytes.data(), sizeof(T));
+  bytes.remove_prefix(sizeof(T));
+  return true;
+}
+
+}  // namespace
+
+std::string SerializePlan(const ZOrderGroupedPartitioner& partitioner) {
+  const ZOrderCodec& codec = partitioner.codec();
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  AppendRaw(out, kVersion);
+  AppendRaw(out, codec.dim());
+  AppendRaw(out, codec.bits());
+  AppendRaw(out, static_cast<uint32_t>(0));  // Strategy (informational).
+  AppendRaw(out, partitioner.num_groups());
+  AppendRaw(out, static_cast<uint32_t>(1));  // Expansion (informational).
+  AppendRaw(out, static_cast<uint64_t>(partitioner.num_partitions()));
+  for (size_t i = 0; i < partitioner.num_partitions(); ++i) {
+    for (uint64_t word : partitioner.partition_lower(i).words()) {
+      AppendRaw(out, word);
+    }
+    AppendRaw(out, partitioner.group_of_partition(i));
+    AppendRaw(out, partitioner.partition_sample_count(i));
+    AppendRaw(out, partitioner.partition_skyline_count(i));
+  }
+  out += SerializePointSet(partitioner.sample_skyline());
+  return out;
+}
+
+std::optional<ZOrderGroupedPartitioner> DeserializePlan(
+    std::string_view bytes, const ZOrderCodec* codec, std::string* error) {
+  auto fail = [&](const char* reason)
+      -> std::optional<ZOrderGroupedPartitioner> {
+    if (error != nullptr) *error = reason;
+    return std::nullopt;
+  };
+  if (bytes.size() < sizeof(kMagic) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return fail("bad magic");
+  }
+  bytes.remove_prefix(sizeof(kMagic));
+  uint32_t version = 0;
+  uint32_t dim = 0;
+  uint32_t bits = 0;
+  uint32_t strategy = 0;
+  uint32_t num_groups = 0;
+  uint32_t expansion = 0;
+  uint64_t partitions = 0;
+  if (!ReadRaw(bytes, &version) || version != kVersion) {
+    return fail("unsupported version");
+  }
+  if (!ReadRaw(bytes, &dim) || !ReadRaw(bytes, &bits) ||
+      !ReadRaw(bytes, &strategy) || !ReadRaw(bytes, &num_groups) ||
+      !ReadRaw(bytes, &expansion) || !ReadRaw(bytes, &partitions)) {
+    return fail("truncated header");
+  }
+  if (codec == nullptr || codec->dim() != dim || codec->bits() != bits) {
+    return fail("codec mismatch (dim/bits differ from the plan)");
+  }
+  if (partitions == 0) return fail("empty plan");
+
+  std::vector<ZAddress> lowers;
+  std::vector<int32_t> group_of;
+  std::vector<uint32_t> sample_counts;
+  std::vector<uint32_t> skyline_counts;
+  lowers.reserve(partitions);
+  for (uint64_t i = 0; i < partitions; ++i) {
+    ZAddress lower(codec->num_words());
+    for (size_t w = 0; w < codec->num_words(); ++w) {
+      if (!ReadRaw(bytes, &lower.mutable_words()[w])) {
+        return fail("truncated partition table");
+      }
+    }
+    int32_t group = 0;
+    uint32_t sample_count = 0;
+    uint32_t skyline_count = 0;
+    if (!ReadRaw(bytes, &group) || !ReadRaw(bytes, &sample_count) ||
+        !ReadRaw(bytes, &skyline_count)) {
+      return fail("truncated partition table");
+    }
+    lowers.push_back(std::move(lower));
+    group_of.push_back(group);
+    sample_counts.push_back(sample_count);
+    skyline_counts.push_back(skyline_count);
+  }
+  std::string sub_error;
+  auto sample_skyline = DeserializePointSet(bytes, &sub_error);
+  if (!sample_skyline.has_value()) {
+    if (error != nullptr) *error = "sample skyline: " + sub_error;
+    return std::nullopt;
+  }
+  ZOrderGroupedPartitioner::Options options;
+  options.num_groups = std::max(1u, num_groups);
+  return ZOrderGroupedPartitioner::FromPlanParts(
+      codec, options, std::move(lowers), std::move(group_of),
+      std::move(sample_counts), std::move(skyline_counts),
+      std::move(*sample_skyline));
+}
+
+}  // namespace zsky

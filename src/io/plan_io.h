@@ -1,0 +1,33 @@
+#ifndef ZSKY_IO_PLAN_IO_H_
+#define ZSKY_IO_PLAN_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "partition/zorder_grouping.h"
+#include "zorder/zorder_codec.h"
+
+namespace zsky {
+
+// Serialization of a learned Z-order partitioning plan (pivots, PGmap,
+// per-partition stats, sample skyline) — the paper's "data partitioning
+// rules" that the master distributes to every mapper via the distributed
+// cache (Section 5.1/5.2). Learn once, route anywhere.
+//
+// Format:
+//   magic "ZPLN" | version u32 | dim u32 | bits u32 |
+//   strategy u32 | num_groups u32 | expansion u32 |
+//   partitions u64 | per partition: lower-address words u64[nwords],
+//                    group i32, sample_count u32, skyline_count u32 |
+//   sample-skyline PointSet (io/binary format)
+
+std::string SerializePlan(const ZOrderGroupedPartitioner& partitioner);
+
+// Rebuilds the partitioner against `codec` (which must match the plan's
+// dim/bits; mismatch is reported via `error`).
+std::optional<ZOrderGroupedPartitioner> DeserializePlan(
+    std::string_view bytes, const ZOrderCodec* codec, std::string* error);
+
+}  // namespace zsky
+
+#endif  // ZSKY_IO_PLAN_IO_H_

@@ -1,0 +1,284 @@
+#ifndef ZSKY_MAPREDUCE_JOB_H_
+#define ZSKY_MAPREDUCE_JOB_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/stopwatch.h"
+#include "mapreduce/metrics.h"
+#include "mapreduce/task_runner.h"
+
+namespace zsky::mr {
+
+// A single MapReduce job over in-memory data, faithful to the Hadoop
+// execution model the paper targets:
+//
+//   splits --(map tasks, thread pool)--> keyed records
+//          --(per-map-task combiner)--> combined records
+//          --(shuffle: hash keys onto reduce tasks, bytes counted)-->
+//          --(reduce tasks, thread pool)--> user-collected output
+//
+// V is the record value type. Keys are int32 (>= 0); negative keys are
+// dropped by the engine (the paper's "if gid is NULL" path for pruned
+// partitions).
+//
+// Thread-safety contract: MapFn runs concurrently across splits (emit is
+// task-local). CombineFn runs concurrently across map tasks. ReduceFn runs
+// concurrently across keys; it must synchronize its own output sink.
+template <typename V>
+class MapReduceJob {
+ public:
+  // Wave identifiers for the failure injector.
+  enum class Wave { kMap = 0, kReduce = 1 };
+
+  struct Options {
+    uint32_t num_reduce_tasks = 4;
+    // Worker threads for both waves (0 = hardware concurrency).
+    uint32_t num_threads = 0;
+    bool enable_combiner = true;
+    // Simulated per-record shuffle overhead in bytes (key + framing).
+    size_t record_overhead_bytes = 8;
+
+    // --- Disk-backed shuffle (Hadoop-style spill). ---
+    // When true, every map task's output is written to a spill file and
+    // freed from memory; the shuffle reads the files back. Requires a
+    // trivially copyable V. Adds real disk I/O to the measured times (the
+    // paper's intermediate-data disk overhead).
+    bool spill_to_disk = false;
+    std::string spill_dir = "/tmp";
+
+    // --- Fault tolerance (Hadoop-style task retry). ---
+    // A task attempt either commits its output atomically or leaves none;
+    // failed attempts are retried up to this many times.
+    uint32_t max_task_attempts = 1;
+    // Failure injection for tests/experiments: invoked before each task
+    // attempt; returning true simulates a crash of that attempt.
+    std::function<bool(Wave wave, size_t task, uint32_t attempt)>
+        failure_injector;
+  };
+
+  using Emit = std::function<void(int32_t key, V value)>;
+  // Maps split `index` (caller-defined meaning) by emitting keyed records.
+  using MapFn = std::function<void(size_t split_index, const Emit& emit)>;
+  // Map-side combiner: collapses one key's records within one map task.
+  using CombineFn =
+      std::function<std::vector<V>(int32_t key, std::vector<V> values)>;
+  // Reduces all records of one key.
+  using ReduceFn = std::function<void(int32_t key, std::vector<V> values)>;
+  // Sizes a record for shuffle-byte accounting.
+  using SizeFn = std::function<size_t(const V&)>;
+
+  explicit MapReduceJob(const Options& options)
+      : options_(options), runner_(options.num_threads) {
+    ZSKY_CHECK(options.num_reduce_tasks >= 1);
+  }
+
+  // Runs the job; `combine` may be null (no combiner). Returns metrics.
+  JobMetrics Run(size_t num_splits, const MapFn& map, const CombineFn& combine,
+                 const ReduceFn& reduce, const SizeFn& size_of = nullptr) {
+    JobMetrics metrics;
+    Stopwatch total_watch;
+    const uint32_t r = options_.num_reduce_tasks;
+
+    // Attempt loop shared by both waves: charges failed attempts and
+    // reports whether the task may run (attempts left). Task bodies only
+    // execute on the committed attempt (atomic output commit).
+    std::vector<size_t> wave_failures(std::max<size_t>(num_splits, r), 0);
+    std::vector<uint8_t> wave_gave_up(std::max<size_t>(num_splits, r), 0);
+    auto admit = [&](Wave wave, size_t task) -> bool {
+      for (uint32_t attempt = 1; attempt <= options_.max_task_attempts;
+           ++attempt) {
+        if (options_.failure_injector != nullptr &&
+            options_.failure_injector(wave, task, attempt)) {
+          ++wave_failures[task];
+          continue;
+        }
+        return true;
+      }
+      wave_gave_up[task] = 1;
+      return false;
+    };
+    auto harvest_wave = [&](size_t count) {
+      for (size_t task = 0; task < count; ++task) {
+        metrics.failed_attempts += wave_failures[task];
+        if (wave_gave_up[task]) metrics.succeeded = false;
+        wave_failures[task] = 0;
+        wave_gave_up[task] = 0;
+      }
+    };
+
+    // --- Map wave: each task fills its own per-reducer buckets. ---
+    // buckets[task][reducer] -> (key, value) records.
+    std::vector<std::vector<std::vector<std::pair<int32_t, V>>>> buckets(
+        num_splits);
+    std::vector<size_t> map_in(num_splits, 0);
+    std::vector<size_t> map_out(num_splits, 0);
+    std::vector<size_t> comb_in(num_splits, 0);
+    std::vector<size_t> comb_out(num_splits, 0);
+
+    Stopwatch map_watch;
+    metrics.map_tasks = runner_.Run(num_splits, [&](size_t task) {
+      if (!admit(Wave::kMap, task)) return;
+      auto& task_buckets = buckets[task];
+      task_buckets.resize(r);
+      size_t emitted = 0;
+      Emit emit = [&](int32_t key, V value) {
+        if (key < 0) return;  // Dropped record (pruned partition).
+        ++emitted;
+        task_buckets[static_cast<uint32_t>(key) % r].emplace_back(
+            key, std::move(value));
+      };
+      map(task, emit);
+      map_out[task] = emitted;
+
+      if (options_.enable_combiner && combine != nullptr) {
+        for (auto& bucket : task_buckets) {
+          std::unordered_map<int32_t, std::vector<V>> grouped;
+          for (auto& [key, value] : bucket) {
+            grouped[key].push_back(std::move(value));
+          }
+          bucket.clear();
+          for (auto& [key, values] : grouped) {
+            comb_in[task] += values.size();
+            std::vector<V> combined = combine(key, std::move(values));
+            comb_out[task] += combined.size();
+            for (auto& value : combined) {
+              bucket.emplace_back(key, std::move(value));
+            }
+          }
+        }
+      }
+    });
+    metrics.map_wall_ms = map_watch.ElapsedMs();
+    harvest_wave(num_splits);
+    for (size_t task = 0; task < num_splits; ++task) {
+      metrics.map_tasks[task].records_in = map_in[task];
+      metrics.map_tasks[task].records_out = map_out[task];
+      metrics.combiner_in += comb_in[task];
+      metrics.combiner_out += comb_out[task];
+    }
+
+    // --- Optional disk spill: write map outputs out, free memory. ---
+    std::vector<std::string> spill_paths;
+    if (options_.spill_to_disk) {
+      if constexpr (std::is_trivially_copyable_v<V>) {
+        spill_paths.resize(num_splits);
+        for (size_t task = 0; task < num_splits; ++task) {
+          spill_paths[task] = SpillTask(task, buckets[task], metrics);
+          buckets[task].clear();
+          buckets[task].shrink_to_fit();
+        }
+      } else {
+        ZSKY_CHECK_MSG(false,
+                       "spill_to_disk requires a trivially copyable value");
+      }
+    }
+
+    // --- Shuffle: regroup records by reducer, count traffic. ---
+    std::vector<std::unordered_map<int32_t, std::vector<V>>> reducer_input(r);
+    auto shuffle_record = [&](uint32_t reducer, int32_t key, V value) {
+      ++metrics.shuffle_records;
+      metrics.shuffle_bytes += options_.record_overhead_bytes +
+                               (size_of ? size_of(value) : sizeof(V));
+      reducer_input[reducer][key].push_back(std::move(value));
+    };
+    if (options_.spill_to_disk) {
+      if constexpr (std::is_trivially_copyable_v<V>) {
+        for (const std::string& path : spill_paths) {
+          UnspillFile(path, shuffle_record);
+        }
+      }
+    } else {
+      for (auto& task_buckets : buckets) {
+        if (task_buckets.empty()) continue;
+        for (uint32_t reducer = 0; reducer < r; ++reducer) {
+          for (auto& [key, value] : task_buckets[reducer]) {
+            shuffle_record(reducer, key, std::move(value));
+          }
+        }
+      }
+    }
+    buckets.clear();
+
+    // --- Reduce wave: one task per reducer; each reducer handles its keys
+    // sequentially (Hadoop semantics). ---
+    std::vector<size_t> reduce_in(r, 0);
+    Stopwatch reduce_watch;
+    metrics.reduce_tasks = runner_.Run(r, [&](size_t reducer) {
+      if (!admit(Wave::kReduce, reducer)) return;
+      for (auto& [key, values] : reducer_input[reducer]) {
+        reduce_in[reducer] += values.size();
+        reduce(key, std::move(values));
+      }
+    });
+    metrics.reduce_wall_ms = reduce_watch.ElapsedMs();
+    harvest_wave(r);
+    for (uint32_t reducer = 0; reducer < r; ++reducer) {
+      metrics.reduce_tasks[reducer].records_in = reduce_in[reducer];
+    }
+
+    metrics.total_wall_ms = total_watch.ElapsedMs();
+    return metrics;
+  }
+
+ private:
+  // Writes one map task's buckets to a spill file:
+  // repeated (u32 reducer, i32 key, V raw). Returns the path.
+  std::string SpillTask(
+      size_t task,
+      const std::vector<std::vector<std::pair<int32_t, V>>>& task_buckets,
+      JobMetrics& metrics) const {
+    const std::string path =
+        options_.spill_dir + "/zsky_spill_" +
+        std::to_string(reinterpret_cast<uintptr_t>(this)) + "_" +
+        std::to_string(task) + ".bin";
+    std::FILE* file = std::fopen(path.c_str(), "wb");
+    ZSKY_CHECK_MSG(file != nullptr, "cannot create spill file");
+    for (uint32_t reducer = 0; reducer < task_buckets.size(); ++reducer) {
+      for (const auto& [key, value] : task_buckets[reducer]) {
+        std::fwrite(&reducer, sizeof(reducer), 1, file);
+        std::fwrite(&key, sizeof(key), 1, file);
+        std::fwrite(&value, sizeof(V), 1, file);
+        metrics.spill_bytes += sizeof(reducer) + sizeof(key) + sizeof(V);
+      }
+    }
+    std::fclose(file);
+    return path;
+  }
+
+  // Streams a spill file back through `fn(reducer, key, value)`, then
+  // deletes it.
+  template <typename Fn>
+  void UnspillFile(const std::string& path, const Fn& fn) const {
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    ZSKY_CHECK_MSG(file != nullptr, "cannot reopen spill file");
+    for (;;) {
+      uint32_t reducer = 0;
+      int32_t key = 0;
+      alignas(V) unsigned char storage[sizeof(V)];
+      if (std::fread(&reducer, sizeof(reducer), 1, file) != 1) break;
+      ZSKY_CHECK(std::fread(&key, sizeof(key), 1, file) == 1);
+      ZSKY_CHECK(std::fread(storage, sizeof(V), 1, file) == 1);
+      V value;
+      std::memcpy(&value, storage, sizeof(V));
+      fn(reducer, key, std::move(value));
+    }
+    std::fclose(file);
+    std::remove(path.c_str());
+  }
+
+  Options options_;
+  TaskRunner runner_;
+};
+
+}  // namespace zsky::mr
+
+#endif  // ZSKY_MAPREDUCE_JOB_H_

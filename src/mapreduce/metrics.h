@@ -1,0 +1,106 @@
+#ifndef ZSKY_MAPREDUCE_METRICS_H_
+#define ZSKY_MAPREDUCE_METRICS_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace zsky::mr {
+
+// Wall-clock + record counters for one map or reduce task.
+struct TaskMetrics {
+  double ms = 0.0;
+  size_t records_in = 0;
+  size_t records_out = 0;
+};
+
+// Aggregate statistics over a task wave; `skew` (max/mean time) is the
+// straggler indicator used by the load-balancing experiments.
+struct WaveStats {
+  double max_ms = 0.0;
+  double min_ms = 0.0;
+  double mean_ms = 0.0;
+  double skew = 0.0;
+};
+
+inline WaveStats Summarize(const std::vector<TaskMetrics>& tasks) {
+  WaveStats stats;
+  if (tasks.empty()) return stats;
+  double total = 0.0;
+  stats.min_ms = tasks.front().ms;
+  for (const TaskMetrics& t : tasks) {
+    stats.max_ms = std::max(stats.max_ms, t.ms);
+    stats.min_ms = std::min(stats.min_ms, t.ms);
+    total += t.ms;
+  }
+  stats.mean_ms = total / static_cast<double>(tasks.size());
+  stats.skew = stats.mean_ms > 0.0 ? stats.max_ms / stats.mean_ms : 0.0;
+  return stats;
+}
+
+// Simulated-cluster makespan: schedules the measured per-task times onto
+// `slots` parallel workers (greedy longest-processing-time) and returns
+// the finishing time of the busiest worker. This is what the job's wall
+// time would be on a cluster with `slots` task slots; measuring it from
+// clean single-thread task timings avoids contention noise on the host.
+inline double MakespanMs(const std::vector<TaskMetrics>& tasks,
+                         uint32_t slots) {
+  if (tasks.empty() || slots == 0) return 0.0;
+  std::vector<double> durations;
+  durations.reserve(tasks.size());
+  for (const TaskMetrics& t : tasks) durations.push_back(t.ms);
+  std::sort(durations.begin(), durations.end(), std::greater<>());
+  std::vector<double> load(std::min<size_t>(slots, durations.size()), 0.0);
+  for (double d : durations) {
+    auto it = std::min_element(load.begin(), load.end());
+    *it += d;
+  }
+  return *std::max_element(load.begin(), load.end());
+}
+
+// Metrics for one MapReduce job execution.
+struct JobMetrics {
+  std::vector<TaskMetrics> map_tasks;
+  std::vector<TaskMetrics> reduce_tasks;
+  // Records/bytes crossing the (simulated) network between map and reduce,
+  // measured after the combiner.
+  size_t shuffle_records = 0;
+  size_t shuffle_bytes = 0;
+  // Combiner reduction: records entering / leaving map-side combiners.
+  size_t combiner_in = 0;
+  size_t combiner_out = 0;
+  double map_wall_ms = 0.0;
+  double reduce_wall_ms = 0.0;
+  double total_wall_ms = 0.0;
+
+  // Bytes written to (and read back from) map-output spill files when the
+  // disk-backed shuffle is enabled.
+  size_t spill_bytes = 0;
+
+  // Fault-tolerance accounting: attempts that failed (and were retried),
+  // and whether every task eventually committed. A job with
+  // `succeeded == false` has tasks that exhausted their attempts; its
+  // output is incomplete.
+  size_t failed_attempts = 0;
+  bool succeeded = true;
+
+  WaveStats map_stats() const { return Summarize(map_tasks); }
+  WaveStats reduce_stats() const { return Summarize(reduce_tasks); }
+
+  // Simulated cluster time of this job with `slots` parallel task slots
+  // and an aggregate shuffle bandwidth of `net_mbps` MiB/s: map-wave
+  // makespan + shuffle transfer + reduce-wave makespan.
+  double SimulatedMs(uint32_t slots, double net_mbps) const {
+    const double shuffle_ms =
+        net_mbps > 0.0
+            ? static_cast<double>(shuffle_bytes) / (net_mbps * 1048.576)
+            : 0.0;
+    return MakespanMs(map_tasks, slots) + shuffle_ms +
+           MakespanMs(reduce_tasks, slots);
+  }
+};
+
+}  // namespace zsky::mr
+
+#endif  // ZSKY_MAPREDUCE_METRICS_H_

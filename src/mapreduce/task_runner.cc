@@ -1,0 +1,43 @@
+#include "mapreduce/task_runner.h"
+
+#include <atomic>
+#include <thread>
+
+#include "common/stopwatch.h"
+
+namespace zsky::mr {
+
+TaskRunner::TaskRunner(uint32_t num_threads) : num_threads_(num_threads) {
+  if (num_threads_ == 0) {
+    num_threads_ = std::max(1u, std::thread::hardware_concurrency());
+  }
+}
+
+std::vector<TaskMetrics> TaskRunner::Run(
+    size_t count, const std::function<void(size_t)>& fn) const {
+  std::vector<TaskMetrics> metrics(count);
+  if (count == 0) return metrics;
+  std::atomic<size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const size_t task = next.fetch_add(1, std::memory_order_relaxed);
+      if (task >= count) return;
+      Stopwatch watch;
+      fn(task);
+      metrics[task].ms = watch.ElapsedMs();
+    }
+  };
+  const uint32_t threads = std::min<uint32_t>(
+      num_threads_, static_cast<uint32_t>(count));
+  if (threads <= 1) {
+    worker();
+    return metrics;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (uint32_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  return metrics;
+}
+
+}  // namespace zsky::mr

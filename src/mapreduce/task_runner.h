@@ -1,0 +1,34 @@
+#ifndef ZSKY_MAPREDUCE_TASK_RUNNER_H_
+#define ZSKY_MAPREDUCE_TASK_RUNNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mapreduce/metrics.h"
+
+namespace zsky::mr {
+
+// Runs a wave of independent tasks on a pool of worker threads, measuring
+// per-task wall time. Models one wave of map (or reduce) slots of a
+// MapReduce cluster: tasks are pulled from a shared queue, so a slow task
+// delays completion exactly like a straggling worker.
+class TaskRunner {
+ public:
+  // `num_threads` == 0 selects the hardware concurrency.
+  explicit TaskRunner(uint32_t num_threads);
+
+  uint32_t num_threads() const { return num_threads_; }
+
+  // Executes fn(0) .. fn(count-1); returns per-task metrics (ms filled in;
+  // record counters left zero for the caller to fill).
+  std::vector<TaskMetrics> Run(size_t count,
+                               const std::function<void(size_t)>& fn) const;
+
+ private:
+  uint32_t num_threads_;
+};
+
+}  // namespace zsky::mr
+
+#endif  // ZSKY_MAPREDUCE_TASK_RUNNER_H_

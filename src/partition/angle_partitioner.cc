@@ -1,0 +1,72 @@
+#include "partition/angle_partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "partition/grid_partitioner.h"
+
+namespace zsky {
+
+std::vector<double> AnglePartitioner::Angles(std::span<const Coord> p) {
+  const size_t d = p.size();
+  std::vector<double> angles(d - 1);
+  // Suffix norms: tail[k] = sqrt(sum_{j>k} p[j]^2).
+  double tail_sq = 0.0;
+  std::vector<double> tail(d);
+  for (size_t k = d; k-- > 0;) {
+    tail[k] = std::sqrt(tail_sq);
+    tail_sq += static_cast<double>(p[k]) * static_cast<double>(p[k]);
+  }
+  for (size_t k = 0; k + 1 < d; ++k) {
+    angles[k] = std::atan2(tail[k], static_cast<double>(p[k]));
+  }
+  return angles;
+}
+
+AnglePartitioner::AnglePartitioner(const PointSet& sample, uint32_t m) {
+  ZSKY_CHECK(!sample.empty());
+  ZSKY_CHECK(sample.dim() >= 2);
+  const uint32_t num_axes = sample.dim() - 1;
+  parts_ = FactorizeParts(m, num_axes);
+  num_cells_ = 1;
+  for (uint32_t p : parts_) num_cells_ *= p;
+
+  // Collect sample angles per axis, then cut at quantiles.
+  std::vector<std::vector<double>> axis_values(num_axes);
+  for (auto& v : axis_values) v.reserve(sample.size());
+  for (size_t i = 0; i < sample.size(); ++i) {
+    const auto angles = Angles(sample[i]);
+    for (uint32_t k = 0; k < num_axes; ++k) axis_values[k].push_back(angles[k]);
+  }
+  boundaries_.resize(num_axes);
+  for (uint32_t k = 0; k < num_axes; ++k) {
+    if (parts_[k] == 1) continue;
+    auto& column = axis_values[k];
+    std::sort(column.begin(), column.end());
+    auto& cuts = boundaries_[k];
+    cuts.reserve(parts_[k] - 1);
+    for (uint32_t c = 1; c < parts_[k]; ++c) {
+      const size_t pos = c * column.size() / parts_[k];
+      cuts.push_back(column[std::min(pos, column.size() - 1)]);
+    }
+  }
+}
+
+int32_t AnglePartitioner::GroupOf(std::span<const Coord> p) const {
+  const auto angles = Angles(p);
+  uint32_t cell = 0;
+  for (uint32_t k = 0; k < parts_.size(); ++k) {
+    uint32_t slice = 0;
+    if (parts_[k] > 1) {
+      const auto& cuts = boundaries_[k];
+      slice = static_cast<uint32_t>(
+          std::upper_bound(cuts.begin(), cuts.end(), angles[k]) -
+          cuts.begin());
+    }
+    cell = cell * parts_[k] + slice;
+  }
+  return static_cast<int32_t>(cell);
+}
+
+}  // namespace zsky

@@ -1,0 +1,41 @@
+#ifndef ZSKY_PARTITION_ANGLE_PARTITIONER_H_
+#define ZSKY_PARTITION_ANGLE_PARTITIONER_H_
+
+#include <vector>
+
+#include "common/point_set.h"
+#include "partition/partitioner.h"
+
+namespace zsky {
+
+// Angle-based partitioning (Vlachou et al. [8]): points are transformed to
+// hyperspherical coordinates and partitioned on the d-1 angular axes,
+// ignoring the radius. Skyline points concentrate near the origin, so
+// slicing by angle distributes them across workers.
+//
+// This is the paper's "dynamic" variant: angular cut positions are learned
+// from sample quantiles so that every partition receives an (approximately)
+// equal share of the input.
+class AnglePartitioner : public Partitioner {
+ public:
+  // Learns angular boundaries from `sample`; `m` is factorized into slice
+  // counts over the d-1 angle axes.
+  AnglePartitioner(const PointSet& sample, uint32_t m);
+
+  uint32_t num_groups() const override { return num_cells_; }
+  int32_t GroupOf(std::span<const Coord> p) const override;
+  std::string_view name() const override { return "angle"; }
+
+  // Hyperspherical angles of `p` (d-1 values in [0, pi/2]). Exposed for
+  // tests. angle_k = atan2(norm(p[k+1..d]), p[k]).
+  static std::vector<double> Angles(std::span<const Coord> p);
+
+ private:
+  uint32_t num_cells_;
+  std::vector<uint32_t> parts_;  // Slices per angle axis (d-1 entries).
+  std::vector<std::vector<double>> boundaries_;
+};
+
+}  // namespace zsky
+
+#endif  // ZSKY_PARTITION_ANGLE_PARTITIONER_H_

@@ -1,0 +1,72 @@
+#include "partition/dominance_volume.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace zsky {
+
+namespace {
+
+double BoxVolume(const RZRegion& r, double scale) {
+  double v = 1.0;
+  for (uint32_t k = 0; k < r.dim(); ++k) {
+    v *= (static_cast<double>(r.max_corner()[k]) + 1.0 -
+          static_cast<double>(r.min_corner()[k])) /
+         scale;
+  }
+  return v;
+}
+
+double CornerVolume(const RZRegion& a, const RZRegion& b, double scale) {
+  double v = 1.0;
+  for (uint32_t k = 0; k < a.dim(); ++k) {
+    double x[4] = {static_cast<double>(a.min_corner()[k]),
+                   static_cast<double>(a.max_corner()[k]),
+                   static_cast<double>(b.min_corner()[k]),
+                   static_cast<double>(b.max_corner()[k])};
+    std::sort(x, x + 4);
+    v *= (x[3] - x[2]) / scale;
+    if (v == 0.0) return 0.0;
+  }
+  return v;
+}
+
+}  // namespace
+
+double DominanceVolume(const RZRegion& a, const RZRegion& b, uint32_t bits) {
+  ZSKY_CHECK(a.dim() == b.dim());
+  const double scale = static_cast<double>(uint64_t{1} << bits);
+  if (a.DominatesRegion(b)) return BoxVolume(b, scale);
+  if (b.DominatesRegion(a)) return BoxVolume(a, scale);
+  if (a.IncomparableWith(b)) return 0.0;
+  return CornerVolume(a, b, scale);
+}
+
+std::vector<double> DominanceMatrix(const std::vector<RZRegion>& regions,
+                                    uint32_t bits) {
+  const size_t n = regions.size();
+  std::vector<double> dm(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double v = DominanceVolume(regions[i], regions[j], bits);
+      dm[i * n + j] = v;
+      dm[j * n + i] = v;
+    }
+  }
+  return dm;
+}
+
+std::vector<double> DominancePower(const std::vector<double>& matrix,
+                                   size_t n) {
+  ZSKY_CHECK(matrix.size() == n * n);
+  std::vector<double> power(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (size_t j = 0; j < n; ++j) s += matrix[i * n + j];
+    power[i] = s;
+  }
+  return power;
+}
+
+}  // namespace zsky

@@ -1,0 +1,38 @@
+#ifndef ZSKY_PARTITION_DOMINANCE_VOLUME_H_
+#define ZSKY_PARTITION_DOMINANCE_VOLUME_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "zorder/rz_region.h"
+
+namespace zsky {
+
+// Dominance volume (Definition 5) between the RZ-regions of two
+// partitions, in normalized [0,1]^d coordinates (`bits` is the quantizer
+// resolution). The larger the volume, the more points of one partition are
+// expected to be dominated by points of the other, so grouping the pair
+// prunes more intermediate candidates.
+//
+// Cases (Lemma 1):
+//  - one region fully dominates the other: the dominated region's whole
+//    box volume (the paper's S_c term);
+//  - partial dominance: Definition 5's corner product
+//    prod_k (largest(X_k) - second_largest(X_k)) over
+//    X_k = {min_i[k], max_i[k], min_j[k], max_j[k]};
+//  - incomparable: 0.
+// The measure is symmetric and DominanceVolume(R, R) == 0 by convention.
+double DominanceVolume(const RZRegion& a, const RZRegion& b, uint32_t bits);
+
+// Dominance matrix (Definition 6): DM[i][j] = DominanceVolume(R_i, R_j).
+// Row-major `n x n` with zero diagonal.
+std::vector<double> DominanceMatrix(const std::vector<RZRegion>& regions,
+                                    uint32_t bits);
+
+// Dominance power (Definition 7): Gamma(i) = sum_j DM[i][j].
+std::vector<double> DominancePower(const std::vector<double>& matrix,
+                                   size_t n);
+
+}  // namespace zsky
+
+#endif  // ZSKY_PARTITION_DOMINANCE_VOLUME_H_

@@ -1,0 +1,88 @@
+#include "partition/grid_partitioner.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace zsky {
+
+std::vector<uint32_t> FactorizeParts(uint32_t m, uint32_t dim) {
+  ZSKY_CHECK(m >= 1 && dim >= 1);
+  std::vector<uint32_t> parts(dim, 1);
+  // Peel prime factors of m smallest-first and multiply them onto
+  // dimensions round-robin, so slice counts stay as even as possible.
+  std::vector<uint32_t> factors;
+  uint32_t rest = m;
+  for (uint32_t f = 2; f * f <= rest; ++f) {
+    while (rest % f == 0) {
+      factors.push_back(f);
+      rest /= f;
+    }
+  }
+  if (rest > 1) factors.push_back(rest);
+  uint32_t next_dim = 0;
+  for (uint32_t f : factors) {
+    parts[next_dim] *= f;
+    next_dim = (next_dim + 1) % dim;
+  }
+  return parts;
+}
+
+GridPartitioner::GridPartitioner(const PointSet& sample, uint32_t m)
+    : parts_(FactorizeParts(m, sample.dim())) {
+  ZSKY_CHECK(!sample.empty());
+  const uint32_t dim = sample.dim();
+  num_cells_ = 1;
+  for (uint32_t p : parts_) num_cells_ *= p;
+
+  boundaries_.resize(dim);
+  std::vector<Coord> column(sample.size());
+  for (uint32_t k = 0; k < dim; ++k) {
+    if (parts_[k] == 1) continue;
+    for (size_t i = 0; i < sample.size(); ++i) column[i] = sample[i][k];
+    std::sort(column.begin(), column.end());
+    auto& cuts = boundaries_[k];
+    cuts.reserve(parts_[k] - 1);
+    for (uint32_t c = 1; c < parts_[k]; ++c) {
+      const size_t pos = c * sample.size() / parts_[k];
+      cuts.push_back(column[std::min(pos, sample.size() - 1)]);
+    }
+  }
+}
+
+RZRegion GridPartitioner::CellRegion(uint32_t cell, Coord max_value) const {
+  const size_t dim = parts_.size();
+  std::vector<uint32_t> slices(dim);
+  uint32_t rest = cell;
+  for (size_t k = dim; k-- > 0;) {
+    slices[k] = rest % parts_[k];
+    rest /= parts_[k];
+  }
+  std::vector<Coord> lo(dim), hi(dim);
+  for (size_t k = 0; k < dim; ++k) {
+    const auto& cuts = boundaries_[k];
+    const uint32_t s = slices[k];
+    // GroupOf computes the slice as the number of cuts <= p[k], so slice s
+    // covers [cuts[s-1], cuts[s] - 1].
+    lo[k] = (s == 0) ? 0 : cuts[s - 1];
+    hi[k] = (s + 1 < parts_[k]) ? (cuts[s] == 0 ? 0 : cuts[s] - 1)
+                                : max_value;
+  }
+  return RZRegion(std::move(lo), std::move(hi));
+}
+
+int32_t GridPartitioner::GroupOf(std::span<const Coord> p) const {
+  uint32_t cell = 0;
+  for (uint32_t k = 0; k < parts_.size(); ++k) {
+    uint32_t slice = 0;
+    if (parts_[k] > 1) {
+      const auto& cuts = boundaries_[k];
+      slice = static_cast<uint32_t>(
+          std::upper_bound(cuts.begin(), cuts.end(), p[k]) - cuts.begin());
+    }
+    cell = cell * parts_[k] + slice;
+  }
+  return static_cast<int32_t>(cell);
+}
+
+}  // namespace zsky

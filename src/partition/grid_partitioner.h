@@ -1,0 +1,50 @@
+#ifndef ZSKY_PARTITION_GRID_PARTITIONER_H_
+#define ZSKY_PARTITION_GRID_PARTITIONER_H_
+
+#include <vector>
+
+#include "common/point_set.h"
+#include "partition/partitioner.h"
+#include "zorder/rz_region.h"
+
+namespace zsky {
+
+// Grid-based partitioning (papers [9], [11]): each dimension d_k is split
+// into `parts[k]` slices at sample quantiles (the projection-based
+// normalization of [7]: per-dimension marginals are balanced), and a point
+// maps to the linearized cell index.
+//
+// Marginal balance does not imply joint balance — the very failure mode
+// the paper exploits at high dimensionality.
+class GridPartitioner : public Partitioner {
+ public:
+  // Learns boundaries from `sample`; produces (approximately) `m` cells by
+  // factorizing m into per-dimension slice counts (round-robin over the
+  // first dimensions).
+  GridPartitioner(const PointSet& sample, uint32_t m);
+
+  uint32_t num_groups() const override { return num_cells_; }
+  int32_t GroupOf(std::span<const Coord> p) const override;
+  std::string_view name() const override { return "grid"; }
+
+  const std::vector<uint32_t>& parts_per_dim() const { return parts_; }
+
+  // Coordinate box of a cell, for cell-level dominance tests (MR-GPMRS's
+  // bitstring pruning). `max_value` is the coordinate domain upper bound.
+  RZRegion CellRegion(uint32_t cell, Coord max_value) const;
+
+ private:
+  uint32_t num_cells_;
+  std::vector<uint32_t> parts_;  // Slices per dimension (1 = unsplit).
+  // boundaries_[k] has parts_[k]-1 ascending cut values for dimension k.
+  std::vector<std::vector<Coord>> boundaries_;
+};
+
+// Factorizes `m` into `dim` per-dimension slice counts whose product is
+// >= m and as close to m as practical (each factor applied round-robin).
+// Exposed for tests.
+std::vector<uint32_t> FactorizeParts(uint32_t m, uint32_t dim);
+
+}  // namespace zsky
+
+#endif  // ZSKY_PARTITION_GRID_PARTITIONER_H_

@@ -1,0 +1,39 @@
+#ifndef ZSKY_PARTITION_PARTITIONER_H_
+#define ZSKY_PARTITION_PARTITIONER_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "common/point_set.h"
+
+namespace zsky {
+
+// Group id of points dropped by partition pruning (their whole partition
+// is dominated and cannot contain skyline points).
+inline constexpr int32_t kDroppedGroup = -1;
+
+// Routes points to worker groups. A "group" is the unit of reduce-side
+// work: each group's points are processed by one worker in MR job 1.
+//
+// For Grid/Angle partitioning, groups coincide with partitions. For
+// Z-order partitioning, partitions are first-class (contiguous Z-ranges)
+// and a grouping stage maps partitions onto groups (Naive-Z / ZHG / ZDG).
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  // Number of groups; valid group ids are [0, num_groups).
+  virtual uint32_t num_groups() const = 0;
+
+  // Group of a point, or kDroppedGroup if the point provably cannot be a
+  // skyline point (partition pruning).
+  virtual int32_t GroupOf(std::span<const Coord> p) const = 0;
+
+  // Human-readable strategy name ("grid", "angle", "naive-z", ...).
+  virtual std::string_view name() const = 0;
+};
+
+}  // namespace zsky
+
+#endif  // ZSKY_PARTITION_PARTITIONER_H_

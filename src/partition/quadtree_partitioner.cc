@@ -1,0 +1,100 @@
+#include "partition/quadtree_partitioner.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/macros.h"
+
+namespace zsky {
+
+QuadTreePartitioner::QuadTreePartitioner(const PointSet& sample, uint32_t m) {
+  ZSKY_CHECK(!sample.empty());
+  ZSKY_CHECK(m >= 1);
+  const uint32_t dim = sample.dim();
+
+  // Leaf work-list entry: node index + the sample rows it covers + the
+  // next dimension to split on.
+  struct Pending {
+    int32_t node;
+    std::vector<uint32_t> rows;
+    uint32_t next_dim;
+  };
+  auto heavier = [](const Pending& a, const Pending& b) {
+    return a.rows.size() < b.rows.size();
+  };
+  std::priority_queue<Pending, std::vector<Pending>, decltype(heavier)> queue(
+      heavier);
+
+  nodes_.push_back(Node{});
+  std::vector<uint32_t> all(sample.size());
+  std::iota(all.begin(), all.end(), 0u);
+  queue.push({0, std::move(all), 0});
+  size_t leaves = 1;
+
+  while (leaves < m && !queue.empty()) {
+    Pending top = std::move(const_cast<Pending&>(queue.top()));
+    queue.pop();
+    if (top.rows.size() < 2) {
+      // Unsplittable: keep as leaf (re-queue would loop).
+      Node& node = nodes_[top.node];
+      node.leaf_id = 0;  // Assigned in the numbering pass below.
+      continue;
+    }
+    // Median split on next_dim; cycle dims until one actually separates
+    // the rows (all-equal dimensions are skipped).
+    bool split_done = false;
+    for (uint32_t attempt = 0; attempt < dim && !split_done; ++attempt) {
+      const uint32_t d = (top.next_dim + attempt) % dim;
+      std::vector<Coord> values(top.rows.size());
+      for (size_t i = 0; i < top.rows.size(); ++i) {
+        values[i] = sample[top.rows[i]][d];
+      }
+      std::nth_element(values.begin(), values.begin() + values.size() / 2,
+                       values.end());
+      const Coord median = values[values.size() / 2];
+      std::vector<uint32_t> left;
+      std::vector<uint32_t> right;
+      for (uint32_t row : top.rows) {
+        (sample[row][d] <= median ? left : right).push_back(row);
+      }
+      // Degenerate medians (heavy duplicates) can leave one side empty.
+      if (left.empty() || right.empty()) continue;
+
+      const auto left_index = static_cast<int32_t>(nodes_.size());
+      nodes_.push_back(Node{});
+      const auto right_index = static_cast<int32_t>(nodes_.size());
+      nodes_.push_back(Node{});
+      Node& node = nodes_[top.node];
+      node.split_dim = d;
+      node.split_value = median;
+      node.left = left_index;
+      node.right = right_index;
+      queue.push({left_index, std::move(left), (d + 1) % dim});
+      queue.push({right_index, std::move(right), (d + 1) % dim});
+      ++leaves;
+      split_done = true;
+    }
+    if (!split_done) {
+      nodes_[top.node].leaf_id = 0;  // All dims constant: final leaf.
+    }
+  }
+
+  // Number the leaves (everything still pending plus marked nodes).
+  int32_t next_leaf = 0;
+  for (auto& node : nodes_) {
+    if (node.left < 0) node.leaf_id = next_leaf++;
+  }
+  num_leaves_ = static_cast<uint32_t>(next_leaf);
+}
+
+int32_t QuadTreePartitioner::GroupOf(std::span<const Coord> p) const {
+  int32_t index = 0;
+  for (;;) {
+    const Node& node = nodes_[static_cast<size_t>(index)];
+    if (node.left < 0) return node.leaf_id;
+    index = (p[node.split_dim] <= node.split_value) ? node.left : node.right;
+  }
+}
+
+}  // namespace zsky

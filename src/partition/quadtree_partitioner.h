@@ -1,0 +1,50 @@
+#ifndef ZSKY_PARTITION_QUADTREE_PARTITIONER_H_
+#define ZSKY_PARTITION_QUADTREE_PARTITIONER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/point_set.h"
+#include "partition/partitioner.h"
+
+namespace zsky {
+
+// Quad-tree-based partitioning (the paper's cited baseline [20]):
+// recursively split the most populated region at its sample median until
+// `m` leaves exist. To stay usable beyond a handful of dimensions the
+// splits are binary and cycle through the dimensions (a full quad split
+// creates 2^d children, which is unusable at d > 5 — the same curse the
+// paper attributes to this scheme; the binary variant is the standard
+// scalable adaptation).
+//
+// Adaptive (unlike GridPartitioner's fixed per-dimension slices), but
+// still axis-aligned — so joint skew across dimensions survives, which is
+// what Section 3.3 criticizes.
+class QuadTreePartitioner : public Partitioner {
+ public:
+  // Learns the tree from `sample`, producing exactly `m` leaves
+  // (or sample.size() if smaller).
+  QuadTreePartitioner(const PointSet& sample, uint32_t m);
+
+  uint32_t num_groups() const override { return num_leaves_; }
+  int32_t GroupOf(std::span<const Coord> p) const override;
+  std::string_view name() const override { return "quadtree"; }
+
+ private:
+  struct Node {
+    // Interior: split dimension + value; points with p[dim] <= value go
+    // left. Leaves have leaf_id >= 0.
+    uint32_t split_dim = 0;
+    Coord split_value = 0;
+    int32_t left = -1;    // Node indices; -1 for none.
+    int32_t right = -1;
+    int32_t leaf_id = -1;
+  };
+
+  uint32_t num_leaves_ = 0;
+  std::vector<Node> nodes_;  // nodes_[0] is the root.
+};
+
+}  // namespace zsky
+
+#endif  // ZSKY_PARTITION_QUADTREE_PARTITIONER_H_

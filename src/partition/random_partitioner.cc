@@ -1,0 +1,24 @@
+#include "partition/random_partitioner.h"
+
+#include "common/macros.h"
+
+namespace zsky {
+
+RandomPartitioner::RandomPartitioner(uint32_t m, uint64_t seed)
+    : m_(m), seed_(seed) {
+  ZSKY_CHECK(m >= 1);
+}
+
+int32_t RandomPartitioner::GroupOf(std::span<const Coord> p) const {
+  // Deterministic coordinate hash (FNV-1a over the coordinate bytes mixed
+  // with the seed) so routing is stable across calls and runs.
+  uint64_t h = 1469598103934665603ULL ^ seed_;
+  for (Coord c : p) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  h ^= h >> 33;
+  return static_cast<int32_t>(h % m_);
+}
+
+}  // namespace zsky

@@ -1,0 +1,31 @@
+#ifndef ZSKY_PARTITION_RANDOM_PARTITIONER_H_
+#define ZSKY_PARTITION_RANDOM_PARTITIONER_H_
+
+#include "common/point_set.h"
+#include "partition/partitioner.h"
+
+namespace zsky {
+
+// Random (hash) partitioning — the paper's related-work baseline [18]:
+// every chunk gets a uniform share of the data with the *same*
+// distribution as the whole input. Perfectly balanced input shares, but
+// no locality whatsoever: every partition's local skyline is a fresh
+// sample of the global near-skyline region, so candidate volume is the
+// worst of all schemes (each of the M groups re-discovers the same
+// frontier).
+class RandomPartitioner : public Partitioner {
+ public:
+  RandomPartitioner(uint32_t m, uint64_t seed);
+
+  uint32_t num_groups() const override { return m_; }
+  int32_t GroupOf(std::span<const Coord> p) const override;
+  std::string_view name() const override { return "random"; }
+
+ private:
+  uint32_t m_;
+  uint64_t seed_;
+};
+
+}  // namespace zsky
+
+#endif  // ZSKY_PARTITION_RANDOM_PARTITIONER_H_

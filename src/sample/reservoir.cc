@@ -1,0 +1,27 @@
+#include "sample/reservoir.h"
+
+#include <numeric>
+
+namespace zsky {
+
+std::vector<uint32_t> ReservoirSampleIndices(size_t n, size_t k, Rng& rng) {
+  if (k >= n) {
+    std::vector<uint32_t> all(n);
+    std::iota(all.begin(), all.end(), 0u);
+    return all;
+  }
+  std::vector<uint32_t> reservoir(k);
+  std::iota(reservoir.begin(), reservoir.end(), 0u);
+  for (size_t i = k; i < n; ++i) {
+    const uint64_t j = rng.NextBounded(i + 1);
+    if (j < k) reservoir[j] = static_cast<uint32_t>(i);
+  }
+  return reservoir;
+}
+
+PointSet ReservoirSample(const PointSet& points, size_t k, Rng& rng) {
+  const auto rows = ReservoirSampleIndices(points.size(), k, rng);
+  return PointSet::Gather(points, rows);
+}
+
+}  // namespace zsky

@@ -1,0 +1,23 @@
+#ifndef ZSKY_SAMPLE_RESERVOIR_H_
+#define ZSKY_SAMPLE_RESERVOIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/point_set.h"
+#include "common/rng.h"
+
+namespace zsky {
+
+// Reservoir sampling (Algorithm R): draws a uniform sample of `k` row
+// indices from a stream of `n` rows in one pass. This is the paper's
+// preprocessing sampler (Section 5.1).
+std::vector<uint32_t> ReservoirSampleIndices(size_t n, size_t k, Rng& rng);
+
+// Convenience: gathers a uniform sample of `k` points from `points`.
+// If k >= points.size(), returns a copy of all points.
+PointSet ReservoirSample(const PointSet& points, size_t k, Rng& rng);
+
+}  // namespace zsky
+
+#endif  // ZSKY_SAMPLE_RESERVOIR_H_

@@ -1,0 +1,83 @@
+#include "zorder/rz_region.h"
+
+#include <algorithm>
+
+#include "common/dominance.h"
+
+namespace zsky {
+
+RZRegion RZRegion::FromAddresses(const ZOrderCodec& codec,
+                                 const ZAddress& alpha, const ZAddress& beta) {
+  ZSKY_DCHECK(alpha <= beta);
+  const size_t prefix = alpha.CommonPrefixLength(beta, codec.total_bits());
+  ZAddress lo(codec.num_words());
+  ZAddress hi(codec.num_words());
+  for (size_t t = 0; t < prefix; ++t) {
+    const bool bit = alpha.GetBit(t);
+    lo.SetBit(t, bit);
+    hi.SetBit(t, bit);
+  }
+  for (size_t t = prefix; t < codec.total_bits(); ++t) hi.SetBit(t, true);
+  return RZRegion(codec.Decode(lo), codec.Decode(hi));
+}
+
+RZRegion RZRegion::FromAddress(const ZOrderCodec& codec, const ZAddress& a) {
+  auto p = codec.Decode(a);
+  return RZRegion(p, p);
+}
+
+RegionRelation RZRegion::Classify(const RZRegion& other) const {
+  if (DominatesRegion(other)) return RegionRelation::kDominates;
+  if (IncomparableWith(other)) return RegionRelation::kIncomparable;
+  return RegionRelation::kPartial;
+}
+
+bool RZRegion::DominatesRegion(const RZRegion& other) const {
+  return Dominates(max_, other.min_);
+}
+
+bool RZRegion::IncomparableWith(const RZRegion& other) const {
+  return !DominatesOrEqual(std::span<const Coord>(min_),
+                           std::span<const Coord>(other.max_)) &&
+         !DominatesOrEqual(std::span<const Coord>(other.min_),
+                           std::span<const Coord>(max_));
+}
+
+bool RZRegion::DominatedByPoint(std::span<const Coord> p) const {
+  return Dominates(p, min_);
+}
+
+bool RZRegion::MayDominatePoint(std::span<const Coord> p) const {
+  // A point q in the region satisfies q >= min_ componentwise; q can only
+  // dominate p if q <= p everywhere, which requires min_ <= p everywhere.
+  // Additionally if min_ == p exactly the region may still hold a q != p
+  // with q <= p only when q == min_ == p, which does not dominate; but the
+  // cheap bound test suffices for pruning (false => definitely cannot).
+  return DominatesOrEqual(std::span<const Coord>(min_), p);
+}
+
+bool RZRegion::ContainsPoint(std::span<const Coord> p) const {
+  ZSKY_DCHECK(p.size() == min_.size());
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (p[i] < min_[i] || p[i] > max_[i]) return false;
+  }
+  return true;
+}
+
+void RZRegion::ExtendToCover(const RZRegion& other) {
+  ZSKY_DCHECK(other.min_.size() == min_.size());
+  for (size_t i = 0; i < min_.size(); ++i) {
+    min_[i] = std::min(min_[i], other.min_[i]);
+    max_[i] = std::max(max_[i], other.max_[i]);
+  }
+}
+
+void RZRegion::ExtendToCover(std::span<const Coord> p) {
+  ZSKY_DCHECK(p.size() == min_.size());
+  for (size_t i = 0; i < min_.size(); ++i) {
+    min_[i] = std::min(min_[i], p[i]);
+    max_[i] = std::max(max_[i], p[i]);
+  }
+}
+
+}  // namespace zsky

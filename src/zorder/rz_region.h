@@ -1,0 +1,81 @@
+#ifndef ZSKY_ZORDER_RZ_REGION_H_
+#define ZSKY_ZORDER_RZ_REGION_H_
+
+#include <span>
+#include <vector>
+
+#include "common/point_set.h"
+#include "zorder/zaddress.h"
+#include "zorder/zorder_codec.h"
+
+namespace zsky {
+
+// The three possible dominance relationships between two RZ-regions
+// (Lemma 1 of the paper).
+enum class RegionRelation {
+  kDominates,      // maxpt(Ri) dominates minpt(Rj): Ri dominates all of Rj.
+  kIncomparable,   // No point of Ri can dominate any point of Rj nor
+                   // vice versa.
+  kPartial,        // Ri may dominate part of Rj.
+};
+
+// An RZ-region (Definition 2): the minimal Z-region covering a contiguous
+// run of Z-addresses [alpha, beta]. It is encoded by the common prefix of
+// alpha and beta; minpt/maxpt are the decoded coordinates of
+// prefix+000... and prefix+111..., which bound every point whose address
+// falls in [alpha, beta].
+class RZRegion {
+ public:
+  // Builds the RZ-region covering the inclusive address interval
+  // [alpha, beta]; requires alpha <= beta.
+  static RZRegion FromAddresses(const ZOrderCodec& codec,
+                                const ZAddress& alpha, const ZAddress& beta);
+
+  // Builds the degenerate region of a single address.
+  static RZRegion FromAddress(const ZOrderCodec& codec, const ZAddress& a);
+
+  // Builds the region from explicit corner coordinates (used by trees that
+  // already track coordinate bounds).
+  RZRegion(std::vector<Coord> min_corner, std::vector<Coord> max_corner)
+      : min_(std::move(min_corner)), max_(std::move(max_corner)) {
+    ZSKY_DCHECK(min_.size() == max_.size());
+  }
+
+  std::span<const Coord> min_corner() const { return min_; }
+  std::span<const Coord> max_corner() const { return max_; }
+  uint32_t dim() const { return static_cast<uint32_t>(min_.size()); }
+
+  // Lemma 1 classification of `*this` against `other`.
+  RegionRelation Classify(const RZRegion& other) const;
+
+  // True iff every possible point of `other` is dominated by every possible
+  // point of `*this` (Lemma 1 case 1).
+  bool DominatesRegion(const RZRegion& other) const;
+
+  // True iff no point of either region can dominate a point of the other.
+  bool IncomparableWith(const RZRegion& other) const;
+
+  // True iff point `p` dominates every possible point in this region.
+  bool DominatedByPoint(std::span<const Coord> p) const;
+
+  // True iff some point in this region *could* dominate `p` (pruning test:
+  // when false, the region cannot contain a dominator of `p`).
+  bool MayDominatePoint(std::span<const Coord> p) const;
+
+  // True iff `p` could lie inside the region's bounding box.
+  bool ContainsPoint(std::span<const Coord> p) const;
+
+  // Grows the region to cover `other` (coordinate-box union).
+  void ExtendToCover(const RZRegion& other);
+
+  // Grows the region to cover point `p`.
+  void ExtendToCover(std::span<const Coord> p);
+
+ private:
+  std::vector<Coord> min_;
+  std::vector<Coord> max_;
+};
+
+}  // namespace zsky
+
+#endif  // ZSKY_ZORDER_RZ_REGION_H_

@@ -1,0 +1,37 @@
+#include "zorder/zaddress.h"
+
+#include <bit>
+
+namespace zsky {
+
+ZAddress ZAddress::Predecessor() const {
+  ZSKY_CHECK(!IsZero());
+  ZAddress out = *this;
+  auto words = out.mutable_words();
+  for (size_t i = words.size(); i-- > 0;) {
+    if (words[i] != 0) {
+      words[i] -= 1;
+      break;
+    }
+    words[i] = ~uint64_t{0};
+  }
+  return out;
+}
+
+size_t ZAddress::CommonPrefixLength(const ZAddress& other,
+                                    size_t total_bits) const {
+  ZSKY_DCHECK(words_.size() == other.words_.size());
+  size_t prefix = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    const uint64_t diff = words_[i] ^ other.words_[i];
+    if (diff == 0) {
+      prefix += 64;
+      continue;
+    }
+    prefix += static_cast<size_t>(std::countl_zero(diff));
+    break;
+  }
+  return prefix < total_bits ? prefix : total_bits;
+}
+
+}  // namespace zsky

@@ -1,0 +1,86 @@
+#ifndef ZSKY_ZORDER_ZADDRESS_H_
+#define ZSKY_ZORDER_ZADDRESS_H_
+
+#include <compare>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace zsky {
+
+// A Z-address: the bit-interleaved (Morton) key of a point, stored as a
+// fixed number of 64-bit words in big-endian word order so that comparing
+// word vectors lexicographically compares addresses numerically.
+//
+// Bit t of the address (t = 0 is the globally most significant bit) lives
+// in bit (63 - t % 64) of word t / 64. Trailing pad bits are zero.
+class ZAddress {
+ public:
+  ZAddress() = default;
+  explicit ZAddress(size_t num_words) : words_(num_words, 0) {}
+  explicit ZAddress(std::vector<uint64_t> words) : words_(std::move(words)) {}
+
+  size_t num_words() const { return words_.size(); }
+  std::span<const uint64_t> words() const { return words_; }
+  std::span<uint64_t> mutable_words() { return words_; }
+
+  // Returns bit t (0 = most significant).
+  bool GetBit(size_t t) const {
+    ZSKY_DCHECK(t / 64 < words_.size());
+    return (words_[t / 64] >> (63 - (t % 64))) & 1u;
+  }
+
+  void SetBit(size_t t, bool value) {
+    ZSKY_DCHECK(t / 64 < words_.size());
+    const uint64_t mask = uint64_t{1} << (63 - (t % 64));
+    if (value) {
+      words_[t / 64] |= mask;
+    } else {
+      words_[t / 64] &= ~mask;
+    }
+  }
+
+  void Fill(bool value) {
+    for (auto& w : words_) w = value ? ~uint64_t{0} : 0;
+  }
+
+  // Length (in bits) of the longest common prefix with `other`; both
+  // addresses must have the same word count. `total_bits` caps the result
+  // (pad bits are zero on both sides, so identical addresses return
+  // `total_bits`).
+  size_t CommonPrefixLength(const ZAddress& other, size_t total_bits) const;
+
+  // Treats the word vector as one big unsigned integer and subtracts 1.
+  // Requires the address to be non-zero. Used to turn exclusive partition
+  // boundaries into inclusive RZ-region bounds.
+  ZAddress Predecessor() const;
+
+  bool IsZero() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  friend std::strong_ordering operator<=>(const ZAddress& a,
+                                          const ZAddress& b) {
+    ZSKY_DCHECK(a.words_.size() == b.words_.size());
+    for (size_t i = 0; i < a.words_.size(); ++i) {
+      if (a.words_[i] != b.words_[i])
+        return a.words_[i] <=> b.words_[i];
+    }
+    return std::strong_ordering::equal;
+  }
+  friend bool operator==(const ZAddress& a, const ZAddress& b) {
+    return a.words_ == b.words_;
+  }
+
+ private:
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace zsky
+
+#endif  // ZSKY_ZORDER_ZADDRESS_H_

@@ -1,0 +1,71 @@
+#include "zorder/zorder_codec.h"
+
+namespace zsky {
+
+ZOrderCodec::ZOrderCodec(uint32_t dim, uint32_t bits)
+    : dim_(dim),
+      bits_(bits),
+      total_bits_(static_cast<size_t>(dim) * bits),
+      num_words_((total_bits_ + 63) / 64),
+      max_coord_(bits == 32 ? 0xFFFFFFFFu : ((Coord{1} << bits) - 1)) {
+  ZSKY_CHECK(dim >= 1);
+  ZSKY_CHECK(bits >= 1 && bits <= 32);
+}
+
+ZAddress ZOrderCodec::Encode(std::span<const Coord> point) const {
+  ZAddress address(num_words_);
+  EncodeTo(point, address.mutable_words());
+  return address;
+}
+
+void ZOrderCodec::EncodeTo(std::span<const Coord> point,
+                           std::span<uint64_t> words) const {
+  ZSKY_DCHECK(point.size() == dim_);
+  ZSKY_DCHECK(words.size() == num_words_);
+  for (auto& w : words) w = 0;
+  size_t t = 0;  // Global bit cursor (0 = MSB).
+  for (uint32_t level = 0; level < bits_; ++level) {
+    const uint32_t coord_bit = bits_ - 1 - level;
+    for (uint32_t k = 0; k < dim_; ++k, ++t) {
+      ZSKY_DCHECK(point[k] <= max_coord_);
+      if ((point[k] >> coord_bit) & 1u) {
+        words[t / 64] |= uint64_t{1} << (63 - (t % 64));
+      }
+    }
+  }
+}
+
+void ZOrderCodec::Decode(const ZAddress& address, std::span<Coord> out) const {
+  ZSKY_DCHECK(out.size() == dim_);
+  ZSKY_DCHECK(address.num_words() == num_words_);
+  for (uint32_t k = 0; k < dim_; ++k) out[k] = 0;
+  size_t t = 0;
+  for (uint32_t level = 0; level < bits_; ++level) {
+    const uint32_t coord_bit = bits_ - 1 - level;
+    for (uint32_t k = 0; k < dim_; ++k, ++t) {
+      if (address.GetBit(t)) out[k] |= Coord{1} << coord_bit;
+    }
+  }
+}
+
+std::vector<Coord> ZOrderCodec::Decode(const ZAddress& address) const {
+  std::vector<Coord> out(dim_);
+  Decode(address, out);
+  return out;
+}
+
+std::vector<ZAddress> ZOrderCodec::EncodeAll(const PointSet& points) const {
+  ZSKY_CHECK(points.dim() == dim_);
+  std::vector<ZAddress> out;
+  out.reserve(points.size());
+  for (size_t i = 0; i < points.size(); ++i) out.push_back(Encode(points[i]));
+  return out;
+}
+
+ZAddress ZOrderCodec::MaxAddress() const {
+  ZAddress address(num_words_);
+  for (size_t t = 0; t < total_bits_; ++t) address.SetBit(t, true);
+  return address;
+}
+
+}  // namespace zsky

@@ -1,0 +1,62 @@
+#ifndef ZSKY_ZORDER_ZORDER_CODEC_H_
+#define ZSKY_ZORDER_ZORDER_CODEC_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/point_set.h"
+#include "zorder/zaddress.h"
+
+namespace zsky {
+
+// Encodes points to Z-addresses and back for a fixed (dim, bits) geometry.
+//
+// Interleaving order is level-major: the most significant bit of every
+// dimension comes first (dimension 0 outermost), i.e. address bit
+// t = level * dim + k carries bit (bits - 1 - level) of coordinate k.
+//
+// The key property the library relies on (verified by property tests): the
+// induced order is *monotone with respect to dominance* — if p dominates q
+// then Encode(p) < Encode(q).
+class ZOrderCodec {
+ public:
+  // `dim` >= 1, 1 <= `bits` <= 32. Coordinates must fit in `bits` bits.
+  ZOrderCodec(uint32_t dim, uint32_t bits);
+
+  uint32_t dim() const { return dim_; }
+  uint32_t bits() const { return bits_; }
+  size_t total_bits() const { return total_bits_; }
+  size_t num_words() const { return num_words_; }
+  Coord max_coord() const { return max_coord_; }
+
+  ZAddress Encode(std::span<const Coord> point) const;
+
+  // Allocation-free variant: encodes into caller-provided storage of
+  // num_words() entries (cleared by this call). Hot paths (routers, bulk
+  // tree builds) use this with a reused scratch buffer.
+  void EncodeTo(std::span<const Coord> point, std::span<uint64_t> words) const;
+
+  // Decodes into `out`, which must have `dim()` entries.
+  void Decode(const ZAddress& address, std::span<Coord> out) const;
+
+  std::vector<Coord> Decode(const ZAddress& address) const;
+
+  // Encodes every point of `points` (dimensions must match).
+  std::vector<ZAddress> EncodeAll(const PointSet& points) const;
+
+  // Returns the all-zeros / all-ones addresses (curve endpoints).
+  ZAddress MinAddress() const { return ZAddress(num_words_); }
+  ZAddress MaxAddress() const;
+
+ private:
+  uint32_t dim_;
+  uint32_t bits_;
+  size_t total_bits_;
+  size_t num_words_;
+  Coord max_coord_;
+};
+
+}  // namespace zsky
+
+#endif  // ZSKY_ZORDER_ZORDER_CODEC_H_

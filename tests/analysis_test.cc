@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "common/quantizer.h"
+#include "core/analysis.h"
+#include "gen/synthetic.h"
+#include "sample/reservoir.h"
+
+namespace zsky {
+namespace {
+
+constexpr uint32_t kBits = 12;
+
+ZOrderGroupedPartitioner MakePlan(const ZOrderCodec& codec, Distribution d,
+                                  uint64_t seed) {
+  const PointSet sample =
+      GenerateQuantized(d, 3000, codec.dim(), seed, Quantizer(kBits));
+  ZOrderGroupedPartitioner::Options options;
+  options.num_groups = 16;
+  options.expansion = 4;
+  options.strategy = GroupingStrategy::kDominance;
+  return ZOrderGroupedPartitioner(&codec, sample, options);
+}
+
+TEST(AnalysisTest, PredictionsWithinBounds) {
+  ZOrderCodec codec(4, kBits);
+  for (auto dist : {Distribution::kIndependent, Distribution::kCorrelated,
+                    Distribution::kAnticorrelated}) {
+    const auto plan = MakePlan(codec, dist, 7);
+    const size_t n = 50'000;
+    const PruningAnalysis analysis = AnalyzePruning(plan, n);
+    EXPECT_GE(analysis.total_dominance_volume, 0.0);
+    EXPECT_EQ(analysis.data_volume, 1.0);
+    EXPECT_LE(analysis.predicted_pruned, n - plan.num_groups());
+    EXPECT_EQ(analysis.predicted_pruned + analysis.predicted_candidates, n);
+  }
+}
+
+TEST(AnalysisTest, CorrelatedPrunesMoreThanAnticorrelated) {
+  ZOrderCodec codec(4, kBits);
+  const auto corr = MakePlan(codec, Distribution::kCorrelated, 9);
+  const auto anti = MakePlan(codec, Distribution::kAnticorrelated, 9);
+  const size_t n = 50'000;
+  EXPECT_GE(AnalyzePruning(corr, n).predicted_pruned,
+            AnalyzePruning(anti, n).predicted_pruned);
+  EXPECT_GT(AnalyzePruning(corr, n).total_dominance_volume,
+            AnalyzePruning(anti, n).total_dominance_volume);
+}
+
+TEST(AnalysisTest, CorrelatedHitsTheUpperBound) {
+  // For strongly correlated data the paper predicts n_p = n - M exactly.
+  ZOrderCodec codec(5, kBits);
+  const auto plan = MakePlan(codec, Distribution::kCorrelated, 11);
+  const size_t n = 80'000;
+  const PruningAnalysis analysis = AnalyzePruning(plan, n);
+  EXPECT_EQ(analysis.predicted_pruned, n - plan.num_groups());
+}
+
+TEST(PredictMergeCostTest, GrowthAndEdgeCases) {
+  EXPECT_EQ(PredictMergeCost(0, 5), 0.0);
+  EXPECT_EQ(PredictMergeCost(1, 5), 1.0);
+  EXPECT_EQ(PredictMergeCost(100, 1), 100.0);
+  // Monotone in candidates.
+  EXPECT_LT(PredictMergeCost(1000, 5), PredictMergeCost(2000, 5));
+  // Superlinear but modestly so.
+  EXPECT_LT(PredictMergeCost(2000, 5), 4.0 * PredictMergeCost(1000, 5));
+  // Higher log base (larger d) lowers the per-item log factor but the d
+  // multiplier dominates: overall grows with d.
+  EXPECT_LT(PredictMergeCost(10000, 4), PredictMergeCost(10000, 10));
+}
+
+}  // namespace
+}  // namespace zsky

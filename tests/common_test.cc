@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "common/dominance.h"
+#include "common/point_set.h"
+#include "common/quantizer.h"
+#include "common/rng.h"
+
+namespace zsky {
+namespace {
+
+TEST(PointSetTest, AppendAndAccess) {
+  PointSet ps(3);
+  EXPECT_TRUE(ps.empty());
+  ps.Append({1, 2, 3});
+  ps.Append({4, 5, 6});
+  ASSERT_EQ(ps.size(), 2u);
+  EXPECT_EQ(ps.dim(), 3u);
+  EXPECT_EQ(ps[0][0], 1u);
+  EXPECT_EQ(ps[1][2], 6u);
+}
+
+TEST(PointSetTest, Gather) {
+  PointSet ps(2);
+  ps.Append({0, 0});
+  ps.Append({1, 1});
+  ps.Append({2, 2});
+  std::vector<uint32_t> rows{2, 0};
+  PointSet g = PointSet::Gather(ps, rows);
+  ASSERT_EQ(g.size(), 2u);
+  EXPECT_EQ(g[0][0], 2u);
+  EXPECT_EQ(g[1][0], 0u);
+}
+
+TEST(PointSetTest, AppendFromOther) {
+  PointSet a(2);
+  a.Append({7, 8});
+  PointSet b(2);
+  b.AppendFrom(a, 0);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b[0][1], 8u);
+}
+
+TEST(DominanceTest, StrictDominance) {
+  PointSet ps(3);
+  ps.Append({1, 2, 3});
+  ps.Append({1, 2, 4});
+  ps.Append({1, 2, 3});
+  ps.Append({2, 1, 3});
+  EXPECT_TRUE(Dominates(ps[0], ps[1]));
+  EXPECT_FALSE(Dominates(ps[1], ps[0]));
+  EXPECT_FALSE(Dominates(ps[0], ps[2]));  // Equal points do not dominate.
+  EXPECT_FALSE(Dominates(ps[2], ps[0]));
+  EXPECT_FALSE(Dominates(ps[0], ps[3]));  // Incomparable.
+  EXPECT_FALSE(Dominates(ps[3], ps[0]));
+}
+
+TEST(DominanceTest, DominatesOrEqual) {
+  PointSet ps(2);
+  ps.Append({1, 1});
+  ps.Append({1, 1});
+  ps.Append({1, 2});
+  EXPECT_TRUE(DominatesOrEqual(ps[0], ps[1]));
+  EXPECT_TRUE(DominatesOrEqual(ps[0], ps[2]));
+  EXPECT_FALSE(DominatesOrEqual(ps[2], ps[0]));
+}
+
+TEST(DominanceTest, Incomparable) {
+  PointSet ps(2);
+  ps.Append({1, 2});
+  ps.Append({2, 1});
+  ps.Append({1, 1});
+  EXPECT_TRUE(Incomparable(ps[0], ps[1]));
+  EXPECT_FALSE(Incomparable(ps[2], ps[0]));
+}
+
+TEST(QuantizerTest, RangeAndClamping) {
+  Quantizer q(8);
+  EXPECT_EQ(q.max_value(), 255u);
+  EXPECT_EQ(q.Quantize(0.0), 0u);
+  EXPECT_EQ(q.Quantize(-1.0), 0u);
+  EXPECT_EQ(q.Quantize(1.0), 255u);
+  EXPECT_EQ(q.Quantize(2.0), 255u);
+  EXPECT_EQ(q.Quantize(0.5), 128u);
+}
+
+TEST(QuantizerTest, MonotoneInValue) {
+  Quantizer q(16);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double a = rng.NextDouble();
+    const double b = rng.NextDouble();
+    if (a <= b) {
+      EXPECT_LE(q.Quantize(a), q.Quantize(b));
+    } else {
+      EXPECT_GE(q.Quantize(a), q.Quantize(b));
+    }
+  }
+}
+
+TEST(QuantizerTest, QuantizeAllShape) {
+  Quantizer q(16);
+  std::vector<double> values{0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
+  PointSet ps = q.QuantizeAll(values, 3);
+  ASSERT_EQ(ps.size(), 2u);
+  EXPECT_EQ(ps.dim(), 3u);
+  EXPECT_LT(ps[0][0], ps[1][0]);
+}
+
+TEST(QuantizerTest, DequantizeInverse) {
+  Quantizer q(12);
+  for (Coord c : {Coord{0}, Coord{100}, q.max_value()}) {
+    EXPECT_EQ(q.Quantize(q.Dequantize(c)), c);
+  }
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DoublesInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BoundedValues) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.NextBounded(17), 17u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace zsky

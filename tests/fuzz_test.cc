@@ -1,0 +1,190 @@
+// Randomized operation-sequence tests ("fuzz-style", seeded and
+// deterministic): drive the mutable index structures with long random
+// workloads and compare against simple reference implementations after
+// every batch.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/dominance.h"
+#include "common/quantizer.h"
+#include "common/rng.h"
+#include "core/windowed_skyline.h"
+#include "gen/synthetic.h"
+#include "index/dynamic_skyline.h"
+#include "index/zbtree.h"
+
+namespace zsky {
+namespace {
+
+constexpr uint32_t kBits = 8;  // Small domain -> many dominance events.
+
+std::vector<Coord> RandomPoint(Rng& rng, uint32_t dim) {
+  std::vector<Coord> p(dim);
+  for (auto& c : p) c = static_cast<Coord>(rng.NextBounded(256));
+  return p;
+}
+
+// Reference skyline container: flat vectors, O(n) operations.
+class ReferenceSkyline {
+ public:
+  explicit ReferenceSkyline(uint32_t dim) : points_(dim) {}
+
+  bool ExistsDominatorOf(std::span<const Coord> p) const {
+    for (size_t i = 0; i < points_.size(); ++i) {
+      if (alive_[i] && Dominates(points_[i], p)) return true;
+    }
+    return false;
+  }
+  size_t RemoveDominatedBy(std::span<const Coord> p) {
+    size_t removed = 0;
+    for (size_t i = 0; i < points_.size(); ++i) {
+      if (alive_[i] && Dominates(p, points_[i])) {
+        alive_[i] = 0;
+        ++removed;
+      }
+    }
+    return removed;
+  }
+  void Append(std::span<const Coord> p, uint32_t id) {
+    points_.Append(p);
+    ids_.push_back(id);
+    alive_.push_back(1);
+  }
+  std::vector<uint32_t> AliveIds() const {
+    std::vector<uint32_t> out;
+    for (size_t i = 0; i < ids_.size(); ++i) {
+      if (alive_[i]) out.push_back(ids_[i]);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  PointSet points_;
+  std::vector<uint32_t> ids_;
+  std::vector<uint8_t> alive_;
+};
+
+class DynamicSkylineFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DynamicSkylineFuzz, RandomOpSequenceMatchesReference) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  const uint32_t dim = 2 + static_cast<uint32_t>(rng.NextBounded(4));
+  ZOrderCodec codec(dim, kBits);
+  DynamicSkyline sky(&codec);
+  ReferenceSkyline reference(dim);
+
+  uint32_t next_id = 0;
+  for (int step = 0; step < 3000; ++step) {
+    const auto p = RandomPoint(rng, dim);
+    const uint64_t op = rng.NextBounded(10);
+    if (op < 6) {
+      // Skyline-style insert: query, evict, append.
+      const bool dominated = sky.ExistsDominatorOf(p);
+      ASSERT_EQ(dominated, reference.ExistsDominatorOf(p)) << "step " << step;
+      if (!dominated) {
+        ASSERT_EQ(sky.RemoveDominatedBy(p), reference.RemoveDominatedBy(p));
+        sky.Append(p, next_id);
+        reference.Append(p, next_id);
+        ++next_id;
+      }
+    } else if (op < 8) {
+      // Pure removal probe.
+      ASSERT_EQ(sky.RemoveDominatedBy(p), reference.RemoveDominatedBy(p))
+          << "step " << step;
+    } else {
+      // Pure query probe.
+      ASSERT_EQ(sky.ExistsDominatorOf(p), reference.ExistsDominatorOf(p))
+          << "step " << step;
+    }
+    if (step % 500 == 499) {
+      PointSet out(dim);
+      std::vector<uint32_t> ids;
+      sky.Export(out, ids);
+      std::sort(ids.begin(), ids.end());
+      ASSERT_EQ(ids, reference.AliveIds()) << "step " << step;
+      ASSERT_EQ(sky.size(), ids.size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicSkylineFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+class ZBTreeFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ZBTreeFuzz, InterleavedCountAndRemove) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  const uint32_t dim = 2 + static_cast<uint32_t>(rng.NextBounded(3));
+  ZOrderCodec codec(dim, kBits);
+  const PointSet ps =
+      GenerateQuantized(Distribution::kIndependent, 700, dim, seed,
+                        Quantizer(kBits));
+  ZBTree tree(&codec, ps);
+  std::vector<uint8_t> alive(ps.size(), 1);
+
+  for (int step = 0; step < 200; ++step) {
+    const auto p = RandomPoint(rng, dim);
+    // Reference counts over alive rows.
+    size_t dominators = 0;
+    size_t dominated = 0;
+    for (size_t i = 0; i < ps.size(); ++i) {
+      if (!alive[i]) continue;
+      if (Dominates(ps[i], p)) ++dominators;
+      if (Dominates(p, ps[i])) ++dominated;
+    }
+    ASSERT_EQ(tree.CountDominatorsOf(p, 10'000), dominators)
+        << "step " << step;
+    ASSERT_EQ(tree.ExistsDominatorOf(p), dominators > 0);
+    if (rng.NextBounded(3) == 0) {
+      ASSERT_EQ(tree.RemoveDominatedBy(p), dominated);
+      for (size_t i = 0; i < ps.size(); ++i) {
+        if (alive[i] && Dominates(p, ps[i])) alive[i] = 0;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZBTreeFuzz, ::testing::Values(7u, 8u, 9u));
+
+class WindowedFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WindowedFuzz, LongStreamSpotChecks) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  const uint32_t dim = 2 + static_cast<uint32_t>(rng.NextBounded(3));
+  const size_t window = 64 + rng.NextBounded(200);
+  WindowedSkyline sky(dim, window);
+  PointSet history(dim);
+  for (int step = 0; step < 2500; ++step) {
+    const auto p = RandomPoint(rng, dim);
+    history.Append(p);
+    sky.Insert(p, static_cast<uint32_t>(step));
+    if (step % 311 == 310) {
+      // Brute-force skyline of the current window.
+      const size_t begin = history.size() >= window
+                               ? history.size() - window
+                               : 0;
+      SkylineIndices expected;
+      for (size_t i = begin; i < history.size(); ++i) {
+        bool dom = false;
+        for (size_t j = begin; j < history.size() && !dom; ++j) {
+          dom = j != i && Dominates(history[j], history[i]);
+        }
+        if (!dom) expected.push_back(static_cast<uint32_t>(i));
+      }
+      ASSERT_EQ(sky.CurrentIds(), expected) << "step " << step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WindowedFuzz,
+                         ::testing::Values(11u, 12u, 13u));
+
+}  // namespace
+}  // namespace zsky

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algo/sort_based.h"
+#include "common/quantizer.h"
+#include "gen/synthetic.h"
+
+namespace zsky {
+namespace {
+
+double Mean(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+// Pearson correlation between dimensions 0 and 1.
+double Correlation01(const std::vector<double>& values, uint32_t dim) {
+  const size_t n = values.size() / dim;
+  double mx = 0, my = 0;
+  for (size_t i = 0; i < n; ++i) {
+    mx += values[i * dim];
+    my += values[i * dim + 1];
+  }
+  mx /= n;
+  my /= n;
+  double sxy = 0, sxx = 0, syy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = values[i * dim] - mx;
+    const double dy = values[i * dim + 1] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+TEST(SyntheticTest, ShapesAndRanges) {
+  for (auto d : {Distribution::kIndependent, Distribution::kCorrelated,
+                 Distribution::kAnticorrelated}) {
+    const auto values = GenerateSynthetic(d, 1000, 4, 7);
+    ASSERT_EQ(values.size(), 4000u);
+    for (double v : values) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LT(v, 1.0);
+    }
+  }
+}
+
+TEST(SyntheticTest, Deterministic) {
+  const auto a = GenerateSynthetic(Distribution::kIndependent, 100, 3, 5);
+  const auto b = GenerateSynthetic(Distribution::kIndependent, 100, 3, 5);
+  EXPECT_EQ(a, b);
+  const auto c = GenerateSynthetic(Distribution::kIndependent, 100, 3, 6);
+  EXPECT_NE(a, c);
+}
+
+TEST(SyntheticTest, CorrelationSigns) {
+  const uint32_t dim = 2;
+  const size_t n = 20000;
+  EXPECT_GT(Correlation01(
+                GenerateSynthetic(Distribution::kCorrelated, n, dim, 1), dim),
+            0.7);
+  EXPECT_LT(
+      Correlation01(GenerateSynthetic(Distribution::kAnticorrelated, n, dim, 2),
+                    dim),
+      -0.3);
+  EXPECT_NEAR(
+      Correlation01(GenerateSynthetic(Distribution::kIndependent, n, dim, 3),
+                    dim),
+      0.0, 0.05);
+}
+
+TEST(SyntheticTest, SkylineSizeOrdering) {
+  // The defining behavioural property: |sky(anti)| >> |sky(indep)| >>
+  // |sky(corr)|.
+  const Quantizer q(16);
+  const uint32_t dim = 5;
+  const size_t n = 4000;
+  const size_t anti =
+      SortBasedSkyline(
+          GenerateQuantized(Distribution::kAnticorrelated, n, dim, 1, q))
+          .size();
+  const size_t indep =
+      SortBasedSkyline(
+          GenerateQuantized(Distribution::kIndependent, n, dim, 2, q))
+          .size();
+  const size_t corr =
+      SortBasedSkyline(
+          GenerateQuantized(Distribution::kCorrelated, n, dim, 3, q))
+          .size();
+  EXPECT_GT(anti, 2 * indep);
+  EXPECT_GT(indep, 2 * corr);
+}
+
+TEST(SyntheticTest, DistributionNames) {
+  EXPECT_EQ(DistributionName(Distribution::kIndependent), "independent");
+  EXPECT_EQ(DistributionName(Distribution::kCorrelated), "correlated");
+  EXPECT_EQ(DistributionName(Distribution::kAnticorrelated),
+            "anticorrelated");
+}
+
+TEST(ClusteredTest, RangeAndShape) {
+  const auto values = GenerateClustered(500, 10, 4, 0.05, 11);
+  ASSERT_EQ(values.size(), 5000u);
+  for (double v : values) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(DirichletTest, RowsSumToOne) {
+  const uint32_t dim = 8;
+  const auto values = GenerateDirichlet(200, dim, 0.2, 13);
+  for (size_t i = 0; i < 200; ++i) {
+    double sum = 0.0;
+    for (uint32_t k = 0; k < dim; ++k) sum += values[i * dim + k];
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(RealSimulacraTest, Dimensionalities) {
+  EXPECT_EQ(GenerateNuswLike(10, 1).size(), 10u * 225u);
+  EXPECT_EQ(GenerateFlickrLike(10, 1).size(), 10u * 512u);
+  EXPECT_EQ(GenerateDbpediaLike(10, 1).size(), 10u * 250u);
+}
+
+TEST(ScaleExpandTest, GrowsAndPreservesMean) {
+  const uint32_t dim = 4;
+  const auto base = GenerateSynthetic(Distribution::kIndependent, 1000, dim, 3);
+  const auto expanded = ScaleExpand(base, dim, 5.0, 4);
+  EXPECT_EQ(expanded.size(), 5u * base.size());
+  // Prefix is the original data.
+  for (size_t i = 0; i < base.size(); ++i) EXPECT_EQ(expanded[i], base[i]);
+  EXPECT_NEAR(Mean(expanded), Mean(base), 0.01);
+}
+
+TEST(ScaleExpandTest, FactorOneIsIdentity) {
+  const auto base = GenerateSynthetic(Distribution::kIndependent, 50, 2, 3);
+  EXPECT_EQ(ScaleExpand(base, 2, 1.0, 9), base);
+}
+
+}  // namespace
+}  // namespace zsky

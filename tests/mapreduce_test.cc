@@ -1,0 +1,383 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <numeric>
+
+#include "mapreduce/job.h"
+#include "mapreduce/task_runner.h"
+
+namespace zsky::mr {
+namespace {
+
+TEST(TaskRunnerTest, RunsEveryTaskExactlyOnce) {
+  TaskRunner runner(4);
+  std::vector<std::atomic<int>> hits(100);
+  const auto metrics = runner.Run(100, [&](size_t task) {
+    hits[task].fetch_add(1);
+  });
+  EXPECT_EQ(metrics.size(), 100u);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(TaskRunnerTest, ZeroTasks) {
+  TaskRunner runner(2);
+  EXPECT_TRUE(runner.Run(0, [](size_t) { FAIL(); }).empty());
+}
+
+TEST(TaskRunnerTest, SingleThreadFallback) {
+  TaskRunner runner(1);
+  int counter = 0;
+  runner.Run(10, [&](size_t) { ++counter; });  // No data race possible.
+  EXPECT_EQ(counter, 10);
+}
+
+TEST(TaskRunnerTest, DefaultsToHardwareConcurrency) {
+  TaskRunner runner(0);
+  EXPECT_GE(runner.num_threads(), 1u);
+}
+
+TEST(TaskRunnerTest, MeasuresTaskTime) {
+  TaskRunner runner(2);
+  const auto metrics = runner.Run(4, [&](size_t) {
+    volatile double x = 0;
+    for (int i = 0; i < 100000; ++i) x += i;
+  });
+  for (const auto& m : metrics) EXPECT_GE(m.ms, 0.0);
+}
+
+TEST(WaveStatsTest, Summarize) {
+  std::vector<TaskMetrics> tasks(3);
+  tasks[0].ms = 1.0;
+  tasks[1].ms = 2.0;
+  tasks[2].ms = 6.0;
+  const WaveStats stats = Summarize(tasks);
+  EXPECT_DOUBLE_EQ(stats.max_ms, 6.0);
+  EXPECT_DOUBLE_EQ(stats.min_ms, 1.0);
+  EXPECT_DOUBLE_EQ(stats.mean_ms, 3.0);
+  EXPECT_DOUBLE_EQ(stats.skew, 2.0);
+}
+
+TEST(MakespanTest, EmptyAndZeroSlots) {
+  EXPECT_EQ(MakespanMs({}, 4), 0.0);
+  std::vector<TaskMetrics> tasks(2);
+  EXPECT_EQ(MakespanMs(tasks, 0), 0.0);
+}
+
+TEST(MakespanTest, SingleSlotIsSum) {
+  std::vector<TaskMetrics> tasks(3);
+  tasks[0].ms = 1.0;
+  tasks[1].ms = 2.0;
+  tasks[2].ms = 3.0;
+  EXPECT_DOUBLE_EQ(MakespanMs(tasks, 1), 6.0);
+}
+
+TEST(MakespanTest, EnoughSlotsIsMax) {
+  std::vector<TaskMetrics> tasks(3);
+  tasks[0].ms = 1.0;
+  tasks[1].ms = 5.0;
+  tasks[2].ms = 3.0;
+  EXPECT_DOUBLE_EQ(MakespanMs(tasks, 3), 5.0);
+  EXPECT_DOUBLE_EQ(MakespanMs(tasks, 10), 5.0);
+}
+
+TEST(MakespanTest, LptPacking) {
+  // Durations 4,3,3,2 on 2 slots: LPT gives {4,2} and {3,3} -> 6.
+  std::vector<TaskMetrics> tasks(4);
+  tasks[0].ms = 3.0;
+  tasks[1].ms = 4.0;
+  tasks[2].ms = 2.0;
+  tasks[3].ms = 3.0;
+  EXPECT_DOUBLE_EQ(MakespanMs(tasks, 2), 6.0);
+}
+
+TEST(MakespanTest, StragglerDominates) {
+  // One giant task bounds the wave no matter how many slots.
+  std::vector<TaskMetrics> tasks(8);
+  for (auto& t : tasks) t.ms = 1.0;
+  tasks[3].ms = 100.0;
+  EXPECT_DOUBLE_EQ(MakespanMs(tasks, 8), 100.0);
+  // Even with fewer slots, LPT keeps the straggler's slot otherwise empty.
+  EXPECT_DOUBLE_EQ(MakespanMs(tasks, 4), 100.0);
+  EXPECT_DOUBLE_EQ(MakespanMs(tasks, 1), 107.0);
+}
+
+TEST(SimulatedMsTest, AddsShuffleTerm) {
+  JobMetrics metrics;
+  metrics.map_tasks.resize(2);
+  metrics.map_tasks[0].ms = 10.0;
+  metrics.map_tasks[1].ms = 10.0;
+  metrics.reduce_tasks.resize(1);
+  metrics.reduce_tasks[0].ms = 5.0;
+  metrics.shuffle_bytes = 1048576;  // 1 MiB at 1 MiB/s ~ 1000 ms.
+  const double with_net = metrics.SimulatedMs(2, 1.0);
+  EXPECT_NEAR(with_net, 10.0 + 1000.0 + 5.0, 1e-6);
+  const double no_net = metrics.SimulatedMs(2, 0.0);
+  EXPECT_NEAR(no_net, 15.0, 1e-9);
+}
+
+// Word-count style job: verifies grouping, combining and shuffle counters.
+TEST(MapReduceJobTest, SumPerKey) {
+  MapReduceJob<uint64_t>::Options options;
+  options.num_reduce_tasks = 3;
+  options.num_threads = 4;
+  MapReduceJob<uint64_t> job(options);
+
+  std::mutex mu;
+  std::map<int32_t, uint64_t> sums;
+  const JobMetrics metrics = job.Run(
+      8,
+      [](size_t task, const MapReduceJob<uint64_t>::Emit& emit) {
+        // Each split emits values 1..10 to keys 0..4.
+        for (uint64_t v = 1; v <= 10; ++v) {
+          emit(static_cast<int32_t>((task + v) % 5), v);
+        }
+      },
+      [](int32_t, std::vector<uint64_t> values) {
+        uint64_t total = 0;
+        for (uint64_t v : values) total += v;
+        return std::vector<uint64_t>{total};
+      },
+      [&](int32_t key, std::vector<uint64_t> values) {
+        uint64_t total = 0;
+        for (uint64_t v : values) total += v;
+        const std::lock_guard<std::mutex> lock(mu);
+        sums[key] += total;
+      });
+
+  uint64_t grand_total = 0;
+  for (const auto& [key, total] : sums) grand_total += total;
+  EXPECT_EQ(grand_total, 8u * 55u);
+  EXPECT_EQ(sums.size(), 5u);
+  EXPECT_EQ(metrics.map_tasks.size(), 8u);
+  EXPECT_EQ(metrics.reduce_tasks.size(), 3u);
+  // Combiner collapses each (task,key) group to one record.
+  EXPECT_LT(metrics.shuffle_records, 8u * 10u);
+  EXPECT_GT(metrics.shuffle_bytes, 0u);
+  EXPECT_GT(metrics.combiner_in, metrics.combiner_out);
+}
+
+TEST(MapReduceJobTest, NegativeKeysAreDropped) {
+  MapReduceJob<int>::Options options;
+  options.num_reduce_tasks = 2;
+  options.num_threads = 2;
+  MapReduceJob<int> job(options);
+  std::atomic<int> reduced{0};
+  const JobMetrics metrics = job.Run(
+      2,
+      [](size_t, const MapReduceJob<int>::Emit& emit) {
+        emit(-1, 1);
+        emit(0, 2);
+      },
+      nullptr,
+      [&](int32_t, std::vector<int> values) {
+        reduced.fetch_add(static_cast<int>(values.size()));
+      });
+  EXPECT_EQ(reduced.load(), 2);
+  EXPECT_EQ(metrics.shuffle_records, 2u);
+}
+
+TEST(MapReduceJobTest, CombinerCanBeDisabled) {
+  MapReduceJob<int>::Options options;
+  options.num_reduce_tasks = 1;
+  options.enable_combiner = false;
+  options.num_threads = 1;
+  MapReduceJob<int> job(options);
+  const JobMetrics metrics = job.Run(
+      4,
+      [](size_t, const MapReduceJob<int>::Emit& emit) {
+        for (int i = 0; i < 5; ++i) emit(0, i);
+      },
+      [](int32_t, std::vector<int>) {
+        return std::vector<int>{};  // Would erase everything if invoked.
+      },
+      [](int32_t, std::vector<int> values) {
+        EXPECT_EQ(values.size(), 20u);
+      });
+  EXPECT_EQ(metrics.shuffle_records, 20u);
+  EXPECT_EQ(metrics.combiner_in, 0u);
+}
+
+TEST(MapReduceJobTest, KeysPartitionedAcrossReducers) {
+  MapReduceJob<int>::Options options;
+  options.num_reduce_tasks = 4;
+  options.num_threads = 4;
+  MapReduceJob<int> job(options);
+  std::mutex mu;
+  std::map<int32_t, int> seen;  // key -> times reduced.
+  job.Run(
+      6,
+      [](size_t, const MapReduceJob<int>::Emit& emit) {
+        for (int32_t k = 0; k < 12; ++k) emit(k, 1);
+      },
+      nullptr,
+      [&](int32_t key, std::vector<int> values) {
+        const std::lock_guard<std::mutex> lock(mu);
+        seen[key] += 1;
+        EXPECT_EQ(values.size(), 6u);
+      });
+  EXPECT_EQ(seen.size(), 12u);
+  for (const auto& [key, times] : seen) EXPECT_EQ(times, 1);
+}
+
+TEST(MapReduceJobTest, SpillToDiskMatchesInMemory) {
+  auto run = [](bool spill) {
+    MapReduceJob<uint64_t>::Options options;
+    options.num_reduce_tasks = 3;
+    options.num_threads = 2;
+    options.spill_to_disk = spill;
+    options.spill_dir = ::testing::TempDir();
+    MapReduceJob<uint64_t> job(options);
+    std::mutex mu;
+    std::map<int32_t, uint64_t> sums;
+    const JobMetrics metrics = job.Run(
+        5,
+        [](size_t task, const MapReduceJob<uint64_t>::Emit& emit) {
+          for (uint64_t v = 0; v < 50; ++v) emit((task * v) % 9, v);
+        },
+        nullptr,
+        [&](int32_t key, std::vector<uint64_t> values) {
+          uint64_t total = 0;
+          for (uint64_t v : values) total += v;
+          const std::lock_guard<std::mutex> lock(mu);
+          sums[key] += total;
+        });
+    EXPECT_EQ(metrics.spill_bytes > 0, spill);
+    EXPECT_EQ(metrics.shuffle_records, 5u * 50u);
+    return sums;
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST(MapReduceJobTest, SpillWithCombinerAndStructValues) {
+  struct Pair {
+    int32_t a;
+    uint32_t b;
+  };
+  MapReduceJob<Pair>::Options options;
+  options.num_reduce_tasks = 2;
+  options.num_threads = 1;
+  options.spill_to_disk = true;
+  options.spill_dir = ::testing::TempDir();
+  MapReduceJob<Pair> job(options);
+  std::atomic<uint64_t> sum{0};
+  job.Run(
+      3,
+      [](size_t task, const MapReduceJob<Pair>::Emit& emit) {
+        emit(static_cast<int32_t>(task),
+             Pair{static_cast<int32_t>(task), 10});
+      },
+      [](int32_t, std::vector<Pair> values) { return values; },
+      [&](int32_t, std::vector<Pair> values) {
+        for (const Pair& p : values) sum.fetch_add(p.b);
+      });
+  EXPECT_EQ(sum.load(), 30u);
+}
+
+TEST(MapReduceJobTest, RetriesRecoverFromInjectedFailures) {
+  MapReduceJob<int>::Options options;
+  options.num_reduce_tasks = 2;
+  options.num_threads = 2;
+  options.max_task_attempts = 3;
+  // Every task crashes twice, then succeeds on the third attempt.
+  options.failure_injector = [](MapReduceJob<int>::Wave, size_t,
+                                uint32_t attempt) { return attempt <= 2; };
+  MapReduceJob<int> job(options);
+  std::atomic<int> total{0};
+  const JobMetrics metrics = job.Run(
+      4,
+      [](size_t, const MapReduceJob<int>::Emit& emit) { emit(0, 1); },
+      nullptr,
+      [&](int32_t, std::vector<int> values) {
+        total.fetch_add(static_cast<int>(values.size()));
+      });
+  EXPECT_TRUE(metrics.succeeded);
+  EXPECT_EQ(total.load(), 4);
+  // 4 map tasks + 2 reduce tasks, 2 failed attempts each.
+  EXPECT_EQ(metrics.failed_attempts, (4u + 2u) * 2u);
+}
+
+TEST(MapReduceJobTest, ExhaustedAttemptsMarkJobFailed) {
+  MapReduceJob<int>::Options options;
+  options.num_reduce_tasks = 1;
+  options.num_threads = 1;
+  options.max_task_attempts = 2;
+  options.failure_injector = [](MapReduceJob<int>::Wave wave, size_t task,
+                                uint32_t) {
+    return wave == MapReduceJob<int>::Wave::kMap && task == 0;  // Task 0
+                                                                // never
+                                                                // commits.
+  };
+  MapReduceJob<int> job(options);
+  std::atomic<int> records{0};
+  const JobMetrics metrics = job.Run(
+      3,
+      [](size_t task, const MapReduceJob<int>::Emit& emit) {
+        emit(0, static_cast<int>(task));
+      },
+      nullptr,
+      [&](int32_t, std::vector<int> values) {
+        records.fetch_add(static_cast<int>(values.size()));
+      });
+  EXPECT_FALSE(metrics.succeeded);
+  EXPECT_EQ(records.load(), 2);  // Tasks 1 and 2 committed.
+  EXPECT_EQ(metrics.failed_attempts, 2u);
+}
+
+TEST(MapReduceJobTest, RandomFailuresStillProduceExactOutput) {
+  // 40% attempt-failure probability with generous retries: the committed
+  // output must match a failure-free run exactly (atomic task commit).
+  auto run = [](bool inject) {
+    MapReduceJob<uint64_t>::Options options;
+    options.num_reduce_tasks = 3;
+    options.num_threads = 4;
+    options.max_task_attempts = inject ? 50 : 1;
+    if (inject) {
+      auto rng = std::make_shared<std::atomic<uint64_t>>(12345);
+      options.failure_injector = [rng](MapReduceJob<uint64_t>::Wave, size_t,
+                                       uint32_t) {
+        // xorshift-style deterministic-ish hash of the call sequence.
+        uint64_t x = rng->fetch_add(0x9E3779B97F4A7C15ULL);
+        x ^= x >> 33;
+        x *= 0xFF51AFD7ED558CCDULL;
+        return (x >> 40) % 10 < 4;
+      };
+    }
+    MapReduceJob<uint64_t> job(options);
+    std::mutex mu;
+    std::map<int32_t, uint64_t> sums;
+    const JobMetrics metrics = job.Run(
+        6,
+        [](size_t task, const MapReduceJob<uint64_t>::Emit& emit) {
+          for (uint64_t v = 0; v < 20; ++v) emit((task + v) % 7, v);
+        },
+        nullptr,
+        [&](int32_t key, std::vector<uint64_t> values) {
+          uint64_t total = 0;
+          for (uint64_t v : values) total += v;
+          const std::lock_guard<std::mutex> lock(mu);
+          sums[key] += total;
+        });
+    EXPECT_TRUE(metrics.succeeded);
+    return sums;
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST(MapReduceJobTest, CustomSizeFunction) {
+  MapReduceJob<int>::Options options;
+  options.num_reduce_tasks = 1;
+  options.num_threads = 1;
+  options.record_overhead_bytes = 0;
+  MapReduceJob<int> job(options);
+  const JobMetrics metrics = job.Run(
+      1,
+      [](size_t, const MapReduceJob<int>::Emit& emit) { emit(0, 7); },
+      nullptr, [](int32_t, std::vector<int>) {},
+      [](const int&) { return size_t{100}; });
+  EXPECT_EQ(metrics.shuffle_bytes, 100u);
+}
+
+}  // namespace
+}  // namespace zsky::mr

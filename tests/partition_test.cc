@@ -1,0 +1,432 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "algo/sort_based.h"
+#include "common/quantizer.h"
+#include "gen/synthetic.h"
+#include "partition/angle_partitioner.h"
+#include "partition/dominance_volume.h"
+#include "partition/grid_partitioner.h"
+#include "partition/quadtree_partitioner.h"
+#include "partition/zorder_grouping.h"
+
+namespace zsky {
+namespace {
+
+constexpr uint32_t kBits = 12;
+
+PointSet MakePoints(Distribution d, size_t n, uint32_t dim, uint64_t seed) {
+  return GenerateQuantized(d, n, dim, seed, Quantizer(kBits));
+}
+
+TEST(FactorizePartsTest, ExactProducts) {
+  for (uint32_t m : {1u, 2u, 8u, 12u, 32u, 36u, 100u}) {
+    for (uint32_t dim : {1u, 2u, 3u, 5u}) {
+      const auto parts = FactorizeParts(m, dim);
+      EXPECT_EQ(parts.size(), dim);
+      uint32_t product = 1;
+      for (uint32_t p : parts) product *= p;
+      EXPECT_EQ(product, m) << "m=" << m << " dim=" << dim;
+    }
+  }
+}
+
+TEST(GridPartitionerTest, CoversAllGroups) {
+  const PointSet sample = MakePoints(Distribution::kIndependent, 2000, 4, 1);
+  GridPartitioner grid(sample, 16);
+  EXPECT_EQ(grid.num_groups(), 16u);
+  const PointSet data = MakePoints(Distribution::kIndependent, 5000, 4, 2);
+  size_t dropped = 0;
+  std::vector<size_t> sizes(grid.num_groups(), 0);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const int32_t g = grid.GroupOf(data[i]);
+    ASSERT_GE(g, 0);
+    ASSERT_LT(static_cast<uint32_t>(g), grid.num_groups());
+    sizes[g]++;
+  }
+  (void)dropped;
+  // Marginal quantiles balance independent data reasonably well.
+  const size_t max_size = *std::max_element(sizes.begin(), sizes.end());
+  EXPECT_LT(max_size, data.size() / 4);
+}
+
+TEST(GridPartitionerTest, CellRegionContainsItsPoints) {
+  const PointSet sample = MakePoints(Distribution::kIndependent, 1000, 3, 3);
+  GridPartitioner grid(sample, 8);
+  const Coord max_value = (Coord{1} << kBits) - 1;
+  const PointSet data = MakePoints(Distribution::kIndependent, 2000, 3, 4);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const int32_t cell = grid.GroupOf(data[i]);
+    const RZRegion region =
+        grid.CellRegion(static_cast<uint32_t>(cell), max_value);
+    EXPECT_TRUE(region.ContainsPoint(data[i])) << "row " << i;
+  }
+}
+
+TEST(AnglePartitionerTest, AnglesInRange) {
+  const PointSet data = MakePoints(Distribution::kIndependent, 500, 4, 5);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const auto angles = AnglePartitioner::Angles(data[i]);
+    ASSERT_EQ(angles.size(), 3u);
+    for (double a : angles) {
+      EXPECT_GE(a, 0.0);
+      EXPECT_LE(a, 1.5707964);
+    }
+  }
+}
+
+TEST(AnglePartitionerTest, BalancedOnIndependentData) {
+  const PointSet sample = MakePoints(Distribution::kIndependent, 4000, 3, 6);
+  AnglePartitioner angle(sample, 8);
+  EXPECT_EQ(angle.num_groups(), 8u);
+  const PointSet data = MakePoints(Distribution::kIndependent, 8000, 3, 7);
+  std::vector<size_t> sizes(angle.num_groups(), 0);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const int32_t g = angle.GroupOf(data[i]);
+    ASSERT_GE(g, 0);
+    sizes[g]++;
+  }
+  const size_t max_size = *std::max_element(sizes.begin(), sizes.end());
+  const size_t min_size = *std::min_element(sizes.begin(), sizes.end());
+  EXPECT_LT(max_size, 3 * std::max<size_t>(min_size, 1));
+}
+
+TEST(QuadTreePartitionerTest, LeafCountAndRouting) {
+  const PointSet sample = MakePoints(Distribution::kIndependent, 2000, 4, 41);
+  QuadTreePartitioner tree(sample, 16);
+  EXPECT_EQ(tree.num_groups(), 16u);
+  const PointSet data = MakePoints(Distribution::kIndependent, 4000, 4, 42);
+  std::vector<size_t> sizes(tree.num_groups(), 0);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const int32_t g = tree.GroupOf(data[i]);
+    ASSERT_GE(g, 0);
+    ASSERT_LT(static_cast<uint32_t>(g), tree.num_groups());
+    sizes[g]++;
+  }
+  // Adaptive median splits balance independent data well.
+  const size_t max_size = *std::max_element(sizes.begin(), sizes.end());
+  EXPECT_LT(max_size, data.size() / 4);
+}
+
+TEST(QuadTreePartitionerTest, SingleLeaf) {
+  const PointSet sample = MakePoints(Distribution::kIndependent, 100, 3, 43);
+  QuadTreePartitioner tree(sample, 1);
+  EXPECT_EQ(tree.num_groups(), 1u);
+  EXPECT_EQ(tree.GroupOf(sample[0]), 0);
+}
+
+TEST(QuadTreePartitionerTest, DuplicateHeavySample) {
+  PointSet sample(2);
+  for (int i = 0; i < 300; ++i) sample.Append({9, 9});
+  sample.Append({1, 2});
+  QuadTreePartitioner tree(sample, 8);
+  EXPECT_GE(tree.num_groups(), 1u);
+  const PointSet data = MakePoints(Distribution::kIndependent, 500, 2, 44);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const int32_t g = tree.GroupOf(data[i]);
+    ASSERT_GE(g, 0);
+    ASSERT_LT(static_cast<uint32_t>(g), tree.num_groups());
+  }
+}
+
+TEST(QuadTreePartitionerTest, AdaptsToClusteredData) {
+  // Quadtree splits chase the heavy cluster, so cluster points spread over
+  // more leaves than a fixed grid would manage.
+  const Quantizer q(kBits);
+  const auto values = GenerateClustered(4000, 4, 2, 0.02, 45);
+  const PointSet sample = q.QuantizeAll(values, 4);
+  QuadTreePartitioner tree(sample, 16);
+  std::vector<size_t> sizes(tree.num_groups(), 0);
+  for (size_t i = 0; i < sample.size(); ++i) sizes[tree.GroupOf(sample[i])]++;
+  const size_t max_size = *std::max_element(sizes.begin(), sizes.end());
+  // The heaviest leaf holds far less than a whole cluster (n/2).
+  EXPECT_LT(max_size, sample.size() / 4);
+}
+
+TEST(DominanceVolumeTest, BasicProperties) {
+  const RZRegion low({0, 0}, {99, 99});
+  const RZRegion high({500, 500}, {599, 599});
+  const RZRegion side({500, 0}, {599, 99});
+  // Full dominance: volume of the dominated box.
+  const double full = DominanceVolume(low, high, kBits);
+  const double scale = static_cast<double>(Coord{1} << kBits);
+  EXPECT_NEAR(full, (100.0 / scale) * (100.0 / scale), 1e-12);
+  // Symmetry.
+  EXPECT_EQ(DominanceVolume(high, low, kBits), full);
+  // Self-volume is zero.
+  EXPECT_EQ(DominanceVolume(low, low, kBits), 0.0);
+  // Incomparable disjoint corners: zero.
+  const RZRegion other_side({0, 500}, {99, 599});
+  EXPECT_EQ(DominanceVolume(side, other_side, kBits), 0.0);
+  // Partial dominance yields a positive corner volume when the extents
+  // differ per dimension.
+  const RZRegion side_tall({500, 10}, {599, 120});
+  EXPECT_GT(DominanceVolume(low, side_tall, kBits), 0.0);
+  // Definition 5 degenerates to zero when the regions share an extent
+  // exactly (the corner has zero width in that dimension).
+  EXPECT_EQ(DominanceVolume(low, side, kBits), 0.0);
+}
+
+TEST(DominanceVolumeTest, MatrixAndPower) {
+  std::vector<RZRegion> regions{RZRegion({0, 0}, {9, 9}),
+                                RZRegion({20, 20}, {29, 29}),
+                                RZRegion({40, 40}, {49, 49})};
+  const auto dm = DominanceMatrix(regions, kBits);
+  ASSERT_EQ(dm.size(), 9u);
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(dm[i * 3 + i], 0.0);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) EXPECT_EQ(dm[i * 3 + j], dm[j * 3 + i]);
+  }
+  const auto power = DominancePower(dm, 3);
+  ASSERT_EQ(power.size(), 3u);
+  // Region 0 dominates both others; region 2 dominates none but is counted
+  // symmetrically, so all powers are positive here.
+  for (double p : power) EXPECT_GT(p, 0.0);
+}
+
+class GroupingTest : public ::testing::TestWithParam<GroupingStrategy> {};
+
+TEST_P(GroupingTest, EveryPointRoutesToAValidGroup) {
+  const GroupingStrategy strategy = GetParam();
+  ZOrderCodec codec(5, kBits);
+  const PointSet sample = MakePoints(Distribution::kIndependent, 3000, 5, 8);
+  ZOrderGroupedPartitioner::Options options;
+  options.num_groups = 8;
+  options.expansion = 4;
+  options.strategy = strategy;
+  ZOrderGroupedPartitioner partitioner(&codec, sample, options);
+  EXPECT_GE(partitioner.num_groups(), 1u);
+  const PointSet data = MakePoints(Distribution::kIndependent, 5000, 5, 9);
+  size_t dropped = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const int32_t g = partitioner.GroupOf(data[i]);
+    if (g == kDroppedGroup) {
+      ++dropped;
+      continue;
+    }
+    ASSERT_LT(static_cast<uint32_t>(g), partitioner.num_groups());
+  }
+  if (strategy != GroupingStrategy::kDominance) {
+    EXPECT_EQ(dropped, 0u);
+    EXPECT_EQ(partitioner.pruned_partition_count(), 0u);
+  }
+}
+
+TEST_P(GroupingTest, DroppedPointsAreNeverSkylinePoints) {
+  const GroupingStrategy strategy = GetParam();
+  ZOrderCodec codec(3, kBits);
+  const PointSet data = MakePoints(Distribution::kIndependent, 4000, 3, 10);
+  // Use the data itself as the sample: pruning decisions are then exact.
+  ZOrderGroupedPartitioner::Options options;
+  options.num_groups = 6;
+  options.expansion = 4;
+  options.strategy = strategy;
+  ZOrderGroupedPartitioner partitioner(&codec, data, options);
+  const SkylineIndices sky = SortBasedSkyline(data);
+  std::vector<uint8_t> is_sky(data.size(), 0);
+  for (uint32_t s : sky) is_sky[s] = 1;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (partitioner.GroupOf(data[i]) == kDroppedGroup) {
+      EXPECT_FALSE(is_sky[i]) << "skyline point dropped by pruning";
+    }
+  }
+}
+
+TEST_P(GroupingTest, PartitionRegionsCoverTheirPoints) {
+  const GroupingStrategy strategy = GetParam();
+  ZOrderCodec codec(4, kBits);
+  const PointSet sample = MakePoints(Distribution::kAnticorrelated, 2000, 4, 11);
+  ZOrderGroupedPartitioner::Options options;
+  options.num_groups = 5;
+  options.strategy = strategy;
+  ZOrderGroupedPartitioner partitioner(&codec, sample, options);
+  const PointSet data = MakePoints(Distribution::kAnticorrelated, 3000, 4, 12);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const ZAddress z = codec.Encode(data[i]);
+    // Locate the partition by address, then check region containment.
+    size_t part = partitioner.num_partitions();
+    for (size_t p = partitioner.num_partitions(); p-- > 0;) {
+      if (!(z < partitioner.partition_lower(p))) {
+        part = p;
+        break;
+      }
+    }
+    ASSERT_LT(part, partitioner.num_partitions());
+    EXPECT_TRUE(partitioner.partition_region(part).ContainsPoint(data[i]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, GroupingTest,
+                         ::testing::Values(GroupingStrategy::kNaiveZ,
+                                           GroupingStrategy::kHeuristic,
+                                           GroupingStrategy::kDominance));
+
+TEST(GroupingBalanceTest, NaiveZBalancesInputCounts) {
+  ZOrderCodec codec(6, kBits);
+  const PointSet sample = MakePoints(Distribution::kIndependent, 5000, 6, 13);
+  ZOrderGroupedPartitioner::Options options;
+  options.num_groups = 8;
+  options.strategy = GroupingStrategy::kNaiveZ;
+  ZOrderGroupedPartitioner partitioner(&codec, sample, options);
+  const PointSet data = MakePoints(Distribution::kIndependent, 16000, 6, 14);
+  std::vector<size_t> sizes(partitioner.num_groups(), 0);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const int32_t g = partitioner.GroupOf(data[i]);
+    ASSERT_GE(g, 0);
+    sizes[g]++;
+  }
+  const double mean =
+      static_cast<double>(data.size()) / partitioner.num_groups();
+  for (size_t s : sizes) {
+    EXPECT_LT(s, 1.6 * mean);
+    EXPECT_GT(s, 0.4 * mean);
+  }
+}
+
+TEST(GroupingBalanceTest, ZhgBalancesSampleSkyline) {
+  ZOrderCodec codec(4, kBits);
+  const PointSet sample =
+      MakePoints(Distribution::kAnticorrelated, 4000, 4, 15);
+  ZOrderGroupedPartitioner::Options options;
+  options.num_groups = 8;
+  options.expansion = 4;
+  options.strategy = GroupingStrategy::kHeuristic;
+  ZOrderGroupedPartitioner partitioner(&codec, sample, options);
+  // Sum sample-skyline counts per group; they should be roughly equal.
+  std::map<int32_t, uint64_t> sky_per_group;
+  for (size_t p = 0; p < partitioner.num_partitions(); ++p) {
+    const int32_t g = partitioner.group_of_partition(p);
+    if (g == kDroppedGroup) continue;
+    sky_per_group[g] += partitioner.partition_skyline_count(p);
+  }
+  uint64_t total = 0;
+  uint64_t max_group = 0;
+  for (const auto& [g, count] : sky_per_group) {
+    total += count;
+    max_group = std::max(max_group, count);
+  }
+  ASSERT_GT(total, 0u);
+  const double mean = static_cast<double>(total) / sky_per_group.size();
+  EXPECT_LT(static_cast<double>(max_group), 2.5 * mean);
+}
+
+TEST(GroupingBalanceTest, GroupCountNeverExceedsM) {
+  ZOrderCodec codec(5, kBits);
+  for (uint64_t seed : {21u, 22u, 23u}) {
+    const PointSet sample =
+        MakePoints(Distribution::kAnticorrelated, 3000, 5, seed);
+    for (GroupingStrategy strategy :
+         {GroupingStrategy::kHeuristic, GroupingStrategy::kDominance}) {
+      for (uint32_t m : {1u, 4u, 8u, 32u}) {
+        ZOrderGroupedPartitioner::Options options;
+        options.num_groups = m;
+        options.expansion = 4;
+        options.strategy = strategy;
+        ZOrderGroupedPartitioner partitioner(&codec, sample, options);
+        EXPECT_LE(partitioner.num_groups(), m)
+            << GroupingStrategyName(strategy) << " m=" << m;
+        EXPECT_GE(partitioner.num_groups(), 1u);
+      }
+    }
+  }
+}
+
+TEST(GroupingBalanceTest, ZdgInputSharesStayBalanced) {
+  ZOrderCodec codec(5, kBits);
+  const PointSet sample = MakePoints(Distribution::kIndependent, 6000, 5, 24);
+  ZOrderGroupedPartitioner::Options options;
+  options.num_groups = 16;
+  options.expansion = 4;
+  options.strategy = GroupingStrategy::kDominance;
+  ZOrderGroupedPartitioner partitioner(&codec, sample, options);
+  const PointSet data = MakePoints(Distribution::kIndependent, 20000, 5, 25);
+  std::vector<size_t> sizes(partitioner.num_groups(), 0);
+  size_t routed = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const int32_t g = partitioner.GroupOf(data[i]);
+    if (g < 0) continue;
+    sizes[g]++;
+    ++routed;
+  }
+  const double mean = static_cast<double>(routed) / sizes.size();
+  for (size_t s : sizes) EXPECT_LT(static_cast<double>(s), 2.2 * mean);
+}
+
+TEST(GroupingTest, SingleGroupRoutesEverything) {
+  ZOrderCodec codec(3, kBits);
+  const PointSet sample = MakePoints(Distribution::kIndependent, 500, 3, 26);
+  ZOrderGroupedPartitioner::Options options;
+  options.num_groups = 1;
+  options.strategy = GroupingStrategy::kHeuristic;
+  ZOrderGroupedPartitioner partitioner(&codec, sample, options);
+  EXPECT_EQ(partitioner.num_groups(), 1u);
+  const PointSet data = MakePoints(Distribution::kIndependent, 1000, 3, 27);
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(partitioner.GroupOf(data[i]), 0);
+  }
+}
+
+TEST(GroupingTest, SampleSmallerThanPartitionTarget) {
+  ZOrderCodec codec(2, kBits);
+  PointSet sample(2);
+  sample.Append({1, 2});
+  sample.Append({3, 4});
+  sample.Append({5, 6});
+  ZOrderGroupedPartitioner::Options options;
+  options.num_groups = 16;
+  options.expansion = 8;  // Asks for 128 partitions from 3 samples.
+  options.strategy = GroupingStrategy::kDominance;
+  ZOrderGroupedPartitioner partitioner(&codec, sample, options);
+  EXPECT_LE(partitioner.num_partitions(), 3u);
+  const PointSet data = MakePoints(Distribution::kIndependent, 200, 2, 28);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const int32_t g = partitioner.GroupOf(data[i]);
+    EXPECT_TRUE(g == kDroppedGroup ||
+                static_cast<uint32_t>(g) < partitioner.num_groups());
+  }
+}
+
+TEST(GroupingTest, DuplicateHeavySample) {
+  // Many duplicate points: cut deduplication must not produce empty or
+  // inverted partitions.
+  ZOrderCodec codec(2, kBits);
+  PointSet sample(2);
+  for (int i = 0; i < 500; ++i) sample.Append({7, 7});
+  for (int i = 0; i < 10; ++i) {
+    sample.Append({static_cast<Coord>(i), static_cast<Coord>(10 - i)});
+  }
+  for (GroupingStrategy strategy :
+       {GroupingStrategy::kNaiveZ, GroupingStrategy::kHeuristic,
+        GroupingStrategy::kDominance}) {
+    ZOrderGroupedPartitioner::Options options;
+    options.num_groups = 8;
+    options.strategy = strategy;
+    ZOrderGroupedPartitioner partitioner(&codec, sample, options);
+    EXPECT_GE(partitioner.num_groups(), 1u);
+    const PointSet data = MakePoints(Distribution::kIndependent, 500, 2, 29);
+    for (size_t i = 0; i < data.size(); ++i) {
+      const int32_t g = partitioner.GroupOf(data[i]);
+      EXPECT_TRUE(g == kDroppedGroup ||
+                  static_cast<uint32_t>(g) < partitioner.num_groups());
+    }
+  }
+}
+
+TEST(GroupingTest, ZdgPrunesOnCorrelatedData) {
+  // Correlated data has long dominated tails along the diagonal: ZDG must
+  // prune some partitions outright.
+  ZOrderCodec codec(4, kBits);
+  const PointSet sample = MakePoints(Distribution::kCorrelated, 4000, 4, 16);
+  ZOrderGroupedPartitioner::Options options;
+  options.num_groups = 8;
+  options.expansion = 4;
+  options.strategy = GroupingStrategy::kDominance;
+  ZOrderGroupedPartitioner partitioner(&codec, sample, options);
+  EXPECT_GT(partitioner.pruned_partition_count(), 0u);
+}
+
+}  // namespace
+}  // namespace zsky

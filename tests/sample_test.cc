@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/quantizer.h"
+#include "gen/synthetic.h"
+#include "sample/reservoir.h"
+
+namespace zsky {
+namespace {
+
+TEST(ReservoirTest, SampleSizeAndUniqueness) {
+  Rng rng(1);
+  const auto rows = ReservoirSampleIndices(1000, 100, rng);
+  EXPECT_EQ(rows.size(), 100u);
+  auto sorted = rows;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+              sorted.end());
+  EXPECT_LT(sorted.back(), 1000u);
+}
+
+TEST(ReservoirTest, KAtLeastNReturnsAll) {
+  Rng rng(2);
+  const auto rows = ReservoirSampleIndices(10, 20, rng);
+  ASSERT_EQ(rows.size(), 10u);
+  for (uint32_t i = 0; i < 10; ++i) EXPECT_EQ(rows[i], i);
+}
+
+TEST(ReservoirTest, ApproximatelyUniform) {
+  // Each index should be selected with probability k/n; count selections
+  // over many trials and bound the deviation.
+  const size_t n = 50;
+  const size_t k = 10;
+  const int trials = 5000;
+  std::vector<int> counts(n, 0);
+  Rng rng(3);
+  for (int t = 0; t < trials; ++t) {
+    for (uint32_t row : ReservoirSampleIndices(n, k, rng)) ++counts[row];
+  }
+  const double expected = static_cast<double>(trials) * k / n;
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(counts[i], expected, 0.15 * expected) << "index " << i;
+  }
+}
+
+TEST(ReservoirTest, GatherPoints) {
+  const Quantizer q(8);
+  const PointSet ps =
+      GenerateQuantized(Distribution::kIndependent, 500, 3, 7, q);
+  Rng rng(4);
+  const PointSet sample = ReservoirSample(ps, 50, rng);
+  EXPECT_EQ(sample.size(), 50u);
+  EXPECT_EQ(sample.dim(), 3u);
+}
+
+}  // namespace
+}  // namespace zsky

@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include "common/dominance.h"
+#include "common/quantizer.h"
+#include "common/rng.h"
+#include "gen/synthetic.h"
+#include "zorder/rz_region.h"
+#include "zorder/zaddress.h"
+#include "zorder/zorder_codec.h"
+
+namespace zsky {
+namespace {
+
+PointSet RandomPoints(size_t n, uint32_t dim, uint32_t bits, uint64_t seed) {
+  Rng rng(seed);
+  const Coord max_value =
+      bits == 32 ? 0xFFFFFFFFu : ((Coord{1} << bits) - 1);
+  PointSet ps(dim);
+  std::vector<Coord> row(dim);
+  for (size_t i = 0; i < n; ++i) {
+    for (uint32_t k = 0; k < dim; ++k) {
+      row[k] = static_cast<Coord>(rng.NextBounded(uint64_t{max_value} + 1));
+    }
+    ps.Append(row);
+  }
+  return ps;
+}
+
+TEST(ZAddressTest, BitSetGet) {
+  ZAddress a(2);
+  EXPECT_FALSE(a.GetBit(0));
+  a.SetBit(0, true);
+  a.SetBit(63, true);
+  a.SetBit(64, true);
+  a.SetBit(100, true);
+  EXPECT_TRUE(a.GetBit(0));
+  EXPECT_TRUE(a.GetBit(63));
+  EXPECT_TRUE(a.GetBit(64));
+  EXPECT_TRUE(a.GetBit(100));
+  EXPECT_FALSE(a.GetBit(1));
+  a.SetBit(64, false);
+  EXPECT_FALSE(a.GetBit(64));
+}
+
+TEST(ZAddressTest, LexicographicCompare) {
+  ZAddress a(2), b(2);
+  a.SetBit(5, true);
+  b.SetBit(6, true);
+  EXPECT_TRUE(b < a);  // Bit 5 is more significant than bit 6.
+  EXPECT_TRUE(a > b);
+  EXPECT_TRUE(a == a);
+}
+
+TEST(ZAddressTest, CommonPrefixLength) {
+  ZAddress a(2), b(2);
+  a.SetBit(10, true);
+  b.SetBit(10, true);
+  EXPECT_EQ(a.CommonPrefixLength(b, 128), 128u);
+  b.SetBit(70, true);
+  EXPECT_EQ(a.CommonPrefixLength(b, 128), 70u);
+  EXPECT_EQ(a.CommonPrefixLength(b, 40), 40u);  // Capped.
+}
+
+TEST(ZAddressTest, PredecessorBorrows) {
+  ZAddress a(2);
+  a.SetBit(63, true);  // words = {1, 0}
+  ZAddress p = a.Predecessor();
+  EXPECT_EQ(p.words()[0], 0u);
+  EXPECT_EQ(p.words()[1], ~uint64_t{0});
+  EXPECT_TRUE(p < a);
+}
+
+TEST(ZAddressTest, IsZero) {
+  ZAddress a(2);
+  EXPECT_TRUE(a.IsZero());
+  a.SetBit(100, true);
+  EXPECT_FALSE(a.IsZero());
+}
+
+TEST(ZOrderCodecTest, KnownInterleaving2D) {
+  // 2-d, 2 bits: point (1, 2) = (01, 10) -> interleaved (msb first,
+  // dim0 then dim1 per level): level0 bits (0,1) level1 bits (1,0)
+  // -> 0110 packed at the top of the word.
+  ZOrderCodec codec(2, 2);
+  PointSet ps(2);
+  ps.Append({1, 2});
+  ZAddress a = codec.Encode(ps[0]);
+  EXPECT_EQ(a.words()[0] >> 60, 0b0110u);
+}
+
+TEST(ZOrderCodecTest, RoundTripRandom) {
+  for (uint32_t dim : {1u, 2u, 3u, 5u, 16u, 64u}) {
+    for (uint32_t bits : {1u, 4u, 16u, 32u}) {
+      ZOrderCodec codec(dim, bits);
+      PointSet ps = RandomPoints(50, dim, bits, dim * 100 + bits);
+      for (size_t i = 0; i < ps.size(); ++i) {
+        const ZAddress a = codec.Encode(ps[i]);
+        const std::vector<Coord> back = codec.Decode(a);
+        for (uint32_t k = 0; k < dim; ++k) EXPECT_EQ(back[k], ps[i][k]);
+      }
+    }
+  }
+}
+
+// The property the whole library rests on: dominance implies smaller
+// Z-address.
+TEST(ZOrderCodecTest, MonotoneWithDominance) {
+  const uint32_t dim = 4;
+  const uint32_t bits = 8;
+  ZOrderCodec codec(dim, bits);
+  PointSet ps = RandomPoints(400, dim, bits, 99);
+  const auto addresses = codec.EncodeAll(ps);
+  size_t dominated_pairs = 0;
+  for (size_t i = 0; i < ps.size(); ++i) {
+    for (size_t j = 0; j < ps.size(); ++j) {
+      if (i == j) continue;
+      if (Dominates(ps[i], ps[j])) {
+        ++dominated_pairs;
+        EXPECT_TRUE(addresses[i] < addresses[j])
+            << "dominating point must have smaller z-address";
+      }
+    }
+  }
+  EXPECT_GT(dominated_pairs, 0u);
+}
+
+TEST(ZAddressTest, PredecessorIsGreatestSmallerValue) {
+  // Property: pred(a) < a, and no encodable address lies strictly between
+  // them (checked against all points of a small 2-d/3-bit domain).
+  ZOrderCodec codec(2, 3);
+  std::vector<ZAddress> all;
+  PointSet domain(2);
+  for (Coord x = 0; x < 8; ++x) {
+    for (Coord y = 0; y < 8; ++y) domain.Append({x, y});
+  }
+  for (size_t i = 0; i < domain.size(); ++i) {
+    all.push_back(codec.Encode(domain[i]));
+  }
+  std::sort(all.begin(), all.end());
+  for (size_t i = 1; i < all.size(); ++i) {
+    const ZAddress pred = all[i].Predecessor();
+    EXPECT_TRUE(pred < all[i]);
+    // The previous address in sorted order must be <= pred.
+    EXPECT_TRUE(all[i - 1] <= pred);
+  }
+}
+
+TEST(ZOrderCodecTest, SortedAddressesVisitCurveInOrder) {
+  // In 1-d the Z-order is the numeric order: addresses sort exactly like
+  // coordinate values.
+  ZOrderCodec codec(1, 16);
+  Rng rng(123);
+  std::vector<Coord> values(500);
+  for (auto& v : values) v = static_cast<Coord>(rng.NextBounded(65536));
+  PointSet ps(1);
+  for (Coord v : values) ps.Append({v});
+  auto addresses = codec.EncodeAll(ps);
+  for (size_t i = 0; i < values.size(); ++i) {
+    for (size_t j = 0; j < values.size(); ++j) {
+      EXPECT_EQ(values[i] < values[j], addresses[i] < addresses[j]);
+    }
+  }
+}
+
+TEST(ZOrderCodecTest, MinMaxAddresses) {
+  ZOrderCodec codec(3, 5);
+  const auto zeros = codec.Decode(codec.MinAddress());
+  const auto ones = codec.Decode(codec.MaxAddress());
+  for (uint32_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(zeros[k], 0u);
+    EXPECT_EQ(ones[k], 31u);
+  }
+}
+
+TEST(RZRegionTest, FromAddressesPaperExample) {
+  // Paper Section 3: addresses "10110", "10011", "10010" share prefix
+  // "10"; minpt = "10000", maxpt = "10111". Model as 1-d, 5 bits (pure
+  // bit strings).
+  ZOrderCodec codec(1, 5);
+  PointSet ps(1);
+  ps.Append({0b10010});
+  ps.Append({0b10110});
+  const ZAddress alpha = codec.Encode(ps[0]);
+  const ZAddress beta = codec.Encode(ps[1]);
+  const RZRegion r = RZRegion::FromAddresses(codec, alpha, beta);
+  EXPECT_EQ(r.min_corner()[0], 0b10000u);
+  EXPECT_EQ(r.max_corner()[0], 0b10111u);
+}
+
+TEST(RZRegionTest, ContainsAllCoveredPoints) {
+  // Every point whose address lies in [alpha, beta] must lie inside the
+  // RZ-region box.
+  const uint32_t dim = 3;
+  const uint32_t bits = 6;
+  ZOrderCodec codec(dim, bits);
+  PointSet ps = RandomPoints(200, dim, bits, 5);
+  auto addresses = codec.EncodeAll(ps);
+  const ZAddress alpha = std::min(addresses[0], addresses[1]);
+  const ZAddress beta = std::max(addresses[0], addresses[1]);
+  const RZRegion region = RZRegion::FromAddresses(codec, alpha, beta);
+  for (size_t i = 0; i < ps.size(); ++i) {
+    if (alpha <= addresses[i] && addresses[i] <= beta) {
+      EXPECT_TRUE(region.ContainsPoint(ps[i]));
+    }
+  }
+}
+
+TEST(RZRegionTest, Lemma1DominanceSoundness) {
+  // If region A dominates region B, every covered point of A dominates
+  // every covered point of B.
+  const uint32_t dim = 2;
+  const uint32_t bits = 6;
+  ZOrderCodec codec(dim, bits);
+  Rng rng(17);
+  size_t dominating_cases = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    PointSet ps = RandomPoints(4, dim, bits, 1000 + trial);
+    auto a0 = codec.Encode(ps[0]);
+    auto a1 = codec.Encode(ps[1]);
+    auto b0 = codec.Encode(ps[2]);
+    auto b1 = codec.Encode(ps[3]);
+    if (a1 < a0) std::swap(a0, a1);
+    if (b1 < b0) std::swap(b0, b1);
+    const RZRegion ra = RZRegion::FromAddresses(codec, a0, a1);
+    const RZRegion rb = RZRegion::FromAddresses(codec, b0, b1);
+    if (ra.DominatesRegion(rb)) {
+      ++dominating_cases;
+      // Endpoints of each region are covered points.
+      EXPECT_TRUE(Dominates(ps[0], ps[2]));
+      EXPECT_TRUE(Dominates(ps[0], ps[3]));
+      EXPECT_TRUE(Dominates(ps[1], ps[2]));
+      EXPECT_TRUE(Dominates(ps[1], ps[3]));
+    }
+    if (ra.IncomparableWith(rb)) {
+      EXPECT_FALSE(Dominates(ps[0], ps[2]));
+      EXPECT_FALSE(Dominates(ps[2], ps[0]));
+      EXPECT_FALSE(Dominates(ps[1], ps[3]));
+      EXPECT_FALSE(Dominates(ps[3], ps[1]));
+    }
+  }
+  SUCCEED() << "dominating cases: " << dominating_cases;
+}
+
+TEST(RZRegionTest, PointRegionTests) {
+  RZRegion region({4, 4}, {8, 8});
+  PointSet ps(2);
+  ps.Append({1, 1});   // Dominates the whole region.
+  ps.Append({5, 5});   // Inside.
+  ps.Append({9, 9});   // Dominated by every region point? No: may not.
+  ps.Append({0, 20});  // Incomparable-ish.
+  EXPECT_TRUE(region.DominatedByPoint(ps[0]));
+  EXPECT_FALSE(region.DominatedByPoint(ps[1]));
+  EXPECT_TRUE(region.MayDominatePoint(ps[2]));
+  EXPECT_FALSE(region.MayDominatePoint(ps[0]));
+  EXPECT_TRUE(region.ContainsPoint(ps[1]));
+  EXPECT_FALSE(region.ContainsPoint(ps[3]));
+}
+
+TEST(RZRegionTest, ExtendToCover) {
+  RZRegion region({4, 4}, {8, 8});
+  RZRegion other({2, 6}, {3, 10});
+  region.ExtendToCover(other);
+  EXPECT_EQ(region.min_corner()[0], 2u);
+  EXPECT_EQ(region.max_corner()[1], 10u);
+  PointSet ps(2);
+  ps.Append({20, 0});
+  region.ExtendToCover(ps[0]);
+  EXPECT_EQ(region.max_corner()[0], 20u);
+  EXPECT_EQ(region.min_corner()[1], 0u);
+}
+
+TEST(RZRegionTest, ClassifyRelations) {
+  RZRegion low({0, 0}, {1, 1});
+  RZRegion high({5, 5}, {6, 6});
+  RZRegion side({5, 0}, {6, 1});
+  EXPECT_EQ(low.Classify(high), RegionRelation::kDominates);
+  EXPECT_NE(high.Classify(low), RegionRelation::kDominates);
+  EXPECT_EQ(side.Classify(high), RegionRelation::kPartial);
+  // `low` may dominate part of `side` (classification is symmetric for
+  // the partial case).
+  EXPECT_EQ(side.Classify(low), RegionRelation::kPartial);
+  RZRegion disjoint({0, 5}, {1, 6});
+  EXPECT_EQ(side.Classify(disjoint), RegionRelation::kIncomparable);
+}
+
+}  // namespace
+}  // namespace zsky

@@ -1,0 +1,48 @@
+# CLI smoke test driven by CTest: gen -> query (+plan/topk) -> skyband.
+set(DATA "${WORK_DIR}/cli_smoke.csv")
+
+execute_process(
+  COMMAND ${CLI} gen --dist anti --n 3000 --dim 4 --seed 7 --out ${DATA}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "gen failed: ${rc}")
+endif()
+
+execute_process(
+  COMMAND ${CLI} query --in ${DATA} --scheme zdg --groups 6 --metrics
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "query failed: ${rc}\n${err}")
+endif()
+if(NOT out MATCHES "skyline rows")
+  message(FATAL_ERROR "query output missing skyline rows:\n${out}")
+endif()
+if(NOT err MATCHES "candidates")
+  message(FATAL_ERROR "metrics output missing:\n${err}")
+endif()
+
+execute_process(
+  COMMAND ${CLI} query --in ${DATA} --plan --topk 3 --json
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "planned query failed: ${rc}\n${err}")
+endif()
+if(NOT out MATCHES "top-3")
+  message(FATAL_ERROR "topk output missing:\n${out}")
+endif()
+if(NOT err MATCHES "\"sim_total_ms\"")
+  message(FATAL_ERROR "json output missing:\n${err}")
+endif()
+
+execute_process(
+  COMMAND ${CLI} skyband --in ${DATA} --k 2
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "skyband failed: ${rc}")
+endif()
+if(NOT out MATCHES "2-skyband rows")
+  message(FATAL_ERROR "skyband output missing:\n${out}")
+endif()
+
+file(REMOVE ${DATA})
+message(STATUS "cli smoke test passed")

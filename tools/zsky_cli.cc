@@ -1,0 +1,271 @@
+// zsky command-line tool: generate datasets and run skyline queries on
+// CSV files with any strategy combination.
+//
+//   zsky_cli gen   --dist <indep|corr|anti> --n <rows> --dim <d>
+//                  [--seed S] [--out file.csv]
+//   zsky_cli query --in file.csv [--scheme grid|angle|quadtree|naive-z|
+//                  zhg|zdg] [--local sb|zs] [--merge sb|zs|zm]
+//                  [--groups M] [--max col1,col3] [--topk K]
+//                  [--rank count|sum] [--metrics]
+//
+// `--max` lists columns to maximize (everything else is minimized).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "zsky.h"
+
+namespace {
+
+using namespace zsky;
+
+[[noreturn]] void Usage(const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr,
+               "usage:\n"
+               "  zsky_cli gen   --dist indep|corr|anti --n N --dim D"
+               " [--seed S] [--out FILE]\n"
+               "  zsky_cli query --in FILE [--scheme zdg] [--local zs]"
+               " [--merge zm]\n"
+               "                 [--groups M] [--max c0,c2,...]"
+               " [--topk K] [--rank count|sum]\n"
+               "                 [--plan] [--metrics] [--json]\n"
+               "  zsky_cli skyband --in FILE --k K [--groups M]"
+               " [--metrics]\n");
+  std::exit(2);
+}
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) Usage(("unexpected argument " + arg).c_str());
+    arg = arg.substr(2);
+    if (arg == "metrics" || arg == "json" || arg == "plan") {
+      flags[arg] = "1";
+      continue;
+    }
+    if (i + 1 >= argc) Usage(("missing value for --" + arg).c_str());
+    flags[arg] = argv[++i];
+  }
+  return flags;
+}
+
+std::string Flag(const std::map<std::string, std::string>& flags,
+                 const std::string& name, const std::string& fallback) {
+  auto it = flags.find(name);
+  return it == flags.end() ? fallback : it->second;
+}
+
+int RunGen(const std::map<std::string, std::string>& flags) {
+  const std::string dist_name = Flag(flags, "dist", "indep");
+  Distribution dist;
+  if (dist_name == "indep") {
+    dist = Distribution::kIndependent;
+  } else if (dist_name == "corr") {
+    dist = Distribution::kCorrelated;
+  } else if (dist_name == "anti") {
+    dist = Distribution::kAnticorrelated;
+  } else {
+    Usage("unknown --dist");
+  }
+  const size_t n = std::strtoull(Flag(flags, "n", "10000").c_str(), nullptr,
+                                 10);
+  const auto dim = static_cast<uint32_t>(
+      std::strtoul(Flag(flags, "dim", "5").c_str(), nullptr, 10));
+  const uint64_t seed =
+      std::strtoull(Flag(flags, "seed", "42").c_str(), nullptr, 10);
+  if (n == 0 || dim == 0) Usage("--n and --dim must be positive");
+
+  CsvTable table;
+  table.dim = dim;
+  table.rows = n;
+  for (uint32_t c = 0; c < dim; ++c) {
+    table.columns.push_back("col" + std::to_string(c));
+  }
+  table.values = GenerateSynthetic(dist, n, dim, seed);
+  const std::string csv = WriteCsv(table, CsvOptions{});
+
+  const std::string out = Flag(flags, "out", "");
+  if (out.empty()) {
+    std::fwrite(csv.data(), 1, csv.size(), stdout);
+  } else {
+    std::FILE* file = std::fopen(out.c_str(), "wb");
+    if (file == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 1;
+    }
+    std::fwrite(csv.data(), 1, csv.size(), file);
+    std::fclose(file);
+    std::fprintf(stderr, "wrote %zu rows x %u cols to %s\n", n, dim,
+                 out.c_str());
+  }
+  return 0;
+}
+
+std::optional<PartitioningScheme> SchemeFromName(const std::string& name) {
+  if (name == "grid") return PartitioningScheme::kGrid;
+  if (name == "angle") return PartitioningScheme::kAngle;
+  if (name == "quadtree") return PartitioningScheme::kQuadTree;
+  if (name == "naive-z") return PartitioningScheme::kNaiveZ;
+  if (name == "zhg") return PartitioningScheme::kZhg;
+  if (name == "zdg") return PartitioningScheme::kZdg;
+  return std::nullopt;
+}
+
+int RunQuery(const std::map<std::string, std::string>& flags) {
+  const std::string in = Flag(flags, "in", "");
+  if (in.empty()) Usage("query requires --in");
+  std::string error;
+  auto table = ReadCsvFile(in, CsvOptions{}, &error);
+  if (!table.has_value()) {
+    std::fprintf(stderr, "csv error: %s\n", error.c_str());
+    return 1;
+  }
+
+  std::vector<uint32_t> maximize;
+  const std::string max_flag = Flag(flags, "max", "");
+  size_t pos = 0;
+  while (pos < max_flag.size()) {
+    const size_t comma = max_flag.find(',', pos);
+    const std::string token = max_flag.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? max_flag.size() : comma + 1;
+    if (token.empty()) continue;
+    // Accept column names or indices.
+    bool matched = false;
+    for (uint32_t c = 0; c < table->dim; ++c) {
+      if (table->columns[c] == token) {
+        maximize.push_back(c);
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      char* end = nullptr;
+      const unsigned long index = std::strtoul(token.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || index >= table->dim) {
+        Usage(("unknown column in --max: " + token).c_str());
+      }
+      maximize.push_back(static_cast<uint32_t>(index));
+    }
+  }
+
+  const Quantizer quantizer(16);
+  const PointSet points = TableToPoints(*table, maximize, quantizer);
+
+  ExecutorOptions options;
+  const auto scheme = SchemeFromName(Flag(flags, "scheme", "zdg"));
+  if (!scheme.has_value()) Usage("unknown --scheme");
+  options.partitioning = *scheme;
+  const std::string local = Flag(flags, "local", "zs");
+  if (local == "sb") {
+    options.local = LocalAlgorithm::kSortBased;
+  } else if (local == "zs") {
+    options.local = LocalAlgorithm::kZSearch;
+  } else {
+    Usage("unknown --local");
+  }
+  const std::string merge = Flag(flags, "merge", "zm");
+  if (merge == "sb") {
+    options.merge = MergeAlgorithm::kSortBased;
+  } else if (merge == "zs") {
+    options.merge = MergeAlgorithm::kZSearch;
+  } else if (merge == "zm") {
+    options.merge = MergeAlgorithm::kZMerge;
+  } else {
+    Usage("unknown --merge");
+  }
+  options.num_groups = static_cast<uint32_t>(
+      std::strtoul(Flag(flags, "groups", "8").c_str(), nullptr, 10));
+  options.bits = quantizer.bits();
+
+  if (flags.count("plan") != 0) {
+    // Let the planner choose the strategy from data statistics.
+    const PlanDecision decision = PlanQuery(points, options);
+    options = decision.options;
+    std::fprintf(stderr, "plan: %s -> %s\n", decision.rationale.c_str(),
+                 options.Label().c_str());
+  }
+
+  const SkylineQueryResult result =
+      ParallelSkylineExecutor(options).Execute(points);
+
+  const size_t topk =
+      std::strtoull(Flag(flags, "topk", "0").c_str(), nullptr, 10);
+  if (topk > 0) {
+    const std::string rank_name = Flag(flags, "rank", "count");
+    const SkylineRank rank = rank_name == "sum" ? SkylineRank::kScoreSum
+                                                : SkylineRank::kDominanceCount;
+    const auto ranked = TopKSkyline(points, result.skyline, topk, rank);
+    std::printf("top-%zu skyline rows by %s:\n", topk,
+                std::string(SkylineRankName(rank)).c_str());
+    for (const RankedPoint& rp : ranked) {
+      std::printf("  row %u", rp.row);
+      for (uint32_t c = 0; c < table->dim; ++c) {
+        std::printf(" %s=%.6g", table->columns[c].c_str(),
+                    table->values[rp.row * table->dim + c]);
+      }
+      std::printf("\n");
+    }
+  } else {
+    std::printf("skyline rows (%zu of %zu):\n", result.skyline.size(),
+                table->rows);
+    for (uint32_t row : result.skyline) std::printf("%u\n", row);
+  }
+
+  if (flags.count("metrics") != 0) {
+    std::fprintf(stderr, "%s\n%s",
+                 FormatRunSummary(options, table->rows, result).c_str(),
+                 FormatPhaseMetrics(result.metrics).c_str());
+  }
+  if (flags.count("json") != 0) {
+    std::fprintf(stderr, "%s\n", MetricsToJson(result.metrics).c_str());
+  }
+  return 0;
+}
+
+int RunSkyband(const std::map<std::string, std::string>& flags) {
+  const std::string in = Flag(flags, "in", "");
+  if (in.empty()) Usage("skyband requires --in");
+  std::string error;
+  auto table = ReadCsvFile(in, CsvOptions{}, &error);
+  if (!table.has_value()) {
+    std::fprintf(stderr, "csv error: %s\n", error.c_str());
+    return 1;
+  }
+  const Quantizer quantizer(16);
+  const PointSet points = TableToPoints(*table, {}, quantizer);
+  SkybandOptions options;
+  options.k = static_cast<uint32_t>(
+      std::strtoul(Flag(flags, "k", "2").c_str(), nullptr, 10));
+  options.num_groups = static_cast<uint32_t>(
+      std::strtoul(Flag(flags, "groups", "8").c_str(), nullptr, 10));
+  options.bits = quantizer.bits();
+  const SkylineQueryResult result = DistributedSkyband(points, options);
+  std::printf("%u-skyband rows (%zu of %zu):\n", options.k,
+              result.skyline.size(), table->rows);
+  for (uint32_t row : result.skyline) std::printf("%u\n", row);
+  if (flags.count("metrics") != 0) {
+    std::fprintf(stderr, "%s", FormatPhaseMetrics(result.metrics).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) Usage();
+  const std::string command = argv[1];
+  const auto flags = ParseFlags(argc, argv, 2);
+  if (command == "gen") return RunGen(flags);
+  if (command == "query") return RunQuery(flags);
+  if (command == "skyband") return RunSkyband(flags);
+  Usage(("unknown command " + command).c_str());
+}
