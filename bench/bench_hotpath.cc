@@ -1,0 +1,245 @@
+// Hot-path ablation bench: measures each of the three hot-path mechanisms
+// in isolation (persistent worker pool vs spawn-per-wave threads, block
+// vs scalar dominance kernel, parallel vs serial shuffle) and then the
+// end-to-end pipeline with everything on vs the seed configuration,
+// verifying the skylines are bit-identical. Emits BENCH_hotpath.json for
+// machine consumption next to the usual "# CSV" rows.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "algo/sort_based.h"
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "mapreduce/job.h"
+#include "mapreduce/task_runner.h"
+#include "mapreduce/worker_pool.h"
+
+namespace zsky::bench {
+namespace {
+
+constexpr int kReps = 3;
+
+// Best-of-k wall time of `fn` in ms.
+template <typename Fn>
+double BestMs(const Fn& fn, int reps = kReps) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch watch;
+    fn();
+    const double ms = watch.ElapsedMs();
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+struct Pair {
+  double baseline_ms;
+  double optimized_ms;
+  double Speedup() const {
+    return optimized_ms > 0.0 ? baseline_ms / optimized_ms : 0.0;
+  }
+};
+
+// --- 1. Pool reuse vs spawn-per-wave: many small waves back-to-back,
+// the wave pattern a query pipeline produces. ---
+Pair BenchPool() {
+  constexpr uint32_t kThreads = 4;
+  constexpr size_t kWaves = 300;
+  constexpr size_t kTasksPerWave = 16;
+  auto work = [](size_t) {
+    volatile uint64_t x = 0;
+    for (int i = 0; i < 2000; ++i) x += i;
+  };
+  Pair result;
+  result.baseline_ms = BestMs([&] {
+    for (size_t w = 0; w < kWaves; ++w) {
+      mr::TaskRunner(kThreads).Run(kTasksPerWave, work);
+    }
+  });
+  result.optimized_ms = BestMs([&] {
+    mr::WorkerPool pool(kThreads);
+    for (size_t w = 0; w < kWaves; ++w) {
+      pool.Run(kTasksPerWave, work);
+    }
+  });
+  return result;
+}
+
+// --- 2. Block vs scalar dominance kernel: sort-based skyline window
+// scans, the kernel's densest call site. ---
+Pair BenchKernel(const PointSet& points) {
+  Pair result;
+  SkylineIndices scalar;
+  SkylineIndices block;
+  result.baseline_ms =
+      BestMs([&] { scalar = SortBasedSkyline(points, false); });
+  result.optimized_ms =
+      BestMs([&] { block = SortBasedSkyline(points, true); });
+  if (scalar != block) {
+    std::printf("!! kernel outputs DIVERGED\n");
+    result.optimized_ms = 0.0;
+  }
+  return result;
+}
+
+// --- 3. Parallel vs serial shuffle: a shuffle-heavy job (no combiner,
+// many records, several reducers). ---
+Pair BenchShuffle() {
+  auto run = [](bool parallel) {
+    mr::MapReduceJob<uint64_t>::Options options;
+    options.num_reduce_tasks = 8;
+    options.num_threads = 4;
+    options.parallel_shuffle = parallel;
+    mr::MapReduceJob<uint64_t> job(options);
+    double shuffle_ms = 0.0;
+    const mr::JobMetrics metrics = job.Run(
+        16,
+        [](size_t task, const mr::MapReduceJob<uint64_t>::Emit& emit) {
+          for (uint64_t v = 0; v < 60000; ++v) {
+            emit(static_cast<int32_t>((task + v) % 64), v);
+          }
+        },
+        nullptr, [](int32_t, std::vector<uint64_t>) {});
+    shuffle_ms = metrics.shuffle_wall_ms;
+    return shuffle_ms;
+  };
+  // Report the measured shuffle stage itself, not whole-job time.
+  Pair result;
+  result.baseline_ms = 1e300;
+  result.optimized_ms = 1e300;
+  for (int r = 0; r < kReps; ++r) {
+    result.baseline_ms = std::min(result.baseline_ms, run(false));
+    result.optimized_ms = std::min(result.optimized_ms, run(true));
+  }
+  return result;
+}
+
+// --- 4. End-to-end Execute: everything on vs the seed configuration. ---
+ExecutorOptions PipelineOptions(bool hot) {
+  ExecutorOptions options;
+  options.bits = kBits;
+  options.partitioning = PartitioningScheme::kZdg;
+  options.local = LocalAlgorithm::kZSearch;
+  options.merge = MergeAlgorithm::kZMerge;
+  options.num_groups = 8;
+  options.num_map_tasks = 16;
+  options.num_threads = 4;
+  options.reuse_worker_pool = hot;
+  options.parallel_shuffle = hot;
+  options.use_block_kernel = hot;
+  options.job2_map_tasks = hot ? 0 : 1;  // Seed ran job 2's map as 1 task.
+  return options;
+}
+
+struct EndToEnd {
+  Pair time;
+  bool identical = false;
+  size_t skyline = 0;
+};
+
+EndToEnd BenchEndToEnd(const PointSet& points) {
+  EndToEnd result;
+  SkylineIndices seed_skyline;
+  SkylineIndices hot_skyline;
+  {
+    const ParallelSkylineExecutor executor(PipelineOptions(false));
+    result.time.baseline_ms = BestMs([&] {
+      seed_skyline = executor.Execute(points).skyline;
+    });
+  }
+  {
+    const ParallelSkylineExecutor executor(PipelineOptions(true));
+    result.time.optimized_ms = BestMs([&] {
+      hot_skyline = executor.Execute(points).skyline;
+    });
+  }
+  result.identical = seed_skyline == hot_skyline;
+  result.skyline = hot_skyline.size();
+  return result;
+}
+
+void WriteJson(const char* path, size_t n, uint32_t dim, const Pair& pool,
+               const Pair& kernel, const Pair& shuffle,
+               const EndToEnd& e2e) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::printf("!! cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f,
+               "  \"workload\": {\"n\": %zu, \"dim\": %u, "
+               "\"distribution\": \"independent\"},\n",
+               n, dim);
+  auto section = [&](const char* name, const char* base_key,
+                     const char* opt_key, const Pair& p, bool last) {
+    std::fprintf(f,
+                 "  \"%s\": {\"%s\": %.3f, \"%s\": %.3f, "
+                 "\"speedup\": %.3f}%s\n",
+                 name, base_key, p.baseline_ms, opt_key, p.optimized_ms,
+                 p.Speedup(), last ? "" : ",");
+  };
+  section("pool", "spawn_per_wave_ms", "worker_pool_ms", pool, false);
+  section("kernel", "scalar_ms", "block_ms", kernel, false);
+  section("shuffle", "serial_ms", "parallel_ms", shuffle, false);
+  std::fprintf(f,
+               "  \"end_to_end\": {\"seed_ms\": %.3f, \"hotpath_ms\": %.3f, "
+               "\"speedup\": %.3f, \"identical\": %s, "
+               "\"skyline_size\": %zu}\n",
+               e2e.time.baseline_ms, e2e.time.optimized_ms,
+               e2e.time.Speedup(), e2e.identical ? "true" : "false",
+               e2e.skyline);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+int Main() {
+  constexpr size_t kN = 500000;
+  constexpr uint32_t kDim = 8;
+  PrintBanner("hotpath", "persistent pool / block kernel / parallel shuffle",
+              "500k x 8d end-to-end plus per-mechanism ablations");
+
+  const PointSet points = MakeData(Distribution::kIndependent, kN, kDim, 42);
+
+  const Pair pool = BenchPool();
+  std::printf("%-28s %10s %10s %8s\n", "mechanism", "baseline", "optimized",
+              "speedup");
+  std::printf("%-28s %9.1fms %9.1fms %7.2fx\n", "pool (300 waves x 16 tasks)",
+              pool.baseline_ms, pool.optimized_ms, pool.Speedup());
+
+  const Pair kernel = BenchKernel(points);
+  std::printf("%-28s %9.1fms %9.1fms %7.2fx\n", "kernel (sort-based 500kx8d)",
+              kernel.baseline_ms, kernel.optimized_ms, kernel.Speedup());
+
+  const Pair shuffle = BenchShuffle();
+  std::printf("%-28s %9.1fms %9.1fms %7.2fx\n", "shuffle (960k recs, 8 red)",
+              shuffle.baseline_ms, shuffle.optimized_ms, shuffle.Speedup());
+
+  const EndToEnd e2e = BenchEndToEnd(points);
+  std::printf("%-28s %9.1fms %9.1fms %7.2fx  identical=%s\n",
+              "end-to-end Execute", e2e.time.baseline_ms,
+              e2e.time.optimized_ms, e2e.time.Speedup(),
+              e2e.identical ? "yes" : "NO");
+
+  std::printf("# CSV,mechanism,baseline_ms,optimized_ms,speedup\n");
+  std::printf("# CSV,pool,%.3f,%.3f,%.3f\n", pool.baseline_ms,
+              pool.optimized_ms, pool.Speedup());
+  std::printf("# CSV,kernel,%.3f,%.3f,%.3f\n", kernel.baseline_ms,
+              kernel.optimized_ms, kernel.Speedup());
+  std::printf("# CSV,shuffle,%.3f,%.3f,%.3f\n", shuffle.baseline_ms,
+              shuffle.optimized_ms, shuffle.Speedup());
+  std::printf("# CSV,end_to_end,%.3f,%.3f,%.3f\n", e2e.time.baseline_ms,
+              e2e.time.optimized_ms, e2e.time.Speedup());
+
+  WriteJson("BENCH_hotpath.json", kN, kDim, pool, kernel, shuffle, e2e);
+  return e2e.identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace zsky::bench
+
+int main() { return zsky::bench::Main(); }

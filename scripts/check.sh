@@ -1,8 +1,24 @@
 #!/usr/bin/env bash
 # Full local check: Release + Debug builds, tests in both, then the bench
 # suite in Release. Mirrors what CI would run.
+#
+# `scripts/check.sh tsan` instead builds with -fsanitize=thread and runs
+# the concurrency-sensitive tests (worker pool / MapReduce engine /
+# executor pipeline) under ThreadSanitizer.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "tsan" ]; then
+  echo "=== ThreadSanitizer build + concurrency tests ==="
+  cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DZSKY_SANITIZE=thread \
+        -DZSKY_BUILD_BENCHMARKS=OFF -DZSKY_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-tsan --target mapreduce_test executor_test
+  ctest --test-dir build-tsan --output-on-failure \
+        -R 'WorkerPool|MapReduceJob|TaskRunner|Executor|Pipeline'
+  echo "TSAN CHECKS PASSED"
+  exit 0
+fi
 
 echo "=== Release build + tests ==="
 cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=Release >/dev/null

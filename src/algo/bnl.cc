@@ -3,10 +3,13 @@
 #include <algorithm>
 
 #include "common/dominance.h"
+#include "common/dominance_block.h"
 
 namespace zsky {
 
-SkylineIndices BnlSkyline(const PointSet& points) {
+namespace {
+
+SkylineIndices BnlSkylineScalar(const PointSet& points) {
   // Window of candidate skyline indices. With unbounded memory (our case)
   // BNL needs a single pass.
   SkylineIndices window;
@@ -31,6 +34,40 @@ SkylineIndices BnlSkyline(const PointSet& points) {
   }
   SortSkyline(window);
   return window;
+}
+
+SkylineIndices BnlSkylineBlock(const PointSet& points) {
+  // Same single-pass BNL, with the window mirrored in a structure-of-arrays
+  // block. The window is mutually non-dominating, so if some entry
+  // dominates p then (by transitivity) p dominates no entry — testing
+  // AnyDominates first and only then evicting matches the scalar pass.
+  SkylineIndices window;
+  DominanceBlock block(points.dim());
+  std::vector<uint8_t> dominated_flags;
+  const size_t n = points.size();
+  for (size_t i = 0; i < n; ++i) {
+    const auto p = points[i];
+    if (block.AnyDominates(p)) continue;
+    if (block.DominatedBitmap(p, dominated_flags) > 0) {
+      block.Remove(dominated_flags);
+      size_t kept = 0;
+      for (size_t w = 0; w < window.size(); ++w) {
+        if (!dominated_flags[w]) window[kept++] = window[w];
+      }
+      window.resize(kept);
+    }
+    block.Append(p);
+    window.push_back(static_cast<uint32_t>(i));
+  }
+  SortSkyline(window);
+  return window;
+}
+
+}  // namespace
+
+SkylineIndices BnlSkyline(const PointSet& points, bool use_block_kernel) {
+  return use_block_kernel ? BnlSkylineBlock(points)
+                          : BnlSkylineScalar(points);
 }
 
 }  // namespace zsky

@@ -11,7 +11,12 @@ namespace zsky {
 // entries it dominates and is discarded if any window entry dominates it.
 //
 // This is the unsorted baseline the paper's SB strategy improves on.
-SkylineIndices BnlSkyline(const PointSet& points);
+//
+// `use_block_kernel` selects the structure-of-arrays block dominance
+// kernel (DominanceBlock) for the window scans; off = per-pair scalar
+// Dominates(). Both produce identical skylines.
+SkylineIndices BnlSkyline(const PointSet& points,
+                          bool use_block_kernel = true);
 
 }  // namespace zsky
 

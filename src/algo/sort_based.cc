@@ -4,10 +4,12 @@
 #include <numeric>
 
 #include "common/dominance.h"
+#include "common/dominance_block.h"
 
 namespace zsky {
 
-SkylineIndices SortBasedSkyline(const PointSet& points) {
+SkylineIndices SortBasedSkyline(const PointSet& points,
+                                bool use_block_kernel) {
   const size_t n = points.size();
   std::vector<uint32_t> order(n);
   std::iota(order.begin(), order.end(), 0u);
@@ -24,16 +26,29 @@ SkylineIndices SortBasedSkyline(const PointSet& points) {
   });
 
   SkylineIndices skyline;
-  for (uint32_t idx : order) {
-    const auto p = points[idx];
-    bool dominated = false;
-    for (uint32_t s : skyline) {
-      if (Dominates(points[s], p)) {
-        dominated = true;
-        break;
+  if (use_block_kernel && n > 0) {
+    // Window entries never get evicted (sorted order guarantees no later
+    // point dominates an earlier one), so the block only ever grows.
+    DominanceBlock window(points.dim());
+    for (uint32_t idx : order) {
+      const auto p = points[idx];
+      if (!window.AnyDominates(p)) {
+        window.Append(p);
+        skyline.push_back(idx);
       }
     }
-    if (!dominated) skyline.push_back(idx);
+  } else {
+    for (uint32_t idx : order) {
+      const auto p = points[idx];
+      bool dominated = false;
+      for (uint32_t s : skyline) {
+        if (Dominates(points[s], p)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) skyline.push_back(idx);
+    }
   }
   SortSkyline(skyline);
   return skyline;

@@ -14,7 +14,12 @@ namespace zsky {
 // If p dominates q then sum(p) < sum(q), so after sorting ascending by sum
 // every dominator of a point precedes it, and nothing a point dominates
 // can already be in the window.
-SkylineIndices SortBasedSkyline(const PointSet& points);
+//
+// `use_block_kernel` selects the structure-of-arrays block dominance
+// kernel (DominanceBlock) for the window scan; off = per-pair scalar
+// Dominates(). Both produce identical skylines.
+SkylineIndices SortBasedSkyline(const PointSet& points,
+                                bool use_block_kernel = true);
 
 }  // namespace zsky
 

@@ -1,0 +1,154 @@
+#include "common/dominance_block.h"
+
+#include <algorithm>
+
+namespace zsky {
+
+bool SoAAnyDominates(const Coord* base, size_t stride, uint32_t dim,
+                     size_t begin, size_t end, std::span<const Coord> p) {
+  ZSKY_DCHECK(p.size() == dim);
+  uint8_t leq[kDominanceTile];
+  uint8_t lt[kDominanceTile];
+  const Coord p0 = p[0];
+  for (size_t at = begin; at < end; at += kDominanceTile) {
+    const size_t m = std::min(kDominanceTile, end - at);
+    const Coord* lane0 = base + at;
+    for (size_t j = 0; j < m; ++j) {
+      leq[j] = static_cast<uint8_t>(lane0[j] <= p0);
+      lt[j] = static_cast<uint8_t>(lane0[j] < p0);
+    }
+    for (uint32_t k = 1; k < dim; ++k) {
+      const Coord* lane = base + k * stride + at;
+      const Coord pk = p[k];
+      for (size_t j = 0; j < m; ++j) {
+        leq[j] &= static_cast<uint8_t>(lane[j] <= pk);
+        lt[j] |= static_cast<uint8_t>(lane[j] < pk);
+      }
+    }
+    uint8_t any = 0;
+    for (size_t j = 0; j < m; ++j) {
+      any |= static_cast<uint8_t>(leq[j] & lt[j]);
+    }
+    if (any) return true;
+  }
+  return false;
+}
+
+size_t SoACountDominators(const Coord* base, size_t stride, uint32_t dim,
+                          size_t begin, size_t end, std::span<const Coord> p) {
+  ZSKY_DCHECK(p.size() == dim);
+  uint8_t leq[kDominanceTile];
+  uint8_t lt[kDominanceTile];
+  size_t count = 0;
+  const Coord p0 = p[0];
+  for (size_t at = begin; at < end; at += kDominanceTile) {
+    const size_t m = std::min(kDominanceTile, end - at);
+    const Coord* lane0 = base + at;
+    for (size_t j = 0; j < m; ++j) {
+      leq[j] = static_cast<uint8_t>(lane0[j] <= p0);
+      lt[j] = static_cast<uint8_t>(lane0[j] < p0);
+    }
+    for (uint32_t k = 1; k < dim; ++k) {
+      const Coord* lane = base + k * stride + at;
+      const Coord pk = p[k];
+      for (size_t j = 0; j < m; ++j) {
+        leq[j] &= static_cast<uint8_t>(lane[j] <= pk);
+        lt[j] |= static_cast<uint8_t>(lane[j] < pk);
+      }
+    }
+    for (size_t j = 0; j < m; ++j) {
+      count += static_cast<size_t>(leq[j] & lt[j]);
+    }
+  }
+  return count;
+}
+
+size_t SoAMarkDominatedBy(const Coord* base, size_t stride, uint32_t dim,
+                          size_t begin, size_t end, std::span<const Coord> p,
+                          uint8_t* out) {
+  ZSKY_DCHECK(p.size() == dim);
+  uint8_t geq[kDominanceTile];
+  uint8_t gt[kDominanceTile];
+  size_t count = 0;
+  const Coord p0 = p[0];
+  for (size_t at = begin; at < end; at += kDominanceTile) {
+    const size_t m = std::min(kDominanceTile, end - at);
+    const Coord* lane0 = base + at;
+    for (size_t j = 0; j < m; ++j) {
+      geq[j] = static_cast<uint8_t>(lane0[j] >= p0);
+      gt[j] = static_cast<uint8_t>(lane0[j] > p0);
+    }
+    for (uint32_t k = 1; k < dim; ++k) {
+      const Coord* lane = base + k * stride + at;
+      const Coord pk = p[k];
+      for (size_t j = 0; j < m; ++j) {
+        geq[j] &= static_cast<uint8_t>(lane[j] >= pk);
+        gt[j] |= static_cast<uint8_t>(lane[j] > pk);
+      }
+    }
+    uint8_t* slab = out + (at - begin);
+    for (size_t j = 0; j < m; ++j) {
+      slab[j] = static_cast<uint8_t>(geq[j] & gt[j]);
+      count += slab[j];
+    }
+  }
+  return count;
+}
+
+void DominanceBlock::Regrow(size_t min_capacity) {
+  size_t grown = std::max<size_t>(kDominanceTile, capacity_ * 2);
+  while (grown < min_capacity) grown *= 2;
+  std::vector<Coord> data(grown * dim_);
+  for (uint32_t k = 0; k < dim_; ++k) {
+    std::copy_n(data_.data() + k * capacity_, size_, data.data() + k * grown);
+  }
+  data_ = std::move(data);
+  capacity_ = grown;
+}
+
+void DominanceBlock::Append(std::span<const Coord> p) {
+  ZSKY_DCHECK(p.size() == dim_);
+  if (size_ == capacity_) Regrow(size_ + 1);
+  for (uint32_t k = 0; k < dim_; ++k) {
+    data_[k * capacity_ + size_] = p[k];
+  }
+  ++size_;
+}
+
+void DominanceBlock::AppendAll(const PointSet& points) {
+  ZSKY_DCHECK(points.dim() == dim_);
+  Reserve(size_ + points.size());
+  const size_t n = points.size();
+  for (size_t i = 0; i < n; ++i) Append(points[i]);
+}
+
+size_t DominanceBlock::DominatedBitmap(std::span<const Coord> p,
+                                       std::vector<uint8_t>& out) const {
+  out.assign(size_, 0);
+  if (size_ == 0) return 0;
+  return SoAMarkDominatedBy(data_.data(), capacity_, dim_, 0, size_, p,
+                            out.data());
+}
+
+void DominanceBlock::Remove(const std::vector<uint8_t>& flags) {
+  ZSKY_DCHECK(flags.size() == size_);
+  for (uint32_t k = 0; k < dim_; ++k) {
+    Coord* lane = data_.data() + k * capacity_;
+    size_t kept = 0;
+    for (size_t i = 0; i < size_; ++i) {
+      if (!flags[i]) lane[kept++] = lane[i];
+    }
+  }
+  size_t kept = 0;
+  for (size_t i = 0; i < size_; ++i) kept += flags[i] ? 0u : 1u;
+  size_ = kept;
+}
+
+void DominanceBlock::CopyPoint(size_t i, std::span<Coord> out) const {
+  ZSKY_DCHECK(i < size_ && out.size() == dim_);
+  for (uint32_t k = 0; k < dim_; ++k) {
+    out[k] = data_[k * capacity_ + i];
+  }
+}
+
+}  // namespace zsky

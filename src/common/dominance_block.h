@@ -1,0 +1,98 @@
+#ifndef ZSKY_COMMON_DOMINANCE_BLOCK_H_
+#define ZSKY_COMMON_DOMINANCE_BLOCK_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/point_set.h"
+
+namespace zsky {
+
+// Points per inner tile of the block dominance kernels. A tile is small
+// enough for its uint8 flag buffers to stay in L1 yet wide enough that the
+// per-dimension compare loops auto-vectorize.
+inline constexpr size_t kDominanceTile = 128;
+
+// Structure-of-arrays dominance kernels. Each scans points [begin, end) of
+// a column-major block whose k-th coordinate lane starts at
+// `base + k * stride` (stride >= end). They replace per-pair Dominates()
+// calls on hot paths: instead of short-circuiting per point, whole tiles
+// are compared dimension-by-dimension over contiguous lanes, with an
+// early exit per tile.
+
+// True iff some scanned point strictly dominates `p`.
+bool SoAAnyDominates(const Coord* base, size_t stride, uint32_t dim,
+                     size_t begin, size_t end, std::span<const Coord> p);
+
+// Number of scanned points strictly dominating `p`.
+size_t SoACountDominators(const Coord* base, size_t stride, uint32_t dim,
+                          size_t begin, size_t end, std::span<const Coord> p);
+
+// Flags the scanned points strictly dominated by `p`:
+// out[i - begin] = 1 iff point i is dominated, 0 otherwise. `out` must hold
+// end - begin entries. Returns the number of flagged points.
+size_t SoAMarkDominatedBy(const Coord* base, size_t stride, uint32_t dim,
+                          size_t begin, size_t end, std::span<const Coord> p,
+                          uint8_t* out);
+
+// A growable batch of points in structure-of-arrays layout, answering
+// dominance questions against the whole batch with the kernels above.
+// Skyline windows (sort-based BNL passes, the BNL window itself) are the
+// intended use: append accepted points, test each incoming point against
+// the batch.
+class DominanceBlock {
+ public:
+  explicit DominanceBlock(uint32_t dim) : dim_(dim) { ZSKY_CHECK(dim >= 1); }
+
+  uint32_t dim() const { return dim_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void Reserve(size_t n) {
+    if (n > capacity_) Regrow(n);
+  }
+
+  void Clear() { size_ = 0; }
+
+  // Appends one point (must have dim() coordinates).
+  void Append(std::span<const Coord> p);
+
+  // Appends every point of `points` (dimensions must match).
+  void AppendAll(const PointSet& points);
+
+  // True iff some stored point strictly dominates `p`.
+  bool AnyDominates(std::span<const Coord> p) const {
+    return SoAAnyDominates(data_.data(), capacity_, dim_, 0, size_, p);
+  }
+
+  // Number of stored points strictly dominating `p`.
+  size_t CountDominators(std::span<const Coord> p) const {
+    return SoACountDominators(data_.data(), capacity_, dim_, 0, size_, p);
+  }
+
+  // Sets out[i] = 1 iff `p` strictly dominates stored point i (out is
+  // resized to size()). Returns the number of dominated points.
+  size_t DominatedBitmap(std::span<const Coord> p,
+                         std::vector<uint8_t>& out) const;
+
+  // Removes every point whose flag is set, preserving the order of the
+  // survivors. `flags` must have size() entries.
+  void Remove(const std::vector<uint8_t>& flags);
+
+  // Copies stored point `i` out (row-major), mainly for tests.
+  void CopyPoint(size_t i, std::span<Coord> out) const;
+
+ private:
+  void Regrow(size_t min_capacity);
+
+  uint32_t dim_;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+  // Lane k occupies [k * capacity_, k * capacity_ + size_).
+  std::vector<Coord> data_;
+};
+
+}  // namespace zsky
+
+#endif  // ZSKY_COMMON_DOMINANCE_BLOCK_H_

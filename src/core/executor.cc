@@ -28,11 +28,12 @@ namespace {
 
 SkylineIndices LocalSkyline(const ZOrderCodec& codec, const PointSet& points,
                             LocalAlgorithm algorithm,
-                            const ZBTree::Options& tree_options) {
+                            const ZBTree::Options& tree_options,
+                            bool use_block_kernel) {
   if (points.empty()) return {};
   switch (algorithm) {
     case LocalAlgorithm::kSortBased:
-      return SortBasedSkyline(points);
+      return SortBasedSkyline(points, use_block_kernel);
     case LocalAlgorithm::kZSearch:
       return ZSearchSkyline(codec, points, tree_options);
     case LocalAlgorithm::kBbs: {
@@ -65,6 +66,9 @@ ParallelSkylineExecutor::ParallelSkylineExecutor(const ExecutorOptions& options)
   ZSKY_CHECK(options.num_map_tasks >= 1);
   ZSKY_CHECK(options.sample_ratio > 0.0 && options.sample_ratio <= 1.0);
   ZSKY_CHECK(options.bits >= 1 && options.bits <= 32);
+  if (options_.reuse_worker_pool) {
+    pool_ = std::make_unique<mr::WorkerPool>(options_.num_threads);
+  }
 }
 
 SkylineQueryResult ParallelSkylineExecutor::Execute(
@@ -77,6 +81,10 @@ SkylineQueryResult ParallelSkylineExecutor::Execute(
   const size_t n = points.size();
   const uint32_t dim = points.dim();
   ZOrderCodec codec(dim, options_.bits);
+  // Tree geometry plus the hot-path kernel toggle; used for every tree
+  // this query builds (SZB filter, local skylines, merge trees).
+  ZBTree::Options tree_options = options_.tree;
+  tree_options.block_leaf_scan = options_.use_block_kernel;
 
   // ----- Phase 1: preprocessing (Section 5.1). -----
   Stopwatch pre_watch;
@@ -136,7 +144,7 @@ SkylineQueryResult ParallelSkylineExecutor::Execute(
   }
   if (sample_skyline.empty()) {
     // Grid/Angle path: compute the sample skyline for the mapper filter.
-    for (uint32_t idx : SortBasedSkyline(sample)) {
+    for (uint32_t idx : SortBasedSkyline(sample, options_.use_block_kernel)) {
       sample_skyline.AppendFrom(sample, idx);
     }
   }
@@ -153,7 +161,7 @@ SkylineQueryResult ParallelSkylineExecutor::Execute(
       options_.partitioning == PartitioningScheme::kZdg;
   std::optional<ZBTree> szb_tree;
   if (options_.enable_szb_filter && z_scheme && !sample_skyline.empty()) {
-    szb_tree.emplace(&codec, sample_skyline, options_.tree);
+    szb_tree.emplace(&codec, sample_skyline, tree_options);
   }
   pm.preprocess_ms = pre_watch.ElapsedMs();
 
@@ -169,6 +177,12 @@ SkylineQueryResult ParallelSkylineExecutor::Execute(
   typename mr::MapReduceJob<uint32_t>::Options job1_options;
   job1_options.num_reduce_tasks = partitioner->num_groups();
   job1_options.num_threads = options_.num_threads;
+  job1_options.pool = pool_.get();
+  job1_options.spawn_per_wave = !options_.reuse_worker_pool;
+  job1_options.parallel_shuffle = options_.parallel_shuffle;
+  job1_options.split_size = [n, num_map_tasks](size_t task) {
+    return (task + 1) * n / num_map_tasks - task * n / num_map_tasks;
+  };
   job1_options.enable_combiner = options_.enable_combiner;
   job1_options.max_task_attempts = options_.max_task_attempts;
   if (options_.failure_injector != nullptr) {
@@ -207,7 +221,8 @@ SkylineQueryResult ParallelSkylineExecutor::Execute(
       [&](std::vector<uint32_t> rows) -> std::vector<uint32_t> {
     const PointSet local = PointSet::Gather(points, rows);
     const SkylineIndices sky =
-        LocalSkyline(codec, local, options_.local, options_.tree);
+        LocalSkyline(codec, local, options_.local, tree_options,
+                     options_.use_block_kernel);
     std::vector<uint32_t> out;
     out.reserve(sky.size());
     for (uint32_t i : sky) out.push_back(rows[i]);
@@ -243,9 +258,25 @@ SkylineQueryResult ParallelSkylineExecutor::Execute(
   // master then merges the partials once (two-level merge tree).
   std::vector<SkylineIndices> partials;
 
+  // The seed (like the paper's formulation) ran job 2's map phase as a
+  // single task; splitting the candidate list across map tasks removes
+  // that serial stage from the hot path.
+  const size_t job2_map_tasks = std::max<size_t>(
+      1, std::min<size_t>(options_.job2_map_tasks != 0
+                              ? options_.job2_map_tasks
+                              : options_.num_map_tasks,
+                          std::max<size_t>(candidates.size(), 1)));
+
   typename mr::MapReduceJob<Candidate>::Options job2_options;
   job2_options.num_reduce_tasks = merge_reducers;
   job2_options.num_threads = options_.num_threads;
+  job2_options.pool = pool_.get();
+  job2_options.spawn_per_wave = !options_.reuse_worker_pool;
+  job2_options.parallel_shuffle = options_.parallel_shuffle;
+  job2_options.split_size = [&candidates, job2_map_tasks](size_t task) {
+    return (task + 1) * candidates.size() / job2_map_tasks -
+           task * candidates.size() / job2_map_tasks;
+  };
   job2_options.enable_combiner = false;
   job2_options.max_task_attempts = options_.max_task_attempts;
   if (options_.failure_injector != nullptr) {
@@ -258,9 +289,12 @@ SkylineQueryResult ParallelSkylineExecutor::Execute(
   }
   mr::MapReduceJob<Candidate> job2(job2_options);
 
-  auto job2_map = [&](size_t /*task*/,
+  auto job2_map = [&](size_t task,
                       const mr::MapReduceJob<Candidate>::Emit& emit) {
-    for (const Candidate& c : candidates) {
+    const size_t begin = task * candidates.size() / job2_map_tasks;
+    const size_t end = (task + 1) * candidates.size() / job2_map_tasks;
+    for (size_t i = begin; i < end; ++i) {
+      const Candidate& c = candidates[i];
       emit(parallel_merge
                ? static_cast<int32_t>(static_cast<uint32_t>(c.first) %
                                       merge_reducers)
@@ -279,10 +313,10 @@ SkylineQueryResult ParallelSkylineExecutor::Execute(
     for (auto& [gid, rows] : by_group) {
       const PointSet group_points = PointSet::Gather(points, rows);
       group_trees.push_back(std::make_unique<ZBTree>(
-          &codec, group_points, std::move(rows), options_.tree));
+          &codec, group_points, std::move(rows), tree_options));
       tree_ptrs.push_back(group_trees.back().get());
     }
-    return ZMergeAll(codec, tree_ptrs, options_.tree, stats);
+    return ZMergeAll(codec, tree_ptrs, tree_options, stats);
   };
   auto job2_reduce = [&](int32_t /*key*/, std::vector<Candidate> values) {
     SkylineIndices merged;
@@ -303,8 +337,8 @@ SkylineQueryResult ParallelSkylineExecutor::Execute(
             options_.merge == MergeAlgorithm::kZSearch
                 ? LocalAlgorithm::kZSearch
                 : LocalAlgorithm::kSortBased;
-        for (uint32_t i :
-             LocalSkyline(codec, all, merge_algo, options_.tree)) {
+        for (uint32_t i : LocalSkyline(codec, all, merge_algo, tree_options,
+                                       options_.use_block_kernel)) {
           merged.push_back(rows[i]);
         }
         break;
@@ -323,24 +357,35 @@ SkylineQueryResult ParallelSkylineExecutor::Execute(
     }
   };
   pm.job2 = job2.Run(
-      1, job2_map, nullptr, job2_reduce,
+      job2_map_tasks, job2_map, nullptr, job2_reduce,
       [point_bytes](const Candidate&) { return point_bytes + 4; });
 
   // Final master-side merge of the partial skylines (parallel merge only).
   double final_merge_ms = 0.0;
   if (parallel_merge) {
     Stopwatch final_watch;
-    std::vector<std::unique_ptr<ZBTree>> partial_trees;
+    std::vector<std::unique_ptr<ZBTree>> partial_trees(partials.size());
+    if (pool_ != nullptr && partials.size() > 1) {
+      pool_->Run(partials.size(), [&](size_t i) {
+        if (partials[i].empty()) return;
+        const PointSet partial_points = PointSet::Gather(points, partials[i]);
+        partial_trees[i] = std::make_unique<ZBTree>(
+            &codec, partial_points, std::move(partials[i]), tree_options);
+      });
+    } else {
+      for (size_t i = 0; i < partials.size(); ++i) {
+        if (partials[i].empty()) continue;
+        const PointSet partial_points = PointSet::Gather(points, partials[i]);
+        partial_trees[i] = std::make_unique<ZBTree>(
+            &codec, partial_points, std::move(partials[i]), tree_options);
+      }
+    }
     std::vector<const ZBTree*> tree_ptrs;
-    for (auto& rows : partials) {
-      if (rows.empty()) continue;
-      const PointSet partial_points = PointSet::Gather(points, rows);
-      partial_trees.push_back(std::make_unique<ZBTree>(
-          &codec, partial_points, std::move(rows), options_.tree));
-      tree_ptrs.push_back(partial_trees.back().get());
+    for (const auto& tree : partial_trees) {
+      if (tree != nullptr) tree_ptrs.push_back(tree.get());
     }
     ZMergeStats stats;
-    final_skyline = ZMergeAll(codec, tree_ptrs, options_.tree, &stats);
+    final_skyline = ZMergeAll(codec, tree_ptrs, tree_options, &stats);
     pm.merge_stats.subtrees_discarded += stats.subtrees_discarded;
     pm.merge_stats.points_tested += stats.points_tested;
     final_merge_ms = final_watch.ElapsedMs();

@@ -2,6 +2,7 @@
 #define ZSKY_CORE_EXECUTOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "algo/skyline.h"
@@ -9,6 +10,7 @@
 #include "core/options.h"
 #include "index/zmerge.h"
 #include "mapreduce/metrics.h"
+#include "mapreduce/worker_pool.h"
 
 namespace zsky {
 
@@ -69,10 +71,17 @@ class ParallelSkylineExecutor {
 
   // Computes the skyline of `points`. Coordinates must fit in
   // options().bits bits per dimension (the Quantizer guarantees this).
+  //
+  // Safe to call repeatedly; concurrent calls on one executor serialize on
+  // the shared worker pool's waves.
   SkylineQueryResult Execute(const PointSet& points) const;
 
  private:
   ExecutorOptions options_;
+  // Persistent worker pool shared by both MR jobs and the final merge of
+  // every Execute() call (created once; null when reuse_worker_pool is
+  // off, in which case jobs spawn threads per wave like the seed did).
+  std::unique_ptr<mr::WorkerPool> pool_;
 };
 
 }  // namespace zsky

@@ -38,6 +38,9 @@ void AppendJob(std::string& out, const char* name,
   AppendKey(out, "shuffle_bytes");
   AppendNumber(out, job.shuffle_bytes);
   out += ',';
+  AppendKey(out, "shuffle_wall_ms");
+  AppendNumber(out, job.shuffle_wall_ms);
+  out += ',';
   AppendKey(out, "combiner_in");
   AppendNumber(out, job.combiner_in);
   out += ',';

@@ -61,6 +61,9 @@ struct ExecutorOptions {
   double sample_ratio = 0.01;
 
   uint32_t num_map_tasks = 16;
+  // Map tasks of MR job 2 (candidate merging); 0 = num_map_tasks. The
+  // paper's original formulation ran job 2's map phase as a single task.
+  uint32_t job2_map_tasks = 0;
   // Reducers of MR job 2 when merge == kParallelZMerge.
   uint32_t merge_reducers = 8;
   // Worker threads (0 = hardware concurrency).
@@ -73,6 +76,18 @@ struct ExecutorOptions {
   // Per-dimension coordinate resolution (must cover the input's values;
   // inputs produced via Quantizer share this).
   uint32_t bits = 16;
+
+  // --- Hot-path controls. All default on; turning one off restores the
+  // corresponding seed behavior (useful for ablation benchmarks). ---
+  // One persistent worker pool per executor, shared by job 1, job 2 and
+  // the final merge. Off = spawn-and-join threads per wave.
+  bool reuse_worker_pool = true;
+  // Reducers pull their shuffle slices concurrently on the pool. Off =
+  // single-threaded shuffle.
+  bool parallel_shuffle = true;
+  // Structure-of-arrays block dominance kernel in the local skylines and
+  // the ZB-tree leaf scans. Off = per-pair scalar Dominates().
+  bool use_block_kernel = true;
 
   // --- Simulated-cluster model (see DESIGN.md "Substitutions"). ---
   // The host may have few cores, so the executor also reports a simulated

@@ -1,9 +1,11 @@
 #include "index/zbtree.h"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 
 #include "common/dominance.h"
+#include "common/dominance_block.h"
 
 namespace zsky {
 
@@ -61,6 +63,15 @@ ZBTree::ZBTree(const ZOrderCodec* codec, const PointSet& points,
   }
   alive_.assign(n, 1);
   alive_total_ = n;
+  if (options_.block_leaf_scan) {
+    soa_.resize(n * static_cast<size_t>(codec_->dim()));
+    for (size_t slot = 0; slot < n; ++slot) {
+      const auto p = points_[slot];
+      for (uint32_t k = 0; k < codec_->dim(); ++k) {
+        soa_[k * n + slot] = p[k];
+      }
+    }
+  }
 
   // Build leaves, then upper levels with fanout `options_.fanout`.
   //
@@ -135,6 +146,12 @@ bool ZBTree::ExistsDominatorIn(uint32_t node_index,
   // subtree does.
   if (Dominates(region.max_corner(), p)) return true;
   if (node.child_end == 0) {
+    if (!soa_.empty()) {
+      // Poisoned (dead) slots are all-max and can never strictly dominate,
+      // so the block scan needs no alive-check.
+      return SoAAnyDominates(soa_.data(), ids_.size(), codec_->dim(),
+                             node.entry_begin, node.entry_end, p);
+    }
     for (size_t slot = node.entry_begin; slot < node.entry_end; ++slot) {
       if (alive_[slot] && Dominates(points_[slot], p)) return true;
     }
@@ -168,6 +185,13 @@ void ZBTree::CountDominatorsIn(uint32_t node_index, std::span<const Coord> p,
     return;
   }
   if (node.child_end == 0) {
+    if (!soa_.empty()) {
+      count = std::min(
+          cap, count + SoACountDominators(soa_.data(), ids_.size(),
+                                          codec_->dim(), node.entry_begin,
+                                          node.entry_end, p));
+      return;
+    }
     for (size_t slot = node.entry_begin;
          slot < node.entry_end && count < cap; ++slot) {
       if (alive_[slot] && Dominates(points_[slot], p)) ++count;
@@ -204,7 +228,7 @@ size_t ZBTree::RemoveDominatedIn(uint32_t node_index,
   if (node.child_end == 0) {
     for (size_t slot = node.entry_begin; slot < node.entry_end; ++slot) {
       if (alive_[slot] && Dominates(p, points_[slot])) {
-        alive_[slot] = 0;
+        PoisonSlot(slot);
         ++removed;
       }
     }
@@ -223,7 +247,7 @@ size_t ZBTree::KillSubtree(uint32_t node_index) {
   if (removed == 0) return 0;
   if (node.child_end == 0) {
     for (size_t slot = node.entry_begin; slot < node.entry_end; ++slot) {
-      alive_[slot] = 0;
+      if (alive_[slot]) PoisonSlot(slot);
     }
   } else {
     for (uint32_t c = node.child_begin; c < node.child_end; ++c) {
@@ -232,6 +256,15 @@ size_t ZBTree::KillSubtree(uint32_t node_index) {
   }
   node.alive = 0;
   return removed;
+}
+
+void ZBTree::PoisonSlot(size_t slot) {
+  alive_[slot] = 0;
+  if (soa_.empty()) return;
+  const size_t n = ids_.size();
+  for (uint32_t k = 0; k < codec_->dim(); ++k) {
+    soa_[k * n + slot] = std::numeric_limits<Coord>::max();
+  }
 }
 
 void ZBTree::CollectAlive(PointSet& points, std::vector<uint32_t>& ids) const {

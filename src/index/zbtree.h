@@ -30,6 +30,10 @@ class ZBTree {
     uint32_t leaf_capacity = 16;
     // Maximum number of children per internal node.
     uint32_t fanout = 8;
+    // Scan leaves with the structure-of-arrays block dominance kernel
+    // (dominance_block.h) instead of per-pair Dominates(). Costs one extra
+    // coordinate mirror of the entries; identical query answers.
+    bool block_leaf_scan = true;
   };
 
   // Opaque reference to a tree node for traversal-based algorithms
@@ -136,6 +140,10 @@ class ZBTree {
                          size_t cap, size_t& count) const;
   size_t RemoveDominatedIn(uint32_t node_index, std::span<const Coord> p);
   size_t KillSubtree(uint32_t node_index);
+  // Tombstones `slot` and, when the SoA mirror exists, poisons its lanes to
+  // the all-max coordinate so block leaf scans skip it without an
+  // alive-check (an all-max point can never strictly dominate).
+  void PoisonSlot(size_t slot);
 
   const ZOrderCodec* codec_;
   Options options_;
@@ -145,6 +153,10 @@ class ZBTree {
   std::vector<uint32_t> ids_;     // Entries' caller ids, Z-sorted.
   std::vector<uint8_t> alive_;    // Tombstone flags per entry.
   std::vector<uint64_t> zwords_;  // Flat Z-address words, Z-sorted.
+  // Column-major coordinate mirror for block leaf scans (empty when
+  // Options::block_leaf_scan is off): lane k is soa_[k*n .. k*n+n).
+  // Tombstoned slots are poisoned to the all-max coordinate.
+  std::vector<Coord> soa_;
   size_t alive_total_ = 0;
 
   std::vector<Node> nodes_;  // Leaves first, then upper levels; root last.

@@ -1,10 +1,14 @@
 #ifndef ZSKY_MAPREDUCE_JOB_H_
 #define ZSKY_MAPREDUCE_JOB_H_
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <functional>
+#include <memory>
 #include <string>
 #include <type_traits>
 #include <unordered_map>
@@ -15,16 +19,25 @@
 #include "common/stopwatch.h"
 #include "mapreduce/metrics.h"
 #include "mapreduce/task_runner.h"
+#include "mapreduce/worker_pool.h"
 
 namespace zsky::mr {
+
+// Process-unique id for spill-file naming. A raw `this` address is not
+// enough: allocators reuse addresses, so two consecutive jobs could write
+// to the same spill path and corrupt each other's shuffle.
+inline uint64_t NextSpillFileId() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
 
 // A single MapReduce job over in-memory data, faithful to the Hadoop
 // execution model the paper targets:
 //
-//   splits --(map tasks, thread pool)--> keyed records
+//   splits --(map tasks, worker pool)--> keyed records
 //          --(per-map-task combiner)--> combined records
-//          --(shuffle: hash keys onto reduce tasks, bytes counted)-->
-//          --(reduce tasks, thread pool)--> user-collected output
+//          --(shuffle: reducers pull their bucket slices, bytes counted)-->
+//          --(reduce tasks, worker pool)--> user-collected output
 //
 // V is the record value type. Keys are int32 (>= 0); negative keys are
 // dropped by the engine (the paper's "if gid is NULL" path for pruned
@@ -33,6 +46,8 @@ namespace zsky::mr {
 // Thread-safety contract: MapFn runs concurrently across splits (emit is
 // task-local). CombineFn runs concurrently across map tasks. ReduceFn runs
 // concurrently across keys; it must synchronize its own output sink.
+// SizeFn runs concurrently across reducers when the parallel shuffle is
+// active.
 template <typename V>
 class MapReduceJob {
  public:
@@ -41,11 +56,29 @@ class MapReduceJob {
 
   struct Options {
     uint32_t num_reduce_tasks = 4;
-    // Worker threads for both waves (0 = hardware concurrency).
+    // Worker threads for both waves (0 = hardware concurrency). Ignored
+    // when `pool` is set (the pool's size wins).
     uint32_t num_threads = 0;
     bool enable_combiner = true;
     // Simulated per-record shuffle overhead in bytes (key + framing).
     size_t record_overhead_bytes = 8;
+
+    // --- Worker pool. ---
+    // Persistent pool to run the waves and the shuffle on, shared across
+    // jobs (one per executor). When null, the job creates its own pool,
+    // reused across its map wave, shuffle and reduce wave. Not owned.
+    WorkerPool* pool = nullptr;
+    // Legacy spawn-and-join-threads-per-wave execution (the seed
+    // behavior), kept for benchmarking against the pool. When set, `pool`
+    // is ignored and the shuffle runs serially.
+    bool spawn_per_wave = false;
+    // Reducers pull their own bucket slices concurrently on the pool
+    // instead of one thread regrouping everything.
+    bool parallel_shuffle = true;
+    // Optional record count of split `i`, used to fill the map tasks'
+    // TaskMetrics::records_in (left zero when absent — the engine cannot
+    // see into opaque splits).
+    std::function<size_t(size_t split)> split_size;
 
     // --- Disk-backed shuffle (Hadoop-style spill). ---
     // When true, every map task's output is written to a spill file and
@@ -76,9 +109,16 @@ class MapReduceJob {
   // Sizes a record for shuffle-byte accounting.
   using SizeFn = std::function<size_t(const V&)>;
 
-  explicit MapReduceJob(const Options& options)
-      : options_(options), runner_(options.num_threads) {
+  explicit MapReduceJob(const Options& options) : options_(options) {
     ZSKY_CHECK(options.num_reduce_tasks >= 1);
+    if (!options_.spawn_per_wave) {
+      if (options_.pool != nullptr) {
+        pool_ = options_.pool;
+      } else {
+        owned_pool_ = std::make_unique<WorkerPool>(options_.num_threads);
+        pool_ = owned_pool_.get();
+      }
+    }
   }
 
   // Runs the job; `combine` may be null (no combiner). Returns metrics.
@@ -125,8 +165,11 @@ class MapReduceJob {
     std::vector<size_t> comb_out(num_splits, 0);
 
     Stopwatch map_watch;
-    metrics.map_tasks = runner_.Run(num_splits, [&](size_t task) {
+    metrics.map_tasks = RunWave(num_splits, [&](size_t task) {
       if (!admit(Wave::kMap, task)) return;
+      if (options_.split_size != nullptr) {
+        map_in[task] = options_.split_size(task);
+      }
       auto& task_buckets = buckets[task];
       task_buckets.resize(r);
       size_t emitted = 0;
@@ -167,12 +210,18 @@ class MapReduceJob {
     }
 
     // --- Optional disk spill: write map outputs out, free memory. ---
+    // The guard removes the files on every exit path (including job
+    // failure), so aborted runs do not leak into spill_dir.
     std::vector<std::string> spill_paths;
+    std::vector<std::vector<uint64_t>> spill_counts;
+    const SpillFileGuard spill_guard{&spill_paths};
     if (options_.spill_to_disk) {
       if constexpr (std::is_trivially_copyable_v<V>) {
         spill_paths.resize(num_splits);
+        spill_counts.resize(num_splits);
         for (size_t task = 0; task < num_splits; ++task) {
-          spill_paths[task] = SpillTask(task, buckets[task], metrics);
+          spill_paths[task] =
+              SpillTask(task, buckets[task], spill_counts[task], metrics);
           buckets[task].clear();
           buckets[task].shrink_to_fit();
         }
@@ -182,37 +231,63 @@ class MapReduceJob {
       }
     }
 
-    // --- Shuffle: regroup records by reducer, count traffic. ---
+    // --- Shuffle: regroup records by reducer, count traffic. With a pool,
+    // every reducer pulls its own bucket slice (or spill-file section)
+    // concurrently; the slices are disjoint, so no locking is needed. ---
+    Stopwatch shuffle_watch;
     std::vector<std::unordered_map<int32_t, std::vector<V>>> reducer_input(r);
-    auto shuffle_record = [&](uint32_t reducer, int32_t key, V value) {
-      ++metrics.shuffle_records;
-      metrics.shuffle_bytes += options_.record_overhead_bytes +
-                               (size_of ? size_of(value) : sizeof(V));
-      reducer_input[reducer][key].push_back(std::move(value));
+    const bool parallel_shuffle =
+        options_.parallel_shuffle && pool_ != nullptr && r > 1;
+    std::vector<size_t> pulled_records(r, 0);
+    std::vector<size_t> pulled_bytes(r, 0);
+    auto record_cost = [&](const V& value) {
+      return options_.record_overhead_bytes +
+             (size_of ? size_of(value) : sizeof(V));
     };
-    if (options_.spill_to_disk) {
-      if constexpr (std::is_trivially_copyable_v<V>) {
-        for (const std::string& path : spill_paths) {
-          UnspillFile(path, shuffle_record);
+    auto pull_reducer = [&](size_t reducer) {
+      auto& input = reducer_input[reducer];
+      if (options_.spill_to_disk) {
+        if constexpr (std::is_trivially_copyable_v<V>) {
+          for (size_t task = 0; task < spill_paths.size(); ++task) {
+            ReadSpillSection(spill_paths[task], spill_counts[task],
+                             static_cast<uint32_t>(reducer),
+                             [&](int32_t key, V value) {
+                               ++pulled_records[reducer];
+                               pulled_bytes[reducer] += record_cost(value);
+                               input[key].push_back(std::move(value));
+                             });
+          }
         }
-      }
-    } else {
-      for (auto& task_buckets : buckets) {
-        if (task_buckets.empty()) continue;
-        for (uint32_t reducer = 0; reducer < r; ++reducer) {
+      } else {
+        for (auto& task_buckets : buckets) {
+          if (task_buckets.empty()) continue;
           for (auto& [key, value] : task_buckets[reducer]) {
-            shuffle_record(reducer, key, std::move(value));
+            ++pulled_records[reducer];
+            pulled_bytes[reducer] += record_cost(value);
+            input[key].push_back(std::move(value));
           }
         }
       }
+    };
+    if (parallel_shuffle) {
+      pool_->Run(r, pull_reducer);
+    } else {
+      for (uint32_t reducer = 0; reducer < r; ++reducer) {
+        pull_reducer(reducer);
+      }
+    }
+    for (uint32_t reducer = 0; reducer < r; ++reducer) {
+      metrics.shuffle_records += pulled_records[reducer];
+      metrics.shuffle_bytes += pulled_bytes[reducer];
     }
     buckets.clear();
+    metrics.shuffle_wall_ms = shuffle_watch.ElapsedMs();
 
     // --- Reduce wave: one task per reducer; each reducer handles its keys
     // sequentially (Hadoop semantics). ---
     std::vector<size_t> reduce_in(r, 0);
     Stopwatch reduce_watch;
-    metrics.reduce_tasks = runner_.Run(r, [&](size_t reducer) {
+    metrics.reduce_tasks = RunWave(r, [&](size_t reducer) {
       if (!admit(Wave::kReduce, reducer)) return;
       for (auto& [key, values] : reducer_input[reducer]) {
         reduce_in[reducer] += values.size();
@@ -230,53 +305,93 @@ class MapReduceJob {
   }
 
  private:
-  // Writes one map task's buckets to a spill file:
-  // repeated (u32 reducer, i32 key, V raw). Returns the path.
+  // Removes any spill files still on disk when the job scope is left —
+  // the success path and every failure path share this cleanup.
+  struct SpillFileGuard {
+    const std::vector<std::string>* paths;
+    ~SpillFileGuard() {
+      for (const std::string& path : *paths) {
+        if (!path.empty()) std::remove(path.c_str());
+      }
+    }
+  };
+
+  // Spill-file layout: a header of num_reduce_tasks uint64 record counts,
+  // then the records grouped by reducer in reducer order, each record a
+  // raw (int32 key, V value). Grouping by reducer lets every reducer seek
+  // straight to its own section during the parallel shuffle.
+  static constexpr size_t kSpillRecordBytes = sizeof(int32_t) + sizeof(V);
+
+  // Writes one map task's buckets to a spill file; fills `counts` with the
+  // per-reducer record counts (the header). Returns the path.
   std::string SpillTask(
       size_t task,
       const std::vector<std::vector<std::pair<int32_t, V>>>& task_buckets,
-      JobMetrics& metrics) const {
+      std::vector<uint64_t>& counts, JobMetrics& metrics) const {
     const std::string path =
         options_.spill_dir + "/zsky_spill_" +
-        std::to_string(reinterpret_cast<uintptr_t>(this)) + "_" +
-        std::to_string(task) + ".bin";
+        std::to_string(static_cast<uint64_t>(::getpid())) + "_" +
+        std::to_string(NextSpillFileId()) + "_" + std::to_string(task) +
+        ".bin";
+    const uint32_t r = options_.num_reduce_tasks;
+    counts.assign(r, 0);
+    for (uint32_t reducer = 0; reducer < task_buckets.size(); ++reducer) {
+      counts[reducer] = task_buckets[reducer].size();
+    }
     std::FILE* file = std::fopen(path.c_str(), "wb");
     ZSKY_CHECK_MSG(file != nullptr, "cannot create spill file");
+    std::fwrite(counts.data(), sizeof(uint64_t), r, file);
+    metrics.spill_bytes += r * sizeof(uint64_t);
     for (uint32_t reducer = 0; reducer < task_buckets.size(); ++reducer) {
       for (const auto& [key, value] : task_buckets[reducer]) {
-        std::fwrite(&reducer, sizeof(reducer), 1, file);
         std::fwrite(&key, sizeof(key), 1, file);
         std::fwrite(&value, sizeof(V), 1, file);
-        metrics.spill_bytes += sizeof(reducer) + sizeof(key) + sizeof(V);
+        metrics.spill_bytes += kSpillRecordBytes;
       }
     }
     std::fclose(file);
     return path;
   }
 
-  // Streams a spill file back through `fn(reducer, key, value)`, then
-  // deletes it.
+  // Streams reducer `reducer`'s section of a spill file through
+  // `fn(key, value)`. `counts` is the file's header as written by
+  // SpillTask. The file is left in place (the guard removes it).
   template <typename Fn>
-  void UnspillFile(const std::string& path, const Fn& fn) const {
+  void ReadSpillSection(const std::string& path,
+                        const std::vector<uint64_t>& counts, uint32_t reducer,
+                        const Fn& fn) const {
+    uint64_t skip = 0;
+    for (uint32_t q = 0; q < reducer; ++q) skip += counts[q];
+    const uint64_t want = counts[reducer];
+    if (want == 0) return;
     std::FILE* file = std::fopen(path.c_str(), "rb");
     ZSKY_CHECK_MSG(file != nullptr, "cannot reopen spill file");
-    for (;;) {
-      uint32_t reducer = 0;
+    const long offset = static_cast<long>(
+        counts.size() * sizeof(uint64_t) + skip * kSpillRecordBytes);
+    ZSKY_CHECK(std::fseek(file, offset, SEEK_SET) == 0);
+    for (uint64_t i = 0; i < want; ++i) {
       int32_t key = 0;
       alignas(V) unsigned char storage[sizeof(V)];
-      if (std::fread(&reducer, sizeof(reducer), 1, file) != 1) break;
       ZSKY_CHECK(std::fread(&key, sizeof(key), 1, file) == 1);
       ZSKY_CHECK(std::fread(storage, sizeof(V), 1, file) == 1);
       V value;
       std::memcpy(&value, storage, sizeof(V));
-      fn(reducer, key, std::move(value));
+      fn(key, std::move(value));
     }
     std::fclose(file);
-    std::remove(path.c_str());
+  }
+
+  // Runs one wave of `count` tasks, on the pool or (legacy mode) on
+  // freshly spawned threads.
+  std::vector<TaskMetrics> RunWave(size_t count,
+                                   const std::function<void(size_t)>& fn) {
+    if (pool_ != nullptr) return pool_->Run(count, fn);
+    return TaskRunner(options_.num_threads).Run(count, fn);
   }
 
   Options options_;
-  TaskRunner runner_;
+  WorkerPool* pool_ = nullptr;
+  std::unique_ptr<WorkerPool> owned_pool_;
 };
 
 }  // namespace zsky::mr

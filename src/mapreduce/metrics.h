@@ -71,6 +71,9 @@ struct JobMetrics {
   size_t combiner_in = 0;
   size_t combiner_out = 0;
   double map_wall_ms = 0.0;
+  // Wall time of the shuffle between the waves (regrouping map output by
+  // reducer, including spill-file reads when spilling is enabled).
+  double shuffle_wall_ms = 0.0;
   double reduce_wall_ms = 0.0;
   double total_wall_ms = 0.0;
 

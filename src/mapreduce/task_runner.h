@@ -9,10 +9,15 @@
 
 namespace zsky::mr {
 
-// Runs a wave of independent tasks on a pool of worker threads, measuring
+// Runs a wave of independent tasks on freshly spawned threads, measuring
 // per-task wall time. Models one wave of map (or reduce) slots of a
 // MapReduce cluster: tasks are pulled from a shared queue, so a slow task
 // delays completion exactly like a straggling worker.
+//
+// Every Run() spawns and joins its own threads. The production engine now
+// uses the persistent WorkerPool instead (see worker_pool.h); TaskRunner is
+// kept as the spawn-per-wave baseline for benchmarks and as a dependency-
+// free fallback (MapReduceJob::Options::spawn_per_wave).
 class TaskRunner {
  public:
   // `num_threads` == 0 selects the hardware concurrency.

@@ -1,0 +1,88 @@
+#include "mapreduce/worker_pool.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+
+namespace zsky::mr {
+
+WorkerPool::WorkerPool(uint32_t num_threads) : num_threads_(num_threads) {
+  if (num_threads_ == 0) {
+    num_threads_ = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(num_threads_);
+  for (uint32_t t = 0; t < num_threads_; ++t) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+std::vector<TaskMetrics> WorkerPool::Run(
+    size_t count, const std::function<void(size_t)>& fn) {
+  std::vector<TaskMetrics> metrics(count);
+  if (count == 0) return metrics;
+  const std::lock_guard<std::mutex> run_lock(run_mu_);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    wave_count_ = count;
+    // Aim for several claims per worker so fast workers rebalance, but
+    // amortize the shared counter over whole chunks on large waves.
+    wave_chunk_ = std::max<size_t>(1, count / (size_t{num_threads_} * 8));
+    wave_fn_ = &fn;
+    wave_metrics_ = metrics.data();
+    next_.store(0, std::memory_order_relaxed);
+    workers_active_ = num_threads_;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  DrainWave();  // The calling thread works too.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return workers_active_ == 0; });
+    wave_fn_ = nullptr;
+    wave_metrics_ = nullptr;
+  }
+  return metrics;
+}
+
+void WorkerPool::WorkerLoop() {
+  uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    DrainWave();
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (--workers_active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::DrainWave() {
+  const size_t count = wave_count_;
+  const size_t chunk = wave_chunk_;
+  for (;;) {
+    const size_t begin = next_.fetch_add(chunk, std::memory_order_relaxed);
+    if (begin >= count) return;
+    const size_t end = std::min(count, begin + chunk);
+    for (size_t task = begin; task < end; ++task) {
+      Stopwatch watch;
+      (*wave_fn_)(task);
+      wave_metrics_[task].ms = watch.ElapsedMs();
+    }
+  }
+}
+
+}  // namespace zsky::mr

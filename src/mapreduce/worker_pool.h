@@ -1,0 +1,79 @@
+#ifndef ZSKY_MAPREDUCE_WORKER_POOL_H_
+#define ZSKY_MAPREDUCE_WORKER_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "mapreduce/metrics.h"
+
+namespace zsky::mr {
+
+// A persistent pool of worker threads executing waves of independent
+// tasks. Unlike TaskRunner (which spawns and joins threads on every wave),
+// the pool's threads are created once and woken per wave with a condition
+// variable, so running many small waves back-to-back — two waves per
+// MapReduce job, two jobs plus a merge per skyline query — costs wakeups
+// instead of thread creation.
+//
+// Tasks are claimed in chunks from a shared work counter: a worker grabs
+// `chunk` task indices per fetch_add instead of one, which keeps counter
+// contention constant as waves grow while still letting fast workers steal
+// from slow ones. Per-task wall times are measured exactly as TaskRunner
+// does, so simulated-cluster metrics stay comparable.
+//
+// Run() may be called from any thread; concurrent calls are serialized.
+// Run() must NOT be called from inside a task running on the same pool
+// (the wave would deadlock waiting for its own worker).
+class WorkerPool {
+ public:
+  // `num_threads` == 0 selects the hardware concurrency.
+  explicit WorkerPool(uint32_t num_threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  uint32_t num_threads() const { return num_threads_; }
+
+  // Executes fn(0) .. fn(count-1) on the pool (the calling thread helps)
+  // and returns per-task metrics with wall times filled in. Blocks until
+  // every task of the wave has finished.
+  std::vector<TaskMetrics> Run(size_t count,
+                               const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  // Claims and executes chunks of the current wave until it is exhausted.
+  void DrainWave();
+
+  uint32_t num_threads_;
+
+  // Serializes concurrent Run() callers.
+  std::mutex run_mu_;
+
+  // Wave state below is written by Run() under `mu_` before workers are
+  // woken and is not touched again until every worker has checked in, so
+  // workers read it without holding the lock while draining.
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+  size_t wave_count_ = 0;
+  size_t wave_chunk_ = 1;
+  const std::function<void(size_t)>* wave_fn_ = nullptr;
+  TaskMetrics* wave_metrics_ = nullptr;
+  std::atomic<size_t> next_{0};
+  uint32_t workers_active_ = 0;
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace zsky::mr
+
+#endif  // ZSKY_MAPREDUCE_WORKER_POOL_H_

@@ -237,6 +237,38 @@ TEST(ExecutorTest, MetricsPlausible) {
   EXPECT_GT(pm.job2_ms, 0.0);
   EXPECT_GE(pm.total_ms, pm.job1_ms);
   EXPECT_EQ(pm.job1.map_tasks.size(), options.num_map_tasks);
+  // The engine fills map-side records_in from the executor's split sizes
+  // (the seed left it zero).
+  size_t map_in = 0;
+  for (const auto& task : pm.job1.map_tasks) map_in += task.records_in;
+  EXPECT_EQ(map_in, points.size());
+}
+
+// The hot-path machinery (persistent pool, parallel shuffle, block
+// dominance kernel, split job-2 map wave) must be output-invisible: every
+// toggle combination yields the bit-identical skyline of the seed-mode
+// configuration.
+TEST(ExecutorTest, HotPathTogglesAreOutputInvisible) {
+  const PointSet points = MakePoints(Distribution::kAnticorrelated, 6000, 5,
+                                     17);
+  auto run = [&](bool hot) {
+    ExecutorOptions options;
+    options.bits = kBits;
+    options.partitioning = PartitioningScheme::kZdg;
+    options.merge = MergeAlgorithm::kParallelZMerge;
+    options.num_threads = 4;
+    options.reuse_worker_pool = hot;
+    options.parallel_shuffle = hot;
+    options.use_block_kernel = hot;
+    options.job2_map_tasks = hot ? 0 : 1;  // Seed ran job 2's map as 1 task.
+    return ParallelSkylineExecutor(options).Execute(points);
+  };
+  const auto hot = run(true);
+  const auto seed_mode = run(false);
+  EXPECT_EQ(hot.skyline, seed_mode.skyline);
+  EXPECT_EQ(hot.skyline, BnlSkyline(points));
+  EXPECT_GT(hot.metrics.job2.map_tasks.size(), 1u);
+  EXPECT_EQ(seed_mode.metrics.job2.map_tasks.size(), 1u);
 }
 
 TEST(ExecutorTest, SimulatedClusterMetricsPopulated) {

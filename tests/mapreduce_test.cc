@@ -1,12 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
 #include <map>
 #include <mutex>
 #include <numeric>
 
 #include "mapreduce/job.h"
 #include "mapreduce/task_runner.h"
+#include "mapreduce/worker_pool.h"
 
 namespace zsky::mr {
 namespace {
@@ -363,6 +365,218 @@ TEST(MapReduceJobTest, RandomFailuresStillProduceExactOutput) {
     return sums;
   };
   EXPECT_EQ(run(true), run(false));
+}
+
+TEST(WorkerPoolTest, RunsEveryTaskExactlyOnce) {
+  WorkerPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  const auto metrics = pool.Run(257, [&](size_t task) {
+    hits[task].fetch_add(1);
+  });
+  EXPECT_EQ(metrics.size(), 257u);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(WorkerPoolTest, ZeroTasksAndReuse) {
+  WorkerPool pool(2);
+  EXPECT_TRUE(pool.Run(0, [](size_t) { FAIL(); }).empty());
+  int counter = 0;
+  std::mutex mu;
+  pool.Run(5, [&](size_t) {
+    const std::lock_guard<std::mutex> lock(mu);
+    ++counter;
+  });
+  EXPECT_EQ(counter, 5);
+}
+
+TEST(WorkerPoolTest, MeasuresTaskTime) {
+  WorkerPool pool(2);
+  const auto metrics = pool.Run(4, [&](size_t) {
+    volatile double x = 0;
+    for (int i = 0; i < 100000; ++i) x += i;
+  });
+  ASSERT_EQ(metrics.size(), 4u);
+  for (const auto& m : metrics) EXPECT_GE(m.ms, 0.0);
+}
+
+// Many tiny waves back-to-back on one pool: this is the pattern a query
+// pipeline produces (map wave, shuffle wave, reduce wave, next job, ...)
+// and is exactly what exposes lost-wakeup or early-join races between the
+// wave generation counter and the worker check-in protocol.
+TEST(WorkerPoolTest, StressManySmallWavesBackToBack) {
+  WorkerPool pool(4);
+  std::atomic<size_t> total{0};
+  size_t expected = 0;
+  for (int round = 0; round < 500; ++round) {
+    const size_t count = 1 + static_cast<size_t>(round % 7);
+    expected += count;
+    const auto metrics = pool.Run(count, [&](size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(metrics.size(), count);
+  }
+  EXPECT_EQ(total.load(), expected);
+}
+
+// One pool shared by several jobs in sequence, like the executor shares
+// its pool across job 1, job 2, and the final merge.
+TEST(WorkerPoolTest, SharedAcrossJobs) {
+  WorkerPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    MapReduceJob<int>::Options options;
+    options.num_reduce_tasks = 3;
+    options.pool = &pool;
+    MapReduceJob<int> job(options);
+    std::atomic<int> total{0};
+    job.Run(
+        5,
+        [](size_t task, const MapReduceJob<int>::Emit& emit) {
+          emit(static_cast<int32_t>(task), 1);
+        },
+        nullptr,
+        [&](int32_t, std::vector<int> values) {
+          total.fetch_add(static_cast<int>(values.size()));
+        });
+    EXPECT_EQ(total.load(), 5);
+  }
+}
+
+TEST(MapReduceJobTest, MapRecordsInPopulatedFromSplitSize) {
+  MapReduceJob<int>::Options options;
+  options.num_reduce_tasks = 2;
+  options.num_threads = 2;
+  options.split_size = [](size_t split) { return 10 * (split + 1); };
+  MapReduceJob<int> job(options);
+  const JobMetrics metrics = job.Run(
+      3,
+      [](size_t, const MapReduceJob<int>::Emit& emit) { emit(0, 1); },
+      nullptr, [](int32_t, std::vector<int>) {});
+  ASSERT_EQ(metrics.map_tasks.size(), 3u);
+  EXPECT_EQ(metrics.map_tasks[0].records_in, 10u);
+  EXPECT_EQ(metrics.map_tasks[1].records_in, 20u);
+  EXPECT_EQ(metrics.map_tasks[2].records_in, 30u);
+}
+
+TEST(MapReduceJobTest, ParallelShuffleMatchesSerial) {
+  // Value arrival order per (reducer, key) must be identical: the parallel
+  // shuffle assigns whole reducers to tasks, so each reducer still pulls
+  // its records in task-major order.
+  auto run = [](bool parallel) {
+    MapReduceJob<uint64_t>::Options options;
+    options.num_reduce_tasks = 4;
+    options.num_threads = 4;
+    options.parallel_shuffle = parallel;
+    MapReduceJob<uint64_t> job(options);
+    std::mutex mu;
+    std::map<int32_t, std::vector<uint64_t>> values_by_key;
+    const JobMetrics metrics = job.Run(
+        6,
+        [](size_t task, const MapReduceJob<uint64_t>::Emit& emit) {
+          for (uint64_t v = 0; v < 30; ++v) {
+            emit(static_cast<int32_t>((task * 3 + v) % 11), task * 100 + v);
+          }
+        },
+        nullptr,
+        [&](int32_t key, std::vector<uint64_t> values) {
+          const std::lock_guard<std::mutex> lock(mu);
+          values_by_key[key] = std::move(values);
+        });
+    EXPECT_EQ(metrics.shuffle_records, 6u * 30u);
+    return values_by_key;
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+// Spill files must be cleaned up on every exit path, including a job whose
+// tasks exhausted their attempts.
+TEST(MapReduceJobTest, SpillFilesRemovedAfterSuccessAndFailure) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "zsky_spill_cleanup_test";
+  fs::create_directories(dir);
+  auto spill_file_count = [&] {
+    size_t count = 0;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      if (entry.path().filename().string().rfind("zsky_spill_", 0) == 0) {
+        ++count;
+      }
+    }
+    return count;
+  };
+
+  auto run = [&](bool fail) {
+    MapReduceJob<uint64_t>::Options options;
+    options.num_reduce_tasks = 2;
+    options.num_threads = 2;
+    options.spill_to_disk = true;
+    options.spill_dir = dir.string();
+    if (fail) {
+      options.max_task_attempts = 1;
+      options.failure_injector = [](MapReduceJob<uint64_t>::Wave wave, size_t,
+                                    uint32_t) {
+        return wave == MapReduceJob<uint64_t>::Wave::kReduce;
+      };
+    }
+    MapReduceJob<uint64_t> job(options);
+    const JobMetrics metrics = job.Run(
+        3,
+        [](size_t task, const MapReduceJob<uint64_t>::Emit& emit) {
+          for (uint64_t v = 0; v < 10; ++v) emit(static_cast<int32_t>(v), v);
+        },
+        nullptr, [](int32_t, std::vector<uint64_t>) {});
+    EXPECT_EQ(metrics.succeeded, !fail);
+    EXPECT_GT(metrics.spill_bytes, 0u);
+  };
+  run(/*fail=*/false);
+  EXPECT_EQ(spill_file_count(), 0u);
+  run(/*fail=*/true);
+  EXPECT_EQ(spill_file_count(), 0u);
+  fs::remove_all(dir);
+}
+
+// Two jobs spilling into the same directory must never collide on file
+// names (the seed derived names from the job's address, which allocators
+// reuse).
+TEST(MapReduceJobTest, ConsecutiveSpillJobsGetDistinctFiles) {
+  auto run = [] {
+    MapReduceJob<uint64_t>::Options options;
+    options.num_reduce_tasks = 2;
+    options.num_threads = 1;
+    options.spill_to_disk = true;
+    options.spill_dir = ::testing::TempDir();
+    MapReduceJob<uint64_t> job(options);
+    std::atomic<uint64_t> sum{0};
+    job.Run(
+        2,
+        [](size_t, const MapReduceJob<uint64_t>::Emit& emit) {
+          for (uint64_t v = 1; v <= 4; ++v) emit(static_cast<int32_t>(v), v);
+        },
+        nullptr,
+        [&](int32_t, std::vector<uint64_t> values) {
+          for (uint64_t v : values) sum.fetch_add(v);
+        });
+    return sum.load();
+  };
+  EXPECT_EQ(run(), 20u);
+  EXPECT_EQ(run(), 20u);  // Address reuse across jobs must be harmless.
+}
+
+TEST(MapReduceJobTest, LegacySpawnPerWaveStillWorks) {
+  MapReduceJob<int>::Options options;
+  options.num_reduce_tasks = 2;
+  options.num_threads = 2;
+  options.spawn_per_wave = true;
+  MapReduceJob<int> job(options);
+  std::atomic<int> total{0};
+  const JobMetrics metrics = job.Run(
+      4,
+      [](size_t, const MapReduceJob<int>::Emit& emit) { emit(0, 1); },
+      nullptr,
+      [&](int32_t, std::vector<int> values) {
+        total.fetch_add(static_cast<int>(values.size()));
+      });
+  EXPECT_EQ(total.load(), 4);
+  EXPECT_EQ(metrics.shuffle_records, 4u);
 }
 
 TEST(MapReduceJobTest, CustomSizeFunction) {
