@@ -5,8 +5,30 @@
 # `scripts/check.sh tsan` instead builds with -fsanitize=thread and runs
 # the concurrency-sensitive tests (worker pool / MapReduce engine /
 # executor pipeline) under ThreadSanitizer.
+#
+# `scripts/check.sh simd` builds once and runs the whole test suite once
+# per dispatch tier (ZSKY_FORCE_ISA=scalar|sse42|avx2), skipping tiers the
+# host CPU lacks — proving every ISA path computes identical results.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "simd" ]; then
+  echo "=== SIMD dispatch: tests under every supported ISA tier ==="
+  cmake -B build -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build -j "$(nproc)"
+  features="$(./build/tools/zsky_cli cpu)"
+  echo "host: $features"
+  for isa in scalar sse42 avx2; do
+    if [ "$isa" != scalar ] && ! grep -q "$isa=1" <<<"$features"; then
+      echo "--- $isa: not supported by this host, skipped ---"
+      continue
+    fi
+    echo "--- ZSKY_FORCE_ISA=$isa ---"
+    ZSKY_FORCE_ISA="$isa" ctest --test-dir build --output-on-failure
+  done
+  echo "SIMD CHECKS PASSED"
+  exit 0
+fi
 
 if [ "${1:-}" = "tsan" ]; then
   echo "=== ThreadSanitizer build + concurrency tests ==="

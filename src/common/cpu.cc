@@ -1,0 +1,113 @@
+#include "common/cpu.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/macros.h"
+
+namespace zsky {
+
+namespace {
+
+CpuFeatures ProbeCpu() {
+  CpuFeatures f;
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  __builtin_cpu_init();
+  f.sse42 = __builtin_cpu_supports("sse4.2") != 0;
+  f.avx2 = __builtin_cpu_supports("avx2") != 0;
+  f.bmi2 = __builtin_cpu_supports("bmi2") != 0;
+#endif
+  return f;
+}
+
+Isa BestSupportedIsa() {
+  const CpuFeatures& f = HostCpuFeatures();
+  if (f.avx2) return Isa::kAvx2;
+  if (f.sse42) return Isa::kSse42;
+  return Isa::kScalar;
+}
+
+Isa ResolveInitialIsa() {
+  const char* env = std::getenv("ZSKY_FORCE_ISA");
+  if (env != nullptr && env[0] != '\0') {
+    Isa isa;
+    ZSKY_CHECK_MSG(ParseIsa(env, &isa),
+                   "ZSKY_FORCE_ISA must be scalar, sse42 or avx2");
+    ZSKY_CHECK_MSG(IsaSupported(isa),
+                   "ZSKY_FORCE_ISA names an ISA this CPU does not support");
+    return isa;
+  }
+  return BestSupportedIsa();
+}
+
+// -1 = not yet resolved; otherwise the cached Isa value.
+std::atomic<int> g_active_isa{-1};
+
+}  // namespace
+
+const CpuFeatures& HostCpuFeatures() {
+  static const CpuFeatures features = ProbeCpu();
+  return features;
+}
+
+bool IsaSupported(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kSse42:
+      return HostCpuFeatures().sse42;
+    case Isa::kAvx2:
+      return HostCpuFeatures().avx2;
+  }
+  return false;
+}
+
+Isa ActiveIsa() {
+  int v = g_active_isa.load(std::memory_order_acquire);
+  if (v < 0) {
+    // Racing first calls all compute the same value; the store is
+    // idempotent.
+    const Isa isa = ResolveInitialIsa();
+    g_active_isa.store(static_cast<int>(isa), std::memory_order_release);
+    return isa;
+  }
+  return static_cast<Isa>(v);
+}
+
+void SetActiveIsa(Isa isa) {
+  ZSKY_CHECK_MSG(IsaSupported(isa),
+                 "SetActiveIsa: ISA not supported by this CPU");
+  g_active_isa.store(static_cast<int>(isa), std::memory_order_release);
+}
+
+bool UseBmi2Codec() {
+  return ActiveIsa() == Isa::kAvx2 && HostCpuFeatures().bmi2;
+}
+
+std::string_view IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kSse42:
+      return "sse42";
+    case Isa::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool ParseIsa(std::string_view name, Isa* out) {
+  if (name == "scalar") {
+    *out = Isa::kScalar;
+  } else if (name == "sse42") {
+    *out = Isa::kSse42;
+  } else if (name == "avx2") {
+    *out = Isa::kAvx2;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace zsky

@@ -1,0 +1,60 @@
+#ifndef ZSKY_COMMON_CPU_H_
+#define ZSKY_COMMON_CPU_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace zsky {
+
+// Instruction-set tiers the dominance kernels are compiled for. Each tier
+// is a strict superset of the previous one on real hardware; the runtime
+// dispatcher picks the highest supported tier once per process.
+enum class Isa : uint8_t {
+  kScalar = 0,  // Portable C++ (auto-vectorized at baseline arch flags).
+  kSse42 = 1,   // 128-bit vector kernels (Nehalem+).
+  kAvx2 = 2,    // 256-bit vector kernels (Haswell+); enables the BMI2
+                // pdep/pext Z-order codec when the CPU has BMI2.
+};
+
+// CPU capabilities relevant to the kernels, probed once via cpuid.
+struct CpuFeatures {
+  bool sse42 = false;
+  bool avx2 = false;
+  bool bmi2 = false;
+};
+
+// Probed hardware features (cached; never affected by overrides).
+const CpuFeatures& HostCpuFeatures();
+
+// True iff the host can execute kernels of `isa` (kScalar always can).
+bool IsaSupported(Isa isa);
+
+// The ISA the dispatcher currently selects. Resolution order:
+//   1. SetActiveIsa() override, if one was installed;
+//   2. the ZSKY_FORCE_ISA environment variable ("scalar" | "sse42" |
+//      "avx2"; fatal if unknown or unsupported by the host);
+//   3. the highest tier in HostCpuFeatures().
+// The choice is cached after the first call; only SetActiveIsa changes it.
+Isa ActiveIsa();
+
+// Programmatic override for ablation benchmarks and parity tests. Fatal
+// if the host cannot execute `isa`. Takes effect for subsequent
+// ActiveIsa() calls and for codecs constructed afterwards; not meant to
+// be called while kernels are running on other threads.
+void SetActiveIsa(Isa isa);
+
+// True iff ZOrderCodec instances constructed now should use the BMI2
+// pdep/pext fast path: the host has BMI2 and the active tier is kAvx2
+// (the scalar/sse42 tiers model pre-Haswell machines, which lack BMI2,
+// so forcing them also forces the scalar codec).
+bool UseBmi2Codec();
+
+// "scalar" / "sse42" / "avx2".
+std::string_view IsaName(Isa isa);
+
+// Parses an ISA name; returns false on unknown input.
+bool ParseIsa(std::string_view name, Isa* out);
+
+}  // namespace zsky
+
+#endif  // ZSKY_COMMON_CPU_H_

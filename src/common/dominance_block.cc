@@ -2,97 +2,59 @@
 
 #include <algorithm>
 
+#include "common/dominance_kernels.h"
+
 namespace zsky {
+
+namespace simd {
+
+namespace {
+
+constexpr KernelTable kScalarTable = {
+    AnyDominatesScalar, CountDominatorsScalar, MarkDominatedByScalar};
+constexpr KernelTable kSse42Table = {
+    AnyDominatesSse42, CountDominatorsSse42, MarkDominatedBySse42};
+constexpr KernelTable kAvx2Table = {
+    AnyDominatesAvx2, CountDominatorsAvx2, MarkDominatedByAvx2};
+
+}  // namespace
+
+const KernelTable& KernelTableFor(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return kScalarTable;
+    case Isa::kSse42:
+      return kSse42Table;
+    case Isa::kAvx2:
+      return kAvx2Table;
+  }
+  return kScalarTable;
+}
+
+const KernelTable& ActiveKernelTable() { return KernelTableFor(ActiveIsa()); }
+
+}  // namespace simd
 
 bool SoAAnyDominates(const Coord* base, size_t stride, uint32_t dim,
                      size_t begin, size_t end, std::span<const Coord> p) {
   ZSKY_DCHECK(p.size() == dim);
-  uint8_t leq[kDominanceTile];
-  uint8_t lt[kDominanceTile];
-  const Coord p0 = p[0];
-  for (size_t at = begin; at < end; at += kDominanceTile) {
-    const size_t m = std::min(kDominanceTile, end - at);
-    const Coord* lane0 = base + at;
-    for (size_t j = 0; j < m; ++j) {
-      leq[j] = static_cast<uint8_t>(lane0[j] <= p0);
-      lt[j] = static_cast<uint8_t>(lane0[j] < p0);
-    }
-    for (uint32_t k = 1; k < dim; ++k) {
-      const Coord* lane = base + k * stride + at;
-      const Coord pk = p[k];
-      for (size_t j = 0; j < m; ++j) {
-        leq[j] &= static_cast<uint8_t>(lane[j] <= pk);
-        lt[j] |= static_cast<uint8_t>(lane[j] < pk);
-      }
-    }
-    uint8_t any = 0;
-    for (size_t j = 0; j < m; ++j) {
-      any |= static_cast<uint8_t>(leq[j] & lt[j]);
-    }
-    if (any) return true;
-  }
-  return false;
+  return simd::ActiveKernelTable().any_dominates(base, stride, dim, begin,
+                                                 end, p.data());
 }
 
 size_t SoACountDominators(const Coord* base, size_t stride, uint32_t dim,
                           size_t begin, size_t end, std::span<const Coord> p) {
   ZSKY_DCHECK(p.size() == dim);
-  uint8_t leq[kDominanceTile];
-  uint8_t lt[kDominanceTile];
-  size_t count = 0;
-  const Coord p0 = p[0];
-  for (size_t at = begin; at < end; at += kDominanceTile) {
-    const size_t m = std::min(kDominanceTile, end - at);
-    const Coord* lane0 = base + at;
-    for (size_t j = 0; j < m; ++j) {
-      leq[j] = static_cast<uint8_t>(lane0[j] <= p0);
-      lt[j] = static_cast<uint8_t>(lane0[j] < p0);
-    }
-    for (uint32_t k = 1; k < dim; ++k) {
-      const Coord* lane = base + k * stride + at;
-      const Coord pk = p[k];
-      for (size_t j = 0; j < m; ++j) {
-        leq[j] &= static_cast<uint8_t>(lane[j] <= pk);
-        lt[j] |= static_cast<uint8_t>(lane[j] < pk);
-      }
-    }
-    for (size_t j = 0; j < m; ++j) {
-      count += static_cast<size_t>(leq[j] & lt[j]);
-    }
-  }
-  return count;
+  return simd::ActiveKernelTable().count_dominators(base, stride, dim, begin,
+                                                    end, p.data());
 }
 
 size_t SoAMarkDominatedBy(const Coord* base, size_t stride, uint32_t dim,
                           size_t begin, size_t end, std::span<const Coord> p,
                           uint8_t* out) {
   ZSKY_DCHECK(p.size() == dim);
-  uint8_t geq[kDominanceTile];
-  uint8_t gt[kDominanceTile];
-  size_t count = 0;
-  const Coord p0 = p[0];
-  for (size_t at = begin; at < end; at += kDominanceTile) {
-    const size_t m = std::min(kDominanceTile, end - at);
-    const Coord* lane0 = base + at;
-    for (size_t j = 0; j < m; ++j) {
-      geq[j] = static_cast<uint8_t>(lane0[j] >= p0);
-      gt[j] = static_cast<uint8_t>(lane0[j] > p0);
-    }
-    for (uint32_t k = 1; k < dim; ++k) {
-      const Coord* lane = base + k * stride + at;
-      const Coord pk = p[k];
-      for (size_t j = 0; j < m; ++j) {
-        geq[j] &= static_cast<uint8_t>(lane[j] >= pk);
-        gt[j] |= static_cast<uint8_t>(lane[j] > pk);
-      }
-    }
-    uint8_t* slab = out + (at - begin);
-    for (size_t j = 0; j < m; ++j) {
-      slab[j] = static_cast<uint8_t>(geq[j] & gt[j]);
-      count += slab[j];
-    }
-  }
-  return count;
+  return simd::ActiveKernelTable().mark_dominated_by(base, stride, dim, begin,
+                                                     end, p.data(), out);
 }
 
 void DominanceBlock::Regrow(size_t min_capacity) {
@@ -117,9 +79,20 @@ void DominanceBlock::Append(std::span<const Coord> p) {
 
 void DominanceBlock::AppendAll(const PointSet& points) {
   ZSKY_DCHECK(points.dim() == dim_);
-  Reserve(size_ + points.size());
   const size_t n = points.size();
-  for (size_t i = 0; i < n; ++i) Append(points[i]);
+  if (n == 0) return;
+  Reserve(size_ + n);
+  // One pass per lane: contiguous writes, fixed-stride reads from the
+  // row-major source.
+  const Coord* src = points.raw().data();
+  for (uint32_t k = 0; k < dim_; ++k) {
+    Coord* lane = data_.data() + k * capacity_ + size_;
+    const Coord* in = src + k;
+    for (size_t i = 0; i < n; ++i) {
+      lane[i] = in[i * dim_];
+    }
+  }
+  size_ += n;
 }
 
 size_t DominanceBlock::DominatedBitmap(std::span<const Coord> p,
@@ -132,15 +105,15 @@ size_t DominanceBlock::DominatedBitmap(std::span<const Coord> p,
 
 void DominanceBlock::Remove(const std::vector<uint8_t>& flags) {
   ZSKY_DCHECK(flags.size() == size_);
+  // Every lane's compaction produces the same kept count; keep the last.
+  size_t kept = 0;
   for (uint32_t k = 0; k < dim_; ++k) {
     Coord* lane = data_.data() + k * capacity_;
-    size_t kept = 0;
+    kept = 0;
     for (size_t i = 0; i < size_; ++i) {
       if (!flags[i]) lane[kept++] = lane[i];
     }
   }
-  size_t kept = 0;
-  for (size_t i = 0; i < size_; ++i) kept += flags[i] ? 0u : 1u;
   size_ = kept;
 }
 

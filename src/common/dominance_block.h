@@ -20,6 +20,10 @@ inline constexpr size_t kDominanceTile = 128;
 // calls on hot paths: instead of short-circuiting per point, whole tiles
 // are compared dimension-by-dimension over contiguous lanes, with an
 // early exit per tile.
+//
+// Each call dispatches to the best instruction set the CPU supports
+// (scalar / SSE4.2 / AVX2 — see common/cpu.h and dominance_kernels.h);
+// all variants return bit-identical results. ZSKY_FORCE_ISA pins a tier.
 
 // True iff some scanned point strictly dominates `p`.
 bool SoAAnyDominates(const Coord* base, size_t stride, uint32_t dim,

@@ -1,0 +1,87 @@
+#ifndef ZSKY_COMMON_DOMINANCE_KERNELS_H_
+#define ZSKY_COMMON_DOMINANCE_KERNELS_H_
+
+#include <cstdint>
+
+#include "common/cpu.h"
+#include "common/point_set.h"
+
+// Per-ISA implementations of the three block dominance primitives and the
+// function-pointer table the public SoA* wrappers (dominance_block.h)
+// dispatch through. Each ISA lives in its own translation unit so the
+// vector variants can be compiled with -msse4.2 / -mavx2 without those
+// flags leaking into the rest of the build:
+//
+//   dominance_kernels_scalar.cc  portable C++ (the PR-1 tile kernels)
+//   dominance_kernels_sse42.cc   128-bit __m128i kernels
+//   dominance_kernels_avx2.cc    256-bit __m256i kernels
+//
+// When the compiler cannot target an ISA, that TU compiles forwarding
+// stubs to the scalar kernels instead — the build always succeeds, and
+// runtime dispatch never selects a tier the *hardware* lacks anyway.
+//
+// All variants return bit-identical results for the same inputs: the
+// primitives' outputs (a bool, a count, a 0/1 bitmap) are fully
+// determined by the point data, independent of tile width or early-exit
+// granularity. Enforced by tests/simd_dispatch_test.cc and by
+// `scripts/check.sh simd` (whole-suite runs under each ZSKY_FORCE_ISA).
+
+namespace zsky::simd {
+
+// Signatures mirror the SoA* wrappers in dominance_block.h, with the
+// probe passed as a raw pointer of `dim` coordinates.
+using AnyDominatesFn = bool (*)(const Coord* base, size_t stride,
+                                uint32_t dim, size_t begin, size_t end,
+                                const Coord* p);
+using CountDominatorsFn = size_t (*)(const Coord* base, size_t stride,
+                                     uint32_t dim, size_t begin, size_t end,
+                                     const Coord* p);
+using MarkDominatedByFn = size_t (*)(const Coord* base, size_t stride,
+                                     uint32_t dim, size_t begin, size_t end,
+                                     const Coord* p, uint8_t* out);
+
+struct KernelTable {
+  AnyDominatesFn any_dominates;
+  CountDominatorsFn count_dominators;
+  MarkDominatedByFn mark_dominated_by;
+};
+
+// The table for one tier (for tests/benches that pin a tier in-process).
+const KernelTable& KernelTableFor(Isa isa);
+
+// The table for ActiveIsa(); what the SoA* wrappers use.
+const KernelTable& ActiveKernelTable();
+
+// Vector kernels keep the sign-flipped probe in a fixed stack buffer;
+// probes wider than this fall back to the scalar kernel (dominance tests
+// at such dimensionality are region-pruned long before the inner loops
+// matter).
+inline constexpr uint32_t kMaxVectorDim = 64;
+
+bool AnyDominatesScalar(const Coord* base, size_t stride, uint32_t dim,
+                        size_t begin, size_t end, const Coord* p);
+size_t CountDominatorsScalar(const Coord* base, size_t stride, uint32_t dim,
+                             size_t begin, size_t end, const Coord* p);
+size_t MarkDominatedByScalar(const Coord* base, size_t stride, uint32_t dim,
+                             size_t begin, size_t end, const Coord* p,
+                             uint8_t* out);
+
+bool AnyDominatesSse42(const Coord* base, size_t stride, uint32_t dim,
+                       size_t begin, size_t end, const Coord* p);
+size_t CountDominatorsSse42(const Coord* base, size_t stride, uint32_t dim,
+                            size_t begin, size_t end, const Coord* p);
+size_t MarkDominatedBySse42(const Coord* base, size_t stride, uint32_t dim,
+                            size_t begin, size_t end, const Coord* p,
+                            uint8_t* out);
+
+bool AnyDominatesAvx2(const Coord* base, size_t stride, uint32_t dim,
+                      size_t begin, size_t end, const Coord* p);
+size_t CountDominatorsAvx2(const Coord* base, size_t stride, uint32_t dim,
+                           size_t begin, size_t end, const Coord* p);
+size_t MarkDominatedByAvx2(const Coord* base, size_t stride, uint32_t dim,
+                           size_t begin, size_t end, const Coord* p,
+                           uint8_t* out);
+
+}  // namespace zsky::simd
+
+#endif  // ZSKY_COMMON_DOMINANCE_KERNELS_H_

@@ -1,0 +1,154 @@
+// AVX2 dominance kernels: 8 points per __m256i, unsigned compares via the
+// sign-flip trick (x < y unsigned  <=>  (x ^ MIN) < (y ^ MIN) signed).
+// Only this TU is compiled with -mavx2; without compiler support it
+// degrades to forwarding stubs (and runtime dispatch is hardware-gated
+// regardless).
+
+#include "common/dominance_kernels.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <bit>
+
+namespace zsky::simd {
+
+namespace {
+
+// Sign-flips the probe into `pf` so signed compares order unsigned
+// coordinates. Returns false when the probe is too wide for the buffer.
+inline bool FlipProbe(const Coord* p, uint32_t dim, int32_t* pf) {
+  if (dim > kMaxVectorDim) return false;
+  for (uint32_t k = 0; k < dim; ++k) {
+    pf[k] = static_cast<int32_t>(p[k] ^ 0x80000000u);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool AnyDominatesAvx2(const Coord* base, size_t stride, uint32_t dim,
+                      size_t begin, size_t end, const Coord* p) {
+  int32_t pf[kMaxVectorDim];
+  if (!FlipProbe(p, dim, pf)) {
+    return AnyDominatesScalar(base, stride, dim, begin, end, p);
+  }
+  const __m256i sign = _mm256_set1_epi32(INT32_MIN);
+  size_t at = begin;
+  for (; at + 8 <= end; at += 8) {
+    __m256i leq = _mm256_set1_epi32(-1);
+    __m256i lt = _mm256_setzero_si256();
+    for (uint32_t k = 0; k < dim; ++k) {
+      const __m256i v = _mm256_xor_si256(
+          _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(base + k * stride + at)),
+          sign);
+      const __m256i pk = _mm256_set1_epi32(pf[k]);
+      leq = _mm256_andnot_si256(_mm256_cmpgt_epi32(v, pk), leq);
+      lt = _mm256_or_si256(lt, _mm256_cmpgt_epi32(pk, v));
+      // No lane still <= the probe on every dimension seen: the whole
+      // group is out, skip its remaining dimensions.
+      if (_mm256_testz_si256(leq, leq)) break;
+    }
+    if (!_mm256_testz_si256(leq, lt)) return true;
+  }
+  return at < end && AnyDominatesScalar(base, stride, dim, at, end, p);
+}
+
+size_t CountDominatorsAvx2(const Coord* base, size_t stride, uint32_t dim,
+                           size_t begin, size_t end, const Coord* p) {
+  int32_t pf[kMaxVectorDim];
+  if (!FlipProbe(p, dim, pf)) {
+    return CountDominatorsScalar(base, stride, dim, begin, end, p);
+  }
+  const __m256i sign = _mm256_set1_epi32(INT32_MIN);
+  size_t count = 0;
+  size_t at = begin;
+  for (; at + 8 <= end; at += 8) {
+    __m256i leq = _mm256_set1_epi32(-1);
+    __m256i lt = _mm256_setzero_si256();
+    for (uint32_t k = 0; k < dim; ++k) {
+      const __m256i v = _mm256_xor_si256(
+          _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(base + k * stride + at)),
+          sign);
+      const __m256i pk = _mm256_set1_epi32(pf[k]);
+      leq = _mm256_andnot_si256(_mm256_cmpgt_epi32(v, pk), leq);
+      lt = _mm256_or_si256(lt, _mm256_cmpgt_epi32(pk, v));
+      if (_mm256_testz_si256(leq, leq)) break;
+    }
+    const __m256i dom = _mm256_and_si256(leq, lt);
+    count += static_cast<size_t>(std::popcount(static_cast<uint32_t>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(dom)))));
+  }
+  if (at < end) {
+    count += CountDominatorsScalar(base, stride, dim, at, end, p);
+  }
+  return count;
+}
+
+size_t MarkDominatedByAvx2(const Coord* base, size_t stride, uint32_t dim,
+                           size_t begin, size_t end, const Coord* p,
+                           uint8_t* out) {
+  int32_t pf[kMaxVectorDim];
+  if (!FlipProbe(p, dim, pf)) {
+    return MarkDominatedByScalar(base, stride, dim, begin, end, p, out);
+  }
+  const __m256i sign = _mm256_set1_epi32(INT32_MIN);
+  size_t count = 0;
+  size_t at = begin;
+  for (; at + 8 <= end; at += 8) {
+    // Reversed orientation: flag stored points the probe dominates.
+    __m256i geq = _mm256_set1_epi32(-1);
+    __m256i gt = _mm256_setzero_si256();
+    for (uint32_t k = 0; k < dim; ++k) {
+      const __m256i v = _mm256_xor_si256(
+          _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(base + k * stride + at)),
+          sign);
+      const __m256i pk = _mm256_set1_epi32(pf[k]);
+      geq = _mm256_andnot_si256(_mm256_cmpgt_epi32(pk, v), geq);
+      gt = _mm256_or_si256(gt, _mm256_cmpgt_epi32(v, pk));
+      if (_mm256_testz_si256(geq, geq)) break;
+    }
+    const uint32_t mask = static_cast<uint32_t>(_mm256_movemask_ps(
+        _mm256_castsi256_ps(_mm256_and_si256(geq, gt))));
+    uint8_t* slab = out + (at - begin);
+    for (uint32_t b = 0; b < 8; ++b) {
+      slab[b] = static_cast<uint8_t>((mask >> b) & 1u);
+    }
+    count += static_cast<size_t>(std::popcount(mask));
+  }
+  if (at < end) {
+    count += MarkDominatedByScalar(base, stride, dim, at, end, p,
+                                   out + (at - begin));
+  }
+  return count;
+}
+
+}  // namespace zsky::simd
+
+#else  // !defined(__AVX2__)
+
+namespace zsky::simd {
+
+bool AnyDominatesAvx2(const Coord* base, size_t stride, uint32_t dim,
+                      size_t begin, size_t end, const Coord* p) {
+  return AnyDominatesScalar(base, stride, dim, begin, end, p);
+}
+
+size_t CountDominatorsAvx2(const Coord* base, size_t stride, uint32_t dim,
+                           size_t begin, size_t end, const Coord* p) {
+  return CountDominatorsScalar(base, stride, dim, begin, end, p);
+}
+
+size_t MarkDominatedByAvx2(const Coord* base, size_t stride, uint32_t dim,
+                           size_t begin, size_t end, const Coord* p,
+                           uint8_t* out) {
+  return MarkDominatedByScalar(base, stride, dim, begin, end, p, out);
+}
+
+}  // namespace zsky::simd
+
+#endif  // defined(__AVX2__)

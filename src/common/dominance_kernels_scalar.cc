@@ -1,0 +1,100 @@
+// Portable tile kernels: compare whole tiles of kDominanceTile points
+// dimension-by-dimension into uint8 flag buffers (loops a compiler
+// auto-vectorizes at baseline arch flags), with an early exit per tile.
+
+#include <algorithm>
+
+#include "common/dominance_block.h"
+#include "common/dominance_kernels.h"
+
+namespace zsky::simd {
+
+bool AnyDominatesScalar(const Coord* base, size_t stride, uint32_t dim,
+                        size_t begin, size_t end, const Coord* p) {
+  uint8_t leq[kDominanceTile];
+  uint8_t lt[kDominanceTile];
+  const Coord p0 = p[0];
+  for (size_t at = begin; at < end; at += kDominanceTile) {
+    const size_t m = std::min(kDominanceTile, end - at);
+    const Coord* lane0 = base + at;
+    for (size_t j = 0; j < m; ++j) {
+      leq[j] = static_cast<uint8_t>(lane0[j] <= p0);
+      lt[j] = static_cast<uint8_t>(lane0[j] < p0);
+    }
+    for (uint32_t k = 1; k < dim; ++k) {
+      const Coord* lane = base + k * stride + at;
+      const Coord pk = p[k];
+      for (size_t j = 0; j < m; ++j) {
+        leq[j] &= static_cast<uint8_t>(lane[j] <= pk);
+        lt[j] |= static_cast<uint8_t>(lane[j] < pk);
+      }
+    }
+    uint8_t any = 0;
+    for (size_t j = 0; j < m; ++j) {
+      any |= static_cast<uint8_t>(leq[j] & lt[j]);
+    }
+    if (any) return true;
+  }
+  return false;
+}
+
+size_t CountDominatorsScalar(const Coord* base, size_t stride, uint32_t dim,
+                             size_t begin, size_t end, const Coord* p) {
+  uint8_t leq[kDominanceTile];
+  uint8_t lt[kDominanceTile];
+  size_t count = 0;
+  const Coord p0 = p[0];
+  for (size_t at = begin; at < end; at += kDominanceTile) {
+    const size_t m = std::min(kDominanceTile, end - at);
+    const Coord* lane0 = base + at;
+    for (size_t j = 0; j < m; ++j) {
+      leq[j] = static_cast<uint8_t>(lane0[j] <= p0);
+      lt[j] = static_cast<uint8_t>(lane0[j] < p0);
+    }
+    for (uint32_t k = 1; k < dim; ++k) {
+      const Coord* lane = base + k * stride + at;
+      const Coord pk = p[k];
+      for (size_t j = 0; j < m; ++j) {
+        leq[j] &= static_cast<uint8_t>(lane[j] <= pk);
+        lt[j] |= static_cast<uint8_t>(lane[j] < pk);
+      }
+    }
+    for (size_t j = 0; j < m; ++j) {
+      count += static_cast<size_t>(leq[j] & lt[j]);
+    }
+  }
+  return count;
+}
+
+size_t MarkDominatedByScalar(const Coord* base, size_t stride, uint32_t dim,
+                             size_t begin, size_t end, const Coord* p,
+                             uint8_t* out) {
+  uint8_t geq[kDominanceTile];
+  uint8_t gt[kDominanceTile];
+  size_t count = 0;
+  const Coord p0 = p[0];
+  for (size_t at = begin; at < end; at += kDominanceTile) {
+    const size_t m = std::min(kDominanceTile, end - at);
+    const Coord* lane0 = base + at;
+    for (size_t j = 0; j < m; ++j) {
+      geq[j] = static_cast<uint8_t>(lane0[j] >= p0);
+      gt[j] = static_cast<uint8_t>(lane0[j] > p0);
+    }
+    for (uint32_t k = 1; k < dim; ++k) {
+      const Coord* lane = base + k * stride + at;
+      const Coord pk = p[k];
+      for (size_t j = 0; j < m; ++j) {
+        geq[j] &= static_cast<uint8_t>(lane[j] >= pk);
+        gt[j] |= static_cast<uint8_t>(lane[j] > pk);
+      }
+    }
+    uint8_t* slab = out + (at - begin);
+    for (size_t j = 0; j < m; ++j) {
+      slab[j] = static_cast<uint8_t>(geq[j] & gt[j]);
+      count += slab[j];
+    }
+  }
+  return count;
+}
+
+}  // namespace zsky::simd

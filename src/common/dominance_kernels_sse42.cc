@@ -1,0 +1,148 @@
+// SSE4.2 dominance kernels: 4 points per __m128i, unsigned compares via
+// the sign-flip trick (see dominance_kernels_avx2.cc). Only this TU is
+// compiled with -msse4.2; without compiler support it degrades to
+// forwarding stubs.
+
+#include "common/dominance_kernels.h"
+
+#if defined(__SSE4_2__)
+
+#include <smmintrin.h>
+
+#include <bit>
+
+namespace zsky::simd {
+
+namespace {
+
+inline bool FlipProbe(const Coord* p, uint32_t dim, int32_t* pf) {
+  if (dim > kMaxVectorDim) return false;
+  for (uint32_t k = 0; k < dim; ++k) {
+    pf[k] = static_cast<int32_t>(p[k] ^ 0x80000000u);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool AnyDominatesSse42(const Coord* base, size_t stride, uint32_t dim,
+                       size_t begin, size_t end, const Coord* p) {
+  int32_t pf[kMaxVectorDim];
+  if (!FlipProbe(p, dim, pf)) {
+    return AnyDominatesScalar(base, stride, dim, begin, end, p);
+  }
+  const __m128i sign = _mm_set1_epi32(INT32_MIN);
+  size_t at = begin;
+  for (; at + 4 <= end; at += 4) {
+    __m128i leq = _mm_set1_epi32(-1);
+    __m128i lt = _mm_setzero_si128();
+    for (uint32_t k = 0; k < dim; ++k) {
+      const __m128i v = _mm_xor_si128(
+          _mm_loadu_si128(
+              reinterpret_cast<const __m128i*>(base + k * stride + at)),
+          sign);
+      const __m128i pk = _mm_set1_epi32(pf[k]);
+      leq = _mm_andnot_si128(_mm_cmpgt_epi32(v, pk), leq);
+      lt = _mm_or_si128(lt, _mm_cmpgt_epi32(pk, v));
+      if (_mm_testz_si128(leq, leq)) break;
+    }
+    if (!_mm_testz_si128(leq, lt)) return true;
+  }
+  return at < end && AnyDominatesScalar(base, stride, dim, at, end, p);
+}
+
+size_t CountDominatorsSse42(const Coord* base, size_t stride, uint32_t dim,
+                            size_t begin, size_t end, const Coord* p) {
+  int32_t pf[kMaxVectorDim];
+  if (!FlipProbe(p, dim, pf)) {
+    return CountDominatorsScalar(base, stride, dim, begin, end, p);
+  }
+  const __m128i sign = _mm_set1_epi32(INT32_MIN);
+  size_t count = 0;
+  size_t at = begin;
+  for (; at + 4 <= end; at += 4) {
+    __m128i leq = _mm_set1_epi32(-1);
+    __m128i lt = _mm_setzero_si128();
+    for (uint32_t k = 0; k < dim; ++k) {
+      const __m128i v = _mm_xor_si128(
+          _mm_loadu_si128(
+              reinterpret_cast<const __m128i*>(base + k * stride + at)),
+          sign);
+      const __m128i pk = _mm_set1_epi32(pf[k]);
+      leq = _mm_andnot_si128(_mm_cmpgt_epi32(v, pk), leq);
+      lt = _mm_or_si128(lt, _mm_cmpgt_epi32(pk, v));
+      if (_mm_testz_si128(leq, leq)) break;
+    }
+    const __m128i dom = _mm_and_si128(leq, lt);
+    count += static_cast<size_t>(std::popcount(
+        static_cast<uint32_t>(_mm_movemask_ps(_mm_castsi128_ps(dom)))));
+  }
+  if (at < end) {
+    count += CountDominatorsScalar(base, stride, dim, at, end, p);
+  }
+  return count;
+}
+
+size_t MarkDominatedBySse42(const Coord* base, size_t stride, uint32_t dim,
+                            size_t begin, size_t end, const Coord* p,
+                            uint8_t* out) {
+  int32_t pf[kMaxVectorDim];
+  if (!FlipProbe(p, dim, pf)) {
+    return MarkDominatedByScalar(base, stride, dim, begin, end, p, out);
+  }
+  const __m128i sign = _mm_set1_epi32(INT32_MIN);
+  size_t count = 0;
+  size_t at = begin;
+  for (; at + 4 <= end; at += 4) {
+    __m128i geq = _mm_set1_epi32(-1);
+    __m128i gt = _mm_setzero_si128();
+    for (uint32_t k = 0; k < dim; ++k) {
+      const __m128i v = _mm_xor_si128(
+          _mm_loadu_si128(
+              reinterpret_cast<const __m128i*>(base + k * stride + at)),
+          sign);
+      const __m128i pk = _mm_set1_epi32(pf[k]);
+      geq = _mm_andnot_si128(_mm_cmpgt_epi32(pk, v), geq);
+      gt = _mm_or_si128(gt, _mm_cmpgt_epi32(v, pk));
+      if (_mm_testz_si128(geq, geq)) break;
+    }
+    const uint32_t mask = static_cast<uint32_t>(
+        _mm_movemask_ps(_mm_castsi128_ps(_mm_and_si128(geq, gt))));
+    uint8_t* slab = out + (at - begin);
+    for (uint32_t b = 0; b < 4; ++b) {
+      slab[b] = static_cast<uint8_t>((mask >> b) & 1u);
+    }
+    count += static_cast<size_t>(std::popcount(mask));
+  }
+  if (at < end) {
+    count += MarkDominatedByScalar(base, stride, dim, at, end, p,
+                                   out + (at - begin));
+  }
+  return count;
+}
+
+}  // namespace zsky::simd
+
+#else  // !defined(__SSE4_2__)
+
+namespace zsky::simd {
+
+bool AnyDominatesSse42(const Coord* base, size_t stride, uint32_t dim,
+                       size_t begin, size_t end, const Coord* p) {
+  return AnyDominatesScalar(base, stride, dim, begin, end, p);
+}
+
+size_t CountDominatorsSse42(const Coord* base, size_t stride, uint32_t dim,
+                            size_t begin, size_t end, const Coord* p) {
+  return CountDominatorsScalar(base, stride, dim, begin, end, p);
+}
+
+size_t MarkDominatedBySse42(const Coord* base, size_t stride, uint32_t dim,
+                            size_t begin, size_t end, const Coord* p,
+                            uint8_t* out) {
+  return MarkDominatedByScalar(base, stride, dim, begin, end, p, out);
+}
+
+}  // namespace zsky::simd
+
+#endif  // defined(__SSE4_2__)

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "algo/sort_based.h"
+#include "common/dominance_block.h"
 #include "common/rng.h"
 #include "index/bbs.h"
 #include "common/stopwatch.h"
@@ -159,9 +160,34 @@ SkylineQueryResult ParallelSkylineExecutor::Execute(
       options_.partitioning == PartitioningScheme::kNaiveZ ||
       options_.partitioning == PartitioningScheme::kZhg ||
       options_.partitioning == PartitioningScheme::kZdg;
+  // The filter has two implementations with identical answers ("is p
+  // strictly dominated by some sample-skyline point?"):
+  //  - batched: a DominanceBlock over the first kSzbBlockCap skyline
+  //    points, scanned by the SIMD kernel; when the skyline is larger, a
+  //    ZB-tree over the remainder catches what the block missed. For the
+  //    common case (skyline <= cap) the mapper never touches a tree.
+  //  - tree walk: the PR-1 per-point SZB-tree probe (kept as the
+  //    scalar/ablation path).
+  constexpr size_t kSzbBlockCap = 4096;
   std::optional<ZBTree> szb_tree;
+  std::optional<DominanceBlock> szb_block;
   if (options_.enable_szb_filter && z_scheme && !sample_skyline.empty()) {
-    szb_tree.emplace(&codec, sample_skyline, tree_options);
+    if (options_.batch_szb_filter && options_.use_block_kernel) {
+      const size_t head = std::min(sample_skyline.size(), kSzbBlockCap);
+      szb_block.emplace(dim);
+      szb_block->Reserve(head);
+      for (size_t i = 0; i < head; ++i) szb_block->Append(sample_skyline[i]);
+      if (sample_skyline.size() > head) {
+        PointSet rest(dim);
+        rest.Reserve(sample_skyline.size() - head);
+        for (size_t i = head; i < sample_skyline.size(); ++i) {
+          rest.AppendFrom(sample_skyline, i);
+        }
+        szb_tree.emplace(&codec, rest, tree_options);
+      }
+    } else {
+      szb_tree.emplace(&codec, sample_skyline, tree_options);
+    }
   }
   pm.preprocess_ms = pre_watch.ElapsedMs();
 
@@ -201,18 +227,37 @@ SkylineQueryResult ParallelSkylineExecutor::Execute(
     const size_t end = (task + 1) * n / num_map_tasks;
     size_t local_filtered = 0;
     size_t local_dropped = 0;
+    // Pass 1: gather the split's survivors of the sample-skyline filter.
+    // With the batched filter each probe is one SIMD block scan (tile
+    // early-exit) instead of a pointer-chasing tree walk; the tree only
+    // sees points the block could not reject.
+    std::vector<uint32_t> survivors;
+    survivors.reserve(end - begin);
     for (size_t row = begin; row < end; ++row) {
       const auto p = points[row];
-      if (szb_tree.has_value() && szb_tree->ExistsDominatorOf(p)) {
-        ++local_filtered;
-        continue;
+      bool dominated = false;
+      if (szb_block.has_value()) {
+        dominated = szb_block->AnyDominates(p);
+        if (!dominated && szb_tree.has_value()) {
+          dominated = szb_tree->ExistsDominatorOf(p);
+        }
+      } else if (szb_tree.has_value()) {
+        dominated = szb_tree->ExistsDominatorOf(p);
       }
-      const int32_t gid = partitioner->GroupOf(p);
+      if (dominated) {
+        ++local_filtered;
+      } else {
+        survivors.push_back(static_cast<uint32_t>(row));
+      }
+    }
+    // Pass 2: route the survivors.
+    for (uint32_t row : survivors) {
+      const int32_t gid = partitioner->GroupOf(points[row]);
       if (gid == kDroppedGroup) {
         ++local_dropped;
         continue;
       }
-      emit(gid, static_cast<uint32_t>(row));
+      emit(gid, row);
     }
     filtered.fetch_add(local_filtered, std::memory_order_relaxed);
     dropped.fetch_add(local_dropped, std::memory_order_relaxed);

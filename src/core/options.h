@@ -88,6 +88,12 @@ struct ExecutorOptions {
   // Structure-of-arrays block dominance kernel in the local skylines and
   // the ZB-tree leaf scans. Off = per-pair scalar Dominates().
   bool use_block_kernel = true;
+  // Run job 1's sample-skyline filter through a DominanceBlock over the
+  // sample skyline (the SIMD kernel scans it lane-wise, with a ZB-tree
+  // walk only for survivors of an oversized block). Off = per-point
+  // SZB-tree walk for every mapped point (the PR-1 behavior). Only
+  // effective together with use_block_kernel.
+  bool batch_szb_filter = true;
 
   // --- Simulated-cluster model (see DESIGN.md "Substitutions"). ---
   // The host may have few cores, so the executor also reports a simulated

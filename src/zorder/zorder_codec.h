@@ -19,6 +19,19 @@ namespace zsky {
 // The key property the library relies on (verified by property tests): the
 // induced order is *monotone with respect to dominance* — if p dominates q
 // then Encode(p) < Encode(q).
+//
+// Implementation: the constructor compiles the geometry into an
+// "interleave plan" — for every (address word, dimension) pair, the 64-bit
+// mask of word bits that dimension owns plus which coordinate bits feed
+// them (within one word a dimension's bits are stride-`dim` regular and
+// its coordinate bits contiguous). Encoding a word is then one
+// scatter-into-mask per dimension:
+//   * BMI2 path: a single pdep per (word, dimension) — used when the CPU
+//     has BMI2 and the active ISA tier allows it (common/cpu.h).
+//   * Scalar path: magic shift-or shuffles (log2(bits) masked doubling
+//     steps, precomputed) for power-of-two `dim`, a bit-loop otherwise.
+// Decoding mirrors this with pext / reversed shuffles. All paths produce
+// identical words (tests/simd_dispatch_test.cc).
 class ZOrderCodec {
  public:
   // `dim` >= 1, 1 <= `bits` <= 32. Coordinates must fit in `bits` bits.
@@ -29,6 +42,9 @@ class ZOrderCodec {
   size_t total_bits() const { return total_bits_; }
   size_t num_words() const { return num_words_; }
   Coord max_coord() const { return max_coord_; }
+  // True iff this codec instance dispatched to the BMI2 pdep/pext path
+  // (fixed at construction from the then-active ISA).
+  bool uses_bmi2() const { return use_bmi2_; }
 
   ZAddress Encode(std::span<const Coord> point) const;
 
@@ -42,6 +58,13 @@ class ZOrderCodec {
 
   std::vector<Coord> Decode(const ZAddress& address) const;
 
+  // Non-BMI2 reference paths; public so parity tests and ablation benches
+  // can pin a path regardless of dispatch. Same contracts as
+  // EncodeTo / Decode.
+  void EncodeToScalar(std::span<const Coord> point,
+                      std::span<uint64_t> words) const;
+  void DecodeScalar(const ZAddress& address, std::span<Coord> out) const;
+
   // Encodes every point of `points` (dimensions must match).
   std::vector<ZAddress> EncodeAll(const PointSet& points) const;
 
@@ -50,11 +73,39 @@ class ZOrderCodec {
   ZAddress MaxAddress() const;
 
  private:
+  // One (word, dimension) slice of the interleave: within word `w`,
+  // dimension `k` owns the bits of `mask` (stride-`dim` regular, lowest at
+  // `offset`), fed by the `count` contiguous coordinate bits starting at
+  // bit `shift` — ascending mask bits carry ascending coordinate bits.
+  struct LaneSlice {
+    uint64_t mask = 0;
+    uint8_t shift = 0;
+    uint8_t offset = 0;
+    uint8_t count = 0;
+  };
+
+  // One masked-doubling step of the magic shuffle (scalar fast path).
+  struct ShuffleStep {
+    uint32_t shift;
+    uint64_t mask;
+  };
+
+  // Defined in zorder_codec_bmi2.cc (the only TU built with -mbmi2).
+  void EncodeToBmi2(std::span<const Coord> point,
+                    std::span<uint64_t> words) const;
+  void DecodeBmi2(const ZAddress& address, std::span<Coord> out) const;
+
   uint32_t dim_;
   uint32_t bits_;
   size_t total_bits_;
   size_t num_words_;
   Coord max_coord_;
+  bool use_bmi2_ = false;
+  bool pow2_shuffle_ = false;
+
+  std::vector<LaneSlice> plan_;  // [word * dim_ + k]
+  std::vector<ShuffleStep> spread_steps_;    // pow2 dim only
+  std::vector<ShuffleStep> compress_steps_;  // pow2 dim only
 };
 
 }  // namespace zsky

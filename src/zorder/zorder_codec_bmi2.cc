@@ -1,0 +1,58 @@
+// BMI2 fast path of the Z-order codec: one pdep (encode) / pext (decode)
+// per (address word, dimension) slice of the interleave plan. The only TU
+// built with -mbmi2; without compiler support it forwards to the scalar
+// shuffles (runtime dispatch is hardware-gated regardless — see
+// ZOrderCodec::uses_bmi2()).
+
+#include "zorder/zorder_codec.h"
+
+#if defined(__BMI2__)
+
+#include <immintrin.h>
+
+namespace zsky {
+
+void ZOrderCodec::EncodeToBmi2(std::span<const Coord> point,
+                               std::span<uint64_t> words) const {
+  const LaneSlice* e = plan_.data();
+  for (size_t w = 0; w < num_words_; ++w) {
+    uint64_t acc = 0;
+    for (uint32_t k = 0; k < dim_; ++k, ++e) {
+      ZSKY_DCHECK(point[k] <= max_coord_);
+      acc |= _pdep_u64(static_cast<uint64_t>(point[k]) >> e->shift, e->mask);
+    }
+    words[w] = acc;
+  }
+}
+
+void ZOrderCodec::DecodeBmi2(const ZAddress& address,
+                             std::span<Coord> out) const {
+  for (uint32_t k = 0; k < dim_; ++k) out[k] = 0;
+  const LaneSlice* e = plan_.data();
+  for (size_t w = 0; w < num_words_; ++w) {
+    const uint64_t word = address.words()[w];
+    for (uint32_t k = 0; k < dim_; ++k, ++e) {
+      out[k] |= static_cast<Coord>(_pext_u64(word, e->mask) << e->shift);
+    }
+  }
+}
+
+}  // namespace zsky
+
+#else  // !defined(__BMI2__)
+
+namespace zsky {
+
+void ZOrderCodec::EncodeToBmi2(std::span<const Coord> point,
+                               std::span<uint64_t> words) const {
+  EncodeToScalar(point, words);
+}
+
+void ZOrderCodec::DecodeBmi2(const ZAddress& address,
+                             std::span<Coord> out) const {
+  DecodeScalar(address, out);
+}
+
+}  // namespace zsky
+
+#endif  // defined(__BMI2__)

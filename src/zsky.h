@@ -20,6 +20,7 @@
 #include "algo/sort_based.h"
 #include "algo/subspace.h"
 #include "algo/verify.h"
+#include "common/cpu.h"
 #include "common/dominance.h"
 #include "common/point_set.h"
 #include "common/quantizer.h"

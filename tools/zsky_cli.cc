@@ -36,7 +36,8 @@ using namespace zsky;
                " [--topk K] [--rank count|sum]\n"
                "                 [--plan] [--metrics] [--json]\n"
                "  zsky_cli skyband --in FILE --k K [--groups M]"
-               " [--metrics]\n");
+               " [--metrics]\n"
+               "  zsky_cli cpu\n");
   std::exit(2);
 }
 
@@ -258,6 +259,18 @@ int RunSkyband(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// Prints the host's SIMD features and the dispatch tier queries will run
+// with (honors ZSKY_FORCE_ISA). `scripts/check.sh simd` parses this to
+// skip tiers the host cannot run.
+int RunCpu() {
+  const CpuFeatures& features = HostCpuFeatures();
+  std::printf("sse42=%d avx2=%d bmi2=%d active=%s bmi2_codec=%d\n",
+              features.sse42 ? 1 : 0, features.avx2 ? 1 : 0,
+              features.bmi2 ? 1 : 0, std::string(IsaName(ActiveIsa())).c_str(),
+              UseBmi2Codec() ? 1 : 0);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -267,5 +280,6 @@ int main(int argc, char** argv) {
   if (command == "gen") return RunGen(flags);
   if (command == "query") return RunQuery(flags);
   if (command == "skyband") return RunSkyband(flags);
+  if (command == "cpu") return RunCpu();
   Usage(("unknown command " + command).c_str());
 }
