@@ -1,0 +1,181 @@
+// Serving bench: cold-vs-warm query latency and sustained QPS through the
+// QueryService on 500k x 8d. The acceptance gate of the plan/pipeline/
+// service split: a warm query must exclude >= 90% of the cold query's
+// preprocessing time, with skylines bit-identical cold vs warm, vs the
+// one-shot executor, and serial vs concurrent. Emits BENCH_service.json.
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "core/query_service.h"
+
+namespace zsky::bench {
+namespace {
+
+constexpr size_t kN = 500000;
+constexpr uint32_t kDim = 8;
+constexpr size_t kWarmQueries = 5;
+constexpr size_t kConcurrentClients = 4;
+constexpr size_t kQueriesPerClient = 2;
+
+ExecutorOptions ServeOptions() {
+  ExecutorOptions options;
+  options.bits = kBits;
+  options.partitioning = PartitioningScheme::kZdg;
+  options.local = LocalAlgorithm::kZSearch;
+  options.merge = MergeAlgorithm::kZMerge;
+  options.num_groups = 8;
+  options.num_map_tasks = 16;
+  options.num_threads = 4;
+  return options;
+}
+
+struct ServiceRun {
+  double cold_ms = 0.0;
+  double cold_preprocess_ms = 0.0;
+  double warm_avg_ms = 0.0;
+  double warm_preprocess_avg_ms = 0.0;
+  double serial_qps = 0.0;
+  double concurrent_qps = 0.0;
+  // 1 - warm_pre/cold_pre: fraction of cold preprocessing a warm query
+  // skips. The acceptance gate requires >= 0.9.
+  double preprocess_excluded_fraction = 0.0;
+  bool identical = false;
+  size_t skyline = 0;
+};
+
+ServiceRun RunService(const PointSet& points) {
+  ServiceRun run;
+  QueryServiceOptions service_options;
+  service_options.executor = ServeOptions();
+  service_options.max_in_flight = kConcurrentClients;
+  QueryService service(service_options, points);
+
+  // Cold: first query pays the plan build.
+  const SkylineQueryResult cold = service.Query();
+  run.cold_ms = cold.metrics.total_ms;
+  run.cold_preprocess_ms = cold.metrics.preprocess_ms;
+  run.skyline = cold.skyline.size();
+
+  // Warm, serial: the plan is amortized away.
+  bool identical = true;
+  Stopwatch warm_watch;
+  for (size_t q = 0; q < kWarmQueries; ++q) {
+    const SkylineQueryResult warm = service.Query();
+    run.warm_avg_ms += warm.metrics.total_ms;
+    run.warm_preprocess_avg_ms += warm.metrics.preprocess_ms;
+    identical = identical && warm.skyline == cold.skyline &&
+                warm.metrics.plan_reused;
+  }
+  const double warm_wall_ms = warm_watch.ElapsedMs();
+  run.warm_avg_ms /= static_cast<double>(kWarmQueries);
+  run.warm_preprocess_avg_ms /= static_cast<double>(kWarmQueries);
+  run.serial_qps =
+      static_cast<double>(kWarmQueries) / (warm_wall_ms / 1000.0);
+  run.preprocess_excluded_fraction =
+      run.cold_preprocess_ms > 0.0
+          ? 1.0 - run.warm_preprocess_avg_ms / run.cold_preprocess_ms
+          : 0.0;
+
+  // Warm, concurrent: admission + pool ticket under client parallelism.
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kConcurrentClients);
+  Stopwatch concurrent_watch;
+  for (size_t c = 0; c < kConcurrentClients; ++c) {
+    clients.emplace_back([&] {
+      for (size_t q = 0; q < kQueriesPerClient; ++q) {
+        if (service.Query().skyline != cold.skyline) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double concurrent_wall_ms = concurrent_watch.ElapsedMs();
+  run.concurrent_qps =
+      static_cast<double>(kConcurrentClients * kQueriesPerClient) /
+      (concurrent_wall_ms / 1000.0);
+  identical = identical && mismatches.load() == 0;
+
+  // One-shot executor cross-check: the service must serve exactly what a
+  // fresh Execute() computes.
+  const SkylineQueryResult one_shot =
+      ParallelSkylineExecutor(ServeOptions()).Execute(points);
+  run.identical = identical && one_shot.skyline == cold.skyline;
+  return run;
+}
+
+void WriteJson(const char* path, const ServiceRun& run) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::printf("!! cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f,
+               "  \"workload\": {\"n\": %zu, \"dim\": %u, "
+               "\"distribution\": \"independent\"},\n",
+               kN, kDim);
+  std::fprintf(f,
+               "  \"cold\": {\"total_ms\": %.3f, \"preprocess_ms\": %.3f},\n",
+               run.cold_ms, run.cold_preprocess_ms);
+  std::fprintf(f,
+               "  \"warm\": {\"avg_total_ms\": %.3f, "
+               "\"avg_preprocess_ms\": %.3f, \"queries\": %zu},\n",
+               run.warm_avg_ms, run.warm_preprocess_avg_ms, kWarmQueries);
+  std::fprintf(f,
+               "  \"qps\": {\"serial\": %.2f, \"concurrent\": %.2f, "
+               "\"clients\": %zu},\n",
+               run.serial_qps, run.concurrent_qps, kConcurrentClients);
+  std::fprintf(f,
+               "  \"preprocess_excluded_fraction\": %.4f,\n"
+               "  \"identical\": %s,\n"
+               "  \"skyline_size\": %zu\n",
+               run.preprocess_excluded_fraction,
+               run.identical ? "true" : "false", run.skyline);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+int Main() {
+  PrintBanner("service", "prepared plans + concurrent query service",
+              "500k x 8d: cold vs warm latency, serial and concurrent QPS");
+
+  const PointSet points = MakeData(Distribution::kIndependent, kN, kDim, 42);
+  const ServiceRun run = RunService(points);
+
+  std::printf("%-32s %10.1fms (preprocess %.1fms)\n", "cold query",
+              run.cold_ms, run.cold_preprocess_ms);
+  std::printf("%-32s %10.1fms (preprocess %.1fms)\n", "warm query avg",
+              run.warm_avg_ms, run.warm_preprocess_avg_ms);
+  std::printf("%-32s %10.2f\n", "serial QPS", run.serial_qps);
+  std::printf("%-32s %10.2f (%zu clients)\n", "concurrent QPS",
+              run.concurrent_qps, kConcurrentClients);
+  std::printf("%-32s %10.1f%%  identical=%s\n", "preprocess excluded",
+              100.0 * run.preprocess_excluded_fraction,
+              run.identical ? "yes" : "NO");
+
+  std::printf("# CSV,metric,value\n");
+  std::printf("# CSV,cold_ms,%.3f\n", run.cold_ms);
+  std::printf("# CSV,cold_preprocess_ms,%.3f\n", run.cold_preprocess_ms);
+  std::printf("# CSV,warm_avg_ms,%.3f\n", run.warm_avg_ms);
+  std::printf("# CSV,serial_qps,%.2f\n", run.serial_qps);
+  std::printf("# CSV,concurrent_qps,%.2f\n", run.concurrent_qps);
+  std::printf("# CSV,preprocess_excluded_fraction,%.4f\n",
+              run.preprocess_excluded_fraction);
+
+  WriteJson("BENCH_service.json", run);
+  const bool pass =
+      run.identical && run.preprocess_excluded_fraction >= 0.9;
+  std::printf("acceptance: %s\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace zsky::bench
+
+int main() { return zsky::bench::Main(); }

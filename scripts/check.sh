@@ -4,7 +4,10 @@
 #
 # `scripts/check.sh tsan` instead builds with -fsanitize=thread and runs
 # the concurrency-sensitive tests (worker pool / MapReduce engine /
-# executor pipeline) under ThreadSanitizer.
+# executor pipeline / query service) under ThreadSanitizer.
+#
+# `scripts/check.sh asan` builds with -fsanitize=address,undefined and
+# runs the full tier-1 suite under ASan+UBSan.
 #
 # `scripts/check.sh simd` builds once and runs the whole test suite once
 # per dispatch tier (ZSKY_FORCE_ISA=scalar|sse42|avx2), skipping tiers the
@@ -35,10 +38,22 @@ if [ "${1:-}" = "tsan" ]; then
   cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DZSKY_SANITIZE=thread \
         -DZSKY_BUILD_BENCHMARKS=OFF -DZSKY_BUILD_EXAMPLES=OFF >/dev/null
-  cmake --build build-tsan --target mapreduce_test executor_test
+  cmake --build build-tsan --target mapreduce_test executor_test \
+        query_service_test
   ctest --test-dir build-tsan --output-on-failure \
-        -R 'WorkerPool|MapReduceJob|TaskRunner|Executor|Pipeline'
+        -R 'WorkerPool|MapReduceJob|TaskRunner|Executor|Pipeline|QueryService'
   echo "TSAN CHECKS PASSED"
+  exit 0
+fi
+
+if [ "${1:-}" = "asan" ]; then
+  echo "=== AddressSanitizer+UBSan build + tier-1 tests ==="
+  cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DZSKY_SANITIZE=address \
+        -DZSKY_BUILD_BENCHMARKS=OFF -DZSKY_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-asan
+  ctest --test-dir build-asan --output-on-failure
+  echo "ASAN CHECKS PASSED"
   exit 0
 fi
 

@@ -1,64 +1,13 @@
 #include "core/executor.h"
 
-#include <algorithm>
-#include <atomic>
-#include <map>
 #include <memory>
-#include <mutex>
-#include <optional>
 #include <utility>
 
-#include "algo/sort_based.h"
-#include "common/dominance_block.h"
-#include "common/rng.h"
-#include "index/bbs.h"
 #include "common/stopwatch.h"
-#include "index/dynamic_skyline.h"
-#include "index/zsearch.h"
-#include "mapreduce/job.h"
-#include "partition/angle_partitioner.h"
-#include "partition/grid_partitioner.h"
-#include "partition/quadtree_partitioner.h"
-#include "partition/random_partitioner.h"
-#include "partition/zorder_grouping.h"
-#include "sample/reservoir.h"
+#include "core/pipeline.h"
+#include "core/query_plan.h"
 
 namespace zsky {
-
-namespace {
-
-SkylineIndices LocalSkyline(const ZOrderCodec& codec, const PointSet& points,
-                            LocalAlgorithm algorithm,
-                            const ZBTree::Options& tree_options,
-                            bool use_block_kernel) {
-  if (points.empty()) return {};
-  switch (algorithm) {
-    case LocalAlgorithm::kSortBased:
-      return SortBasedSkyline(points, use_block_kernel);
-    case LocalAlgorithm::kZSearch:
-      return ZSearchSkyline(codec, points, tree_options);
-    case LocalAlgorithm::kBbs: {
-      RTree::Options rtree_options;
-      rtree_options.leaf_capacity = tree_options.leaf_capacity;
-      rtree_options.fanout = tree_options.fanout;
-      return BbsSkyline(codec, points, rtree_options);
-    }
-  }
-  return {};
-}
-
-GroupingStrategy ToGroupingStrategy(PartitioningScheme scheme) {
-  switch (scheme) {
-    case PartitioningScheme::kNaiveZ:
-      return GroupingStrategy::kNaiveZ;
-    case PartitioningScheme::kZhg:
-      return GroupingStrategy::kHeuristic;
-    default:
-      return GroupingStrategy::kDominance;
-  }
-}
-
-}  // namespace
 
 ParallelSkylineExecutor::ParallelSkylineExecutor(const ExecutorOptions& options)
     : options_(options) {
@@ -75,377 +24,46 @@ ParallelSkylineExecutor::ParallelSkylineExecutor(const ExecutorOptions& options)
 SkylineQueryResult ParallelSkylineExecutor::Execute(
     const PointSet& points) const {
   SkylineQueryResult result;
-  PhaseMetrics& pm = result.metrics;
   if (points.empty()) return result;
 
   Stopwatch total_watch;
-  const size_t n = points.size();
-  const uint32_t dim = points.dim();
-  ZOrderCodec codec(dim, options_.bits);
-  // Tree geometry plus the hot-path kernel toggle; used for every tree
-  // this query builds (SZB filter, local skylines, merge trees).
-  ZBTree::Options tree_options = options_.tree;
-  tree_options.block_leaf_scan = options_.use_block_kernel;
+  // Phase 1: learn the plan from scratch (the one-shot path; repeated
+  // queries should PreparePlan once and amortize this).
+  const PreparedPlan plan = PreparePlan(points, options_);
+  result = ExecuteWithPlan(plan, points);
 
-  // ----- Phase 1: preprocessing (Section 5.1). -----
-  Stopwatch pre_watch;
-  Rng rng(options_.seed);
-  size_t sample_target = static_cast<size_t>(
-      options_.sample_ratio * static_cast<double>(n));
-  // Floor: enough sample mass to cut M*delta partitions meaningfully.
-  sample_target = std::max<size_t>(
-      sample_target,
-      std::max<size_t>(256, 4ull * options_.num_groups * options_.expansion));
-  sample_target = std::min(sample_target, n);
-  const PointSet sample = ReservoirSample(points, sample_target, rng);
-
-  std::unique_ptr<Partitioner> partitioner;
-  PointSet sample_skyline(dim);
-  switch (options_.partitioning) {
-    case PartitioningScheme::kRandom: {
-      partitioner = std::make_unique<RandomPartitioner>(options_.num_groups,
-                                                        options_.seed);
-      break;
-    }
-    case PartitioningScheme::kGrid: {
-      partitioner =
-          std::make_unique<GridPartitioner>(sample, options_.num_groups);
-      break;
-    }
-    case PartitioningScheme::kAngle: {
-      if (dim >= 2) {
-        partitioner =
-            std::make_unique<AnglePartitioner>(sample, options_.num_groups);
-      } else {
-        partitioner =
-            std::make_unique<GridPartitioner>(sample, options_.num_groups);
-      }
-      break;
-    }
-    case PartitioningScheme::kQuadTree: {
-      partitioner =
-          std::make_unique<QuadTreePartitioner>(sample, options_.num_groups);
-      break;
-    }
-    case PartitioningScheme::kNaiveZ:
-    case PartitioningScheme::kZhg:
-    case PartitioningScheme::kZdg: {
-      ZOrderGroupedPartitioner::Options zopt;
-      zopt.num_groups = options_.num_groups;
-      zopt.expansion = options_.expansion;
-      zopt.strategy = ToGroupingStrategy(options_.partitioning);
-      auto z = std::make_unique<ZOrderGroupedPartitioner>(&codec, sample,
-                                                          zopt);
-      sample_skyline = z->sample_skyline();
-      pm.num_partitions = z->num_partitions();
-      pm.pruned_partitions = z->pruned_partition_count();
-      partitioner = std::move(z);
-      break;
-    }
-  }
-  if (sample_skyline.empty()) {
-    // Grid/Angle path: compute the sample skyline for the mapper filter.
-    for (uint32_t idx : SortBasedSkyline(sample, options_.use_block_kernel)) {
-      sample_skyline.AppendFrom(sample, idx);
-    }
-  }
-  pm.sample_size = sample.size();
-  pm.sample_skyline_size = sample_skyline.size();
-  pm.num_groups = partitioner->num_groups();
-
-  // The SZB-tree mapper filter is part of the paper's Z-order pipeline
-  // (Algorithm 3 lines 2-3); the Grid/Angle baselines as published have no
-  // sample-skyline prefilter, so it only activates for Z-order schemes.
-  const bool z_scheme =
-      options_.partitioning == PartitioningScheme::kNaiveZ ||
-      options_.partitioning == PartitioningScheme::kZhg ||
-      options_.partitioning == PartitioningScheme::kZdg;
-  // The filter has two implementations with identical answers ("is p
-  // strictly dominated by some sample-skyline point?"):
-  //  - batched: a DominanceBlock over the first kSzbBlockCap skyline
-  //    points, scanned by the SIMD kernel; when the skyline is larger, a
-  //    ZB-tree over the remainder catches what the block missed. For the
-  //    common case (skyline <= cap) the mapper never touches a tree.
-  //  - tree walk: the PR-1 per-point SZB-tree probe (kept as the
-  //    scalar/ablation path).
-  constexpr size_t kSzbBlockCap = 4096;
-  std::optional<ZBTree> szb_tree;
-  std::optional<DominanceBlock> szb_block;
-  if (options_.enable_szb_filter && z_scheme && !sample_skyline.empty()) {
-    if (options_.batch_szb_filter && options_.use_block_kernel) {
-      const size_t head = std::min(sample_skyline.size(), kSzbBlockCap);
-      szb_block.emplace(dim);
-      szb_block->Reserve(head);
-      for (size_t i = 0; i < head; ++i) szb_block->Append(sample_skyline[i]);
-      if (sample_skyline.size() > head) {
-        PointSet rest(dim);
-        rest.Reserve(sample_skyline.size() - head);
-        for (size_t i = head; i < sample_skyline.size(); ++i) {
-          rest.AppendFrom(sample_skyline, i);
-        }
-        szb_tree.emplace(&codec, rest, tree_options);
-      }
-    } else {
-      szb_tree.emplace(&codec, sample_skyline, tree_options);
-    }
-  }
-  pm.preprocess_ms = pre_watch.ElapsedMs();
-
-  // ----- Phase 2: MR job 1 — compute skyline candidates (Algorithm 3). ---
-  Stopwatch job1_watch;
-  const size_t num_map_tasks =
-      std::min<size_t>(options_.num_map_tasks, n);
-  std::atomic<size_t> filtered{0};
-  std::atomic<size_t> dropped{0};
-  std::mutex candidates_mutex;
-  std::vector<std::pair<int32_t, uint32_t>> candidates;  // (gid, row).
-
-  typename mr::MapReduceJob<uint32_t>::Options job1_options;
-  job1_options.num_reduce_tasks = partitioner->num_groups();
-  job1_options.num_threads = options_.num_threads;
-  job1_options.pool = pool_.get();
-  job1_options.spawn_per_wave = !options_.reuse_worker_pool;
-  job1_options.parallel_shuffle = options_.parallel_shuffle;
-  job1_options.split_size = [n, num_map_tasks](size_t task) {
-    return (task + 1) * n / num_map_tasks - task * n / num_map_tasks;
-  };
-  job1_options.enable_combiner = options_.enable_combiner;
-  job1_options.max_task_attempts = options_.max_task_attempts;
-  if (options_.failure_injector != nullptr) {
-    job1_options.failure_injector =
-        [this](mr::MapReduceJob<uint32_t>::Wave wave, size_t task,
-               uint32_t attempt) {
-          return options_.failure_injector(static_cast<int>(wave), task,
-                                           attempt);
-        };
-  }
-  mr::MapReduceJob<uint32_t> job1(job1_options);
-
-  auto job1_map = [&](size_t task, const mr::MapReduceJob<uint32_t>::Emit&
-                                       emit) {
-    const size_t begin = task * n / num_map_tasks;
-    const size_t end = (task + 1) * n / num_map_tasks;
-    size_t local_filtered = 0;
-    size_t local_dropped = 0;
-    // Pass 1: gather the split's survivors of the sample-skyline filter.
-    // With the batched filter each probe is one SIMD block scan (tile
-    // early-exit) instead of a pointer-chasing tree walk; the tree only
-    // sees points the block could not reject.
-    std::vector<uint32_t> survivors;
-    survivors.reserve(end - begin);
-    for (size_t row = begin; row < end; ++row) {
-      const auto p = points[row];
-      bool dominated = false;
-      if (szb_block.has_value()) {
-        dominated = szb_block->AnyDominates(p);
-        if (!dominated && szb_tree.has_value()) {
-          dominated = szb_tree->ExistsDominatorOf(p);
-        }
-      } else if (szb_tree.has_value()) {
-        dominated = szb_tree->ExistsDominatorOf(p);
-      }
-      if (dominated) {
-        ++local_filtered;
-      } else {
-        survivors.push_back(static_cast<uint32_t>(row));
-      }
-    }
-    // Pass 2: route the survivors.
-    for (uint32_t row : survivors) {
-      const int32_t gid = partitioner->GroupOf(points[row]);
-      if (gid == kDroppedGroup) {
-        ++local_dropped;
-        continue;
-      }
-      emit(gid, row);
-    }
-    filtered.fetch_add(local_filtered, std::memory_order_relaxed);
-    dropped.fetch_add(local_dropped, std::memory_order_relaxed);
-  };
-  auto local_skyline_of_rows =
-      [&](std::vector<uint32_t> rows) -> std::vector<uint32_t> {
-    const PointSet local = PointSet::Gather(points, rows);
-    const SkylineIndices sky =
-        LocalSkyline(codec, local, options_.local, tree_options,
-                     options_.use_block_kernel);
-    std::vector<uint32_t> out;
-    out.reserve(sky.size());
-    for (uint32_t i : sky) out.push_back(rows[i]);
-    return out;
-  };
-  auto job1_combine = [&](int32_t /*gid*/, std::vector<uint32_t> rows) {
-    return local_skyline_of_rows(std::move(rows));
-  };
-  auto job1_reduce = [&](int32_t gid, std::vector<uint32_t> rows) {
-    const std::vector<uint32_t> sky = local_skyline_of_rows(std::move(rows));
-    const std::lock_guard<std::mutex> lock(candidates_mutex);
-    for (uint32_t row : sky) candidates.emplace_back(gid, row);
-  };
-  const size_t point_bytes = static_cast<size_t>(dim) * sizeof(Coord);
-  pm.job1 = job1.Run(
-      num_map_tasks, job1_map, job1_combine, job1_reduce,
-      [point_bytes](const uint32_t&) { return point_bytes; });
-  pm.job1_ms = job1_watch.ElapsedMs();
-  pm.candidates = candidates.size();
-  pm.filtered_by_szb = filtered.load();
-  pm.dropped_by_pruning = dropped.load();
-
-  // ----- Phase 3: MR job 2 — merge skyline candidates (Section 5.3). ----
-  Stopwatch job2_watch;
-  using Candidate = std::pair<int32_t, uint32_t>;
-  const bool parallel_merge =
-      options_.merge == MergeAlgorithm::kParallelZMerge;
-  const uint32_t merge_reducers =
-      parallel_merge ? std::max<uint32_t>(1, options_.merge_reducers) : 1;
-  std::mutex result_mutex;
-  SkylineIndices final_skyline;
-  // With parallel merge, each reducer produces a partial skyline; the
-  // master then merges the partials once (two-level merge tree).
-  std::vector<SkylineIndices> partials;
-
-  // The seed (like the paper's formulation) ran job 2's map phase as a
-  // single task; splitting the candidate list across map tasks removes
-  // that serial stage from the hot path.
-  const size_t job2_map_tasks = std::max<size_t>(
-      1, std::min<size_t>(options_.job2_map_tasks != 0
-                              ? options_.job2_map_tasks
-                              : options_.num_map_tasks,
-                          std::max<size_t>(candidates.size(), 1)));
-
-  typename mr::MapReduceJob<Candidate>::Options job2_options;
-  job2_options.num_reduce_tasks = merge_reducers;
-  job2_options.num_threads = options_.num_threads;
-  job2_options.pool = pool_.get();
-  job2_options.spawn_per_wave = !options_.reuse_worker_pool;
-  job2_options.parallel_shuffle = options_.parallel_shuffle;
-  job2_options.split_size = [&candidates, job2_map_tasks](size_t task) {
-    return (task + 1) * candidates.size() / job2_map_tasks -
-           task * candidates.size() / job2_map_tasks;
-  };
-  job2_options.enable_combiner = false;
-  job2_options.max_task_attempts = options_.max_task_attempts;
-  if (options_.failure_injector != nullptr) {
-    job2_options.failure_injector =
-        [this](mr::MapReduceJob<Candidate>::Wave wave, size_t task,
-               uint32_t attempt) {
-          return options_.failure_injector(static_cast<int>(wave), task,
-                                           attempt);
-        };
-  }
-  mr::MapReduceJob<Candidate> job2(job2_options);
-
-  auto job2_map = [&](size_t task,
-                      const mr::MapReduceJob<Candidate>::Emit& emit) {
-    const size_t begin = task * candidates.size() / job2_map_tasks;
-    const size_t end = (task + 1) * candidates.size() / job2_map_tasks;
-    for (size_t i = begin; i < end; ++i) {
-      const Candidate& c = candidates[i];
-      emit(parallel_merge
-               ? static_cast<int32_t>(static_cast<uint32_t>(c.first) %
-                                      merge_reducers)
-               : 0,
-           c);
-    }
-  };
-  // Z-merges a set of candidates grouped by gid; every gid's candidate
-  // set is dominance-free (a group-local skyline), as Z-merge requires.
-  auto zmerge_by_group = [&](const std::vector<Candidate>& values,
-                             ZMergeStats* stats) {
-    std::map<int32_t, std::vector<uint32_t>> by_group;
-    for (const Candidate& c : values) by_group[c.first].push_back(c.second);
-    std::vector<std::unique_ptr<ZBTree>> group_trees;
-    std::vector<const ZBTree*> tree_ptrs;
-    for (auto& [gid, rows] : by_group) {
-      const PointSet group_points = PointSet::Gather(points, rows);
-      group_trees.push_back(std::make_unique<ZBTree>(
-          &codec, group_points, std::move(rows), tree_options));
-      tree_ptrs.push_back(group_trees.back().get());
-    }
-    return ZMergeAll(codec, tree_ptrs, tree_options, stats);
-  };
-  auto job2_reduce = [&](int32_t /*key*/, std::vector<Candidate> values) {
-    SkylineIndices merged;
-    ZMergeStats stats;
-    switch (options_.merge) {
-      case MergeAlgorithm::kZMerge:
-      case MergeAlgorithm::kParallelZMerge: {
-        merged = zmerge_by_group(values, &stats);
-        break;
-      }
-      case MergeAlgorithm::kZSearch:
-      case MergeAlgorithm::kSortBased: {
-        std::vector<uint32_t> rows;
-        rows.reserve(values.size());
-        for (const Candidate& c : values) rows.push_back(c.second);
-        const PointSet all = PointSet::Gather(points, rows);
-        const LocalAlgorithm merge_algo =
-            options_.merge == MergeAlgorithm::kZSearch
-                ? LocalAlgorithm::kZSearch
-                : LocalAlgorithm::kSortBased;
-        for (uint32_t i : LocalSkyline(codec, all, merge_algo, tree_options,
-                                       options_.use_block_kernel)) {
-          merged.push_back(rows[i]);
-        }
-        break;
-      }
-    }
-    const std::lock_guard<std::mutex> lock(result_mutex);
-    pm.merge_stats.subtrees_discarded += stats.subtrees_discarded;
-    pm.merge_stats.subtrees_appended += stats.subtrees_appended;
-    pm.merge_stats.points_tested += stats.points_tested;
-    pm.merge_stats.skyline_removed += stats.skyline_removed;
-    if (parallel_merge) {
-      partials.push_back(std::move(merged));
-    } else {
-      final_skyline.insert(final_skyline.end(), merged.begin(),
-                           merged.end());
-    }
-  };
-  pm.job2 = job2.Run(
-      job2_map_tasks, job2_map, nullptr, job2_reduce,
-      [point_bytes](const Candidate&) { return point_bytes + 4; });
-
-  // Final master-side merge of the partial skylines (parallel merge only).
-  double final_merge_ms = 0.0;
-  if (parallel_merge) {
-    Stopwatch final_watch;
-    std::vector<std::unique_ptr<ZBTree>> partial_trees(partials.size());
-    if (pool_ != nullptr && partials.size() > 1) {
-      pool_->Run(partials.size(), [&](size_t i) {
-        if (partials[i].empty()) return;
-        const PointSet partial_points = PointSet::Gather(points, partials[i]);
-        partial_trees[i] = std::make_unique<ZBTree>(
-            &codec, partial_points, std::move(partials[i]), tree_options);
-      });
-    } else {
-      for (size_t i = 0; i < partials.size(); ++i) {
-        if (partials[i].empty()) continue;
-        const PointSet partial_points = PointSet::Gather(points, partials[i]);
-        partial_trees[i] = std::make_unique<ZBTree>(
-            &codec, partial_points, std::move(partials[i]), tree_options);
-      }
-    }
-    std::vector<const ZBTree*> tree_ptrs;
-    for (const auto& tree : partial_trees) {
-      if (tree != nullptr) tree_ptrs.push_back(tree.get());
-    }
-    ZMergeStats stats;
-    final_skyline = ZMergeAll(codec, tree_ptrs, tree_options, &stats);
-    pm.merge_stats.subtrees_discarded += stats.subtrees_discarded;
-    pm.merge_stats.points_tested += stats.points_tested;
-    final_merge_ms = final_watch.ElapsedMs();
-  }
-  pm.job2_ms = job2_watch.ElapsedMs();
-
-  SortSkyline(final_skyline);
-  result.skyline = std::move(final_skyline);
+  PhaseMetrics& pm = result.metrics;
+  pm.plan_reused = false;
+  pm.preprocess_ms = plan.build_ms;
   pm.total_ms = total_watch.ElapsedMs();
+  pm.sim_total_ms = pm.preprocess_ms + pm.sim_job1_ms + pm.sim_job2_ms;
+  return result;
+}
 
-  const uint32_t slots = options_.sim_workers != 0 ? options_.sim_workers
-                                                   : options_.num_groups;
-  pm.sim_job1_ms = pm.job1.SimulatedMs(slots, options_.sim_net_mbps);
-  pm.sim_job2_ms =
-      pm.job2.SimulatedMs(slots, options_.sim_net_mbps) + final_merge_ms;
+SkylineQueryResult ParallelSkylineExecutor::ExecuteWithPlan(
+    const PreparedPlan& plan, const PointSet& points) const {
+  SkylineQueryResult result;
+  PhaseMetrics& pm = result.metrics;
+  if (points.empty()) return result;
+  ZSKY_CHECK(plan.partitioner != nullptr);
+  ZSKY_CHECK(plan.dim == points.dim());
+  ZSKY_CHECK(plan.options.bits == options_.bits);
+
+  Stopwatch total_watch;
+  pm.plan_reused = true;
+  pm.sample_size = plan.sample.size();
+  pm.sample_skyline_size = plan.sample_skyline.size();
+  pm.num_partitions = plan.num_partitions;
+  pm.pruned_partitions = plan.pruned_partitions;
+  pm.num_groups = plan.partitioner->num_groups();
+
+  CandidateList candidates =
+      RunCandidateJob(plan, options_, points, pool_.get(), pm);
+  result.skyline =
+      RunMergeJob(plan, options_, points, std::move(candidates), pool_.get(),
+                  pm);
+
+  pm.total_ms = total_watch.ElapsedMs();
   pm.sim_total_ms = pm.preprocess_ms + pm.sim_job1_ms + pm.sim_job2_ms;
   return result;
 }

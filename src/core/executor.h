@@ -14,14 +14,20 @@
 
 namespace zsky {
 
+struct PreparedPlan;
+
 // Per-phase timings and counters of one pipeline run.
 struct PhaseMetrics {
   // Phase timings (preprocess = sampling + plan learning; job1 = candidate
-  // computation; job2 = candidate merging).
+  // computation; job2 = candidate merging). Queries that reuse a cached
+  // PreparedPlan report preprocess_ms = 0 — the build cost is charged to
+  // the query that built the plan and amortized for everyone after it.
   double preprocess_ms = 0.0;
   double job1_ms = 0.0;
   double job2_ms = 0.0;
   double total_ms = 0.0;
+  // True iff this query ran against a previously built plan (warm path).
+  bool plan_reused = false;
 
   // Simulated cluster times (per-task times scheduled onto
   // ExecutorOptions::sim_workers slots + shuffle bandwidth): what the run
@@ -54,15 +60,24 @@ struct SkylineQueryResult {
   PhaseMetrics metrics;
 };
 
-// The paper's three-phase parallel skyline pipeline:
-//   1. preprocess: reservoir-sample, learn partition pivots and the
-//      partition->group map (PGmap), build the sample-skyline ZB-tree;
-//   2. MR job 1: route points to groups (filtering against the sample
-//      skyline), compute per-group local skylines -> candidates;
-//   3. MR job 2: merge candidates (Z-merge or a centralized re-run).
+// One-shot orchestrator of the paper's three-phase parallel skyline
+// pipeline:
+//   1. preprocess (core/query_plan.h): reservoir-sample, learn partition
+//      pivots and the partition->group map (PGmap), build the
+//      sample-skyline SZB filter -> PreparedPlan;
+//   2. MR job 1 (core/pipeline.h): route points to groups (filtering
+//      against the sample skyline), compute per-group local skylines ->
+//      candidates;
+//   3. MR job 2 (core/pipeline.h): merge candidates (Z-merge or a
+//      centralized re-run).
 //
 // Configured by ExecutorOptions to realize every strategy combination the
 // paper evaluates (Grid/Angle/Naive-Z/ZHG/ZDG x SB/ZS x SB/ZS/ZM).
+//
+// For repeated queries over one dataset, build the plan once with
+// PreparePlan() and call ExecuteWithPlan(), or use the concurrent serving
+// front-end in core/query_service.h — Execute() re-learns the plan from
+// scratch on every call.
 class ParallelSkylineExecutor {
  public:
   explicit ParallelSkylineExecutor(const ExecutorOptions& options);
@@ -72,9 +87,24 @@ class ParallelSkylineExecutor {
   // Computes the skyline of `points`. Coordinates must fit in
   // options().bits bits per dimension (the Quantizer guarantees this).
   //
-  // Safe to call repeatedly; concurrent calls on one executor serialize on
-  // the shared worker pool's waves.
+  // Safe to call repeatedly, but SINGLE-CALLER: concurrent calls on one
+  // executor are not supported. They would not corrupt results (each call
+  // owns its state and WorkerPool::Run serializes individual waves), but
+  // the two pipelines' waves interleave arbitrarily on the shared pool, so
+  // per-phase timings become meaningless and latency degrades for both.
+  // For concurrent serving use QueryService, which admits queries
+  // concurrently and tickets their pipeline execution through the pool.
   SkylineQueryResult Execute(const PointSet& points) const;
+
+  // Runs phases 2+3 against a previously built plan, skipping the
+  // preprocessing entirely (metrics report preprocess_ms = 0 and
+  // plan_reused = true). `plan` must have been built by PreparePlan() from
+  // these `points` with plan-shaping options equal to this executor's
+  // (same partitioning, num_groups, expansion, sample_ratio, bits, seed,
+  // tree geometry and filter toggles); bit-identical to Execute() by
+  // construction. Same single-caller contract as Execute().
+  SkylineQueryResult ExecuteWithPlan(const PreparedPlan& plan,
+                                     const PointSet& points) const;
 
  private:
   ExecutorOptions options_;

@@ -85,6 +85,9 @@ std::string MetricsToJson(const PhaseMetrics& pm) {
   AppendKey(out, "total_ms");
   AppendNumber(out, pm.total_ms);
   out += ',';
+  AppendKey(out, "plan_reused");
+  out += pm.plan_reused ? "true" : "false";
+  out += ',';
   AppendKey(out, "sim_job1_ms");
   AppendNumber(out, pm.sim_job1_ms);
   out += ',';

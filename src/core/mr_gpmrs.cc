@@ -8,13 +8,12 @@
 
 #include "algo/sort_based.h"
 #include "common/dominance.h"
-#include "common/rng.h"
 #include "common/stopwatch.h"
+#include "core/query_plan.h"
 #include "index/bbs.h"
 #include "index/zsearch.h"
 #include "mapreduce/job.h"
 #include "partition/grid_partitioner.h"
-#include "sample/reservoir.h"
 
 namespace zsky {
 
@@ -45,22 +44,28 @@ SkylineQueryResult MrGpmrsSkyline(const PointSet& points,
   Stopwatch total_watch;
   const size_t n = points.size();
   const uint32_t dim = points.dim();
-  ZOrderCodec codec(dim, options.bits);
   const Coord max_value =
       options.bits == 32 ? 0xFFFFFFFFu : ((Coord{1} << options.bits) - 1);
 
-  // ----- Preprocess: learn the grid from a sample. -----
-  Stopwatch pre_watch;
-  Rng rng(options.seed);
-  size_t sample_target = static_cast<size_t>(
-      options.sample_ratio * static_cast<double>(n));
-  sample_target = std::min(n, std::max<size_t>(sample_target, 256));
-  const PointSet sample = ReservoirSample(points, sample_target, rng);
-  GridPartitioner grid(sample, options.num_cells);
-  pm.sample_size = sample.size();
+  // ----- Preprocess: learn the grid from a sample (shared plan layer). ---
+  // expansion = 1 keeps the sample floor at the baseline's 256 points for
+  // the cell counts the paper evaluates (4 * num_cells <= 256); no SZB
+  // filter — the published baseline has no sample-skyline prefilter.
+  ExecutorOptions plan_options;
+  plan_options.partitioning = PartitioningScheme::kGrid;
+  plan_options.num_groups = options.num_cells;
+  plan_options.expansion = 1;
+  plan_options.sample_ratio = options.sample_ratio;
+  plan_options.bits = options.bits;
+  plan_options.seed = options.seed;
+  plan_options.enable_szb_filter = false;
+  const PreparedPlan plan = PreparePlan(points, plan_options);
+  const ZOrderCodec& codec = *plan.codec;
+  const GridPartitioner& grid = *plan.grid;
+  pm.sample_size = plan.sample.size();
   pm.num_partitions = grid.num_groups();
   pm.num_groups = options.num_merge_reducers;
-  pm.preprocess_ms = pre_watch.ElapsedMs();
+  pm.preprocess_ms = plan.build_ms;
 
   // ----- Job 1: per-cell local skylines. -----
   Stopwatch job1_watch;

@@ -1,0 +1,324 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "algo/sort_based.h"
+#include "common/stopwatch.h"
+#include "index/bbs.h"
+#include "index/zsearch.h"
+#include "mapreduce/job.h"
+
+namespace zsky {
+
+namespace {
+
+SkylineIndices LocalSkyline(const ZOrderCodec& codec, const PointSet& points,
+                            LocalAlgorithm algorithm,
+                            const ZBTree::Options& tree_options,
+                            bool use_block_kernel) {
+  if (points.empty()) return {};
+  switch (algorithm) {
+    case LocalAlgorithm::kSortBased:
+      return SortBasedSkyline(points, use_block_kernel);
+    case LocalAlgorithm::kZSearch:
+      return ZSearchSkyline(codec, points, tree_options);
+    case LocalAlgorithm::kBbs: {
+      RTree::Options rtree_options;
+      rtree_options.leaf_capacity = tree_options.leaf_capacity;
+      rtree_options.fanout = tree_options.fanout;
+      return BbsSkyline(codec, points, rtree_options);
+    }
+  }
+  return {};
+}
+
+// Number of simulated cluster slots for the sim_* metrics.
+uint32_t SimSlots(const ExecutorOptions& options) {
+  return options.sim_workers != 0 ? options.sim_workers : options.num_groups;
+}
+
+}  // namespace
+
+CandidateList RunCandidateJob(const PreparedPlan& plan,
+                              const ExecutorOptions& options,
+                              const PointSet& points, mr::WorkerPool* pool,
+                              PhaseMetrics& pm) {
+  CandidateList candidates;
+  if (points.empty()) return candidates;
+  ZSKY_CHECK(plan.partitioner != nullptr);
+  ZSKY_CHECK(plan.dim == points.dim());
+
+  Stopwatch job1_watch;
+  const size_t n = points.size();
+  const uint32_t dim = points.dim();
+  const ZOrderCodec& codec = *plan.codec;
+  const Partitioner& partitioner = *plan.partitioner;
+
+  const size_t num_map_tasks = std::min<size_t>(options.num_map_tasks, n);
+  std::atomic<size_t> filtered{0};
+  std::atomic<size_t> dropped{0};
+  std::mutex candidates_mutex;
+
+  typename mr::MapReduceJob<uint32_t>::Options job1_options;
+  job1_options.num_reduce_tasks = partitioner.num_groups();
+  job1_options.num_threads = options.num_threads;
+  job1_options.pool = pool;
+  job1_options.spawn_per_wave = !options.reuse_worker_pool;
+  job1_options.parallel_shuffle = options.parallel_shuffle;
+  job1_options.split_size = [n, num_map_tasks](size_t task) {
+    return (task + 1) * n / num_map_tasks - task * n / num_map_tasks;
+  };
+  job1_options.enable_combiner = options.enable_combiner;
+  job1_options.max_task_attempts = options.max_task_attempts;
+  if (options.failure_injector != nullptr) {
+    job1_options.failure_injector =
+        [&options](mr::MapReduceJob<uint32_t>::Wave wave, size_t task,
+                   uint32_t attempt) {
+          return options.failure_injector(static_cast<int>(wave), task,
+                                          attempt);
+        };
+  }
+  mr::MapReduceJob<uint32_t> job1(job1_options);
+
+  auto job1_map = [&](size_t task,
+                      const mr::MapReduceJob<uint32_t>::Emit& emit) {
+    const size_t begin = task * n / num_map_tasks;
+    const size_t end = (task + 1) * n / num_map_tasks;
+    size_t local_filtered = 0;
+    size_t local_dropped = 0;
+    // Pass 1: gather the split's survivors of the sample-skyline filter.
+    // With the batched filter each probe is one SIMD block scan (tile
+    // early-exit) instead of a pointer-chasing tree walk; the tree only
+    // sees points the block could not reject.
+    std::vector<uint32_t> survivors;
+    survivors.reserve(end - begin);
+    for (size_t row = begin; row < end; ++row) {
+      const auto p = points[row];
+      bool dominated = false;
+      if (plan.szb_block.has_value()) {
+        dominated = plan.szb_block->AnyDominates(p);
+        if (!dominated && plan.szb_tree != nullptr) {
+          dominated = plan.szb_tree->ExistsDominatorOf(p);
+        }
+      } else if (plan.szb_tree != nullptr) {
+        dominated = plan.szb_tree->ExistsDominatorOf(p);
+      }
+      if (dominated) {
+        ++local_filtered;
+      } else {
+        survivors.push_back(static_cast<uint32_t>(row));
+      }
+    }
+    // Pass 2: route the survivors.
+    for (uint32_t row : survivors) {
+      const int32_t gid = partitioner.GroupOf(points[row]);
+      if (gid == kDroppedGroup) {
+        ++local_dropped;
+        continue;
+      }
+      emit(gid, row);
+    }
+    filtered.fetch_add(local_filtered, std::memory_order_relaxed);
+    dropped.fetch_add(local_dropped, std::memory_order_relaxed);
+  };
+  auto local_skyline_of_rows =
+      [&](std::vector<uint32_t> rows) -> std::vector<uint32_t> {
+    const PointSet local = PointSet::Gather(points, rows);
+    const SkylineIndices sky =
+        LocalSkyline(codec, local, options.local, plan.tree_options,
+                     options.use_block_kernel);
+    std::vector<uint32_t> out;
+    out.reserve(sky.size());
+    for (uint32_t i : sky) out.push_back(rows[i]);
+    return out;
+  };
+  auto job1_combine = [&](int32_t /*gid*/, std::vector<uint32_t> rows) {
+    return local_skyline_of_rows(std::move(rows));
+  };
+  auto job1_reduce = [&](int32_t gid, std::vector<uint32_t> rows) {
+    const std::vector<uint32_t> sky = local_skyline_of_rows(std::move(rows));
+    const std::lock_guard<std::mutex> lock(candidates_mutex);
+    for (uint32_t row : sky) candidates.emplace_back(gid, row);
+  };
+  const size_t point_bytes = static_cast<size_t>(dim) * sizeof(Coord);
+  pm.job1 = job1.Run(
+      num_map_tasks, job1_map, job1_combine, job1_reduce,
+      [point_bytes](const uint32_t&) { return point_bytes; });
+  pm.job1_ms = job1_watch.ElapsedMs();
+  pm.candidates = candidates.size();
+  pm.filtered_by_szb = filtered.load();
+  pm.dropped_by_pruning = dropped.load();
+  pm.sim_job1_ms = pm.job1.SimulatedMs(SimSlots(options), options.sim_net_mbps);
+  return candidates;
+}
+
+SkylineIndices RunMergeJob(const PreparedPlan& plan,
+                           const ExecutorOptions& options,
+                           const PointSet& points, CandidateList candidates,
+                           mr::WorkerPool* pool, PhaseMetrics& pm) {
+  if (points.empty()) return {};
+  ZSKY_CHECK(plan.dim == points.dim());
+
+  Stopwatch job2_watch;
+  const ZOrderCodec& codec = *plan.codec;
+  using Candidate = std::pair<int32_t, uint32_t>;
+  const uint32_t dim = points.dim();
+  const bool parallel_merge = options.merge == MergeAlgorithm::kParallelZMerge;
+  const uint32_t merge_reducers =
+      parallel_merge ? std::max<uint32_t>(1, options.merge_reducers) : 1;
+  std::mutex result_mutex;
+  SkylineIndices final_skyline;
+  // With parallel merge, each reducer produces a partial skyline; the
+  // master then merges the partials once (two-level merge tree).
+  std::vector<SkylineIndices> partials;
+
+  // The seed (like the paper's formulation) ran job 2's map phase as a
+  // single task; splitting the candidate list across map tasks removes
+  // that serial stage from the hot path.
+  const size_t job2_map_tasks = std::max<size_t>(
+      1, std::min<size_t>(options.job2_map_tasks != 0
+                              ? options.job2_map_tasks
+                              : options.num_map_tasks,
+                          std::max<size_t>(candidates.size(), 1)));
+
+  typename mr::MapReduceJob<Candidate>::Options job2_options;
+  job2_options.num_reduce_tasks = merge_reducers;
+  job2_options.num_threads = options.num_threads;
+  job2_options.pool = pool;
+  job2_options.spawn_per_wave = !options.reuse_worker_pool;
+  job2_options.parallel_shuffle = options.parallel_shuffle;
+  job2_options.split_size = [&candidates, job2_map_tasks](size_t task) {
+    return (task + 1) * candidates.size() / job2_map_tasks -
+           task * candidates.size() / job2_map_tasks;
+  };
+  job2_options.enable_combiner = false;
+  job2_options.max_task_attempts = options.max_task_attempts;
+  if (options.failure_injector != nullptr) {
+    job2_options.failure_injector =
+        [&options](mr::MapReduceJob<Candidate>::Wave wave, size_t task,
+                   uint32_t attempt) {
+          return options.failure_injector(static_cast<int>(wave), task,
+                                          attempt);
+        };
+  }
+  mr::MapReduceJob<Candidate> job2(job2_options);
+
+  auto job2_map = [&](size_t task,
+                      const mr::MapReduceJob<Candidate>::Emit& emit) {
+    const size_t begin = task * candidates.size() / job2_map_tasks;
+    const size_t end = (task + 1) * candidates.size() / job2_map_tasks;
+    for (size_t i = begin; i < end; ++i) {
+      const Candidate& c = candidates[i];
+      emit(parallel_merge
+               ? static_cast<int32_t>(static_cast<uint32_t>(c.first) %
+                                      merge_reducers)
+               : 0,
+           c);
+    }
+  };
+  // Z-merges a set of candidates grouped by gid; every gid's candidate
+  // set is dominance-free (a group-local skyline), as Z-merge requires.
+  auto zmerge_by_group = [&](const std::vector<Candidate>& values,
+                             ZMergeStats* stats) {
+    std::map<int32_t, std::vector<uint32_t>> by_group;
+    for (const Candidate& c : values) by_group[c.first].push_back(c.second);
+    std::vector<std::unique_ptr<ZBTree>> group_trees;
+    std::vector<const ZBTree*> tree_ptrs;
+    for (auto& [gid, rows] : by_group) {
+      const PointSet group_points = PointSet::Gather(points, rows);
+      group_trees.push_back(std::make_unique<ZBTree>(
+          &codec, group_points, std::move(rows), plan.tree_options));
+      tree_ptrs.push_back(group_trees.back().get());
+    }
+    return ZMergeAll(codec, tree_ptrs, plan.tree_options, stats);
+  };
+  auto job2_reduce = [&](int32_t /*key*/, std::vector<Candidate> values) {
+    SkylineIndices merged;
+    ZMergeStats stats;
+    switch (options.merge) {
+      case MergeAlgorithm::kZMerge:
+      case MergeAlgorithm::kParallelZMerge: {
+        merged = zmerge_by_group(values, &stats);
+        break;
+      }
+      case MergeAlgorithm::kZSearch:
+      case MergeAlgorithm::kSortBased: {
+        std::vector<uint32_t> rows;
+        rows.reserve(values.size());
+        for (const Candidate& c : values) rows.push_back(c.second);
+        const PointSet all = PointSet::Gather(points, rows);
+        const LocalAlgorithm merge_algo =
+            options.merge == MergeAlgorithm::kZSearch
+                ? LocalAlgorithm::kZSearch
+                : LocalAlgorithm::kSortBased;
+        for (uint32_t i :
+             LocalSkyline(codec, all, merge_algo, plan.tree_options,
+                          options.use_block_kernel)) {
+          merged.push_back(rows[i]);
+        }
+        break;
+      }
+    }
+    const std::lock_guard<std::mutex> lock(result_mutex);
+    pm.merge_stats.subtrees_discarded += stats.subtrees_discarded;
+    pm.merge_stats.subtrees_appended += stats.subtrees_appended;
+    pm.merge_stats.points_tested += stats.points_tested;
+    pm.merge_stats.skyline_removed += stats.skyline_removed;
+    if (parallel_merge) {
+      partials.push_back(std::move(merged));
+    } else {
+      final_skyline.insert(final_skyline.end(), merged.begin(), merged.end());
+    }
+  };
+  const size_t point_bytes = static_cast<size_t>(dim) * sizeof(Coord);
+  pm.job2 = job2.Run(
+      job2_map_tasks, job2_map, nullptr, job2_reduce,
+      [point_bytes](const Candidate&) { return point_bytes + 4; });
+
+  // Final master-side merge of the partial skylines (parallel merge only).
+  double final_merge_ms = 0.0;
+  if (parallel_merge) {
+    Stopwatch final_watch;
+    std::vector<std::unique_ptr<ZBTree>> partial_trees(partials.size());
+    if (pool != nullptr && partials.size() > 1) {
+      pool->Run(partials.size(), [&](size_t i) {
+        if (partials[i].empty()) return;
+        const PointSet partial_points = PointSet::Gather(points, partials[i]);
+        partial_trees[i] = std::make_unique<ZBTree>(
+            &codec, partial_points, std::move(partials[i]),
+            plan.tree_options);
+      });
+    } else {
+      for (size_t i = 0; i < partials.size(); ++i) {
+        if (partials[i].empty()) continue;
+        const PointSet partial_points = PointSet::Gather(points, partials[i]);
+        partial_trees[i] = std::make_unique<ZBTree>(
+            &codec, partial_points, std::move(partials[i]),
+            plan.tree_options);
+      }
+    }
+    std::vector<const ZBTree*> tree_ptrs;
+    for (const auto& tree : partial_trees) {
+      if (tree != nullptr) tree_ptrs.push_back(tree.get());
+    }
+    ZMergeStats stats;
+    final_skyline = ZMergeAll(codec, tree_ptrs, plan.tree_options, &stats);
+    pm.merge_stats.subtrees_discarded += stats.subtrees_discarded;
+    pm.merge_stats.points_tested += stats.points_tested;
+    final_merge_ms = final_watch.ElapsedMs();
+  }
+  pm.job2_ms = job2_watch.ElapsedMs();
+  pm.sim_job2_ms =
+      pm.job2.SimulatedMs(SimSlots(options), options.sim_net_mbps) +
+      final_merge_ms;
+
+  SortSkyline(final_skyline);
+  return final_skyline;
+}
+
+}  // namespace zsky

@@ -1,0 +1,56 @@
+#ifndef ZSKY_CORE_PIPELINE_H_
+#define ZSKY_CORE_PIPELINE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "algo/skyline.h"
+#include "common/point_set.h"
+#include "core/executor.h"
+#include "core/options.h"
+#include "core/query_plan.h"
+#include "mapreduce/worker_pool.h"
+
+namespace zsky {
+
+// One skyline candidate emitted by MR job 1: (group id, row index into the
+// dataset the plan was prepared for).
+using CandidateList = std::vector<std::pair<int32_t, uint32_t>>;
+
+// The two MapReduce jobs of the paper's pipeline, expressed over a
+// `const PreparedPlan&` so the preprocessing artifacts are built once and
+// shared across queries (and so the planner can price a plan without
+// running it). Both functions only *read* the plan; they are safe to call
+// concurrently on one plan from different threads as long as each call
+// uses its own PhaseMetrics and the two calls do not share a WorkerPool
+// wave sequence (see core/query_service.h for the serving-side gate).
+//
+// `options` supplies the pipeline knobs (map-task counts, threads, merge
+// algorithm, combiner, retry policy, simulated-cluster model). Its
+// plan-shaping fields must match `plan.options` — reusing a plan under a
+// different partitioning scheme, group count, or bit width is undefined.
+// `pool` may be null; then jobs follow options.reuse_worker_pool (own pool
+// vs spawn-per-wave, the legacy ablation path).
+
+// MR job 1 (Algorithm 3): filter each point against the plan's sample
+// skyline, route survivors to groups, compute per-group local skylines.
+// Fills pm.job1 / job1_ms / sim_job1_ms, candidates, filtered_by_szb and
+// dropped_by_pruning.
+CandidateList RunCandidateJob(const PreparedPlan& plan,
+                              const ExecutorOptions& options,
+                              const PointSet& points, mr::WorkerPool* pool,
+                              PhaseMetrics& pm);
+
+// MR job 2 (Section 5.3): merge the candidates into the global skyline
+// (Z-merge, parallel two-level Z-merge, or a centralized re-run). Fills
+// pm.job2 / job2_ms / sim_job2_ms / merge_stats. Returns the skyline in
+// ascending row order.
+SkylineIndices RunMergeJob(const PreparedPlan& plan,
+                           const ExecutorOptions& options,
+                           const PointSet& points, CandidateList candidates,
+                           mr::WorkerPool* pool, PhaseMetrics& pm);
+
+}  // namespace zsky
+
+#endif  // ZSKY_CORE_PIPELINE_H_

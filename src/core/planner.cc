@@ -4,6 +4,7 @@
 
 #include "algo/sort_based.h"
 #include "common/rng.h"
+#include "core/query_plan.h"
 #include "sample/reservoir.h"
 
 namespace zsky {
@@ -59,6 +60,53 @@ PlanDecision PlanQuery(const PointSet& points, const ExecutorOptions& base) {
   // Larger samples pay off when the skyline is large (Figure 13).
   options.sample_ratio = skyline_heavy ? 0.02 : 0.01;
   return decision;
+}
+
+PlanCostEstimate EstimatePlanCost(const PreparedPlan& plan,
+                                  size_t dataset_size) {
+  PlanCostEstimate estimate;
+  if (dataset_size == 0 || plan.sample.empty()) return estimate;
+
+  const double sample_size = static_cast<double>(plan.sample.size());
+  const double skyline_fraction =
+      static_cast<double>(plan.sample_skyline.size()) / sample_size;
+
+  // SZB filter: a point dominated by the sample skyline is dropped in the
+  // mapper. Among the sample itself, exactly the non-skyline points are
+  // dominated, so the sample skyline fraction extrapolates to the filter's
+  // pass rate.
+  if (plan.HasSzbFilter()) {
+    estimate.szb_filter_rate = 1.0 - skyline_fraction;
+  }
+
+  // ZDG pruning: routed-to-dropped mass extrapolates from the sample
+  // counts of pruned partitions. (Filter and pruning overlap — a pruned
+  // partition's points are all dominated — so pruning only removes what
+  // the filter let through.)
+  if (plan.zgroup != nullptr && plan.pruned_partitions > 0) {
+    size_t pruned_sample = 0;
+    for (size_t i = 0; i < plan.zgroup->num_partitions(); ++i) {
+      if (plan.zgroup->group_of_partition(i) == kDroppedGroup) {
+        pruned_sample += plan.zgroup->partition_sample_count(i);
+      }
+    }
+    estimate.pruned_fraction =
+        static_cast<double>(pruned_sample) / sample_size;
+  }
+
+  const double n = static_cast<double>(dataset_size);
+  double survivor_rate = 1.0 - estimate.szb_filter_rate;
+  if (!plan.HasSzbFilter()) survivor_rate = 1.0 - estimate.pruned_fraction;
+  survivor_rate = std::clamp(survivor_rate, 0.0, 1.0);
+  estimate.expected_shuffle_records = static_cast<size_t>(n * survivor_rate);
+
+  // Job 1 emits each group's local skyline: a subset of the global-skyline
+  // superset that survived the filter. The sample skyline fraction applied
+  // to the survivors is the natural (slightly conservative) estimate.
+  estimate.expected_candidates = std::min(
+      estimate.expected_shuffle_records,
+      static_cast<size_t>(n * skyline_fraction) + 1);
+  return estimate;
 }
 
 }  // namespace zsky

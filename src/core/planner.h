@@ -1,12 +1,15 @@
 #ifndef ZSKY_CORE_PLANNER_H_
 #define ZSKY_CORE_PLANNER_H_
 
+#include <cstddef>
 #include <string>
 
 #include "common/point_set.h"
 #include "core/options.h"
 
 namespace zsky {
+
+struct PreparedPlan;
 
 // What the planner saw and why it chose what it chose.
 struct PlanDecision {
@@ -27,6 +30,28 @@ struct PlanDecision {
 // `base` carries the caller's fixed settings (num_groups, bits, threads);
 // the planner fills partitioning/local/merge/sample knobs.
 PlanDecision PlanQuery(const PointSet& points, const ExecutorOptions& base);
+
+// Predicted per-query cost drivers of running the pipeline under a plan.
+// All quantities are sample-extrapolated — nothing is executed.
+struct PlanCostEstimate {
+  // Points expected to survive the SZB filter + partition pruning and be
+  // shuffled to job 1's reducers.
+  size_t expected_shuffle_records = 0;
+  // Candidates expected out of job 1 (the merge job's input size).
+  size_t expected_candidates = 0;
+  // Fraction of the dataset the SZB mapper filter is expected to drop.
+  double szb_filter_rate = 0.0;
+  // Fraction of the dataset routed to pruned partitions (ZDG only).
+  double pruned_fraction = 0.0;
+};
+
+// Prices an already-built plan for a dataset of `dataset_size` points
+// using only the plan's learned statistics (sample skyline fraction,
+// per-partition sample counts, pruned partitions). Lets a serving layer
+// compare candidate plans — or decide a rebuild is worth it — without
+// running a query.
+PlanCostEstimate EstimatePlanCost(const PreparedPlan& plan,
+                                  size_t dataset_size);
 
 }  // namespace zsky
 

@@ -1,0 +1,91 @@
+#ifndef ZSKY_CORE_QUERY_PLAN_H_
+#define ZSKY_CORE_QUERY_PLAN_H_
+
+#include <memory>
+#include <optional>
+
+#include "common/dominance_block.h"
+#include "common/point_set.h"
+#include "core/options.h"
+#include "index/zbtree.h"
+#include "partition/grid_partitioner.h"
+#include "partition/partitioner.h"
+#include "partition/zorder_grouping.h"
+#include "zorder/zorder_codec.h"
+
+namespace zsky {
+
+// The master-side preprocessing artifacts of the paper's Phase 1 (Section
+// 5.1), packaged as a reusable value: reservoir sample, partition pivots +
+// PGmap (the partitioner), the sample skyline, and the SZB mapper filter.
+//
+// A plan is built once per dataset by PreparePlan() and is immutable
+// afterwards: every query artifact is only read through const methods, so
+// one plan may be shared by const reference across concurrently running
+// queries (see core/query_service.h). Rebuilding the plan is only needed
+// when the dataset or a plan-shaping option changes — partitioning scheme,
+// num_groups, expansion, sample_ratio, bits, seed, tree geometry, or the
+// SZB-filter toggles. Pipeline-only knobs (merge algorithm, map-task
+// counts, thread counts) can vary per query against the same plan.
+struct PreparedPlan {
+  // The options the plan was built under (PreparePlan copies them in).
+  ExecutorOptions options;
+
+  uint32_t dim = 0;
+  size_t dataset_size = 0;
+
+  // Heap-allocated for address stability: the partitioner and the SZB tree
+  // hold raw pointers into the codec, and the plan itself must stay
+  // movable.
+  std::unique_ptr<ZOrderCodec> codec;
+  // Tree geometry plus the hot-path kernel toggle; used for every tree a
+  // query over this plan builds (local skylines, merge trees).
+  ZBTree::Options tree_options{};
+
+  std::unique_ptr<Partitioner> partitioner;
+  // Typed aliases into `partitioner` (null when another scheme is active):
+  // the Z-order view exposes partition regions/stats, the grid view exposes
+  // cell regions (MR-GPMRS's bitstring pruning).
+  const ZOrderGroupedPartitioner* zgroup = nullptr;
+  const GridPartitioner* grid = nullptr;
+
+  PointSet sample{1};
+  PointSet sample_skyline{1};
+
+  // SZB mapper filter (Algorithm 3 lines 2-3); present only for Z-order
+  // schemes with the filter enabled. The block covers the head of the
+  // sample skyline for the SIMD scan; the tree holds the overflow (or the
+  // whole skyline when the batched filter is off).
+  std::optional<DominanceBlock> szb_block;
+  std::unique_ptr<ZBTree> szb_tree;
+
+  // Plan-shape statistics (copied into every query's PhaseMetrics).
+  size_t num_partitions = 0;
+  size_t pruned_partitions = 0;
+
+  // Wall time PreparePlan spent building this plan. A query that triggers
+  // the build charges it as preprocess_ms; queries reusing the plan report
+  // preprocess_ms = 0 (the cost is amortized).
+  double build_ms = 0.0;
+
+  // True iff job 1's mapper filter is active for this plan.
+  bool HasSzbFilter() const {
+    return szb_block.has_value() || szb_tree != nullptr;
+  }
+};
+
+// Builds the plan for `points`: samples, learns partition pivots and the
+// partition->group map, computes the sample skyline, and builds the SZB
+// filter. This is exactly the executor's preprocessing phase — one-shot
+// Execute() is PreparePlan() + the pipeline, so plan reuse is
+// bit-identical to one-shot execution by construction.
+//
+// Coordinates must fit in options.bits bits per dimension. An empty
+// `points` yields an empty plan (partitioner == nullptr); callers must not
+// run the pipeline over it.
+PreparedPlan PreparePlan(const PointSet& points,
+                         const ExecutorOptions& options);
+
+}  // namespace zsky
+
+#endif  // ZSKY_CORE_QUERY_PLAN_H_

@@ -1,0 +1,132 @@
+#include "core/query_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/stopwatch.h"
+#include "core/pipeline.h"
+
+namespace zsky {
+
+QueryService::QueryService(const QueryServiceOptions& options)
+    : options_(options), pool_(options.executor.num_threads) {
+  ZSKY_CHECK(options_.max_in_flight >= 1);
+  // The service owns the one pool every query runs on; the pipeline must
+  // use it (spawn-per-wave is the legacy single-shot ablation path).
+  options_.executor.reuse_worker_pool = true;
+}
+
+QueryService::QueryService(const QueryServiceOptions& options, PointSet points)
+    : QueryService(options) {
+  SetDataset(std::move(points));
+}
+
+void QueryService::SetDataset(PointSet points) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_points_ = std::move(points);
+  has_pending_ = true;
+  // The cached plan (if any) is now stale: the next AcquireSnapshot()
+  // rebuilds before serving. In-flight queries keep the snapshot they
+  // already acquired and finish against the old dataset.
+}
+
+QueryService::Stats QueryService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::pair<std::shared_ptr<const QueryService::Snapshot>, bool>
+QueryService::AcquireSnapshot() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (snapshot_ != nullptr && !has_pending_) return {snapshot_, false};
+    if (!building_) break;  // Elected: this thread builds.
+    build_cv_.wait(lock);
+  }
+  ZSKY_CHECK_MSG(has_pending_, "QueryService::Query before SetDataset");
+  building_ = true;
+  auto snap = std::make_shared<Snapshot>();
+  snap->points = std::move(pending_points_);
+  pending_points_ = PointSet(1);
+  has_pending_ = false;
+
+  lock.unlock();  // PreparePlan is the expensive part; build unlocked.
+  snap->plan = PreparePlan(snap->points, options_.executor);
+  lock.lock();
+
+  snapshot_ = snap;
+  building_ = false;
+  ++stats_.plan_builds;
+  stats_.plan_build_ms_total += snap->plan.build_ms;
+  build_cv_.notify_all();
+  return {std::move(snap), true};
+}
+
+SkylineQueryResult QueryService::Query(const QueryRequest& request) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ZSKY_CHECK_MSG(has_pending_ || snapshot_ != nullptr || building_,
+                   "QueryService::Query before SetDataset");
+    admit_cv_.wait(lock,
+                   [this] { return in_flight_ < options_.max_in_flight; });
+    ++in_flight_;
+    stats_.peak_in_flight =
+        std::max(stats_.peak_in_flight, static_cast<size_t>(in_flight_));
+  }
+
+  SkylineQueryResult result = RunQuery(request);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --in_flight_;
+    ++stats_.queries;
+  }
+  admit_cv_.notify_one();
+  return result;
+}
+
+SkylineQueryResult QueryService::RunQuery(const QueryRequest& request) {
+  auto acquired = AcquireSnapshot();
+  const std::shared_ptr<const Snapshot>& snap = acquired.first;
+  const bool built_now = acquired.second;
+
+  SkylineQueryResult result;
+  PhaseMetrics& pm = result.metrics;
+  pm.plan_reused = !built_now;
+  pm.preprocess_ms = built_now ? snap->plan.build_ms : 0.0;
+  if (snap->points.empty()) {
+    pm.total_ms = pm.preprocess_ms;
+    pm.sim_total_ms = pm.preprocess_ms;
+    return result;
+  }
+
+  ExecutorOptions run_options = options_.executor;
+  if (request.merge) run_options.merge = *request.merge;
+  if (request.merge_reducers) run_options.merge_reducers = *request.merge_reducers;
+  if (request.num_map_tasks) run_options.num_map_tasks = *request.num_map_tasks;
+  if (request.job2_map_tasks) run_options.job2_map_tasks = *request.job2_map_tasks;
+
+  pm.sample_size = snap->plan.sample.size();
+  pm.sample_skyline_size = snap->plan.sample_skyline.size();
+  pm.num_partitions = snap->plan.num_partitions;
+  pm.pruned_partitions = snap->plan.pruned_partitions;
+  pm.num_groups = snap->plan.partitioner->num_groups();
+
+  Stopwatch pipeline_watch;
+  {
+    // Pool ticket: one query's wave *sequence* at a time on the shared
+    // pool. Without this, two queries' waves interleave arbitrarily (the
+    // executor's documented single-caller hazard).
+    std::lock_guard<std::mutex> ticket(pool_mu_);
+    CandidateList candidates =
+        RunCandidateJob(snap->plan, run_options, snap->points, &pool_, pm);
+    result.skyline = RunMergeJob(snap->plan, run_options, snap->points,
+                                 std::move(candidates), &pool_, pm);
+  }
+  pm.total_ms = pm.preprocess_ms + pipeline_watch.ElapsedMs();
+  pm.sim_total_ms = pm.preprocess_ms + pm.sim_job1_ms + pm.sim_job2_ms;
+  return result;
+}
+
+}  // namespace zsky

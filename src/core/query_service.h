@@ -1,0 +1,128 @@
+#ifndef ZSKY_CORE_QUERY_SERVICE_H_
+#define ZSKY_CORE_QUERY_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/point_set.h"
+#include "core/executor.h"
+#include "core/options.h"
+#include "core/query_plan.h"
+#include "mapreduce/worker_pool.h"
+
+namespace zsky {
+
+// Pipeline-only knobs a single query may override against the shared plan.
+// Anything that re-shapes the plan (partitioning scheme, group count,
+// sample ratio, bits, filter toggles) is fixed per service — change it by
+// constructing a new service (or re-issuing SetDataset on one built with
+// the new options).
+struct QueryRequest {
+  std::optional<MergeAlgorithm> merge;
+  std::optional<uint32_t> merge_reducers;
+  std::optional<uint32_t> num_map_tasks;
+  std::optional<uint32_t> job2_map_tasks;
+};
+
+struct QueryServiceOptions {
+  // Plan + default pipeline configuration. reuse_worker_pool is forced on:
+  // the service owns the one pool every query runs on.
+  ExecutorOptions executor;
+  // Bounded admission: at most this many Query() calls are in flight at
+  // once; excess callers block until a slot frees. This caps the queue in
+  // front of the pool gate (and the memory the queued queries pin).
+  uint32_t max_in_flight = 8;
+};
+
+// Concurrent serving front-end over one dataset snapshot: owns the
+// dataset, a cached PreparedPlan, and the shared worker pool, and admits
+// Query() calls from many threads.
+//
+// Layering (see docs/architecture.md):
+//   plan     (core/query_plan.h)  — built once per dataset, immutable;
+//   pipeline (core/pipeline.h)    — per-query MR jobs over `const plan&`;
+//   service  (this file)          — snapshots, admission, pool ticketing.
+//
+// Concurrency contract:
+//  - Query() is safe from any number of threads. Admission is bounded by
+//    max_in_flight; beyond it callers block.
+//  - The first query after construction or SetDataset() builds the plan
+//    (exactly once — concurrent cold queries wait for the builder) and
+//    charges its build time as preprocess_ms. Every later query reports
+//    preprocess_ms = 0 and plan_reused = true.
+//  - Pipeline execution is ticketed through the shared pool: one query's
+//    MR waves run at a time, with full intra-query parallelism.
+//    WorkerPool::Run serializes single waves, not wave *sequences*, so
+//    without the ticket two queries' waves would interleave arbitrarily —
+//    the executor's documented single-caller hazard.
+//  - SetDataset() atomically swaps the snapshot and invalidates the cached
+//    plan. In-flight queries finish against the snapshot they acquired;
+//    queries admitted afterwards see the new dataset.
+class QueryService {
+ public:
+  explicit QueryService(const QueryServiceOptions& options);
+  // Convenience: construct and install the first dataset. The plan is
+  // still built lazily by the first Query().
+  QueryService(const QueryServiceOptions& options, PointSet points);
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  const QueryServiceOptions& options() const { return options_; }
+
+  // Installs or replaces the dataset snapshot; the cached plan is
+  // invalidated and rebuilt by the next Query(). Safe to call while
+  // queries are in flight.
+  void SetDataset(PointSet points);
+
+  // Computes the skyline of the current dataset snapshot. Must not be
+  // called before a dataset is installed.
+  SkylineQueryResult Query() { return Query(QueryRequest{}); }
+  SkylineQueryResult Query(const QueryRequest& request);
+
+  struct Stats {
+    size_t queries = 0;        // Completed Query() calls.
+    size_t plan_builds = 0;    // Cold plan constructions (1 per dataset).
+    size_t peak_in_flight = 0; // Max concurrently admitted queries seen.
+    double plan_build_ms_total = 0.0;
+  };
+  Stats stats() const;
+
+ private:
+  // One dataset + its plan, immutable once published; queries hold it by
+  // shared_ptr so SetDataset can swap underneath them.
+  struct Snapshot {
+    PointSet points{1};
+    PreparedPlan plan;
+  };
+
+  // Returns the current snapshot, building the plan if this thread is the
+  // one elected to; second = true iff this call built the plan.
+  std::pair<std::shared_ptr<const Snapshot>, bool> AcquireSnapshot();
+  SkylineQueryResult RunQuery(const QueryRequest& request);
+
+  QueryServiceOptions options_;
+  mr::WorkerPool pool_;
+
+  mutable std::mutex mu_;  // Guards everything below.
+  std::condition_variable admit_cv_;  // in_flight_ < max_in_flight
+  std::condition_variable build_cv_;  // plan (re)build completed
+  uint32_t in_flight_ = 0;
+  bool building_ = false;      // A thread is running PreparePlan.
+  bool has_pending_ = false;   // SetDataset happened; plan not yet built.
+  PointSet pending_points_{1};
+  std::shared_ptr<const Snapshot> snapshot_;  // Null until first build.
+  Stats stats_;
+
+  // Pool ticket: serializes whole pipeline executions on pool_ (acquired
+  // after admission, held across both MR jobs and the final merge).
+  std::mutex pool_mu_;
+};
+
+}  // namespace zsky
+
+#endif  // ZSKY_CORE_QUERY_SERVICE_H_

@@ -7,12 +7,10 @@
 #include <vector>
 
 #include "algo/skyband.h"
-#include "common/rng.h"
 #include "common/stopwatch.h"
+#include "core/query_plan.h"
 #include "index/zbtree.h"
 #include "mapreduce/job.h"
-#include "partition/zorder_grouping.h"
-#include "sample/reservoir.h"
 
 namespace zsky {
 
@@ -26,41 +24,38 @@ SkylineQueryResult DistributedSkyband(const PointSet& points,
   Stopwatch total_watch;
   const size_t n = points.size();
   const uint32_t dim = points.dim();
-  ZOrderCodec codec(dim, options.bits);
 
-  // ----- Preprocess: plan + sample k-skyband filter. -----
-  Stopwatch pre_watch;
-  Rng rng(options.seed);
-  size_t sample_target = static_cast<size_t>(
-      options.sample_ratio * static_cast<double>(n));
-  sample_target = std::min(
-      n, std::max<size_t>(sample_target,
-                          std::max<size_t>(256, 4ull * options.num_groups *
-                                                    options.expansion)));
-  const PointSet sample = ReservoirSample(points, sample_target, rng);
-
-  ZOrderGroupedPartitioner::Options zopt;
-  zopt.num_groups = options.num_groups;
-  zopt.expansion = options.expansion;
-  // No partition pruning: a dominated partition can still contribute to a
-  // k-skyband. ZHG balances without pruning.
-  zopt.strategy = GroupingStrategy::kHeuristic;
-  const ZOrderGroupedPartitioner partitioner(&codec, sample, zopt);
-  pm.num_partitions = partitioner.num_partitions();
-  pm.num_groups = partitioner.num_groups();
-  pm.sample_size = sample.size();
+  // ----- Preprocess: shared plan + sample k-skyband filter. -----
+  // The sample and partitioner come from the shared plan layer (ZHG: no
+  // partition pruning — a dominated partition can still contribute to a
+  // k-skyband). The plan's skyline-based SZB filter is unsound for k > 1,
+  // so it stays off; the k-skyband filter below replaces it.
+  ExecutorOptions plan_options;
+  plan_options.partitioning = PartitioningScheme::kZhg;
+  plan_options.num_groups = options.num_groups;
+  plan_options.expansion = options.expansion;
+  plan_options.sample_ratio = options.sample_ratio;
+  plan_options.bits = options.bits;
+  plan_options.seed = options.seed;
+  plan_options.enable_szb_filter = false;
+  const PreparedPlan plan = PreparePlan(points, plan_options);
+  const ZOrderCodec& codec = *plan.codec;
+  pm.num_partitions = plan.num_partitions;
+  pm.num_groups = plan.partitioner->num_groups();
+  pm.sample_size = plan.sample.size();
 
   // The mapper filter indexes the *sample k-skyband*: a point with >= k
   // dominators inside it has >= k real dominators.
+  Stopwatch filter_watch;
   std::unique_ptr<ZBTree> filter_tree;
   if (options.enable_sample_filter) {
-    const SkylineIndices band = ZOrderSkyband(codec, sample, options.k);
-    const PointSet band_points = PointSet::Gather(sample, band);
+    const SkylineIndices band = ZOrderSkyband(codec, plan.sample, options.k);
+    const PointSet band_points = PointSet::Gather(plan.sample, band);
     pm.sample_skyline_size = band_points.size();
     filter_tree = std::make_unique<ZBTree>(&codec, band_points,
                                            ZBTree::Options());
   }
-  pm.preprocess_ms = pre_watch.ElapsedMs();
+  pm.preprocess_ms = plan.build_ms + filter_watch.ElapsedMs();
 
   // ----- Job 1: per-group local k-skybands. -----
   Stopwatch job1_watch;
@@ -70,7 +65,7 @@ SkylineQueryResult DistributedSkyband(const PointSet& points,
   std::vector<uint32_t> candidates;
 
   typename mr::MapReduceJob<uint32_t>::Options job_options;
-  job_options.num_reduce_tasks = partitioner.num_groups();
+  job_options.num_reduce_tasks = plan.partitioner->num_groups();
   job_options.num_threads = options.num_threads;
   job_options.enable_combiner = options.enable_combiner;
   mr::MapReduceJob<uint32_t> job1(job_options);
@@ -97,7 +92,7 @@ SkylineQueryResult DistributedSkyband(const PointSet& points,
             ++local_filtered;
             continue;
           }
-          emit(partitioner.GroupOf(p), static_cast<uint32_t>(row));
+          emit(plan.partitioner->GroupOf(p), static_cast<uint32_t>(row));
         }
         filtered.fetch_add(local_filtered, std::memory_order_relaxed);
       },

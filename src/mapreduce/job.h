@@ -366,9 +366,11 @@ class MapReduceJob {
     if (want == 0) return;
     std::FILE* file = std::fopen(path.c_str(), "rb");
     ZSKY_CHECK_MSG(file != nullptr, "cannot reopen spill file");
-    const long offset = static_cast<long>(
-        counts.size() * sizeof(uint64_t) + skip * kSpillRecordBytes);
-    ZSKY_CHECK(std::fseek(file, offset, SEEK_SET) == 0);
+    // fseeko + off_t: a long offset truncates past 2 GiB on LP32/Windows
+    // ABIs, silently corrupting large spills.
+    const uint64_t offset =
+        counts.size() * sizeof(uint64_t) + skip * kSpillRecordBytes;
+    ZSKY_CHECK(::fseeko(file, static_cast<off_t>(offset), SEEK_SET) == 0);
     for (uint64_t i = 0; i < want; ++i) {
       int32_t key = 0;
       alignas(V) unsigned char storage[sizeof(V)];

@@ -31,7 +31,10 @@
 #include "core/mr_gpmrs.h"
 #include "core/metrics_json.h"
 #include "core/options.h"
+#include "core/pipeline.h"
 #include "core/planner.h"
+#include "core/query_plan.h"
+#include "core/query_service.h"
 #include "core/report.h"
 #include "core/skyband_executor.h"
 #include "core/streaming.h"

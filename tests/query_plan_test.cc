@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "algo/bnl.h"
+#include "common/quantizer.h"
+#include "core/executor.h"
+#include "core/planner.h"
+#include "core/query_plan.h"
+#include "gen/synthetic.h"
+
+namespace zsky {
+namespace {
+
+constexpr uint32_t kBits = 12;
+
+PointSet MakePoints(Distribution d, size_t n, uint32_t dim, uint64_t seed) {
+  return GenerateQuantized(d, n, dim, seed, Quantizer(kBits));
+}
+
+ExecutorOptions BaseOptions(PartitioningScheme scheme, LocalAlgorithm local) {
+  ExecutorOptions options;
+  options.partitioning = scheme;
+  options.local = local;
+  options.merge = MergeAlgorithm::kZMerge;
+  options.num_groups = 6;
+  options.expansion = 3;
+  options.sample_ratio = 0.05;
+  options.bits = kBits;
+  options.num_map_tasks = 7;
+  options.num_threads = 4;
+  return options;
+}
+
+struct PlanReuseCase {
+  PartitioningScheme partitioning;
+  LocalAlgorithm local;
+};
+
+std::string PlanReuseCaseName(
+    const ::testing::TestParamInfo<PlanReuseCase>& info) {
+  std::string name =
+      std::string(PartitioningSchemeName(info.param.partitioning)) + "_" +
+      std::string(LocalAlgorithmName(info.param.local));
+  for (char& ch : name) {
+    if (ch == '-') ch = '_';
+  }
+  return name;
+}
+
+class PlanReuseParityTest : public ::testing::TestWithParam<PlanReuseCase> {};
+
+// The tentpole refactor's core guarantee: preparing a plan once and
+// running N queries against it is bit-identical to N one-shot Execute()
+// calls — for every partitioning scheme and local algorithm.
+TEST_P(PlanReuseParityTest, ReusedPlanMatchesOneShot) {
+  const PlanReuseCase& c = GetParam();
+  const PointSet points = MakePoints(Distribution::kAnticorrelated, 3000, 4,
+                                     913);
+  const ExecutorOptions options = BaseOptions(c.partitioning, c.local);
+  const ParallelSkylineExecutor executor(options);
+
+  const PreparedPlan plan = PreparePlan(points, options);
+  const SkylineIndices oracle = BnlSkyline(points);
+  constexpr int kQueries = 3;
+  for (int q = 0; q < kQueries; ++q) {
+    const SkylineQueryResult warm = executor.ExecuteWithPlan(plan, points);
+    const SkylineQueryResult cold = executor.Execute(points);
+    EXPECT_EQ(warm.skyline, cold.skyline) << options.Label();
+    EXPECT_EQ(warm.skyline, oracle) << options.Label();
+    EXPECT_TRUE(warm.metrics.plan_reused);
+    EXPECT_FALSE(cold.metrics.plan_reused);
+    EXPECT_EQ(warm.metrics.preprocess_ms, 0.0);
+    EXPECT_GT(cold.metrics.preprocess_ms, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemesAndLocals, PlanReuseParityTest,
+    ::testing::ValuesIn([] {
+      std::vector<PlanReuseCase> cases;
+      for (PartitioningScheme scheme :
+           {PartitioningScheme::kRandom, PartitioningScheme::kGrid,
+            PartitioningScheme::kAngle, PartitioningScheme::kQuadTree,
+            PartitioningScheme::kNaiveZ, PartitioningScheme::kZhg,
+            PartitioningScheme::kZdg}) {
+        for (LocalAlgorithm local :
+             {LocalAlgorithm::kSortBased, LocalAlgorithm::kZSearch,
+              LocalAlgorithm::kBbs}) {
+          cases.push_back({scheme, local});
+        }
+      }
+      return cases;
+    }()),
+    PlanReuseCaseName);
+
+TEST(PreparePlanTest, PopulatesPlanShapeStatistics) {
+  const PointSet points = MakePoints(Distribution::kIndependent, 2000, 5, 7);
+  const ExecutorOptions options =
+      BaseOptions(PartitioningScheme::kZdg, LocalAlgorithm::kZSearch);
+  const PreparedPlan plan = PreparePlan(points, options);
+
+  EXPECT_EQ(plan.dim, 5u);
+  EXPECT_EQ(plan.dataset_size, 2000u);
+  ASSERT_NE(plan.partitioner, nullptr);
+  ASSERT_NE(plan.zgroup, nullptr);
+  EXPECT_GT(plan.sample.size(), 0u);
+  EXPECT_GT(plan.sample_skyline.size(), 0u);
+  EXPECT_GT(plan.num_partitions, 0u);
+  EXPECT_TRUE(plan.HasSzbFilter());
+  EXPECT_GT(plan.build_ms, 0.0);
+}
+
+TEST(PreparePlanTest, EmptyInputYieldsEmptyPlan) {
+  const PointSet points(3);
+  const PreparedPlan plan = PreparePlan(
+      points, BaseOptions(PartitioningScheme::kZhg, LocalAlgorithm::kZSearch));
+  EXPECT_EQ(plan.partitioner, nullptr);
+  EXPECT_FALSE(plan.HasSzbFilter());
+}
+
+TEST(PreparePlanTest, GridPlanExposesTypedGridView) {
+  const PointSet points = MakePoints(Distribution::kIndependent, 1000, 3, 11);
+  const PreparedPlan plan = PreparePlan(
+      points,
+      BaseOptions(PartitioningScheme::kGrid, LocalAlgorithm::kSortBased));
+  ASSERT_NE(plan.grid, nullptr);
+  EXPECT_EQ(plan.zgroup, nullptr);
+  EXPECT_GT(plan.grid->num_groups(), 0u);
+}
+
+// The planner can price a built plan without running a query.
+TEST(EstimatePlanCostTest, UsesPlanStatisticsOnly) {
+  const PointSet points =
+      MakePoints(Distribution::kAnticorrelated, 4000, 4, 19);
+  const ExecutorOptions options =
+      BaseOptions(PartitioningScheme::kZdg, LocalAlgorithm::kZSearch);
+  const PreparedPlan plan = PreparePlan(points, options);
+
+  const PlanCostEstimate estimate = EstimatePlanCost(plan, points.size());
+  EXPECT_GT(estimate.expected_shuffle_records, 0u);
+  EXPECT_LE(estimate.expected_shuffle_records, points.size());
+  EXPECT_GT(estimate.expected_candidates, 0u);
+  EXPECT_LE(estimate.expected_candidates, estimate.expected_shuffle_records);
+  EXPECT_GE(estimate.szb_filter_rate, 0.0);
+  EXPECT_LT(estimate.szb_filter_rate, 1.0);
+  EXPECT_GE(estimate.pruned_fraction, 0.0);
+  EXPECT_LE(estimate.pruned_fraction, 1.0);
+
+  // The estimate should be in the ballpark of a real run: the actual
+  // candidate count must not exceed the predicted shuffle volume.
+  const SkylineQueryResult result =
+      ParallelSkylineExecutor(options).Execute(points);
+  EXPECT_LE(result.metrics.candidates, estimate.expected_shuffle_records);
+}
+
+TEST(EstimatePlanCostTest, EmptyInputsYieldZeroEstimate) {
+  const PointSet points(2);
+  const PreparedPlan plan = PreparePlan(
+      points, BaseOptions(PartitioningScheme::kZhg, LocalAlgorithm::kZSearch));
+  const PlanCostEstimate estimate = EstimatePlanCost(plan, 0);
+  EXPECT_EQ(estimate.expected_shuffle_records, 0u);
+  EXPECT_EQ(estimate.expected_candidates, 0u);
+}
+
+}  // namespace
+}  // namespace zsky

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "algo/bnl.h"
+#include "common/quantizer.h"
+#include "core/query_service.h"
+#include "gen/synthetic.h"
+
+namespace zsky {
+namespace {
+
+constexpr uint32_t kBits = 12;
+
+PointSet MakePoints(Distribution d, size_t n, uint32_t dim, uint64_t seed) {
+  return GenerateQuantized(d, n, dim, seed, Quantizer(kBits));
+}
+
+QueryServiceOptions MakeServiceOptions() {
+  QueryServiceOptions options;
+  options.executor.partitioning = PartitioningScheme::kZdg;
+  options.executor.local = LocalAlgorithm::kZSearch;
+  options.executor.merge = MergeAlgorithm::kZMerge;
+  options.executor.num_groups = 6;
+  options.executor.expansion = 3;
+  options.executor.sample_ratio = 0.05;
+  options.executor.bits = kBits;
+  options.executor.num_map_tasks = 7;
+  options.executor.num_threads = 4;
+  return options;
+}
+
+TEST(QueryServiceTest, WarmQueryMatchesColdAndOracle) {
+  const PointSet points =
+      MakePoints(Distribution::kAnticorrelated, 3000, 4, 101);
+  QueryService service(MakeServiceOptions(), points);
+
+  const SkylineQueryResult cold = service.Query();
+  EXPECT_FALSE(cold.metrics.plan_reused);
+  EXPECT_GT(cold.metrics.preprocess_ms, 0.0);
+  EXPECT_EQ(cold.skyline, BnlSkyline(points));
+
+  const SkylineQueryResult warm = service.Query();
+  EXPECT_TRUE(warm.metrics.plan_reused);
+  EXPECT_EQ(warm.metrics.preprocess_ms, 0.0);
+  EXPECT_EQ(warm.skyline, cold.skyline);
+
+  const QueryService::Stats stats = service.stats();
+  EXPECT_EQ(stats.queries, 2u);
+  EXPECT_EQ(stats.plan_builds, 1u);
+  EXPECT_GT(stats.plan_build_ms_total, 0.0);
+}
+
+TEST(QueryServiceTest, PipelineOverridesReuseThePlan) {
+  const PointSet points = MakePoints(Distribution::kIndependent, 2500, 5, 23);
+  QueryService service(MakeServiceOptions(), points);
+  const SkylineIndices oracle = BnlSkyline(points);
+
+  EXPECT_EQ(service.Query().skyline, oracle);
+  for (MergeAlgorithm merge :
+       {MergeAlgorithm::kSortBased, MergeAlgorithm::kZSearch,
+        MergeAlgorithm::kZMerge, MergeAlgorithm::kParallelZMerge}) {
+    QueryRequest request;
+    request.merge = merge;
+    const SkylineQueryResult result = service.Query(request);
+    EXPECT_EQ(result.skyline, oracle);
+    EXPECT_TRUE(result.metrics.plan_reused);
+  }
+  // Every merge variant ran against the one cached plan.
+  EXPECT_EQ(service.stats().plan_builds, 1u);
+}
+
+TEST(QueryServiceTest, DatasetSwapInvalidatesThePlan) {
+  const PointSet first = MakePoints(Distribution::kIndependent, 2000, 4, 5);
+  const PointSet second =
+      MakePoints(Distribution::kAnticorrelated, 2400, 4, 6);
+  QueryService service(MakeServiceOptions(), first);
+
+  EXPECT_EQ(service.Query().skyline, BnlSkyline(first));
+  service.SetDataset(second);
+  const SkylineQueryResult after = service.Query();
+  EXPECT_FALSE(after.metrics.plan_reused);  // Rebuilt for the new dataset.
+  EXPECT_EQ(after.skyline, BnlSkyline(second));
+  EXPECT_EQ(service.stats().plan_builds, 2u);
+  EXPECT_TRUE(service.Query().metrics.plan_reused);
+}
+
+TEST(QueryServiceTest, EmptyDatasetYieldsEmptySkyline) {
+  QueryService service(MakeServiceOptions(), PointSet(4));
+  const SkylineQueryResult result = service.Query();
+  EXPECT_TRUE(result.skyline.empty());
+  EXPECT_EQ(service.stats().plan_builds, 1u);
+}
+
+// Tier-1 concurrency stress (runs under scripts/check.sh tsan): 8 client
+// threads issue mixed queries against one shared plan while a dataset swap
+// (to identical points, so the oracle is constant) exercises invalidation
+// mid-flight. Every result must equal the oracle.
+TEST(QueryServiceTest, ConcurrentStressProducesIdenticalSkylines) {
+  const PointSet points =
+      MakePoints(Distribution::kAnticorrelated, 2000, 4, 303);
+  const SkylineIndices oracle = BnlSkyline(points);
+  QueryServiceOptions options = MakeServiceOptions();
+  options.executor.num_threads = 2;
+  options.max_in_flight = 4;
+  QueryService service(options, points);
+
+  constexpr int kThreads = 8;
+  constexpr int kQueriesPerThread = 4;
+  const MergeAlgorithm merges[] = {
+      MergeAlgorithm::kZMerge, MergeAlgorithm::kSortBased,
+      MergeAlgorithm::kZSearch, MergeAlgorithm::kParallelZMerge};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int q = 0; q < kQueriesPerThread; ++q) {
+        if (t == 0 && q == 1) {
+          // Mid-stress plan invalidation; same points keep the oracle valid.
+          service.SetDataset(points);
+        }
+        QueryRequest request;
+        request.merge = merges[(t + q) % 4];
+        if (service.Query(request).skyline != oracle) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  const QueryService::Stats stats = service.stats();
+  EXPECT_EQ(stats.queries, static_cast<size_t>(kThreads * kQueriesPerThread));
+  EXPECT_GE(stats.plan_builds, 1u);
+  EXPECT_LE(stats.peak_in_flight, 4u);
+}
+
+TEST(QueryServiceTest, AdmissionIsBounded) {
+  const PointSet points = MakePoints(Distribution::kIndependent, 3000, 5, 77);
+  QueryServiceOptions options = MakeServiceOptions();
+  options.executor.num_threads = 2;
+  options.max_in_flight = 2;
+  QueryService service(options, points);
+  const SkylineIndices oracle = BnlSkyline(points);
+
+  constexpr int kThreads = 6;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      if (service.Query().skyline != oracle) mismatches.fetch_add(1);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_LE(service.stats().peak_in_flight, 2u);
+}
+
+}  // namespace
+}  // namespace zsky

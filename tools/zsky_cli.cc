@@ -10,12 +10,15 @@
 //
 // `--max` lists columns to maximize (everything else is minimized).
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "zsky.h"
@@ -37,6 +40,9 @@ using namespace zsky;
                "                 [--plan] [--metrics] [--json]\n"
                "  zsky_cli skyband --in FILE --k K [--groups M]"
                " [--metrics]\n"
+               "  zsky_cli serve --in FILE [--repeat N] [--concurrency C]\n"
+               "                 [--scheme zdg] [--local zs] [--merge zm]"
+               " [--groups M] [--json]\n"
                "  zsky_cli cpu\n");
   std::exit(2);
 }
@@ -120,6 +126,38 @@ std::optional<PartitioningScheme> SchemeFromName(const std::string& name) {
   return std::nullopt;
 }
 
+// Shared by `query` and `serve`: strategy combination + group count from
+// flags.
+ExecutorOptions StrategyFromFlags(
+    const std::map<std::string, std::string>& flags, uint32_t bits) {
+  ExecutorOptions options;
+  const auto scheme = SchemeFromName(Flag(flags, "scheme", "zdg"));
+  if (!scheme.has_value()) Usage("unknown --scheme");
+  options.partitioning = *scheme;
+  const std::string local = Flag(flags, "local", "zs");
+  if (local == "sb") {
+    options.local = LocalAlgorithm::kSortBased;
+  } else if (local == "zs") {
+    options.local = LocalAlgorithm::kZSearch;
+  } else {
+    Usage("unknown --local");
+  }
+  const std::string merge = Flag(flags, "merge", "zm");
+  if (merge == "sb") {
+    options.merge = MergeAlgorithm::kSortBased;
+  } else if (merge == "zs") {
+    options.merge = MergeAlgorithm::kZSearch;
+  } else if (merge == "zm") {
+    options.merge = MergeAlgorithm::kZMerge;
+  } else {
+    Usage("unknown --merge");
+  }
+  options.num_groups = static_cast<uint32_t>(
+      std::strtoul(Flag(flags, "groups", "8").c_str(), nullptr, 10));
+  options.bits = bits;
+  return options;
+}
+
 int RunQuery(const std::map<std::string, std::string>& flags) {
   const std::string in = Flag(flags, "in", "");
   if (in.empty()) Usage("query requires --in");
@@ -161,31 +199,7 @@ int RunQuery(const std::map<std::string, std::string>& flags) {
   const Quantizer quantizer(16);
   const PointSet points = TableToPoints(*table, maximize, quantizer);
 
-  ExecutorOptions options;
-  const auto scheme = SchemeFromName(Flag(flags, "scheme", "zdg"));
-  if (!scheme.has_value()) Usage("unknown --scheme");
-  options.partitioning = *scheme;
-  const std::string local = Flag(flags, "local", "zs");
-  if (local == "sb") {
-    options.local = LocalAlgorithm::kSortBased;
-  } else if (local == "zs") {
-    options.local = LocalAlgorithm::kZSearch;
-  } else {
-    Usage("unknown --local");
-  }
-  const std::string merge = Flag(flags, "merge", "zm");
-  if (merge == "sb") {
-    options.merge = MergeAlgorithm::kSortBased;
-  } else if (merge == "zs") {
-    options.merge = MergeAlgorithm::kZSearch;
-  } else if (merge == "zm") {
-    options.merge = MergeAlgorithm::kZMerge;
-  } else {
-    Usage("unknown --merge");
-  }
-  options.num_groups = static_cast<uint32_t>(
-      std::strtoul(Flag(flags, "groups", "8").c_str(), nullptr, 10));
-  options.bits = quantizer.bits();
+  ExecutorOptions options = StrategyFromFlags(flags, quantizer.bits());
 
   if (flags.count("plan") != 0) {
     // Let the planner choose the strategy from data statistics.
@@ -259,6 +273,85 @@ int RunSkyband(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// Serving mode: load a dataset once, answer --repeat queries through the
+// QueryService (plan built by the first query, reused by the rest), and
+// report cold/warm latency + sustained QPS. --concurrency > 1 issues the
+// warm queries from that many client threads.
+int RunServe(const std::map<std::string, std::string>& flags) {
+  const std::string in = Flag(flags, "in", "");
+  if (in.empty()) Usage("serve requires --in");
+  std::string error;
+  auto table = ReadCsvFile(in, CsvOptions{}, &error);
+  if (!table.has_value()) {
+    std::fprintf(stderr, "csv error: %s\n", error.c_str());
+    return 1;
+  }
+  const Quantizer quantizer(16);
+  PointSet points = TableToPoints(*table, {}, quantizer);
+
+  const size_t repeat = std::max<size_t>(
+      1, std::strtoull(Flag(flags, "repeat", "8").c_str(), nullptr, 10));
+  const size_t concurrency = std::max<size_t>(
+      1, std::strtoull(Flag(flags, "concurrency", "1").c_str(), nullptr, 10));
+
+  QueryServiceOptions service_options;
+  service_options.executor = StrategyFromFlags(flags, quantizer.bits());
+  service_options.max_in_flight =
+      static_cast<uint32_t>(std::max<size_t>(concurrency, 1));
+  QueryService service(service_options, std::move(points));
+
+  // Cold query: pays the plan build.
+  const SkylineQueryResult cold = service.Query();
+  std::printf("skyline rows (%zu of %zu):\n", cold.skyline.size(),
+              table->rows);
+  for (uint32_t row : cold.skyline) std::printf("%u\n", row);
+
+  // Warm queries: plan reused; issued from `concurrency` client threads.
+  const size_t warm_count = repeat - 1;
+  std::vector<double> warm_ms(warm_count, 0.0);
+  std::atomic<size_t> mismatches{0};
+  std::atomic<size_t> next{0};
+  Stopwatch warm_watch;
+  auto client = [&] {
+    for (;;) {
+      const size_t i = next.fetch_add(1);
+      if (i >= warm_count) return;
+      const SkylineQueryResult warm = service.Query();
+      warm_ms[i] = warm.metrics.total_ms;
+      if (warm.skyline != cold.skyline) mismatches.fetch_add(1);
+    }
+  };
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < std::min(concurrency, std::max<size_t>(warm_count, 1));
+       ++c) {
+    clients.emplace_back(client);
+  }
+  for (std::thread& t : clients) t.join();
+  const double warm_wall_ms = warm_watch.ElapsedMs();
+
+  double warm_avg = 0.0;
+  for (double ms : warm_ms) warm_avg += ms;
+  if (warm_count > 0) warm_avg /= static_cast<double>(warm_count);
+  const double qps =
+      warm_count > 0 && warm_wall_ms > 0.0
+          ? static_cast<double>(warm_count) / (warm_wall_ms / 1000.0)
+          : 0.0;
+  const QueryService::Stats stats = service.stats();
+
+  std::fprintf(stderr,
+               "serve: %zu queries (%zu warm, concurrency %zu)\n"
+               "  cold_ms=%.3f (plan build %.3f)  warm_avg_ms=%.3f"
+               "  qps=%.1f\n"
+               "  plan_builds=%zu peak_in_flight=%zu mismatches=%zu\n",
+               repeat, warm_count, concurrency, cold.metrics.total_ms,
+               cold.metrics.preprocess_ms, warm_avg, qps, stats.plan_builds,
+               stats.peak_in_flight, mismatches.load());
+  if (flags.count("json") != 0) {
+    std::fprintf(stderr, "%s\n", MetricsToJson(cold.metrics).c_str());
+  }
+  return mismatches.load() == 0 ? 0 : 1;
+}
+
 // Prints the host's SIMD features and the dispatch tier queries will run
 // with (honors ZSKY_FORCE_ISA). `scripts/check.sh simd` parses this to
 // skip tiers the host cannot run.
@@ -280,6 +373,7 @@ int main(int argc, char** argv) {
   if (command == "gen") return RunGen(flags);
   if (command == "query") return RunQuery(flags);
   if (command == "skyband") return RunSkyband(flags);
+  if (command == "serve") return RunServe(flags);
   if (command == "cpu") return RunCpu();
   Usage(("unknown command " + command).c_str());
 }
