@@ -1,0 +1,116 @@
+// Tracing overhead bench: the end-to-end pipeline (500k x 8d, hot-path
+// configuration) with the span tracer disabled vs armed, best-of-3. With
+// tracing compiled in but disabled every call site costs one relaxed
+// atomic load; compiled out (-DZSKY_TRACING=OFF) the call sites vanish —
+// run this binary from such a build to measure that configuration (the
+// "tracing_compiled" flag in BENCH_trace.json records which one ran).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "common/trace.h"
+
+namespace zsky::bench {
+namespace {
+
+constexpr int kReps = 5;
+
+ExecutorOptions PipelineOptions() {
+  ExecutorOptions options;
+  options.bits = kBits;
+  options.partitioning = PartitioningScheme::kZdg;
+  options.local = LocalAlgorithm::kZSearch;
+  options.merge = MergeAlgorithm::kZMerge;
+  options.num_groups = 8;
+  options.num_map_tasks = 16;
+  options.num_threads = 4;
+  return options;
+}
+
+int Main() {
+  constexpr size_t kN = 500000;
+  constexpr uint32_t kDim = 8;
+  PrintBanner("trace", "span tracing overhead on the end-to-end pipeline",
+              "500k x 8d Execute, tracer disabled vs armed, best-of-3");
+
+  const PointSet points = MakeData(Distribution::kIndependent, kN, kDim, 42);
+  const ParallelSkylineExecutor executor(PipelineOptions());
+  trace::Tracer& tracer = trace::Tracer::Global();
+
+  // Interleave the two configurations (disabled, armed, disabled, ...)
+  // and take best-of-k of each, so slow phases of a loaded host hit both
+  // sides instead of biasing whichever ran second.
+  SkylineIndices disabled_skyline;
+  SkylineIndices enabled_skyline;
+  double disabled_ms = 0.0;
+  double enabled_ms = 0.0;
+  size_t spans_per_query = 0;
+  for (int r = 0; r < kReps; ++r) {
+    tracer.SetEnabled(false);
+    {
+      Stopwatch watch;
+      disabled_skyline = executor.Execute(points).skyline;
+      const double ms = watch.ElapsedMs();
+      if (r == 0 || ms < disabled_ms) disabled_ms = ms;
+    }
+    tracer.SetEnabled(true);
+    tracer.Clear();
+    {
+      Stopwatch watch;
+      enabled_skyline = executor.Execute(points).skyline;
+      const double ms = watch.ElapsedMs();
+      if (r == 0 || ms < enabled_ms) enabled_ms = ms;
+    }
+    spans_per_query = tracer.Snapshot().size();
+  }
+  tracer.SetEnabled(false);
+
+  const bool identical = disabled_skyline == enabled_skyline;
+  const double overhead_pct =
+      disabled_ms > 0.0 ? (enabled_ms - disabled_ms) / disabled_ms * 100.0
+                        : 0.0;
+  const bool compiled = ZSKY_TRACING_ENABLED != 0;
+
+  std::printf("tracing compiled %s\n", compiled ? "IN" : "OUT");
+  std::printf("%-24s %9.1fms\n", "tracer disabled", disabled_ms);
+  std::printf("%-24s %9.1fms  (%zu spans/query)\n", "tracer armed",
+              enabled_ms, spans_per_query);
+  std::printf("%-24s %+8.2f%%  identical=%s\n", "overhead", overhead_pct,
+              identical ? "yes" : "NO");
+
+  std::printf("# CSV,config,disabled_ms,enabled_ms,overhead_pct,spans\n");
+  std::printf("# CSV,%s,%.3f,%.3f,%.3f,%zu\n",
+              compiled ? "compiled_in" : "compiled_out", disabled_ms,
+              enabled_ms, overhead_pct, spans_per_query);
+
+  // One binary measures one compile configuration; the committed
+  // BENCH_trace.json merges the "configs" entries of a ZSKY_TRACING=ON
+  // and a ZSKY_TRACING=OFF run.
+  std::FILE* f = std::fopen("BENCH_trace.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"workload\": {\"n\": %zu, \"dim\": %u, "
+                 "\"distribution\": \"independent\"},\n"
+                 "  \"configs\": {\n"
+                 "    \"%s\": {\"disabled_ms\": %.3f, \"enabled_ms\": %.3f, "
+                 "\"overhead_pct\": %.3f, \"spans_per_query\": %zu, "
+                 "\"identical\": %s}\n"
+                 "  }\n"
+                 "}\n",
+                 kN, kDim, compiled ? "compiled_in" : "compiled_out",
+                 disabled_ms, enabled_ms, overhead_pct, spans_per_query,
+                 identical ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote BENCH_trace.json\n");
+  } else {
+    std::printf("!! cannot write BENCH_trace.json\n");
+  }
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace zsky::bench
+
+int main() { return zsky::bench::Main(); }

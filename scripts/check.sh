@@ -12,6 +12,11 @@
 # `scripts/check.sh simd` builds once and runs the whole test suite once
 # per dispatch tier (ZSKY_FORCE_ISA=scalar|sse42|avx2), skipping tiers the
 # host CPU lacks — proving every ISA path computes identical results.
+#
+# `scripts/check.sh trace` builds with tracing compiled in AND armed at
+# runtime (ZSKY_TRACE=1) under ThreadSanitizer, then runs the tier-1 suite
+# — proving every span/counter call site is race-free while the whole
+# pipeline records.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -43,6 +48,17 @@ if [ "${1:-}" = "tsan" ]; then
   ctest --test-dir build-tsan --output-on-failure \
         -R 'WorkerPool|MapReduceJob|TaskRunner|Executor|Pipeline|QueryService'
   echo "TSAN CHECKS PASSED"
+  exit 0
+fi
+
+if [ "${1:-}" = "trace" ]; then
+  echo "=== Tracing armed (ZSKY_TRACE=1) + TSan build + tier-1 tests ==="
+  cmake -B build-trace -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DZSKY_SANITIZE=thread -DZSKY_TRACING=ON \
+        -DZSKY_BUILD_BENCHMARKS=OFF -DZSKY_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-trace
+  ZSKY_TRACE=1 ctest --test-dir build-trace --output-on-failure
+  echo "TRACE CHECKS PASSED"
   exit 0
 fi
 

@@ -1,0 +1,203 @@
+#include "common/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace zsky::trace {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+SteadyClock::time_point TraceEpoch() {
+  static const SteadyClock::time_point epoch = SteadyClock::now();
+  return epoch;
+}
+
+// Escapes a string for embedding inside a JSON string literal. Names are
+// library-controlled literals, but args may carry arbitrary labels.
+void AppendEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+Tracer::Tracer(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  // TraceEpoch() is pinned on first use; touch it here so timestamps of
+  // spans recorded before the first NowNs() are still relative to startup.
+  (void)TraceEpoch();
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = [] {
+    auto* t = new Tracer();
+    const char* env = std::getenv("ZSKY_TRACE");
+    if (env != nullptr && env[0] != '\0' &&
+        !(env[0] == '0' && env[1] == '\0')) {
+      t->SetEnabled(true);
+    }
+    return t;
+  }();
+  return *tracer;
+}
+
+void Tracer::SetCapacity(size_t capacity) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  ring_.clear();
+  ring_.shrink_to_fit();
+  head_ = 0;
+}
+
+void Tracer::Clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  head_ = 0;
+}
+
+void Tracer::RecordLocked(Span span) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  span.seq = head_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+  } else {
+    ring_[head_ % capacity_] = std::move(span);
+  }
+  ++head_;
+}
+
+void Tracer::RecordComplete(std::string name, uint64_t start_ns,
+                            uint64_t dur_ns, std::string args) {
+  Span span;
+  span.name = std::move(name);
+  span.args = std::move(args);
+  span.tid = CurrentThreadId();
+  span.phase = 'X';
+  span.start_ns = start_ns;
+  span.dur_ns = dur_ns;
+  RecordLocked(std::move(span));
+}
+
+void Tracer::RecordInstant(std::string name, std::string args) {
+  Span span;
+  span.name = std::move(name);
+  span.args = std::move(args);
+  span.tid = CurrentThreadId();
+  span.phase = 'i';
+  span.start_ns = NowNs();
+  span.dur_ns = 0;
+  RecordLocked(std::move(span));
+}
+
+size_t Tracer::recorded() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return head_;
+}
+
+size_t Tracer::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return head_ > ring_.size() ? head_ - ring_.size() : 0;
+}
+
+std::vector<Span> Tracer::Snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Span> out;
+  out.reserve(ring_.size());
+  // The oldest surviving span is head_ - size; walk the ring in seq order.
+  const uint64_t oldest = head_ - ring_.size();
+  for (uint64_t seq = oldest; seq < head_; ++seq) {
+    out.push_back(ring_[seq % capacity_]);
+  }
+  return out;
+}
+
+std::string Tracer::ChromeTraceJson() const {
+  const std::vector<Span> spans = Snapshot();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buffer[64];
+  for (const Span& span : spans) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    AppendEscaped(out, span.name);
+    out += "\",\"ph\":\"";
+    out += span.phase;
+    out += '"';
+    // Chrome expects microsecond timestamps; keep sub-us resolution.
+    std::snprintf(buffer, sizeof(buffer), ",\"ts\":%.3f",
+                  static_cast<double>(span.start_ns) / 1000.0);
+    out += buffer;
+    if (span.phase == 'X') {
+      std::snprintf(buffer, sizeof(buffer), ",\"dur\":%.3f",
+                    static_cast<double>(span.dur_ns) / 1000.0);
+      out += buffer;
+    } else {
+      // Instant scope: "t" = thread-scoped.
+      out += ",\"s\":\"t\"";
+    }
+    std::snprintf(buffer, sizeof(buffer), ",\"pid\":1,\"tid\":%u", span.tid);
+    out += buffer;
+    if (!span.args.empty()) {
+      out += ",\"args\":";
+      out += span.args;  // Already a JSON object.
+    }
+    out += '}';
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+bool Tracer::WriteChromeTrace(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return false;
+  const std::string json = ChromeTraceJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+  return written == json.size();
+}
+
+uint64_t Tracer::NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(SteadyClock::now() -
+                                                           TraceEpoch())
+          .count());
+}
+
+uint32_t Tracer::CurrentThreadId() {
+  static std::atomic<uint32_t> next_tid{1};
+  thread_local const uint32_t tid =
+      next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+}  // namespace zsky::trace

@@ -1,0 +1,177 @@
+#ifndef ZSKY_COMMON_TRACE_H_
+#define ZSKY_COMMON_TRACE_H_
+
+// Low-overhead span tracing for the skyline pipeline.
+//
+// The tracer records `{name, tid, start_ns, dur_ns, args}` spans into a
+// bounded ring buffer (oldest spans are overwritten once the buffer is
+// full) and exports them in Chrome trace_event JSON, loadable in
+// chrome://tracing or https://ui.perfetto.dev. Span call sites use the
+// RAII macros below:
+//
+//   void MapTask(size_t task) {
+//     ZSKY_TRACE_SPAN("mr.map_task");          // span = lifetime of scope
+//     ...
+//   }
+//
+// Three switches, from coarsest to finest:
+//  - compile time: configure with -DZSKY_TRACING=OFF and every macro
+//    expands to nothing — zero code, zero overhead. The Tracer class
+//    itself always compiles (tools and tests use the API directly).
+//  - runtime: spans are only recorded while Tracer::Global().enabled() is
+//    true (one relaxed atomic load per call site when disabled). Enabled
+//    either programmatically (SetEnabled) or by setting the ZSKY_TRACE
+//    environment variable to a non-zero value before process start.
+//  - per-span args: the args expression of ZSKY_TRACE_SPAN_ARGS /
+//    ZSKY_TRACE_INSTANT is only evaluated when the tracer is enabled.
+//
+// Thread safety: Record*/Snapshot/Clear may be called from any thread;
+// the ring is guarded by a mutex. Spans are recorded at task/phase
+// granularity (never per point), so the lock is uncontended in practice.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+// Defined to 0 by the build system when configured with ZSKY_TRACING=OFF.
+#ifndef ZSKY_TRACING_ENABLED
+#define ZSKY_TRACING_ENABLED 1
+#endif
+
+namespace zsky::trace {
+
+// One recorded event. `phase` follows the Chrome trace_event convention:
+// 'X' = complete span (start_ns + dur_ns), 'i' = instant event.
+struct Span {
+  std::string name;
+  std::string args;  // JSON object text ("{...}") or empty.
+  uint32_t tid = 0;
+  char phase = 'X';
+  uint64_t seq = 0;       // Global record order (completion order).
+  uint64_t start_ns = 0;  // Nanoseconds since the process trace epoch.
+  uint64_t dur_ns = 0;
+};
+
+class Tracer {
+ public:
+  static constexpr size_t kDefaultCapacity = 1 << 16;
+
+  explicit Tracer(size_t capacity = kDefaultCapacity);
+
+  // The process-wide tracer every macro records into. Starts disabled
+  // unless the ZSKY_TRACE environment variable is set to a value other
+  // than "0".
+  static Tracer& Global();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Re-sizes the ring; recorded spans are dropped. Capacity must be >= 1.
+  void SetCapacity(size_t capacity);
+  void Clear();
+
+  // Records one complete span / instant event (unconditionally — the
+  // enabled() gate lives in the macros so tests can drive the API
+  // directly). `start_ns` is a NowNs() timestamp.
+  void RecordComplete(std::string name, uint64_t start_ns, uint64_t dur_ns,
+                      std::string args = {});
+  void RecordInstant(std::string name, std::string args = {});
+
+  size_t recorded() const;  // Spans ever recorded.
+  size_t dropped() const;   // Spans overwritten by ring wraparound.
+
+  // The surviving spans, oldest first (ascending seq).
+  std::vector<Span> Snapshot() const;
+
+  // Chrome trace_event JSON ({"traceEvents":[...]}); see
+  // docs/observability.md for how to open it.
+  std::string ChromeTraceJson() const;
+  bool WriteChromeTrace(const std::string& path) const;
+
+  // Nanoseconds since the process trace epoch (steady clock).
+  static uint64_t NowNs();
+  // Small dense id of the calling thread (assigned on first use).
+  static uint32_t CurrentThreadId();
+
+ private:
+  void RecordLocked(Span span);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::vector<Span> ring_;  // ring_[seq % capacity_]
+  uint64_t head_ = 0;       // Total spans recorded; next slot index.
+};
+
+// RAII span: measures from construction to destruction and records into
+// Tracer::Global() iff the tracer was enabled at construction. `name`
+// must outlive the span (string literals in practice).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) : ScopedSpan(name, std::string()) {}
+  ScopedSpan(const char* name, std::string args) {
+    if (Tracer::Global().enabled()) {
+      active_ = true;
+      name_ = name;
+      args_ = std::move(args);
+      start_ns_ = Tracer::NowNs();
+    }
+  }
+  ~ScopedSpan() {
+    if (active_) {
+      Tracer::Global().RecordComplete(name_, start_ns_,
+                                      Tracer::NowNs() - start_ns_,
+                                      std::move(args_));
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::string args_;
+  uint64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace zsky::trace
+
+#define ZSKY_TRACE_CONCAT_INNER(a, b) a##b
+#define ZSKY_TRACE_CONCAT(a, b) ZSKY_TRACE_CONCAT_INNER(a, b)
+
+#if ZSKY_TRACING_ENABLED
+// Span covering the rest of the enclosing scope.
+#define ZSKY_TRACE_SPAN(name)      \
+  ::zsky::trace::ScopedSpan ZSKY_TRACE_CONCAT(zsky_trace_span_, __LINE__)( \
+      (name))
+// Same, with a JSON-object args string ("{\"task\":3}"); the args
+// expression is only evaluated while the tracer is enabled.
+#define ZSKY_TRACE_SPAN_ARGS(name, args_expr)                              \
+  ::zsky::trace::ScopedSpan ZSKY_TRACE_CONCAT(zsky_trace_span_, __LINE__)( \
+      (name), ::zsky::trace::Tracer::Global().enabled() ? (args_expr)      \
+                                                        : ::std::string())
+// Zero-duration instant event (retries, invalidations, ...).
+#define ZSKY_TRACE_INSTANT(name, args_expr)                               \
+  do {                                                                    \
+    if (::zsky::trace::Tracer::Global().enabled()) {                      \
+      ::zsky::trace::Tracer::Global().RecordInstant((name), (args_expr)); \
+    }                                                                     \
+  } while (0)
+#else
+// Compiled out: the name is still "used" (a free void cast of a literal /
+// parameter) so call sites stay warning-clean; args expressions are never
+// evaluated.
+#define ZSKY_TRACE_SPAN(name) ((void)(name))
+#define ZSKY_TRACE_SPAN_ARGS(name, args_expr) ((void)(name))
+#define ZSKY_TRACE_INSTANT(name, args_expr) ((void)(name))
+#endif
+
+#endif  // ZSKY_COMMON_TRACE_H_

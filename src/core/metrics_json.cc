@@ -72,7 +72,17 @@ void AppendJob(std::string& out, const char* name,
 }  // namespace
 
 std::string MetricsToJson(const PhaseMetrics& pm) {
+  return MetricsToJson(pm, nullptr);
+}
+
+std::string MetricsToJson(const PhaseMetrics& pm,
+                          const MetricsRegistry* registry) {
   std::string out = "{";
+  // Schema history: v1 had no version key; v2 added "metrics_schema" and
+  // the optional "registry" block.
+  AppendKey(out, "metrics_schema");
+  out += "2";
+  out += ',';
   AppendKey(out, "preprocess_ms");
   AppendNumber(out, pm.preprocess_ms);
   out += ',';
@@ -124,6 +134,11 @@ std::string MetricsToJson(const PhaseMetrics& pm) {
   AppendJob(out, "job1", pm.job1);
   out += ',';
   AppendJob(out, "job2", pm.job2);
+  if (registry != nullptr) {
+    out += ',';
+    AppendKey(out, "registry");
+    out += registry->ToJson();
+  }
   out += '}';
   return out;
 }

@@ -4,13 +4,19 @@
 #include <string>
 
 #include "core/executor.h"
+#include "core/metrics_registry.h"
 
 namespace zsky {
 
 // Serializes a run's metrics as a single JSON object (stable key names,
 // no external dependencies) for dashboards / regression tracking:
-// {"preprocess_ms":..., "job1":{"shuffle_records":...,...}, ...}
+// {"metrics_schema":2, "preprocess_ms":..., "job1":{...}, ...}
 std::string MetricsToJson(const PhaseMetrics& metrics);
+
+// Same, with the process-wide counter/histogram registry embedded under a
+// "registry" key (see MetricsRegistry::ToJson). Pass nullptr to omit it.
+std::string MetricsToJson(const PhaseMetrics& metrics,
+                          const MetricsRegistry* registry);
 
 }  // namespace zsky
 

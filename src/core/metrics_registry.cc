@@ -1,0 +1,166 @@
+#include "core/metrics_registry.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace zsky {
+
+void MetricsRegistry::Histogram::Observe(uint64_t value) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  // bit_width(v) in [0, 64] is exactly the bucket index: 0 for v == 0,
+  // else 1 + floor(log2(v)).
+  buckets_[std::bit_width(value)].fetch_add(1, std::memory_order_relaxed);
+  uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+MetricsRegistry::Histogram::Snapshot MetricsRegistry::Histogram::snapshot()
+    const {
+  Snapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  const uint64_t min = min_.load(std::memory_order_relaxed);
+  snap.min = min == UINT64_MAX ? 0 : min;
+  snap.max = max_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void MetricsRegistry::Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+}
+
+double MetricsRegistry::Histogram::Snapshot::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  const double target = std::max(1.0, (p / 100.0) * static_cast<double>(count));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const uint64_t next = cumulative + buckets[i];
+    if (static_cast<double>(next) >= target) {
+      const double lo = i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
+      const double hi =
+          i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i)) - 1.0;
+      const double fraction =
+          (target - static_cast<double>(cumulative)) / buckets[i];
+      const double value = lo + fraction * (hi - lo);
+      return std::clamp(value, static_cast<double>(min),
+                        static_cast<double>(max));
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(max);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsRegistry::Histogram& MetricsRegistry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<MetricsRegistry::CounterValue> MetricsRegistry::counters() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CounterValue> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.push_back({name, counter->value()});
+  }
+  return out;  // std::map iterates name-sorted.
+}
+
+std::vector<MetricsRegistry::HistogramValue> MetricsRegistry::histograms()
+    const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<HistogramValue> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.push_back({name, histogram->snapshot()});
+  }
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const CounterValue& c : counters()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += c.name;
+    out += "\":";
+    out += std::to_string(c.value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  char buffer[48];
+  for (const HistogramValue& h : histograms()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += h.name;
+    out += "\":{\"count\":";
+    out += std::to_string(h.snap.count);
+    out += ",\"sum\":";
+    out += std::to_string(h.snap.sum);
+    out += ",\"min\":";
+    out += std::to_string(h.snap.min);
+    out += ",\"max\":";
+    out += std::to_string(h.snap.max);
+    std::snprintf(buffer, sizeof(buffer), ",\"mean\":%.3f", h.snap.Mean());
+    out += buffer;
+    std::snprintf(buffer, sizeof(buffer), ",\"p50\":%.3f",
+                  h.snap.Percentile(50.0));
+    out += buffer;
+    std::snprintf(buffer, sizeof(buffer), ",\"p90\":%.3f",
+                  h.snap.Percentile(90.0));
+    out += buffer;
+    std::snprintf(buffer, sizeof(buffer), ",\"p99\":%.3f",
+                  h.snap.Percentile(99.0));
+    out += buffer;
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace zsky

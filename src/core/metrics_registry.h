@@ -1,0 +1,129 @@
+#ifndef ZSKY_CORE_METRICS_REGISTRY_H_
+#define ZSKY_CORE_METRICS_REGISTRY_H_
+
+// Typed counter / histogram registry for pipeline observability.
+//
+// Counters accumulate monotonically increasing totals of *work* (records
+// pruned, candidates emitted, shuffle bytes); histograms accumulate value
+// distributions (per-group candidate counts, task latencies). Both are
+// registered by name on first use and live for the registry's lifetime,
+// so call sites may cache the returned reference:
+//
+//   auto& pruned = MetricsRegistry::Global().counter("records_pruned_by_szb");
+//   pruned.Add(n);
+//
+// Thread safety: registration takes a mutex; Add/Observe on a registered
+// instrument are lock-free relaxed atomics, safe from any thread. Work
+// counters written by the pipeline are deterministic functions of the
+// dataset + plan, NOT of the execution schedule — the same query produces
+// identical totals for any thread count (metrics_registry_test proves
+// this). Latency histograms (`*_us`) are schedule-dependent by nature.
+//
+// The catalog of instruments the pipeline emits is documented in
+// docs/observability.md; the registry is folded into MetricsToJson()
+// output under the "registry" key (metrics_schema 2).
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace zsky {
+
+class MetricsRegistry {
+ public:
+  class Counter {
+   public:
+    void Add(uint64_t delta) {
+      value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+    void Increment() { Add(1); }
+    uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+   private:
+    friend class MetricsRegistry;
+    void Reset() { value_.store(0, std::memory_order_relaxed); }
+    std::atomic<uint64_t> value_{0};
+  };
+
+  // Exponential histogram over uint64 values: bucket i (i >= 1) counts
+  // values in [2^(i-1), 2^i - 1], bucket 0 counts zeros. Percentiles are
+  // interpolated within the hit bucket and clamped to the observed
+  // min/max, so they are exact at distribution edges and within one
+  // power-of-two bin elsewhere — plenty for latency/balance diagnostics.
+  class Histogram {
+   public:
+    static constexpr size_t kBuckets = 65;
+
+    void Observe(uint64_t value);
+
+    struct Snapshot {
+      uint64_t count = 0;
+      uint64_t sum = 0;
+      uint64_t min = 0;
+      uint64_t max = 0;
+      std::array<uint64_t, kBuckets> buckets{};
+
+      double Mean() const {
+        return count > 0 ? static_cast<double>(sum) / count : 0.0;
+      }
+      // p in [0, 100].
+      double Percentile(double p) const;
+    };
+    Snapshot snapshot() const;
+
+   private:
+    friend class MetricsRegistry;
+    void Reset();
+    std::atomic<uint64_t> count_{0};
+    std::atomic<uint64_t> sum_{0};
+    std::atomic<uint64_t> min_{UINT64_MAX};
+    std::atomic<uint64_t> max_{0};
+    std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  };
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // The process-wide registry the pipeline records into.
+  static MetricsRegistry& Global();
+
+  // Returns the named instrument, creating it on first use. References
+  // stay valid for the registry's lifetime (Reset zeroes, never removes).
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  struct CounterValue {
+    std::string name;
+    uint64_t value = 0;
+  };
+  struct HistogramValue {
+    std::string name;
+    Histogram::Snapshot snap;
+  };
+  // Name-sorted snapshots of every registered instrument.
+  std::vector<CounterValue> counters() const;
+  std::vector<HistogramValue> histograms() const;
+
+  // Zeroes every instrument (names stay registered; references stay
+  // valid). For tests and benchmark isolation.
+  void Reset();
+
+  // {"counters":{...},"histograms":{"name":{"count":...,"p50":...}}}
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mu_;  // Guards the maps, not the instruments.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace zsky
+
+#endif  // ZSKY_CORE_METRICS_REGISTRY_H_

@@ -9,6 +9,8 @@
 
 #include "algo/sort_based.h"
 #include "common/stopwatch.h"
+#include "common/trace.h"
+#include "core/metrics_registry.h"
 #include "index/bbs.h"
 #include "index/zsearch.h"
 #include "mapreduce/job.h"
@@ -16,6 +18,28 @@
 namespace zsky {
 
 namespace {
+
+// Folds one MR job's engine metrics into the registry. The task-latency
+// histograms are schedule-dependent; every counter is deterministic work
+// accounting (see metrics_registry_test).
+void FoldJobIntoRegistry(const mr::JobMetrics& job, const char* map_hist,
+                         const char* reduce_hist) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.counter("shuffle_records").Add(job.shuffle_records);
+  registry.counter("shuffle_bytes").Add(job.shuffle_bytes);
+  registry.counter("spill_bytes").Add(job.spill_bytes);
+  registry.counter("combiner_records_in").Add(job.combiner_in);
+  registry.counter("combiner_records_out").Add(job.combiner_out);
+  registry.counter("failed_attempts").Add(job.failed_attempts);
+  auto& map_us = registry.histogram(map_hist);
+  for (const mr::TaskMetrics& t : job.map_tasks) {
+    map_us.Observe(static_cast<uint64_t>(t.ms * 1000.0));
+  }
+  auto& reduce_us = registry.histogram(reduce_hist);
+  for (const mr::TaskMetrics& t : job.reduce_tasks) {
+    reduce_us.Observe(static_cast<uint64_t>(t.ms * 1000.0));
+  }
+}
 
 SkylineIndices LocalSkyline(const ZOrderCodec& codec, const PointSet& points,
                             LocalAlgorithm algorithm,
@@ -53,6 +77,8 @@ CandidateList RunCandidateJob(const PreparedPlan& plan,
   ZSKY_CHECK(plan.partitioner != nullptr);
   ZSKY_CHECK(plan.dim == points.dim());
 
+  ZSKY_TRACE_SPAN_ARGS("pipeline.job1",
+                       "{\"points\":" + std::to_string(points.size()) + "}");
   Stopwatch job1_watch;
   const size_t n = points.size();
   const uint32_t dim = points.dim();
@@ -142,6 +168,9 @@ CandidateList RunCandidateJob(const PreparedPlan& plan,
   };
   auto job1_reduce = [&](int32_t gid, std::vector<uint32_t> rows) {
     const std::vector<uint32_t> sky = local_skyline_of_rows(std::move(rows));
+    // Per-group candidate balance (the paper's Fig. 9 quantity).
+    MetricsRegistry::Global().histogram("candidates_per_group")
+        .Observe(sky.size());
     const std::lock_guard<std::mutex> lock(candidates_mutex);
     for (uint32_t row : sky) candidates.emplace_back(gid, row);
   };
@@ -154,6 +183,12 @@ CandidateList RunCandidateJob(const PreparedPlan& plan,
   pm.filtered_by_szb = filtered.load();
   pm.dropped_by_pruning = dropped.load();
   pm.sim_job1_ms = pm.job1.SimulatedMs(SimSlots(options), options.sim_net_mbps);
+
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.counter("records_pruned_by_szb").Add(pm.filtered_by_szb);
+  registry.counter("records_dropped_by_grouping").Add(pm.dropped_by_pruning);
+  registry.counter("candidates_emitted").Add(candidates.size());
+  FoldJobIntoRegistry(pm.job1, "job1_map_task_us", "job1_reduce_task_us");
   return candidates;
 }
 
@@ -164,6 +199,9 @@ SkylineIndices RunMergeJob(const PreparedPlan& plan,
   if (points.empty()) return {};
   ZSKY_CHECK(plan.dim == points.dim());
 
+  ZSKY_TRACE_SPAN_ARGS(
+      "pipeline.job2",
+      "{\"candidates\":" + std::to_string(candidates.size()) + "}");
   Stopwatch job2_watch;
   const ZOrderCodec& codec = *plan.codec;
   using Candidate = std::pair<int32_t, uint32_t>;
@@ -283,6 +321,9 @@ SkylineIndices RunMergeJob(const PreparedPlan& plan,
   // Final master-side merge of the partial skylines (parallel merge only).
   double final_merge_ms = 0.0;
   if (parallel_merge) {
+    ZSKY_TRACE_SPAN_ARGS(
+        "pipeline.final_merge",
+        "{\"partials\":" + std::to_string(partials.size()) + "}");
     Stopwatch final_watch;
     std::vector<std::unique_ptr<ZBTree>> partial_trees(partials.size());
     if (pool != nullptr && partials.size() > 1) {
@@ -316,6 +357,13 @@ SkylineIndices RunMergeJob(const PreparedPlan& plan,
   pm.sim_job2_ms =
       pm.job2.SimulatedMs(SimSlots(options), options.sim_net_mbps) +
       final_merge_ms;
+
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.counter("skyline_points").Add(final_skyline.size());
+  registry.counter("zmerge_points_tested").Add(pm.merge_stats.points_tested);
+  registry.counter("zmerge_subtrees_discarded")
+      .Add(pm.merge_stats.subtrees_discarded);
+  FoldJobIntoRegistry(pm.job2, "job2_map_task_us", "job2_reduce_task_us");
 
   SortSkyline(final_skyline);
   return final_skyline;

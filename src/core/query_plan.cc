@@ -7,6 +7,8 @@
 #include "algo/sort_based.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "common/trace.h"
+#include "core/metrics_registry.h"
 #include "partition/angle_partitioner.h"
 #include "partition/quadtree_partitioner.h"
 #include "partition/random_partitioner.h"
@@ -37,6 +39,8 @@ PreparedPlan PreparePlan(const PointSet& points,
   ZSKY_CHECK(options.bits >= 1 && options.bits <= 32);
 
   PreparedPlan plan;
+  ZSKY_TRACE_SPAN_ARGS("plan.build",
+                       "{\"points\":" + std::to_string(points.size()) + "}");
   Stopwatch build_watch;
   plan.options = options;
   plan.dim = points.dim();
@@ -61,8 +65,13 @@ PreparedPlan PreparePlan(const PointSet& points,
       sample_target,
       std::max<size_t>(256, 4ull * options.num_groups * options.expansion));
   sample_target = std::min(sample_target, n);
-  plan.sample = ReservoirSample(points, sample_target, rng);
+  {
+    ZSKY_TRACE_SPAN_ARGS(
+        "plan.sample", "{\"target\":" + std::to_string(sample_target) + "}");
+    plan.sample = ReservoirSample(points, sample_target, rng);
+  }
 
+  ZSKY_TRACE_SPAN("plan.partition_and_filter");
   switch (options.partitioning) {
     case PartitioningScheme::kRandom: {
       plan.partitioner = std::make_unique<RandomPartitioner>(
@@ -159,6 +168,10 @@ PreparedPlan PreparePlan(const PointSet& points,
     }
   }
   plan.build_ms = build_watch.ElapsedMs();
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.counter("plan_builds").Increment();
+  registry.histogram("plan_build_us")
+      .Observe(static_cast<uint64_t>(plan.build_ms * 1000.0));
   return plan;
 }
 

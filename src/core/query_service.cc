@@ -1,10 +1,13 @@
 #include "core/query_service.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "common/macros.h"
 #include "common/stopwatch.h"
+#include "common/trace.h"
+#include "core/metrics_registry.h"
 #include "core/pipeline.h"
 
 namespace zsky {
@@ -40,8 +43,14 @@ std::pair<std::shared_ptr<const QueryService::Snapshot>, bool>
 QueryService::AcquireSnapshot() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    if (snapshot_ != nullptr && !has_pending_) return {snapshot_, false};
-    if (!building_) break;  // Elected: this thread builds.
+    // While a rebuild is running, has_pending_ is already false but
+    // snapshot_ still points at the *old* dataset — callers must wait for
+    // the build, not serve stale data (the fuzz test catches this under
+    // TSan timing).
+    if (!building_) {
+      if (snapshot_ != nullptr && !has_pending_) return {snapshot_, false};
+      break;  // Elected: this thread builds.
+    }
     build_cv_.wait(lock);
   }
   ZSKY_CHECK_MSG(has_pending_, "QueryService::Query before SetDataset");
@@ -77,10 +86,16 @@ SkylineQueryResult QueryService::Query(const QueryRequest& request) {
 
   SkylineQueryResult result = RunQuery(request);
 
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.counter("queries_served").Increment();
+  registry.histogram("query_total_us")
+      .Observe(static_cast<uint64_t>(result.metrics.total_ms * 1000.0));
+
   {
     std::lock_guard<std::mutex> lock(mu_);
     --in_flight_;
     ++stats_.queries;
+    stats_.query_ms_total += result.metrics.total_ms;
   }
   admit_cv_.notify_one();
   return result;
@@ -90,6 +105,9 @@ SkylineQueryResult QueryService::RunQuery(const QueryRequest& request) {
   auto acquired = AcquireSnapshot();
   const std::shared_ptr<const Snapshot>& snap = acquired.first;
   const bool built_now = acquired.second;
+  ZSKY_TRACE_SPAN_ARGS(
+      "service.query",
+      std::string("{\"plan_reused\":") + (built_now ? "false" : "true") + "}");
 
   SkylineQueryResult result;
   PhaseMetrics& pm = result.metrics;

@@ -89,6 +89,7 @@ class QueryService {
     size_t plan_builds = 0;    // Cold plan constructions (1 per dataset).
     size_t peak_in_flight = 0; // Max concurrently admitted queries seen.
     double plan_build_ms_total = 0.0;
+    double query_ms_total = 0.0;  // Sum of per-query total_ms.
   };
   Stats stats() const;
 

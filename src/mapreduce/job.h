@@ -17,6 +17,7 @@
 
 #include "common/macros.h"
 #include "common/stopwatch.h"
+#include "common/trace.h"
 #include "mapreduce/metrics.h"
 #include "mapreduce/task_runner.h"
 #include "mapreduce/worker_pool.h"
@@ -139,6 +140,11 @@ class MapReduceJob {
         if (options_.failure_injector != nullptr &&
             options_.failure_injector(wave, task, attempt)) {
           ++wave_failures[task];
+          ZSKY_TRACE_INSTANT(
+              "mr.task_retry",
+              "{\"wave\":" + std::to_string(static_cast<int>(wave)) +
+                  ",\"task\":" + std::to_string(task) +
+                  ",\"failed_attempt\":" + std::to_string(attempt) + "}");
           continue;
         }
         return true;
@@ -165,7 +171,9 @@ class MapReduceJob {
     std::vector<size_t> comb_out(num_splits, 0);
 
     Stopwatch map_watch;
-    metrics.map_tasks = RunWave(num_splits, [&](size_t task) {
+    metrics.map_tasks = RunWave("mr.map_wave", num_splits, [&](size_t task) {
+      ZSKY_TRACE_SPAN_ARGS("mr.map_task",
+                           "{\"task\":" + std::to_string(task) + "}");
       if (!admit(Wave::kMap, task)) return;
       if (options_.split_size != nullptr) {
         map_in[task] = options_.split_size(task);
@@ -245,6 +253,8 @@ class MapReduceJob {
              (size_of ? size_of(value) : sizeof(V));
     };
     auto pull_reducer = [&](size_t reducer) {
+      ZSKY_TRACE_SPAN_ARGS("mr.shuffle_pull",
+                           "{\"reducer\":" + std::to_string(reducer) + "}");
       auto& input = reducer_input[reducer];
       if (options_.spill_to_disk) {
         if constexpr (std::is_trivially_copyable_v<V>) {
@@ -269,11 +279,17 @@ class MapReduceJob {
         }
       }
     };
-    if (parallel_shuffle) {
-      pool_->Run(r, pull_reducer);
-    } else {
-      for (uint32_t reducer = 0; reducer < r; ++reducer) {
-        pull_reducer(reducer);
+    {
+      ZSKY_TRACE_SPAN_ARGS(
+          "mr.shuffle", "{\"reducers\":" + std::to_string(r) +
+                            ",\"parallel\":" +
+                            (parallel_shuffle ? "true}" : "false}"));
+      if (parallel_shuffle) {
+        pool_->Run(r, pull_reducer);
+      } else {
+        for (uint32_t reducer = 0; reducer < r; ++reducer) {
+          pull_reducer(reducer);
+        }
       }
     }
     for (uint32_t reducer = 0; reducer < r; ++reducer) {
@@ -287,7 +303,9 @@ class MapReduceJob {
     // sequentially (Hadoop semantics). ---
     std::vector<size_t> reduce_in(r, 0);
     Stopwatch reduce_watch;
-    metrics.reduce_tasks = RunWave(r, [&](size_t reducer) {
+    metrics.reduce_tasks = RunWave("mr.reduce_wave", r, [&](size_t reducer) {
+      ZSKY_TRACE_SPAN_ARGS("mr.reduce_task",
+                           "{\"reducer\":" + std::to_string(reducer) + "}");
       if (!admit(Wave::kReduce, reducer)) return;
       for (auto& [key, values] : reducer_input[reducer]) {
         reduce_in[reducer] += values.size();
@@ -328,6 +346,8 @@ class MapReduceJob {
       size_t task,
       const std::vector<std::vector<std::pair<int32_t, V>>>& task_buckets,
       std::vector<uint64_t>& counts, JobMetrics& metrics) const {
+    ZSKY_TRACE_SPAN_ARGS("mr.spill_write",
+                         "{\"task\":" + std::to_string(task) + "}");
     const std::string path =
         options_.spill_dir + "/zsky_spill_" +
         std::to_string(static_cast<uint64_t>(::getpid())) + "_" +
@@ -384,9 +404,11 @@ class MapReduceJob {
   }
 
   // Runs one wave of `count` tasks, on the pool or (legacy mode) on
-  // freshly spawned threads.
-  std::vector<TaskMetrics> RunWave(size_t count,
+  // freshly spawned threads. `span_name` labels the wave's trace span.
+  std::vector<TaskMetrics> RunWave(const char* span_name, size_t count,
                                    const std::function<void(size_t)>& fn) {
+    ZSKY_TRACE_SPAN_ARGS(span_name,
+                         "{\"tasks\":" + std::to_string(count) + "}");
     if (pool_ != nullptr) return pool_->Run(count, fn);
     return TaskRunner(options_.num_threads).Run(count, fn);
   }

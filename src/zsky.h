@@ -26,10 +26,12 @@
 #include "common/quantizer.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "common/trace.h"
 #include "core/analysis.h"
 #include "core/executor.h"
 #include "core/mr_gpmrs.h"
 #include "core/metrics_json.h"
+#include "core/metrics_registry.h"
 #include "core/options.h"
 #include "core/pipeline.h"
 #include "core/planner.h"

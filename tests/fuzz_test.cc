@@ -6,11 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <thread>
 #include <vector>
 
+#include "algo/bnl.h"
 #include "common/dominance.h"
 #include "common/quantizer.h"
 #include "common/rng.h"
+#include "core/query_service.h"
 #include "core/windowed_skyline.h"
 #include "gen/synthetic.h"
 #include "index/dynamic_skyline.h"
@@ -185,6 +188,92 @@ TEST_P(WindowedFuzz, LongStreamSpotChecks) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WindowedFuzz,
                          ::testing::Values(11u, 12u, 13u));
+
+// QueryService randomized-op fuzz: a seeded sequence of SetDataset swaps,
+// single queries, and concurrent query bursts against one service, every
+// answer checked against the BNL oracle over the dataset that was current
+// when the batch was issued. Exercises plan invalidation + lazy rebuild,
+// bounded admission, and the shared-pool ticket under churn.
+class QueryServiceFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QueryServiceFuzz, RandomOpSequenceMatchesBnlOracle) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  const uint32_t dim = 3 + static_cast<uint32_t>(rng.NextBounded(3));
+
+  QueryServiceOptions options;
+  options.executor.partitioning = PartitioningScheme::kZdg;
+  options.executor.local = LocalAlgorithm::kZSearch;
+  options.executor.merge = MergeAlgorithm::kZMerge;
+  options.executor.num_groups = 4;
+  options.executor.num_map_tasks = 8;
+  options.executor.num_threads = 4;
+  options.executor.bits = kBits;
+  options.executor.seed = seed;
+  options.max_in_flight = 4;
+  QueryService service(options);
+
+  auto make_dataset = [&] {
+    // Mostly mid-sized datasets; occasionally degenerate (empty / tiny)
+    // ones to hit the empty-plan and trivial-skyline paths.
+    const size_t n = rng.NextBounded(8) == 0
+                         ? rng.NextBounded(4)
+                         : 200 + rng.NextBounded(1500);
+    PointSet ps(dim);
+    for (size_t i = 0; i < n; ++i) ps.Append(RandomPoint(rng, dim));
+    return ps;
+  };
+
+  auto sorted_oracle = [](const PointSet& ps) {
+    SkylineIndices expected = BnlSkyline(ps);
+    std::sort(expected.begin(), expected.end());
+    return expected;
+  };
+
+  PointSet current = make_dataset();
+  service.SetDataset(current);
+  SkylineIndices expected = sorted_oracle(current);
+
+  for (int step = 0; step < 14; ++step) {
+    const uint64_t op = rng.NextBounded(4);
+    if (op == 0) {
+      // Swap the dataset; in-flight state must not leak into the oracle.
+      current = make_dataset();
+      service.SetDataset(current);
+      expected = sorted_oracle(current);
+    } else if (op < 3) {
+      SkylineIndices got = service.Query().skyline;
+      std::sort(got.begin(), got.end());
+      ASSERT_EQ(got, expected) << "seed " << seed << " step " << step;
+    } else {
+      // Concurrent burst: more clients than admission slots.
+      constexpr size_t kClients = 6;
+      std::vector<SkylineIndices> got(kClients);
+      std::vector<std::thread> clients;
+      clients.reserve(kClients);
+      for (size_t c = 0; c < kClients; ++c) {
+        clients.emplace_back([&service, &got, c] {
+          got[c] = service.Query().skyline;
+          std::sort(got[c].begin(), got[c].end());
+        });
+      }
+      for (std::thread& t : clients) t.join();
+      for (size_t c = 0; c < kClients; ++c) {
+        ASSERT_EQ(got[c], expected)
+            << "seed " << seed << " step " << step << " client " << c;
+      }
+    }
+  }
+
+  const QueryService::Stats stats = service.stats();
+  EXPECT_GE(stats.queries, 1u);
+  EXPECT_GE(stats.plan_builds, 1u);
+  EXPECT_LE(stats.peak_in_flight, options.max_in_flight);
+  EXPECT_GE(stats.query_ms_total, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryServiceFuzz,
+                         ::testing::Values(21u, 22u, 23u, 24u));
 
 }  // namespace
 }  // namespace zsky

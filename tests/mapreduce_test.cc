@@ -487,6 +487,75 @@ TEST(MapReduceJobTest, ParallelShuffleMatchesSerial) {
   EXPECT_EQ(run(true), run(false));
 }
 
+// Failure injection on the parallel-shuffle + spill path: retried map
+// attempts re-spill, retried reduce attempts re-pull through the parallel
+// shuffle, and the committed output must still match a failure-free run
+// record for record (atomic task commit). Spill files must not leak on
+// any attempt, failed or retried.
+TEST(MapReduceJobTest, ParallelShuffleWithSpillSurvivesInjectedFailures) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "zsky_parallel_shuffle_failures";
+  fs::create_directories(dir);
+  auto spill_file_count = [&] {
+    size_t count = 0;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      if (entry.path().filename().string().rfind("zsky_spill_", 0) == 0) {
+        ++count;
+      }
+    }
+    return count;
+  };
+
+  auto run = [&](bool inject) {
+    MapReduceJob<uint64_t>::Options options;
+    options.num_reduce_tasks = 4;
+    options.num_threads = 4;
+    options.parallel_shuffle = true;
+    options.spill_to_disk = true;
+    options.spill_dir = dir.string();
+    if (inject) {
+      options.max_task_attempts = 3;
+      // First attempt of every map task and of every even reduce task
+      // fails — both waves see retries.
+      options.failure_injector = [](MapReduceJob<uint64_t>::Wave wave,
+                                    size_t task, uint32_t attempt) {
+        if (attempt >= 2) return false;
+        if (wave == MapReduceJob<uint64_t>::Wave::kMap) return true;
+        return task % 2 == 0;
+      };
+    }
+    MapReduceJob<uint64_t> job(options);
+    std::mutex mu;
+    std::map<int32_t, std::vector<uint64_t>> values_by_key;
+    const JobMetrics metrics = job.Run(
+        6,
+        [](size_t task, const MapReduceJob<uint64_t>::Emit& emit) {
+          for (uint64_t v = 0; v < 30; ++v) {
+            emit(static_cast<int32_t>((task * 3 + v) % 11), task * 100 + v);
+          }
+        },
+        nullptr,
+        [&](int32_t key, std::vector<uint64_t> values) {
+          const std::lock_guard<std::mutex> lock(mu);
+          values_by_key[key] = std::move(values);
+        });
+    EXPECT_TRUE(metrics.succeeded);
+    EXPECT_EQ(metrics.shuffle_records, 6u * 30u);
+    EXPECT_GT(metrics.spill_bytes, 0u);
+    // 6 map tasks + reduce tasks 0 and 2 each burned exactly one attempt.
+    EXPECT_EQ(metrics.failed_attempts, inject ? 8u : 0u);
+    return values_by_key;
+  };
+
+  const auto clean = run(/*inject=*/false);
+  EXPECT_EQ(spill_file_count(), 0u);
+  const auto injected = run(/*inject=*/true);
+  EXPECT_EQ(spill_file_count(), 0u);
+  EXPECT_EQ(clean, injected);
+  fs::remove_all(dir);
+}
+
 // Spill files must be cleaned up on every exit path, including a job whose
 // tasks exhausted their attempts.
 TEST(MapReduceJobTest, SpillFilesRemovedAfterSuccessAndFailure) {

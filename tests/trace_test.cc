@@ -1,0 +1,362 @@
+// Tests for the span tracer (common/trace.h): ring-buffer semantics,
+// RAII span nesting/ordering, multi-thread recording under the worker
+// pool, and a parse-back check of the Chrome trace_event JSON export.
+
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mapreduce/worker_pool.h"
+
+namespace zsky {
+namespace {
+
+using trace::ScopedSpan;
+using trace::Span;
+using trace::Tracer;
+
+// The macros and ScopedSpan record into Tracer::Global(); reset it around
+// every test so tests compose in one process.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Global().SetCapacity(Tracer::kDefaultCapacity);  // Also clears.
+    Tracer::Global().SetEnabled(true);
+  }
+  void TearDown() override {
+    Tracer::Global().SetEnabled(false);
+    Tracer::Global().Clear();
+  }
+};
+
+TEST_F(TraceTest, ScopedSpansRecordChildrenBeforeParents) {
+#if !ZSKY_TRACING_ENABLED
+  GTEST_SKIP() << "macros compiled out (ZSKY_TRACING=OFF)";
+#endif
+  {
+    ZSKY_TRACE_SPAN("outer");
+    {
+      ZSKY_TRACE_SPAN_ARGS("inner", std::string("{\"k\":1}"));
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ZSKY_TRACE_INSTANT("tick", "");
+  }
+  const std::vector<Span> spans = Tracer::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  // Completion order: inner closes first, then the instant fires, then
+  // outer closes.
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[1].name, "tick");
+  EXPECT_EQ(spans[2].name, "outer");
+  EXPECT_EQ(spans[0].phase, 'X');
+  EXPECT_EQ(spans[1].phase, 'i');
+  EXPECT_EQ(spans[0].args, "{\"k\":1}");
+
+  // Seq numbers are assigned in record order and strictly increase.
+  EXPECT_LT(spans[0].seq, spans[1].seq);
+  EXPECT_LT(spans[1].seq, spans[2].seq);
+
+  // The child interval nests inside the parent interval.
+  const Span& inner = spans[0];
+  const Span& outer = spans[2];
+  EXPECT_GE(inner.start_ns, outer.start_ns);
+  EXPECT_LE(inner.start_ns + inner.dur_ns, outer.start_ns + outer.dur_ns);
+  EXPECT_GE(inner.dur_ns, 1'000'000u);  // Slept >= 1ms.
+}
+
+TEST_F(TraceTest, DisabledTracerRecordsNothingViaMacros) {
+  Tracer::Global().SetEnabled(false);
+  {
+    ZSKY_TRACE_SPAN("ghost");
+    ZSKY_TRACE_INSTANT("ghost_instant", "");
+  }
+  EXPECT_TRUE(Tracer::Global().Snapshot().empty());
+}
+
+TEST_F(TraceTest, SpanCapturesEnabledAtConstruction) {
+  // A span opened while enabled records even if tracing is turned off
+  // before it closes (and vice versa: opened-disabled never records).
+  auto span = std::make_unique<ScopedSpan>("straddler");
+  Tracer::Global().SetEnabled(false);
+  span.reset();
+  const std::vector<Span> spans = Tracer::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "straddler");
+}
+
+TEST(TracerRingTest, WraparoundKeepsNewestAndCountsDropped) {
+  Tracer local(8);
+  for (int i = 0; i < 20; ++i) {
+    local.RecordComplete("span" + std::to_string(i), 100 * i, 10);
+  }
+  EXPECT_EQ(local.recorded(), 20u);
+  EXPECT_EQ(local.dropped(), 12u);
+  const std::vector<Span> spans = local.Snapshot();
+  ASSERT_EQ(spans.size(), 8u);
+  // Survivors are the 8 newest, oldest first, with their original seqs.
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].seq, 12 + i);
+    EXPECT_EQ(spans[i].name, "span" + std::to_string(12 + i));
+  }
+}
+
+TEST(TracerRingTest, SetCapacityResetsAndClearKeepsCapacity) {
+  Tracer local(4);
+  for (int i = 0; i < 6; ++i) local.RecordComplete("s", 0, 1);
+  local.SetCapacity(2);
+  EXPECT_EQ(local.recorded(), 0u);
+  for (int i = 0; i < 3; ++i) local.RecordComplete("s", 0, 1);
+  EXPECT_EQ(local.Snapshot().size(), 2u);
+  local.Clear();
+  EXPECT_TRUE(local.Snapshot().empty());
+  EXPECT_EQ(local.dropped(), 0u);
+}
+
+TEST_F(TraceTest, MultiThreadSpansInterleaveWithoutCorruption) {
+  constexpr size_t kTasks = 64;
+  mr::WorkerPool pool(4);
+  // ScopedSpan directly (not the macros), so this also runs in a
+  // ZSKY_TRACING=OFF build — the Tracer API always compiles.
+  pool.Run(kTasks, [](size_t task) {
+    ScopedSpan span("task", "{\"task\":" + std::to_string(task) + "}");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+
+  const std::vector<Span> spans = Tracer::Global().Snapshot();
+  ASSERT_EQ(spans.size(), kTasks);
+
+  // Every task recorded exactly once (args round-trip intact).
+  std::set<std::string> args;
+  for (const Span& s : spans) {
+    EXPECT_EQ(s.name, "task");
+    args.insert(s.args);
+  }
+  EXPECT_EQ(args.size(), kTasks);
+
+  // The wave ran on several threads (pool workers + the helping caller),
+  // and within one thread spans never overlap: each task's span closes
+  // before the thread starts the next one.
+  std::map<uint32_t, std::vector<Span>> by_tid;
+  for (const Span& s : spans) by_tid[s.tid].push_back(s);
+  EXPECT_GE(by_tid.size(), 2u);
+  for (auto& [tid, list] : by_tid) {
+    std::sort(list.begin(), list.end(),
+              [](const Span& a, const Span& b) {
+                return a.start_ns < b.start_ns;
+              });
+    for (size_t i = 1; i < list.size(); ++i) {
+      EXPECT_GE(list[i].start_ns,
+                list[i - 1].start_ns + list[i - 1].dur_ns)
+          << "overlapping spans on tid " << tid;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chrome JSON parse-back: a minimal JSON reader (objects, arrays, strings,
+// numbers, bools) — enough to structurally validate the export without an
+// external dependency.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue& out) {
+    const bool ok = ParseValue(out);
+    SkipSpace();
+    return ok && pos_ == text_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool ParseValue(JsonValue& out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return ParseString(out.string);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out.kind = JsonValue::Kind::kBool;
+      pos_ += 5;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    return ParseNumber(out);
+  }
+  bool ParseObject(JsonValue& out) {
+    out.kind = JsonValue::Kind::kObject;
+    if (!Consume('{')) return false;
+    if (Consume('}')) return true;
+    for (;;) {
+      std::string key;
+      SkipSpace();
+      if (!ParseString(key)) return false;
+      if (!Consume(':')) return false;
+      JsonValue value;
+      if (!ParseValue(value)) return false;
+      out.object.emplace(std::move(key), std::move(value));
+      if (Consume(',')) continue;
+      return Consume('}');
+    }
+  }
+  bool ParseArray(JsonValue& out) {
+    out.kind = JsonValue::Kind::kArray;
+    if (!Consume('[')) return false;
+    if (Consume(']')) return true;
+    for (;;) {
+      JsonValue value;
+      if (!ParseValue(value)) return false;
+      out.array.push_back(std::move(value));
+      if (Consume(',')) continue;
+      return Consume(']');
+    }
+  }
+  bool ParseString(std::string& out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'u':
+            // Test traces only carry \u00xx control escapes; keep the raw
+            // escape text rather than decoding.
+            out += "\\u";
+            continue;
+          default: c = esc;
+        }
+      }
+      out += c;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // Closing quote.
+    return true;
+  }
+  bool ParseNumber(JsonValue& out) {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = std::stod(text_.substr(start, pos_ - start));
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+TEST_F(TraceTest, ChromeJsonExportParsesBack) {
+  Tracer& tracer = Tracer::Global();
+  {
+    ScopedSpan alpha("alpha", "{\"n\":7}");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    tracer.RecordInstant("beta \"quoted\"", "{\"why\":\"retry\"}");
+  }
+  const std::string json = tracer.ChromeTraceJson();
+
+  JsonValue root;
+  ASSERT_TRUE(JsonReader(json).Parse(root)) << json;
+  ASSERT_EQ(root.kind, JsonValue::Kind::kObject);
+  const JsonValue* events = root.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, JsonValue::Kind::kArray);
+  ASSERT_EQ(events->array.size(), 2u);
+
+  for (const JsonValue& event : events->array) {
+    ASSERT_EQ(event.kind, JsonValue::Kind::kObject);
+    const JsonValue* name = event.Find("name");
+    const JsonValue* ph = event.Find("ph");
+    const JsonValue* ts = event.Find("ts");
+    const JsonValue* pid = event.Find("pid");
+    const JsonValue* tid = event.Find("tid");
+    ASSERT_NE(name, nullptr);
+    ASSERT_NE(ph, nullptr);
+    ASSERT_NE(ts, nullptr);
+    ASSERT_NE(pid, nullptr);
+    ASSERT_NE(tid, nullptr);
+    EXPECT_EQ(ts->kind, JsonValue::Kind::kNumber);
+    EXPECT_GE(ts->number, 0.0);
+    EXPECT_EQ(pid->number, 1.0);
+    if (ph->string == "X") {
+      const JsonValue* dur = event.Find("dur");
+      ASSERT_NE(dur, nullptr);
+      EXPECT_GE(dur->number, 1000.0);  // >= 1ms sleep, in microseconds.
+    } else {
+      EXPECT_EQ(ph->string, "i");
+      const JsonValue* scope = event.Find("s");
+      ASSERT_NE(scope, nullptr);
+      EXPECT_EQ(scope->string, "t");
+    }
+  }
+
+  // Events appear in completion order: the instant first, then "alpha".
+  EXPECT_EQ(events->array[0].Find("name")->string, "beta \"quoted\"");
+  EXPECT_EQ(events->array[1].Find("name")->string, "alpha");
+  const JsonValue* args = events->array[1].Find("args");
+  ASSERT_NE(args, nullptr);
+  ASSERT_NE(args->Find("n"), nullptr);
+  EXPECT_EQ(args->Find("n")->number, 7.0);
+}
+
+}  // namespace
+}  // namespace zsky

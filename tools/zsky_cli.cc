@@ -37,12 +37,14 @@ using namespace zsky;
                " [--merge zm]\n"
                "                 [--groups M] [--max c0,c2,...]"
                " [--topk K] [--rank count|sum]\n"
-               "                 [--plan] [--metrics] [--json]\n"
+               "                 [--plan] [--metrics] [--json]"
+               " [--trace-out FILE]\n"
                "  zsky_cli skyband --in FILE --k K [--groups M]"
                " [--metrics]\n"
                "  zsky_cli serve --in FILE [--repeat N] [--concurrency C]\n"
                "                 [--scheme zdg] [--local zs] [--merge zm]"
                " [--groups M] [--json]\n"
+               "                 [--stats-every N] [--trace-out FILE]\n"
                "  zsky_cli cpu\n");
   std::exit(2);
 }
@@ -68,6 +70,27 @@ std::string Flag(const std::map<std::string, std::string>& flags,
                  const std::string& name, const std::string& fallback) {
   auto it = flags.find(name);
   return it == flags.end() ? fallback : it->second;
+}
+
+// --trace-out support, shared by `query` and `serve`. Arms the global
+// tracer before the run; writes the Chrome trace_event JSON after it.
+std::string TraceBegin(const std::map<std::string, std::string>& flags) {
+  const std::string path = Flag(flags, "trace-out", "");
+  if (!path.empty()) trace::Tracer::Global().SetEnabled(true);
+  return path;
+}
+
+void TraceEnd(const std::string& path) {
+  if (path.empty()) return;
+  const trace::Tracer& tracer = trace::Tracer::Global();
+  if (!tracer.WriteChromeTrace(path)) {
+    std::fprintf(stderr, "cannot write trace to %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(stderr,
+               "trace: %zu spans -> %s (open in chrome://tracing or "
+               "https://ui.perfetto.dev)\n",
+               tracer.Snapshot().size(), path.c_str());
 }
 
 int RunGen(const std::map<std::string, std::string>& flags) {
@@ -209,8 +232,10 @@ int RunQuery(const std::map<std::string, std::string>& flags) {
                  options.Label().c_str());
   }
 
+  const std::string trace_path = TraceBegin(flags);
   const SkylineQueryResult result =
       ParallelSkylineExecutor(options).Execute(points);
+  TraceEnd(trace_path);
 
   const size_t topk =
       std::strtoull(Flag(flags, "topk", "0").c_str(), nullptr, 10);
@@ -241,7 +266,9 @@ int RunQuery(const std::map<std::string, std::string>& flags) {
                  FormatPhaseMetrics(result.metrics).c_str());
   }
   if (flags.count("json") != 0) {
-    std::fprintf(stderr, "%s\n", MetricsToJson(result.metrics).c_str());
+    std::fprintf(stderr, "%s\n",
+                 MetricsToJson(result.metrics, &MetricsRegistry::Global())
+                     .c_str());
   }
   return 0;
 }
@@ -293,12 +320,17 @@ int RunServe(const std::map<std::string, std::string>& flags) {
       1, std::strtoull(Flag(flags, "repeat", "8").c_str(), nullptr, 10));
   const size_t concurrency = std::max<size_t>(
       1, std::strtoull(Flag(flags, "concurrency", "1").c_str(), nullptr, 10));
+  // --stats-every N: print cumulative service stats after every N
+  // completed warm queries (0 = off).
+  const size_t stats_every =
+      std::strtoull(Flag(flags, "stats-every", "0").c_str(), nullptr, 10);
 
   QueryServiceOptions service_options;
   service_options.executor = StrategyFromFlags(flags, quantizer.bits());
   service_options.max_in_flight =
       static_cast<uint32_t>(std::max<size_t>(concurrency, 1));
   QueryService service(service_options, std::move(points));
+  const std::string trace_path = TraceBegin(flags);
 
   // Cold query: pays the plan build.
   const SkylineQueryResult cold = service.Query();
@@ -311,6 +343,7 @@ int RunServe(const std::map<std::string, std::string>& flags) {
   std::vector<double> warm_ms(warm_count, 0.0);
   std::atomic<size_t> mismatches{0};
   std::atomic<size_t> next{0};
+  std::atomic<size_t> completed{0};
   Stopwatch warm_watch;
   auto client = [&] {
     for (;;) {
@@ -319,6 +352,20 @@ int RunServe(const std::map<std::string, std::string>& flags) {
       const SkylineQueryResult warm = service.Query();
       warm_ms[i] = warm.metrics.total_ms;
       if (warm.skyline != cold.skyline) mismatches.fetch_add(1);
+      const size_t done = completed.fetch_add(1) + 1;
+      if (stats_every > 0 && done % stats_every == 0) {
+        const QueryService::Stats snap = service.stats();
+        std::fprintf(stderr,
+                     "stats[%zu]: queries=%zu plan_builds=%zu"
+                     " peak_in_flight=%zu query_ms_total=%.3f"
+                     " avg_ms=%.3f\n",
+                     done, snap.queries, snap.plan_builds, snap.peak_in_flight,
+                     snap.query_ms_total,
+                     snap.queries > 0
+                         ? snap.query_ms_total /
+                               static_cast<double>(snap.queries)
+                         : 0.0);
+      }
     }
   };
   std::vector<std::thread> clients;
@@ -346,8 +393,11 @@ int RunServe(const std::map<std::string, std::string>& flags) {
                repeat, warm_count, concurrency, cold.metrics.total_ms,
                cold.metrics.preprocess_ms, warm_avg, qps, stats.plan_builds,
                stats.peak_in_flight, mismatches.load());
+  TraceEnd(trace_path);
   if (flags.count("json") != 0) {
-    std::fprintf(stderr, "%s\n", MetricsToJson(cold.metrics).c_str());
+    std::fprintf(stderr, "%s\n",
+                 MetricsToJson(cold.metrics, &MetricsRegistry::Global())
+                     .c_str());
   }
   return mismatches.load() == 0 ? 0 : 1;
 }
