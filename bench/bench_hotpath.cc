@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -51,7 +52,7 @@ Pair BenchPool() {
   constexpr size_t kTasksPerWave = 16;
   auto work = [](size_t) {
     volatile uint64_t x = 0;
-    for (int i = 0; i < 2000; ++i) x += i;
+    for (int i = 0; i < 2000; ++i) x = x + i;
   };
   Pair result;
   result.baseline_ms = BestMs([&] {
@@ -85,34 +86,49 @@ Pair BenchKernel(const PointSet& points) {
   return result;
 }
 
-// --- 3. Parallel vs serial shuffle: a shuffle-heavy job (no combiner,
-// many records, several reducers). ---
-Pair BenchShuffle() {
-  auto run = [](bool parallel) {
+// --- 3. Shuffle record path: legacy serial vs legacy parallel vs the
+// zero-copy columnar path. 4M records (16 tasks x 250k, 8 reducers, no
+// combiner): big enough that the shuffle stage runs for hundreds of ms —
+// the seed's 960k-record workload finished in ~6 ms, too small to show
+// anything but scheduling noise. ---
+struct ShuffleBench {
+  double legacy_serial_ms = 1e300;
+  double legacy_parallel_ms = 1e300;
+  double zero_copy_ms = 1e300;
+};
+
+ShuffleBench BenchShuffle() {
+  constexpr size_t kTasks = 16;
+  constexpr uint64_t kPerTask = 250000;
+  auto run = [](bool legacy, bool parallel) {
     mr::MapReduceJob<uint64_t>::Options options;
     options.num_reduce_tasks = 8;
     options.num_threads = 4;
+    options.legacy_record_path = legacy;
     options.parallel_shuffle = parallel;
     mr::MapReduceJob<uint64_t> job(options);
-    double shuffle_ms = 0.0;
     const mr::JobMetrics metrics = job.Run(
-        16,
-        [](size_t task, const mr::MapReduceJob<uint64_t>::Emit& emit) {
-          for (uint64_t v = 0; v < 60000; ++v) {
+        kTasks,
+        [](size_t task, auto& emit) {
+          for (uint64_t v = 0; v < kPerTask; ++v) {
             emit(static_cast<int32_t>((task + v) % 64), v);
           }
         },
-        nullptr, [](int32_t, std::vector<uint64_t>) {});
-    shuffle_ms = metrics.shuffle_wall_ms;
-    return shuffle_ms;
+        nullptr,
+        [](int32_t, std::span<const uint64_t> values) {
+          volatile uint64_t sink = 0;
+          for (uint64_t v : values) sink = sink + v;
+        });
+    // The measured shuffle stage itself, not whole-job time.
+    return metrics.shuffle_wall_ms;
   };
-  // Report the measured shuffle stage itself, not whole-job time.
-  Pair result;
-  result.baseline_ms = 1e300;
-  result.optimized_ms = 1e300;
+  ShuffleBench result;
   for (int r = 0; r < kReps; ++r) {
-    result.baseline_ms = std::min(result.baseline_ms, run(false));
-    result.optimized_ms = std::min(result.optimized_ms, run(true));
+    result.legacy_serial_ms =
+        std::min(result.legacy_serial_ms, run(true, false));
+    result.legacy_parallel_ms =
+        std::min(result.legacy_parallel_ms, run(true, true));
+    result.zero_copy_ms = std::min(result.zero_copy_ms, run(false, true));
   }
   return result;
 }
@@ -130,6 +146,7 @@ ExecutorOptions PipelineOptions(bool hot) {
   options.reuse_worker_pool = hot;
   options.parallel_shuffle = hot;
   options.use_block_kernel = hot;
+  options.zero_copy_shuffle = hot;
   options.job2_map_tasks = hot ? 0 : 1;  // Seed ran job 2's map as 1 task.
   return options;
 }
@@ -162,7 +179,7 @@ EndToEnd BenchEndToEnd(const PointSet& points) {
 }
 
 void WriteJson(const char* path, size_t n, uint32_t dim, const Pair& pool,
-               const Pair& kernel, const Pair& shuffle,
+               const Pair& kernel, const ShuffleBench& shuffle,
                const EndToEnd& e2e) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -184,7 +201,18 @@ void WriteJson(const char* path, size_t n, uint32_t dim, const Pair& pool,
   };
   section("pool", "spawn_per_wave_ms", "worker_pool_ms", pool, false);
   section("kernel", "scalar_ms", "block_ms", kernel, false);
-  section("shuffle", "serial_ms", "parallel_ms", shuffle, false);
+  std::fprintf(f,
+               "  \"shuffle\": {\"legacy_serial_ms\": %.3f, "
+               "\"legacy_parallel_ms\": %.3f, \"zero_copy_ms\": %.3f, "
+               "\"parallel_speedup\": %.3f, \"zero_copy_speedup\": %.3f},\n",
+               shuffle.legacy_serial_ms, shuffle.legacy_parallel_ms,
+               shuffle.zero_copy_ms,
+               shuffle.legacy_parallel_ms > 0.0
+                   ? shuffle.legacy_serial_ms / shuffle.legacy_parallel_ms
+                   : 0.0,
+               shuffle.zero_copy_ms > 0.0
+                   ? shuffle.legacy_serial_ms / shuffle.zero_copy_ms
+                   : 0.0);
   std::fprintf(f,
                "  \"end_to_end\": {\"seed_ms\": %.3f, \"hotpath_ms\": %.3f, "
                "\"speedup\": %.3f, \"identical\": %s, "
@@ -215,9 +243,17 @@ int Main() {
   std::printf("%-28s %9.1fms %9.1fms %7.2fx\n", "kernel (sort-based 500kx8d)",
               kernel.baseline_ms, kernel.optimized_ms, kernel.Speedup());
 
-  const Pair shuffle = BenchShuffle();
-  std::printf("%-28s %9.1fms %9.1fms %7.2fx\n", "shuffle (960k recs, 8 red)",
-              shuffle.baseline_ms, shuffle.optimized_ms, shuffle.Speedup());
+  const ShuffleBench shuffle = BenchShuffle();
+  std::printf("%-28s %9.1fms %9.1fms %7.2fx\n", "shuffle par (4M recs, 8 red)",
+              shuffle.legacy_serial_ms, shuffle.legacy_parallel_ms,
+              shuffle.legacy_parallel_ms > 0.0
+                  ? shuffle.legacy_serial_ms / shuffle.legacy_parallel_ms
+                  : 0.0);
+  std::printf("%-28s %9.1fms %9.1fms %7.2fx\n", "shuffle zero-copy",
+              shuffle.legacy_serial_ms, shuffle.zero_copy_ms,
+              shuffle.zero_copy_ms > 0.0
+                  ? shuffle.legacy_serial_ms / shuffle.zero_copy_ms
+                  : 0.0);
 
   const EndToEnd e2e = BenchEndToEnd(points);
   std::printf("%-28s %9.1fms %9.1fms %7.2fx  identical=%s\n",
@@ -230,8 +266,16 @@ int Main() {
               pool.optimized_ms, pool.Speedup());
   std::printf("# CSV,kernel,%.3f,%.3f,%.3f\n", kernel.baseline_ms,
               kernel.optimized_ms, kernel.Speedup());
-  std::printf("# CSV,shuffle,%.3f,%.3f,%.3f\n", shuffle.baseline_ms,
-              shuffle.optimized_ms, shuffle.Speedup());
+  std::printf("# CSV,shuffle_parallel,%.3f,%.3f,%.3f\n",
+              shuffle.legacy_serial_ms, shuffle.legacy_parallel_ms,
+              shuffle.legacy_parallel_ms > 0.0
+                  ? shuffle.legacy_serial_ms / shuffle.legacy_parallel_ms
+                  : 0.0);
+  std::printf("# CSV,shuffle_zero_copy,%.3f,%.3f,%.3f\n",
+              shuffle.legacy_serial_ms, shuffle.zero_copy_ms,
+              shuffle.zero_copy_ms > 0.0
+                  ? shuffle.legacy_serial_ms / shuffle.zero_copy_ms
+                  : 0.0);
   std::printf("# CSV,end_to_end,%.3f,%.3f,%.3f\n", e2e.time.baseline_ms,
               e2e.time.optimized_ms, e2e.time.Speedup());
 

@@ -17,6 +17,12 @@
 # runtime (ZSKY_TRACE=1) under ThreadSanitizer, then runs the tier-1 suite
 # — proving every span/counter call site is race-free while the whole
 # pipeline records.
+#
+# `scripts/check.sh shuffle` runs the zero-copy shuffle parity matrix
+# (columnar vs legacy record path x spill modes x combiner x retries)
+# under BOTH AddressSanitizer and ThreadSanitizer, then benchmarks the
+# record path in Release and fails on a >10% records/sec regression
+# against the committed BENCH_shuffle.json baseline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -70,6 +76,43 @@ if [ "${1:-}" = "asan" ]; then
   cmake --build build-asan
   ctest --test-dir build-asan --output-on-failure
   echo "ASAN CHECKS PASSED"
+  exit 0
+fi
+
+if [ "${1:-}" = "shuffle" ]; then
+  echo "=== Shuffle parity matrix under ASan ==="
+  cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DZSKY_SANITIZE=address \
+        -DZSKY_BUILD_BENCHMARKS=OFF -DZSKY_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-asan --target mapreduce_test shuffle_parity_test
+  ctest --test-dir build-asan --output-on-failure \
+        -R 'MapReduceJob|RecordBuffer|ShuffleParity'
+
+  echo "=== Shuffle parity matrix under TSan ==="
+  cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DZSKY_SANITIZE=thread \
+        -DZSKY_BUILD_BENCHMARKS=OFF -DZSKY_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-tsan --target mapreduce_test shuffle_parity_test
+  ctest --test-dir build-tsan --output-on-failure \
+        -R 'MapReduceJob|RecordBuffer|ShuffleParity'
+
+  echo "=== Record-path throughput vs committed baseline ==="
+  cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build --target bench_shuffle
+  (cd build && ./bench/bench_shuffle)
+  baseline=$(awk -F': ' '/"zero_copy_records_per_sec"/ {gsub(/,/, "", $2); print $2}' \
+             BENCH_shuffle.json)
+  current=$(awk -F': ' '/"zero_copy_records_per_sec"/ {gsub(/,/, "", $2); print $2}' \
+            build/BENCH_shuffle.json)
+  echo "zero-copy records/sec: baseline=$baseline current=$current"
+  awk -v b="$baseline" -v c="$current" 'BEGIN {
+    if (c < 0.9 * b) {
+      printf "FAIL: records/sec regressed >10%% (%.0f -> %.0f)\n", b, c
+      exit 1
+    }
+    printf "OK: within 10%% of baseline (%.2fx)\n", c / b
+  }'
+  echo "SHUFFLE CHECKS PASSED"
   exit 0
 fi
 

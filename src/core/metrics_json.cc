@@ -41,6 +41,21 @@ void AppendJob(std::string& out, const char* name,
   AppendKey(out, "shuffle_wall_ms");
   AppendNumber(out, job.shuffle_wall_ms);
   out += ',';
+  AppendKey(out, "shuffle_copy_bytes");
+  AppendNumber(out, job.shuffle_copy_bytes);
+  out += ',';
+  AppendKey(out, "shuffle_alloc_bytes");
+  AppendNumber(out, job.shuffle_alloc_bytes);
+  out += ',';
+  AppendKey(out, "shuffle_records_per_sec");
+  AppendNumber(out, job.ShuffleRecordsPerSec());
+  out += ',';
+  AppendKey(out, "spill_bytes");
+  AppendNumber(out, job.spill_bytes);
+  out += ',';
+  AppendKey(out, "spilled_tasks");
+  AppendNumber(out, job.spilled_tasks);
+  out += ',';
   AppendKey(out, "combiner_in");
   AppendNumber(out, job.combiner_in);
   out += ',';

@@ -3,6 +3,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -80,7 +81,7 @@ SkylineQueryResult MrGpmrsSkyline(const PointSet& points,
   mr::MapReduceJob<uint32_t> job1(job1_options);
 
   auto local_skyline_of_rows =
-      [&](std::vector<uint32_t> rows) -> std::vector<uint32_t> {
+      [&](std::span<const uint32_t> rows) -> std::vector<uint32_t> {
     const PointSet local = PointSet::Gather(points, rows);
     std::vector<uint32_t> out;
     for (uint32_t i : LocalSkyline(codec, local, options.local)) {
@@ -90,18 +91,18 @@ SkylineQueryResult MrGpmrsSkyline(const PointSet& points,
   };
   pm.job1 = job1.Run(
       num_map_tasks,
-      [&](size_t task, const mr::MapReduceJob<uint32_t>::Emit& emit) {
+      [&](size_t task, auto& emit) {
         const size_t begin = task * n / num_map_tasks;
         const size_t end = (task + 1) * n / num_map_tasks;
         for (size_t row = begin; row < end; ++row) {
           emit(grid.GroupOf(points[row]), static_cast<uint32_t>(row));
         }
       },
-      [&](int32_t /*cell*/, std::vector<uint32_t> rows) {
-        return local_skyline_of_rows(std::move(rows));
+      [&](int32_t /*cell*/, std::span<const uint32_t> rows, auto&& emit) {
+        for (uint32_t row : local_skyline_of_rows(rows)) emit(row);
       },
-      [&](int32_t cell, std::vector<uint32_t> rows) {
-        std::vector<uint32_t> sky = local_skyline_of_rows(std::move(rows));
+      [&](int32_t cell, std::span<const uint32_t> rows) {
+        std::vector<uint32_t> sky = local_skyline_of_rows(rows);
         const std::lock_guard<std::mutex> lock(candidates_mutex);
         candidates_by_cell[cell] = std::move(sky);
       },
@@ -167,7 +168,7 @@ SkylineQueryResult MrGpmrsSkyline(const PointSet& points,
 
   pm.job2 = job2.Run(
       1,
-      [&](size_t /*task*/, const mr::MapReduceJob<Record>::Emit& emit) {
+      [&](size_t /*task*/, auto& emit) {
         for (size_t i = 0; i < cells.size(); ++i) {
           if (fully_dominated[i]) continue;
           const auto& rows = candidates_by_cell[cells[i]];
@@ -183,7 +184,7 @@ SkylineQueryResult MrGpmrsSkyline(const PointSet& points,
         }
       },
       nullptr,
-      [&](int32_t /*cell_ordinal*/, std::vector<Record> records) {
+      [&](int32_t /*cell_ordinal*/, std::span<const Record> records) {
         // A native candidate survives iff no shipped record dominates it.
         SkylineIndices survivors;
         for (const Record& r : records) {

@@ -94,6 +94,21 @@ struct ExecutorOptions {
   // SZB-tree walk for every mapped point (the PR-1 behavior). Only
   // effective together with use_block_kernel.
   bool batch_szb_filter = true;
+  // Zero-copy columnar record path through both MR jobs (chunked arenas,
+  // counting-sort grouping, span-based reduce). Off = the seed record
+  // path (std::function emit, vector-of-pairs buckets, unordered_map
+  // regroup) — the ablation baseline bench_shuffle measures against.
+  bool zero_copy_shuffle = true;
+
+  // --- Disk-backed shuffle (mr::MapReduceJob spill controls). ---
+  // Spill every map task's output to disk between the waves.
+  bool spill_to_disk = false;
+  // When > 0 (and spill_to_disk is off): buffered map output is capped at
+  // this many bytes per job; the largest task buffers are spilled until
+  // the rest fits.
+  size_t shuffle_memory_budget_bytes = 0;
+  // Spill directory; empty = $TMPDIR, falling back to /tmp.
+  std::string spill_dir;
 
   // --- Simulated-cluster model (see DESIGN.md "Substitutions"). ---
   // The host may have few cores, so the executor also reports a simulated

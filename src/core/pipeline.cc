@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <utility>
 
 #include "algo/sort_based.h"
@@ -27,10 +28,17 @@ void FoldJobIntoRegistry(const mr::JobMetrics& job, const char* map_hist,
   MetricsRegistry& registry = MetricsRegistry::Global();
   registry.counter("shuffle_records").Add(job.shuffle_records);
   registry.counter("shuffle_bytes").Add(job.shuffle_bytes);
+  registry.counter("shuffle_copy_bytes").Add(job.shuffle_copy_bytes);
+  registry.counter("shuffle_alloc_bytes").Add(job.shuffle_alloc_bytes);
   registry.counter("spill_bytes").Add(job.spill_bytes);
+  registry.counter("spilled_tasks").Add(job.spilled_tasks);
   registry.counter("combiner_records_in").Add(job.combiner_in);
   registry.counter("combiner_records_out").Add(job.combiner_out);
   registry.counter("failed_attempts").Add(job.failed_attempts);
+  if (job.shuffle_records > 0) {
+    registry.histogram("shuffle_records_per_sec")
+        .Observe(static_cast<uint64_t>(job.ShuffleRecordsPerSec()));
+  }
   auto& map_us = registry.histogram(map_hist);
   for (const mr::TaskMetrics& t : job.map_tasks) {
     map_us.Observe(static_cast<uint64_t>(t.ms * 1000.0));
@@ -96,6 +104,11 @@ CandidateList RunCandidateJob(const PreparedPlan& plan,
   job1_options.pool = pool;
   job1_options.spawn_per_wave = !options.reuse_worker_pool;
   job1_options.parallel_shuffle = options.parallel_shuffle;
+  job1_options.legacy_record_path = !options.zero_copy_shuffle;
+  job1_options.spill_to_disk = options.spill_to_disk;
+  job1_options.shuffle_memory_budget_bytes =
+      options.shuffle_memory_budget_bytes;
+  if (!options.spill_dir.empty()) job1_options.spill_dir = options.spill_dir;
   job1_options.split_size = [n, num_map_tasks](size_t task) {
     return (task + 1) * n / num_map_tasks - task * n / num_map_tasks;
   };
@@ -111,8 +124,7 @@ CandidateList RunCandidateJob(const PreparedPlan& plan,
   }
   mr::MapReduceJob<uint32_t> job1(job1_options);
 
-  auto job1_map = [&](size_t task,
-                      const mr::MapReduceJob<uint32_t>::Emit& emit) {
+  auto job1_map = [&](size_t task, auto& emit) {
     const size_t begin = task * n / num_map_tasks;
     const size_t end = (task + 1) * n / num_map_tasks;
     size_t local_filtered = 0;
@@ -152,8 +164,11 @@ CandidateList RunCandidateJob(const PreparedPlan& plan,
     filtered.fetch_add(local_filtered, std::memory_order_relaxed);
     dropped.fetch_add(local_dropped, std::memory_order_relaxed);
   };
+  // The reducers consume their rows as spans straight into the shuffle's
+  // grouped storage; Gather copies the points once, with no intermediate
+  // row vector.
   auto local_skyline_of_rows =
-      [&](std::vector<uint32_t> rows) -> std::vector<uint32_t> {
+      [&](std::span<const uint32_t> rows) -> std::vector<uint32_t> {
     const PointSet local = PointSet::Gather(points, rows);
     const SkylineIndices sky =
         LocalSkyline(codec, local, options.local, plan.tree_options,
@@ -163,11 +178,12 @@ CandidateList RunCandidateJob(const PreparedPlan& plan,
     for (uint32_t i : sky) out.push_back(rows[i]);
     return out;
   };
-  auto job1_combine = [&](int32_t /*gid*/, std::vector<uint32_t> rows) {
-    return local_skyline_of_rows(std::move(rows));
+  auto job1_combine = [&](int32_t /*gid*/, std::span<const uint32_t> rows,
+                          auto&& emit) {
+    for (uint32_t row : local_skyline_of_rows(rows)) emit(row);
   };
-  auto job1_reduce = [&](int32_t gid, std::vector<uint32_t> rows) {
-    const std::vector<uint32_t> sky = local_skyline_of_rows(std::move(rows));
+  auto job1_reduce = [&](int32_t gid, std::span<const uint32_t> rows) {
+    const std::vector<uint32_t> sky = local_skyline_of_rows(rows);
     // Per-group candidate balance (the paper's Fig. 9 quantity).
     MetricsRegistry::Global().histogram("candidates_per_group")
         .Observe(sky.size());
@@ -204,7 +220,13 @@ SkylineIndices RunMergeJob(const PreparedPlan& plan,
       "{\"candidates\":" + std::to_string(candidates.size()) + "}");
   Stopwatch job2_watch;
   const ZOrderCodec& codec = *plan.codec;
-  using Candidate = std::pair<int32_t, uint32_t>;
+  // MR value type of job 2. A plain struct rather than std::pair: pair is
+  // not trivially copyable (user-provided assignment), which would force
+  // the engine off its columnar record path.
+  struct Candidate {
+    int32_t gid;
+    uint32_t row;
+  };
   const uint32_t dim = points.dim();
   const bool parallel_merge = options.merge == MergeAlgorithm::kParallelZMerge;
   const uint32_t merge_reducers =
@@ -230,6 +252,11 @@ SkylineIndices RunMergeJob(const PreparedPlan& plan,
   job2_options.pool = pool;
   job2_options.spawn_per_wave = !options.reuse_worker_pool;
   job2_options.parallel_shuffle = options.parallel_shuffle;
+  job2_options.legacy_record_path = !options.zero_copy_shuffle;
+  job2_options.spill_to_disk = options.spill_to_disk;
+  job2_options.shuffle_memory_budget_bytes =
+      options.shuffle_memory_budget_bytes;
+  if (!options.spill_dir.empty()) job2_options.spill_dir = options.spill_dir;
   job2_options.split_size = [&candidates, job2_map_tasks](size_t task) {
     return (task + 1) * candidates.size() / job2_map_tasks -
            task * candidates.size() / job2_map_tasks;
@@ -246,25 +273,24 @@ SkylineIndices RunMergeJob(const PreparedPlan& plan,
   }
   mr::MapReduceJob<Candidate> job2(job2_options);
 
-  auto job2_map = [&](size_t task,
-                      const mr::MapReduceJob<Candidate>::Emit& emit) {
+  auto job2_map = [&](size_t task, auto& emit) {
     const size_t begin = task * candidates.size() / job2_map_tasks;
     const size_t end = (task + 1) * candidates.size() / job2_map_tasks;
     for (size_t i = begin; i < end; ++i) {
-      const Candidate& c = candidates[i];
+      const auto& [gid, row] = candidates[i];
       emit(parallel_merge
-               ? static_cast<int32_t>(static_cast<uint32_t>(c.first) %
+               ? static_cast<int32_t>(static_cast<uint32_t>(gid) %
                                       merge_reducers)
                : 0,
-           c);
+           Candidate{gid, row});
     }
   };
   // Z-merges a set of candidates grouped by gid; every gid's candidate
   // set is dominance-free (a group-local skyline), as Z-merge requires.
-  auto zmerge_by_group = [&](const std::vector<Candidate>& values,
+  auto zmerge_by_group = [&](std::span<const Candidate> values,
                              ZMergeStats* stats) {
     std::map<int32_t, std::vector<uint32_t>> by_group;
-    for (const Candidate& c : values) by_group[c.first].push_back(c.second);
+    for (const Candidate& c : values) by_group[c.gid].push_back(c.row);
     std::vector<std::unique_ptr<ZBTree>> group_trees;
     std::vector<const ZBTree*> tree_ptrs;
     for (auto& [gid, rows] : by_group) {
@@ -275,7 +301,7 @@ SkylineIndices RunMergeJob(const PreparedPlan& plan,
     }
     return ZMergeAll(codec, tree_ptrs, plan.tree_options, stats);
   };
-  auto job2_reduce = [&](int32_t /*key*/, std::vector<Candidate> values) {
+  auto job2_reduce = [&](int32_t /*key*/, std::span<const Candidate> values) {
     SkylineIndices merged;
     ZMergeStats stats;
     switch (options.merge) {
@@ -288,7 +314,7 @@ SkylineIndices RunMergeJob(const PreparedPlan& plan,
       case MergeAlgorithm::kSortBased: {
         std::vector<uint32_t> rows;
         rows.reserve(values.size());
-        for (const Candidate& c : values) rows.push_back(c.second);
+        for (const Candidate& c : values) rows.push_back(c.row);
         const PointSet all = PointSet::Gather(points, rows);
         const LocalAlgorithm merge_algo =
             options.merge == MergeAlgorithm::kZSearch

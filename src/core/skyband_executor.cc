@@ -3,6 +3,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -71,7 +72,7 @@ SkylineQueryResult DistributedSkyband(const PointSet& points,
   mr::MapReduceJob<uint32_t> job1(job_options);
 
   auto local_band_of_rows =
-      [&](std::vector<uint32_t> rows) -> std::vector<uint32_t> {
+      [&](std::span<const uint32_t> rows) -> std::vector<uint32_t> {
     const PointSet local = PointSet::Gather(points, rows);
     std::vector<uint32_t> out;
     for (uint32_t i : ZOrderSkyband(codec, local, options.k)) {
@@ -81,7 +82,7 @@ SkylineQueryResult DistributedSkyband(const PointSet& points,
   };
   pm.job1 = job1.Run(
       num_map_tasks,
-      [&](size_t task, const mr::MapReduceJob<uint32_t>::Emit& emit) {
+      [&](size_t task, auto& emit) {
         const size_t begin = task * n / num_map_tasks;
         const size_t end = (task + 1) * n / num_map_tasks;
         size_t local_filtered = 0;
@@ -96,11 +97,11 @@ SkylineQueryResult DistributedSkyband(const PointSet& points,
         }
         filtered.fetch_add(local_filtered, std::memory_order_relaxed);
       },
-      [&](int32_t /*gid*/, std::vector<uint32_t> rows) {
-        return local_band_of_rows(std::move(rows));
+      [&](int32_t /*gid*/, std::span<const uint32_t> rows, auto&& emit) {
+        for (uint32_t row : local_band_of_rows(rows)) emit(row);
       },
-      [&](int32_t /*gid*/, std::vector<uint32_t> rows) {
-        std::vector<uint32_t> band = local_band_of_rows(std::move(rows));
+      [&](int32_t /*gid*/, std::span<const uint32_t> rows) {
+        std::vector<uint32_t> band = local_band_of_rows(rows);
         const std::lock_guard<std::mutex> lock(candidates_mutex);
         candidates.insert(candidates.end(), band.begin(), band.end());
       },

@@ -9,6 +9,7 @@
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <type_traits>
 #include <unordered_map>
@@ -19,6 +20,7 @@
 #include "common/stopwatch.h"
 #include "common/trace.h"
 #include "mapreduce/metrics.h"
+#include "mapreduce/record_buffer.h"
 #include "mapreduce/task_runner.h"
 #include "mapreduce/worker_pool.h"
 
@@ -43,6 +45,30 @@ inline uint64_t NextSpillFileId() {
 // V is the record value type. Keys are int32 (>= 0); negative keys are
 // dropped by the engine (the paper's "if gid is NULL" path for pruned
 // partitions).
+//
+// The record path is columnar and zero-copy (docs/mapreduce.md): map
+// tasks append records to per-reducer chunked arenas through a concrete
+// (non-type-erased) emitter, the shuffle groups each reducer's records by
+// counting sort over the int32 keys, and reducers consume the grouped
+// values as std::span slices — one value copy per record end to end, no
+// per-record heap allocation in steady state (chunks and scratch are
+// pooled across Run() calls on one job). The functors are template
+// parameters of Run(), so the whole per-record path inlines:
+//
+//   job.Run(splits,
+//       [&](size_t split, auto& emit) { emit(key, value); },        // map
+//       [&](int32_t k, std::span<const V> vs, auto&& emit) {        // combine
+//         for (const V& v : Collapse(vs)) emit(v);                  // (or
+//       },                                                          // nullptr)
+//       [&](int32_t k, std::span<const V> vs) { ... });             // reduce
+//
+// Reducers see each key's values in task-major order (split 0's records
+// first, in emit order), and keys in ascending order. The legacy record
+// path (Options::legacy_record_path, also the automatic fallback for
+// value types that are not trivially copyable) reproduces the seed
+// engine: std::function emit into vector-of-pairs buckets and
+// unordered_map regrouping — kept as the ablation baseline bench_shuffle
+// and the parity tests compare against.
 //
 // Thread-safety contract: MapFn runs concurrently across splits (emit is
 // task-local). CombineFn runs concurrently across map tasks. ReduceFn runs
@@ -76,6 +102,11 @@ class MapReduceJob {
     // Reducers pull their own bucket slices concurrently on the pool
     // instead of one thread regrouping everything.
     bool parallel_shuffle = true;
+    // Seed record path (std::function emit, vector-of-pairs buckets,
+    // unordered_map regroup) instead of the columnar zero-copy path.
+    // Ablation baseline; value types that are not trivially copyable use
+    // it regardless.
+    bool legacy_record_path = false;
     // Optional record count of split `i`, used to fill the map tasks'
     // TaskMetrics::records_in (left zero when absent — the engine cannot
     // see into opaque splits).
@@ -87,7 +118,12 @@ class MapReduceJob {
     // trivially copyable V. Adds real disk I/O to the measured times (the
     // paper's intermediate-data disk overhead).
     bool spill_to_disk = false;
-    std::string spill_dir = "/tmp";
+    // When > 0 and spill_to_disk is off: memory budget for buffered map
+    // output. After the map wave, the largest task buffers are spilled
+    // (and their memory freed) until the buffered bytes fit the budget —
+    // a partial, need-driven spill instead of all-or-nothing.
+    size_t shuffle_memory_budget_bytes = 0;
+    std::string spill_dir = DefaultSpillDir();
 
     // --- Fault tolerance (Hadoop-style task retry). ---
     // A task attempt either commits its output atomically or leaves none;
@@ -99,16 +135,9 @@ class MapReduceJob {
         failure_injector;
   };
 
+  // Type-erased emit of the legacy record path. The columnar path passes
+  // a concrete Emitter instead; map functors should take `auto& emit`.
   using Emit = std::function<void(int32_t key, V value)>;
-  // Maps split `index` (caller-defined meaning) by emitting keyed records.
-  using MapFn = std::function<void(size_t split_index, const Emit& emit)>;
-  // Map-side combiner: collapses one key's records within one map task.
-  using CombineFn =
-      std::function<std::vector<V>(int32_t key, std::vector<V> values)>;
-  // Reduces all records of one key.
-  using ReduceFn = std::function<void(int32_t key, std::vector<V> values)>;
-  // Sizes a record for shuffle-byte accounting.
-  using SizeFn = std::function<size_t(const V&)>;
 
   explicit MapReduceJob(const Options& options) : options_(options) {
     ZSKY_CHECK(options.num_reduce_tasks >= 1);
@@ -122,24 +151,45 @@ class MapReduceJob {
     }
   }
 
-  // Runs the job; `combine` may be null (no combiner). Returns metrics.
-  JobMetrics Run(size_t num_splits, const MapFn& map, const CombineFn& combine,
-                 const ReduceFn& reduce, const SizeFn& size_of = nullptr) {
-    JobMetrics metrics;
-    Stopwatch total_watch;
-    const uint32_t r = options_.num_reduce_tasks;
+  // Runs the job; `combine` may be the nullptr literal (no combiner).
+  // map(split, auto& emit); combine(key, std::span<const V>, auto&& emit);
+  // reduce(key, std::span<const V>); size_of(const V&) -> size_t sizes a
+  // record for shuffle-byte accounting (nullptr = sizeof(V)).
+  // Returns metrics.
+  template <typename MapFn, typename CombineFn, typename ReduceFn,
+            typename SizeFn = std::nullptr_t>
+  JobMetrics Run(size_t num_splits, MapFn&& map, CombineFn&& combine,
+                 ReduceFn&& reduce, SizeFn&& size_of = nullptr) {
+    if constexpr (std::is_trivially_copyable_v<V>) {
+      if (!options_.legacy_record_path) {
+        return RunColumnar(num_splits, map, combine, reduce, size_of);
+      }
+    }
+    return RunLegacy(num_splits, map, combine, reduce, size_of);
+  }
 
-    // Attempt loop shared by both waves: charges failed attempts and
-    // reports whether the task may run (attempts left). Task bodies only
-    // execute on the committed attempt (atomic output commit).
-    std::vector<size_t> wave_failures(std::max<size_t>(num_splits, r), 0);
-    std::vector<uint8_t> wave_gave_up(std::max<size_t>(num_splits, r), 0);
-    auto admit = [&](Wave wave, size_t task) -> bool {
-      for (uint32_t attempt = 1; attempt <= options_.max_task_attempts;
+ private:
+  template <typename Fn>
+  static constexpr bool kIsNull =
+      std::is_same_v<std::remove_cvref_t<Fn>, std::nullptr_t>;
+
+  // Shared attempt loop of both waves: charges failed attempts and
+  // reports whether the task may run (attempts left). Task bodies only
+  // execute on the committed attempt (atomic output commit).
+  struct AttemptGate {
+    const Options& options;
+    std::vector<size_t> failures;
+    std::vector<uint8_t> gave_up;
+
+    AttemptGate(const Options& options_in, size_t capacity)
+        : options(options_in), failures(capacity, 0), gave_up(capacity, 0) {}
+
+    bool Admit(Wave wave, size_t task) {
+      for (uint32_t attempt = 1; attempt <= options.max_task_attempts;
            ++attempt) {
-        if (options_.failure_injector != nullptr &&
-            options_.failure_injector(wave, task, attempt)) {
-          ++wave_failures[task];
+        if (options.failure_injector != nullptr &&
+            options.failure_injector(wave, task, attempt)) {
+          ++failures[task];
           ZSKY_TRACE_INSTANT(
               "mr.task_retry",
               "{\"wave\":" + std::to_string(static_cast<int>(wave)) +
@@ -149,17 +199,392 @@ class MapReduceJob {
         }
         return true;
       }
-      wave_gave_up[task] = 1;
+      gave_up[task] = 1;
       return false;
-    };
-    auto harvest_wave = [&](size_t count) {
+    }
+
+    void Harvest(size_t count, JobMetrics& metrics) {
       for (size_t task = 0; task < count; ++task) {
-        metrics.failed_attempts += wave_failures[task];
-        if (wave_gave_up[task]) metrics.succeeded = false;
-        wave_failures[task] = 0;
-        wave_gave_up[task] = 0;
+        metrics.failed_attempts += failures[task];
+        if (gave_up[task]) metrics.succeeded = false;
+        failures[task] = 0;
+        gave_up[task] = 0;
+      }
+    }
+  };
+
+  // Removes any spill files still on disk when the job scope is left —
+  // the success path and every failure path share this cleanup.
+  struct SpillFileGuard {
+    const std::vector<std::string>* paths;
+    ~SpillFileGuard() {
+      for (const std::string& path : *paths) {
+        if (!path.empty()) std::remove(path.c_str());
+      }
+    }
+  };
+
+  std::string SpillFilePath(size_t task) const {
+    return options_.spill_dir + "/zsky_spill_" +
+           std::to_string(static_cast<uint64_t>(::getpid())) + "_" +
+           std::to_string(NextSpillFileId()) + "_" + std::to_string(task) +
+           ".bin";
+  }
+
+  // Which map tasks to spill: all of them under spill_to_disk, else the
+  // largest buffers until the remainder fits the memory budget.
+  std::vector<uint8_t> ChooseSpills(
+      const std::vector<size_t>& task_bytes) const {
+    std::vector<uint8_t> spill(task_bytes.size(), 0);
+    if (options_.spill_to_disk) {
+      std::fill(spill.begin(), spill.end(), 1);
+      return spill;
+    }
+    if (options_.shuffle_memory_budget_bytes == 0) return spill;
+    size_t total = 0;
+    for (size_t bytes : task_bytes) total += bytes;
+    std::vector<size_t> order(task_bytes.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return task_bytes[a] > task_bytes[b];
+    });
+    for (size_t task : order) {
+      if (total <= options_.shuffle_memory_budget_bytes) break;
+      if (task_bytes[task] == 0) break;
+      spill[task] = 1;
+      total -= task_bytes[task];
+    }
+    return spill;
+  }
+
+  // ===================================================================
+  // Columnar zero-copy record path.
+  // ===================================================================
+
+  // Concrete emitter: appends straight into the task's per-reducer
+  // arenas. No virtual dispatch, no std::function — with a templated map
+  // functor the whole emit inlines to a bounds check plus two stores.
+  class Emitter {
+   public:
+    Emitter(RecordBuffer<V>* buckets, uint32_t num_reducers,
+            ChunkPool<V>* pool)
+        : buckets_(buckets), num_reducers_(num_reducers), pool_(pool) {}
+
+    void operator()(int32_t key, V value) {
+      if (key < 0) return;  // Dropped record (pruned partition).
+      ++emitted_;
+      buckets_[static_cast<uint32_t>(key) % num_reducers_].Append(key, value,
+                                                                  *pool_);
+    }
+
+    size_t emitted() const { return emitted_; }
+
+   private:
+    RecordBuffer<V>* buckets_;
+    uint32_t num_reducers_;
+    ChunkPool<V>* pool_;
+    size_t emitted_ = 0;
+  };
+
+  // Per-map-task state, pooled across Run() calls (buckets keep their
+  // chunk vectors, scratch keeps its capacity).
+  struct MapTaskState {
+    std::vector<RecordBuffer<V>> buckets;  // One per reducer.
+    GroupScratch<V> combine_scratch;
+    RecordBuffer<V> combine_out;
+    std::vector<uint64_t> spill_counts;
+    size_t records_in = 0;
+    size_t records_out = 0;
+    size_t combine_in = 0;
+    size_t combine_out_records = 0;
+  };
+
+  // Per-reducer state, pooled across Run() calls.
+  struct ReducerState {
+    GroupScratch<V> scratch;
+    FlatArray<int32_t> spill_keys;
+    FlatArray<V> spill_values;
+    size_t records = 0;
+    size_t bytes = 0;
+    size_t copy_bytes = 0;
+    size_t reduce_in = 0;
+  };
+
+  template <typename MapFn, typename CombineFn, typename ReduceFn,
+            typename SizeFn>
+  JobMetrics RunColumnar(size_t num_splits, MapFn& map, CombineFn& combine,
+                         ReduceFn& reduce, SizeFn& size_of) {
+    JobMetrics metrics;
+    Stopwatch total_watch;
+    const uint32_t r = options_.num_reduce_tasks;
+    const size_t pool_alloc_before = chunk_pool_.allocated_bytes();
+    const size_t flat_alloc_before =
+        flat_alloc_bytes_.load(std::memory_order_relaxed);
+
+    AttemptGate gate(options_, std::max<size_t>(num_splits, r));
+    if (map_state_.size() < num_splits) map_state_.resize(num_splits);
+    if (reduce_state_.size() < r) reduce_state_.resize(r);
+
+    // --- Map wave: each task appends into its own per-reducer arenas,
+    // then (optionally) collapses them key-by-key through the combiner. ---
+    Stopwatch map_watch;
+    metrics.map_tasks = RunWave("mr.map_wave", num_splits, [&](size_t task) {
+      ZSKY_TRACE_SPAN_ARGS("mr.map_task",
+                           "{\"task\":" + std::to_string(task) + "}");
+      MapTaskState& state = map_state_[task];
+      state.buckets.resize(r);
+      state.records_in = 0;
+      state.records_out = 0;
+      state.combine_in = 0;
+      state.combine_out_records = 0;
+      if (!gate.Admit(Wave::kMap, task)) return;
+      if (options_.split_size != nullptr) {
+        state.records_in = options_.split_size(task);
+      }
+      Emitter emit(state.buckets.data(), r, &chunk_pool_);
+      map(task, emit);
+      state.records_out = emit.emitted();
+
+      if constexpr (!kIsNull<CombineFn>) {
+        if (options_.enable_combiner) {
+          for (RecordBuffer<V>& bucket : state.buckets) {
+            if (bucket.empty()) continue;
+            state.combine_scratch.Clear();
+            state.combine_scratch.AddBuffer(bucket);
+            state.combine_scratch.Group(flat_alloc_bytes_);
+            RecordBuffer<V>& out = state.combine_out;
+            for (size_t i = 0; i < state.combine_scratch.num_runs(); ++i) {
+              const int32_t key = state.combine_scratch.run_key(i);
+              const std::span<const V> values =
+                  state.combine_scratch.run_values(i);
+              state.combine_in += values.size();
+              const size_t before = out.size();
+              combine(key, values,
+                      [&](V value) { out.Append(key, value, chunk_pool_); });
+              state.combine_out_records += out.size() - before;
+            }
+            bucket.ReleaseTo(chunk_pool_);
+            std::swap(bucket, out);
+          }
+        }
+      }
+    });
+    metrics.map_wall_ms = map_watch.ElapsedMs();
+    gate.Harvest(num_splits, metrics);
+    for (size_t task = 0; task < num_splits; ++task) {
+      metrics.map_tasks[task].records_in = map_state_[task].records_in;
+      metrics.map_tasks[task].records_out = map_state_[task].records_out;
+      metrics.combiner_in += map_state_[task].combine_in;
+      metrics.combiner_out += map_state_[task].combine_out_records;
+    }
+
+    // --- Spill: write chosen tasks' arenas out as sectioned columnar
+    // files and free their memory. All tasks under spill_to_disk; under a
+    // memory budget, only the largest buffers until the rest fits. ---
+    std::vector<std::string> spill_paths(num_splits);
+    std::vector<uint8_t> spilled(num_splits, 0);
+    const SpillFileGuard spill_guard{&spill_paths};
+    if (options_.spill_to_disk || options_.shuffle_memory_budget_bytes > 0) {
+      std::vector<size_t> task_bytes(num_splits, 0);
+      for (size_t task = 0; task < num_splits; ++task) {
+        for (const RecordBuffer<V>& bucket : map_state_[task].buckets) {
+          task_bytes[task] += bucket.bytes();
+        }
+      }
+      spilled = ChooseSpills(task_bytes);
+      for (size_t task = 0; task < num_splits; ++task) {
+        if (!spilled[task]) continue;
+        spill_paths[task] = SpillColumnar(task, map_state_[task], metrics);
+        for (RecordBuffer<V>& bucket : map_state_[task].buckets) {
+          bucket.Free();
+        }
+        ++metrics.spilled_tasks;
+      }
+    }
+
+    // --- Shuffle: every reducer pulls its arena slices (and spill-file
+    // sections), groups them by counting sort, and keeps the grouped
+    // storage for its reduce task to read as spans. Slices are disjoint,
+    // so the parallel pull needs no locking. ---
+    Stopwatch shuffle_watch;
+    const bool parallel_shuffle =
+        options_.parallel_shuffle && pool_ != nullptr && r > 1;
+    auto pull_reducer = [&](size_t reducer) {
+      ZSKY_TRACE_SPAN_ARGS("mr.shuffle_pull",
+                           "{\"reducer\":" + std::to_string(reducer) + "}");
+      ReducerState& state = reduce_state_[reducer];
+      state.scratch.Clear();
+      state.records = 0;
+      state.bytes = 0;
+      state.copy_bytes = 0;
+      size_t spilled_total = 0;
+      for (size_t task = 0; task < num_splits; ++task) {
+        if (spilled[task] && !map_state_[task].spill_counts.empty()) {
+          spilled_total += map_state_[task].spill_counts[reducer];
+        }
+      }
+      int32_t* spill_keys =
+          state.spill_keys.Ensure(spilled_total, flat_alloc_bytes_);
+      V* spill_values =
+          state.spill_values.Ensure(spilled_total, flat_alloc_bytes_);
+      size_t spill_pos = 0;
+      for (size_t task = 0; task < num_splits; ++task) {
+        if (spilled[task]) {
+          if (map_state_[task].spill_counts.empty()) continue;
+          const uint64_t want = map_state_[task].spill_counts[reducer];
+          if (want == 0) continue;
+          ReadSpillSlices(spill_paths[task], map_state_[task].spill_counts,
+                          static_cast<uint32_t>(reducer),
+                          spill_keys + spill_pos, spill_values + spill_pos);
+          state.scratch.AddSegment(spill_keys + spill_pos,
+                                   spill_values + spill_pos, want);
+          state.copy_bytes += want * kSpillRecordBytes;
+          spill_pos += want;
+        } else {
+          state.scratch.AddBuffer(map_state_[task].buckets[reducer]);
+        }
+      }
+      state.records = state.scratch.total();
+      state.copy_bytes += state.scratch.Group(flat_alloc_bytes_);
+      if constexpr (!kIsNull<SizeFn>) {
+        size_t bytes = state.records * options_.record_overhead_bytes;
+        for (const V& value : state.scratch.grouped()) bytes += size_of(value);
+        state.bytes = bytes;
+      } else {
+        state.bytes =
+            state.records * (options_.record_overhead_bytes + sizeof(V));
       }
     };
+    {
+      ZSKY_TRACE_SPAN_ARGS(
+          "mr.shuffle", "{\"reducers\":" + std::to_string(r) +
+                            ",\"parallel\":" +
+                            (parallel_shuffle ? "true}" : "false}"));
+      if (parallel_shuffle) {
+        pool_->Run(r, pull_reducer);
+      } else {
+        for (uint32_t reducer = 0; reducer < r; ++reducer) {
+          pull_reducer(reducer);
+        }
+      }
+    }
+    for (uint32_t reducer = 0; reducer < r; ++reducer) {
+      metrics.shuffle_records += reduce_state_[reducer].records;
+      metrics.shuffle_bytes += reduce_state_[reducer].bytes;
+      metrics.shuffle_copy_bytes += reduce_state_[reducer].copy_bytes;
+    }
+    // The shuffle copied everything it needs; the arenas go back to the
+    // pool for the next wave before the reduce runs.
+    for (size_t task = 0; task < num_splits; ++task) {
+      for (RecordBuffer<V>& bucket : map_state_[task].buckets) {
+        bucket.ReleaseTo(chunk_pool_);
+      }
+    }
+    metrics.shuffle_wall_ms = shuffle_watch.ElapsedMs();
+
+    // --- Reduce wave: one task per reducer; each reducer walks its
+    // grouped runs in ascending key order (Hadoop semantics), handing the
+    // user one in-place span per key. ---
+    Stopwatch reduce_watch;
+    metrics.reduce_tasks = RunWave("mr.reduce_wave", r, [&](size_t reducer) {
+      ZSKY_TRACE_SPAN_ARGS("mr.reduce_task",
+                           "{\"reducer\":" + std::to_string(reducer) + "}");
+      ReducerState& state = reduce_state_[reducer];
+      state.reduce_in = 0;
+      if (!gate.Admit(Wave::kReduce, reducer)) return;
+      for (size_t i = 0; i < state.scratch.num_runs(); ++i) {
+        const std::span<const V> values = state.scratch.run_values(i);
+        state.reduce_in += values.size();
+        reduce(state.scratch.run_key(i), values);
+      }
+    });
+    metrics.reduce_wall_ms = reduce_watch.ElapsedMs();
+    gate.Harvest(r, metrics);
+    for (uint32_t reducer = 0; reducer < r; ++reducer) {
+      metrics.reduce_tasks[reducer].records_in =
+          reduce_state_[reducer].reduce_in;
+    }
+
+    metrics.shuffle_alloc_bytes =
+        (chunk_pool_.allocated_bytes() - pool_alloc_before) +
+        (flat_alloc_bytes_.load(std::memory_order_relaxed) -
+         flat_alloc_before);
+    metrics.total_wall_ms = total_watch.ElapsedMs();
+    return metrics;
+  }
+
+  // Spill-file layout (columnar): a header of num_reduce_tasks uint64
+  // record counts, then one section per reducer in reducer order — the
+  // section's int32 keys as one block, then its V values as one block.
+  // Whole-slice sections let every reducer read its keys and values with
+  // two freads straight into flat scratch.
+  static constexpr size_t kSpillRecordBytes = sizeof(int32_t) + sizeof(V);
+
+  std::string SpillColumnar(size_t task, MapTaskState& state,
+                            JobMetrics& metrics) const {
+    ZSKY_TRACE_SPAN_ARGS("mr.spill_write",
+                         "{\"task\":" + std::to_string(task) + "}");
+    const std::string path = SpillFilePath(task);
+    const uint32_t r = options_.num_reduce_tasks;
+    state.spill_counts.assign(r, 0);
+    for (uint32_t reducer = 0; reducer < r; ++reducer) {
+      state.spill_counts[reducer] = state.buckets[reducer].size();
+    }
+    std::FILE* file = std::fopen(path.c_str(), "wb");
+    ZSKY_CHECK_MSG(file != nullptr, "cannot create spill file");
+    std::fwrite(state.spill_counts.data(), sizeof(uint64_t), r, file);
+    metrics.spill_bytes += r * sizeof(uint64_t);
+    for (uint32_t reducer = 0; reducer < r; ++reducer) {
+      const RecordBuffer<V>& bucket = state.buckets[reducer];
+      for (const RecordChunk<V>& chunk : bucket.chunks()) {
+        if (chunk.size == 0) continue;
+        std::fwrite(chunk.keys.get(), sizeof(int32_t), chunk.size, file);
+      }
+      for (const RecordChunk<V>& chunk : bucket.chunks()) {
+        if (chunk.size == 0) continue;
+        std::fwrite(chunk.values.get(), sizeof(V), chunk.size, file);
+      }
+      metrics.spill_bytes += bucket.size() * kSpillRecordBytes;
+    }
+    std::fclose(file);
+    return path;
+  }
+
+  // Reads reducer `reducer`'s keys and values blocks into caller storage.
+  void ReadSpillSlices(const std::string& path,
+                       const std::vector<uint64_t>& counts, uint32_t reducer,
+                       int32_t* keys_out, V* values_out) const {
+    uint64_t skip = 0;
+    for (uint32_t q = 0; q < reducer; ++q) skip += counts[q];
+    const uint64_t want = counts[reducer];
+    if (want == 0) return;
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    ZSKY_CHECK_MSG(file != nullptr, "cannot reopen spill file");
+    // fseeko + off_t: a long offset truncates past 2 GiB on LP32/Windows
+    // ABIs, silently corrupting large spills.
+    const uint64_t offset =
+        counts.size() * sizeof(uint64_t) + skip * kSpillRecordBytes;
+    ZSKY_CHECK(::fseeko(file, static_cast<off_t>(offset), SEEK_SET) == 0);
+    ZSKY_CHECK(std::fread(keys_out, sizeof(int32_t), want, file) == want);
+    ZSKY_CHECK(std::fread(values_out, sizeof(V), want, file) == want);
+    std::fclose(file);
+  }
+
+  // ===================================================================
+  // Legacy record path (the seed engine): std::function emit,
+  // vector-of-pairs buckets, unordered_map regroup, interleaved spill
+  // records. The ablation baseline the zero-copy path is measured
+  // against; also the fallback for non-trivially-copyable values.
+  // ===================================================================
+
+  template <typename MapFn, typename CombineFn, typename ReduceFn,
+            typename SizeFn>
+  JobMetrics RunLegacy(size_t num_splits, MapFn& map, CombineFn& combine,
+                       ReduceFn& reduce, SizeFn& size_of) {
+    JobMetrics metrics;
+    Stopwatch total_watch;
+    const uint32_t r = options_.num_reduce_tasks;
+    AttemptGate gate(options_, std::max<size_t>(num_splits, r));
 
     // --- Map wave: each task fills its own per-reducer buckets. ---
     // buckets[task][reducer] -> (key, value) records.
@@ -174,14 +599,14 @@ class MapReduceJob {
     metrics.map_tasks = RunWave("mr.map_wave", num_splits, [&](size_t task) {
       ZSKY_TRACE_SPAN_ARGS("mr.map_task",
                            "{\"task\":" + std::to_string(task) + "}");
-      if (!admit(Wave::kMap, task)) return;
+      if (!gate.Admit(Wave::kMap, task)) return;
       if (options_.split_size != nullptr) {
         map_in[task] = options_.split_size(task);
       }
       auto& task_buckets = buckets[task];
       task_buckets.resize(r);
       size_t emitted = 0;
-      Emit emit = [&](int32_t key, V value) {
+      const Emit emit = [&](int32_t key, V value) {
         if (key < 0) return;  // Dropped record (pruned partition).
         ++emitted;
         task_buckets[static_cast<uint32_t>(key) % r].emplace_back(
@@ -190,26 +615,28 @@ class MapReduceJob {
       map(task, emit);
       map_out[task] = emitted;
 
-      if (options_.enable_combiner && combine != nullptr) {
-        for (auto& bucket : task_buckets) {
-          std::unordered_map<int32_t, std::vector<V>> grouped;
-          for (auto& [key, value] : bucket) {
-            grouped[key].push_back(std::move(value));
-          }
-          bucket.clear();
-          for (auto& [key, values] : grouped) {
-            comb_in[task] += values.size();
-            std::vector<V> combined = combine(key, std::move(values));
-            comb_out[task] += combined.size();
-            for (auto& value : combined) {
-              bucket.emplace_back(key, std::move(value));
+      if constexpr (!kIsNull<CombineFn>) {
+        if (options_.enable_combiner) {
+          for (auto& bucket : task_buckets) {
+            std::unordered_map<int32_t, std::vector<V>> grouped;
+            for (auto& [key, value] : bucket) {
+              grouped[key].push_back(std::move(value));
+            }
+            bucket.clear();
+            for (auto& [key, values] : grouped) {
+              comb_in[task] += values.size();
+              const size_t before = bucket.size();
+              combine(key, std::span<const V>(values), [&](V value) {
+                bucket.emplace_back(key, std::move(value));
+              });
+              comb_out[task] += bucket.size() - before;
             }
           }
         }
       }
     });
     metrics.map_wall_ms = map_watch.ElapsedMs();
-    harvest_wave(num_splits);
+    gate.Harvest(num_splits, metrics);
     for (size_t task = 0; task < num_splits; ++task) {
       metrics.map_tasks[task].records_in = map_in[task];
       metrics.map_tasks[task].records_out = map_out[task];
@@ -218,20 +645,27 @@ class MapReduceJob {
     }
 
     // --- Optional disk spill: write map outputs out, free memory. ---
-    // The guard removes the files on every exit path (including job
-    // failure), so aborted runs do not leak into spill_dir.
-    std::vector<std::string> spill_paths;
-    std::vector<std::vector<uint64_t>> spill_counts;
+    std::vector<std::string> spill_paths(num_splits);
+    std::vector<uint8_t> spilled(num_splits, 0);
+    std::vector<std::vector<uint64_t>> spill_counts(num_splits);
     const SpillFileGuard spill_guard{&spill_paths};
-    if (options_.spill_to_disk) {
+    if (options_.spill_to_disk || options_.shuffle_memory_budget_bytes > 0) {
       if constexpr (std::is_trivially_copyable_v<V>) {
-        spill_paths.resize(num_splits);
-        spill_counts.resize(num_splits);
+        std::vector<size_t> task_bytes(num_splits, 0);
         for (size_t task = 0; task < num_splits; ++task) {
-          spill_paths[task] =
-              SpillTask(task, buckets[task], spill_counts[task], metrics);
+          for (const auto& bucket : buckets[task]) {
+            task_bytes[task] +=
+                bucket.size() * (sizeof(std::pair<int32_t, V>));
+          }
+        }
+        spilled = ChooseSpills(task_bytes);
+        for (size_t task = 0; task < num_splits; ++task) {
+          if (!spilled[task]) continue;
+          spill_paths[task] = SpillLegacy(task, buckets[task],
+                                          spill_counts[task], metrics);
           buckets[task].clear();
           buckets[task].shrink_to_fit();
+          ++metrics.spilled_tasks;
         }
       } else {
         ZSKY_CHECK_MSG(false,
@@ -248,33 +682,39 @@ class MapReduceJob {
         options_.parallel_shuffle && pool_ != nullptr && r > 1;
     std::vector<size_t> pulled_records(r, 0);
     std::vector<size_t> pulled_bytes(r, 0);
+    std::vector<size_t> copied_bytes(r, 0);
     auto record_cost = [&](const V& value) {
-      return options_.record_overhead_bytes +
-             (size_of ? size_of(value) : sizeof(V));
+      if constexpr (!kIsNull<SizeFn>) {
+        return options_.record_overhead_bytes + size_of(value);
+      } else {
+        (void)value;
+        return options_.record_overhead_bytes + sizeof(V);
+      }
     };
     auto pull_reducer = [&](size_t reducer) {
       ZSKY_TRACE_SPAN_ARGS("mr.shuffle_pull",
                            "{\"reducer\":" + std::to_string(reducer) + "}");
       auto& input = reducer_input[reducer];
-      if (options_.spill_to_disk) {
-        if constexpr (std::is_trivially_copyable_v<V>) {
-          for (size_t task = 0; task < spill_paths.size(); ++task) {
-            ReadSpillSection(spill_paths[task], spill_counts[task],
-                             static_cast<uint32_t>(reducer),
-                             [&](int32_t key, V value) {
-                               ++pulled_records[reducer];
-                               pulled_bytes[reducer] += record_cost(value);
-                               input[key].push_back(std::move(value));
-                             });
+      auto pull_one = [&](int32_t key, V value) {
+        ++pulled_records[reducer];
+        pulled_bytes[reducer] += record_cost(value);
+        copied_bytes[reducer] += sizeof(V);
+        input[key].push_back(std::move(value));
+      };
+      for (size_t task = 0; task < num_splits; ++task) {
+        if (spilled[task]) {
+          if constexpr (std::is_trivially_copyable_v<V>) {
+            ReadLegacySpillSection(spill_paths[task], spill_counts[task],
+                                   static_cast<uint32_t>(reducer), pull_one);
+            copied_bytes[reducer] +=
+                spill_counts[task].empty()
+                    ? 0
+                    : spill_counts[task][reducer] * kSpillRecordBytes;
           }
-        }
-      } else {
-        for (auto& task_buckets : buckets) {
-          if (task_buckets.empty()) continue;
-          for (auto& [key, value] : task_buckets[reducer]) {
-            ++pulled_records[reducer];
-            pulled_bytes[reducer] += record_cost(value);
-            input[key].push_back(std::move(value));
+        } else {
+          if (buckets[task].empty()) continue;
+          for (auto& [key, value] : buckets[task][reducer]) {
+            pull_one(key, std::move(value));
           }
         }
       }
@@ -295,6 +735,7 @@ class MapReduceJob {
     for (uint32_t reducer = 0; reducer < r; ++reducer) {
       metrics.shuffle_records += pulled_records[reducer];
       metrics.shuffle_bytes += pulled_bytes[reducer];
+      metrics.shuffle_copy_bytes += copied_bytes[reducer];
     }
     buckets.clear();
     metrics.shuffle_wall_ms = shuffle_watch.ElapsedMs();
@@ -306,14 +747,14 @@ class MapReduceJob {
     metrics.reduce_tasks = RunWave("mr.reduce_wave", r, [&](size_t reducer) {
       ZSKY_TRACE_SPAN_ARGS("mr.reduce_task",
                            "{\"reducer\":" + std::to_string(reducer) + "}");
-      if (!admit(Wave::kReduce, reducer)) return;
+      if (!gate.Admit(Wave::kReduce, reducer)) return;
       for (auto& [key, values] : reducer_input[reducer]) {
         reduce_in[reducer] += values.size();
-        reduce(key, std::move(values));
+        reduce(key, std::span<const V>(values));
       }
     });
     metrics.reduce_wall_ms = reduce_watch.ElapsedMs();
-    harvest_wave(r);
+    gate.Harvest(r, metrics);
     for (uint32_t reducer = 0; reducer < r; ++reducer) {
       metrics.reduce_tasks[reducer].records_in = reduce_in[reducer];
     }
@@ -322,37 +763,16 @@ class MapReduceJob {
     return metrics;
   }
 
- private:
-  // Removes any spill files still on disk when the job scope is left —
-  // the success path and every failure path share this cleanup.
-  struct SpillFileGuard {
-    const std::vector<std::string>* paths;
-    ~SpillFileGuard() {
-      for (const std::string& path : *paths) {
-        if (!path.empty()) std::remove(path.c_str());
-      }
-    }
-  };
-
-  // Spill-file layout: a header of num_reduce_tasks uint64 record counts,
-  // then the records grouped by reducer in reducer order, each record a
-  // raw (int32 key, V value). Grouping by reducer lets every reducer seek
-  // straight to its own section during the parallel shuffle.
-  static constexpr size_t kSpillRecordBytes = sizeof(int32_t) + sizeof(V);
-
-  // Writes one map task's buckets to a spill file; fills `counts` with the
-  // per-reducer record counts (the header). Returns the path.
-  std::string SpillTask(
+  // Legacy spill-file layout: header of per-reducer counts, then the
+  // records grouped by reducer in reducer order, each record an
+  // interleaved raw (int32 key, V value).
+  std::string SpillLegacy(
       size_t task,
       const std::vector<std::vector<std::pair<int32_t, V>>>& task_buckets,
       std::vector<uint64_t>& counts, JobMetrics& metrics) const {
     ZSKY_TRACE_SPAN_ARGS("mr.spill_write",
                          "{\"task\":" + std::to_string(task) + "}");
-    const std::string path =
-        options_.spill_dir + "/zsky_spill_" +
-        std::to_string(static_cast<uint64_t>(::getpid())) + "_" +
-        std::to_string(NextSpillFileId()) + "_" + std::to_string(task) +
-        ".bin";
+    const std::string path = SpillFilePath(task);
     const uint32_t r = options_.num_reduce_tasks;
     counts.assign(r, 0);
     for (uint32_t reducer = 0; reducer < task_buckets.size(); ++reducer) {
@@ -373,21 +793,18 @@ class MapReduceJob {
     return path;
   }
 
-  // Streams reducer `reducer`'s section of a spill file through
-  // `fn(key, value)`. `counts` is the file's header as written by
-  // SpillTask. The file is left in place (the guard removes it).
+  // Streams reducer `reducer`'s section of a legacy spill file through
+  // `fn(key, value)`.
   template <typename Fn>
-  void ReadSpillSection(const std::string& path,
-                        const std::vector<uint64_t>& counts, uint32_t reducer,
-                        const Fn& fn) const {
+  void ReadLegacySpillSection(const std::string& path,
+                              const std::vector<uint64_t>& counts,
+                              uint32_t reducer, const Fn& fn) const {
     uint64_t skip = 0;
     for (uint32_t q = 0; q < reducer; ++q) skip += counts[q];
     const uint64_t want = counts[reducer];
     if (want == 0) return;
     std::FILE* file = std::fopen(path.c_str(), "rb");
     ZSKY_CHECK_MSG(file != nullptr, "cannot reopen spill file");
-    // fseeko + off_t: a long offset truncates past 2 GiB on LP32/Windows
-    // ABIs, silently corrupting large spills.
     const uint64_t offset =
         counts.size() * sizeof(uint64_t) + skip * kSpillRecordBytes;
     ZSKY_CHECK(::fseeko(file, static_cast<off_t>(offset), SEEK_SET) == 0);
@@ -416,6 +833,13 @@ class MapReduceJob {
   Options options_;
   WorkerPool* pool_ = nullptr;
   std::unique_ptr<WorkerPool> owned_pool_;
+
+  // Columnar-path state, pooled across Run() calls on this job: the
+  // steady-state allocation-free property comes from here.
+  ChunkPool<V> chunk_pool_;
+  std::atomic<size_t> flat_alloc_bytes_{0};
+  std::vector<MapTaskState> map_state_;
+  std::vector<ReducerState> reduce_state_;
 };
 
 }  // namespace zsky::mr

@@ -80,6 +80,18 @@ struct JobMetrics {
   // Bytes written to (and read back from) map-output spill files when the
   // disk-backed shuffle is enabled.
   size_t spill_bytes = 0;
+  // Map tasks whose output was spilled to disk (all of them under
+  // spill_to_disk; only the largest under a memory budget).
+  size_t spilled_tasks = 0;
+
+  // Record-path cost accounting (zero-copy columnar shuffle, PR 5):
+  // bytes of new backing storage the shuffle allocated during this run
+  // (zero in steady state — chunks and scratch are pooled across runs),
+  // and bytes physically copied moving records from map output to the
+  // reducers' grouped slices (one value copy per record on the columnar
+  // path; spill readback adds its record bytes).
+  size_t shuffle_alloc_bytes = 0;
+  size_t shuffle_copy_bytes = 0;
 
   // Fault-tolerance accounting: attempts that failed (and were retried),
   // and whether every task eventually committed. A job with
@@ -90,6 +102,14 @@ struct JobMetrics {
 
   WaveStats map_stats() const { return Summarize(map_tasks); }
   WaveStats reduce_stats() const { return Summarize(reduce_tasks); }
+
+  // Shuffle throughput in records per second (0 when nothing moved).
+  double ShuffleRecordsPerSec() const {
+    return shuffle_wall_ms > 0.0
+               ? static_cast<double>(shuffle_records) /
+                     (shuffle_wall_ms / 1000.0)
+               : 0.0;
+  }
 
   // Simulated cluster time of this job with `slots` parallel task slots
   // and an aggregate shuffle bandwidth of `net_mbps` MiB/s: map-wave

@@ -1,14 +1,81 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <filesystem>
 #include <map>
 #include <mutex>
+#include <new>
 #include <numeric>
+#include <span>
+#include <string>
 
 #include "mapreduce/job.h"
+#include "mapreduce/record_buffer.h"
 #include "mapreduce/task_runner.h"
 #include "mapreduce/worker_pool.h"
+
+// Counting allocator: replaces the global operator new/delete with
+// malloc/free wrappers that count every heap allocation in the process.
+// The steady-state test below uses the counter to prove the columnar
+// record path allocates nothing per record once its chunk pool and
+// scratch arrays are warm. Replacements call malloc, so the sanitizers
+// still see every allocation. GCC can't pair call sites with these
+// TU-local replacements and warns spuriously; replacement is global at
+// link time, so new/delete always match.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+namespace {
+std::atomic<size_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) -
+                                    1) &
+                                       ~(static_cast<std::size_t>(align) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+// The nothrow forms must be replaced too: libstdc++'s stable_sort grabs
+// its temporary buffer through operator new(nothrow), and the matching
+// delete goes through the plain (replaced) form — mixing the library's
+// nothrow new with our free() trips ASan's alloc-dealloc-mismatch.
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return ::operator new(size, std::nothrow);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
 
 namespace zsky::mr {
 namespace {
@@ -44,7 +111,7 @@ TEST(TaskRunnerTest, MeasuresTaskTime) {
   TaskRunner runner(2);
   const auto metrics = runner.Run(4, [&](size_t) {
     volatile double x = 0;
-    for (int i = 0; i < 100000; ++i) x += i;
+    for (int i = 0; i < 100000; ++i) x = x + i;
   });
   for (const auto& m : metrics) EXPECT_GE(m.ms, 0.0);
 }
@@ -130,18 +197,18 @@ TEST(MapReduceJobTest, SumPerKey) {
   std::map<int32_t, uint64_t> sums;
   const JobMetrics metrics = job.Run(
       8,
-      [](size_t task, const MapReduceJob<uint64_t>::Emit& emit) {
+      [](size_t task, auto& emit) {
         // Each split emits values 1..10 to keys 0..4.
         for (uint64_t v = 1; v <= 10; ++v) {
           emit(static_cast<int32_t>((task + v) % 5), v);
         }
       },
-      [](int32_t, std::vector<uint64_t> values) {
+      [](int32_t, std::span<const uint64_t> values, auto&& emit) {
         uint64_t total = 0;
         for (uint64_t v : values) total += v;
-        return std::vector<uint64_t>{total};
+        emit(total);
       },
-      [&](int32_t key, std::vector<uint64_t> values) {
+      [&](int32_t key, std::span<const uint64_t> values) {
         uint64_t total = 0;
         for (uint64_t v : values) total += v;
         const std::lock_guard<std::mutex> lock(mu);
@@ -168,12 +235,12 @@ TEST(MapReduceJobTest, NegativeKeysAreDropped) {
   std::atomic<int> reduced{0};
   const JobMetrics metrics = job.Run(
       2,
-      [](size_t, const MapReduceJob<int>::Emit& emit) {
+      [](size_t, auto& emit) {
         emit(-1, 1);
         emit(0, 2);
       },
       nullptr,
-      [&](int32_t, std::vector<int> values) {
+      [&](int32_t, std::span<const int> values) {
         reduced.fetch_add(static_cast<int>(values.size()));
       });
   EXPECT_EQ(reduced.load(), 2);
@@ -188,13 +255,13 @@ TEST(MapReduceJobTest, CombinerCanBeDisabled) {
   MapReduceJob<int> job(options);
   const JobMetrics metrics = job.Run(
       4,
-      [](size_t, const MapReduceJob<int>::Emit& emit) {
+      [](size_t, auto& emit) {
         for (int i = 0; i < 5; ++i) emit(0, i);
       },
-      [](int32_t, std::vector<int>) {
-        return std::vector<int>{};  // Would erase everything if invoked.
+      [](int32_t, std::span<const int>, auto&&) {
+        // Would erase everything if invoked.
       },
-      [](int32_t, std::vector<int> values) {
+      [](int32_t, std::span<const int> values) {
         EXPECT_EQ(values.size(), 20u);
       });
   EXPECT_EQ(metrics.shuffle_records, 20u);
@@ -210,11 +277,11 @@ TEST(MapReduceJobTest, KeysPartitionedAcrossReducers) {
   std::map<int32_t, int> seen;  // key -> times reduced.
   job.Run(
       6,
-      [](size_t, const MapReduceJob<int>::Emit& emit) {
+      [](size_t, auto& emit) {
         for (int32_t k = 0; k < 12; ++k) emit(k, 1);
       },
       nullptr,
-      [&](int32_t key, std::vector<int> values) {
+      [&](int32_t key, std::span<const int> values) {
         const std::lock_guard<std::mutex> lock(mu);
         seen[key] += 1;
         EXPECT_EQ(values.size(), 6u);
@@ -235,11 +302,11 @@ TEST(MapReduceJobTest, SpillToDiskMatchesInMemory) {
     std::map<int32_t, uint64_t> sums;
     const JobMetrics metrics = job.Run(
         5,
-        [](size_t task, const MapReduceJob<uint64_t>::Emit& emit) {
+        [](size_t task, auto& emit) {
           for (uint64_t v = 0; v < 50; ++v) emit((task * v) % 9, v);
         },
         nullptr,
-        [&](int32_t key, std::vector<uint64_t> values) {
+        [&](int32_t key, std::span<const uint64_t> values) {
           uint64_t total = 0;
           for (uint64_t v : values) total += v;
           const std::lock_guard<std::mutex> lock(mu);
@@ -266,12 +333,14 @@ TEST(MapReduceJobTest, SpillWithCombinerAndStructValues) {
   std::atomic<uint64_t> sum{0};
   job.Run(
       3,
-      [](size_t task, const MapReduceJob<Pair>::Emit& emit) {
+      [](size_t task, auto& emit) {
         emit(static_cast<int32_t>(task),
              Pair{static_cast<int32_t>(task), 10});
       },
-      [](int32_t, std::vector<Pair> values) { return values; },
-      [&](int32_t, std::vector<Pair> values) {
+      [](int32_t, std::span<const Pair> values, auto&& emit) {
+        for (const Pair& p : values) emit(p);
+      },
+      [&](int32_t, std::span<const Pair> values) {
         for (const Pair& p : values) sum.fetch_add(p.b);
       });
   EXPECT_EQ(sum.load(), 30u);
@@ -289,9 +358,9 @@ TEST(MapReduceJobTest, RetriesRecoverFromInjectedFailures) {
   std::atomic<int> total{0};
   const JobMetrics metrics = job.Run(
       4,
-      [](size_t, const MapReduceJob<int>::Emit& emit) { emit(0, 1); },
+      [](size_t, auto& emit) { emit(0, 1); },
       nullptr,
-      [&](int32_t, std::vector<int> values) {
+      [&](int32_t, std::span<const int> values) {
         total.fetch_add(static_cast<int>(values.size()));
       });
   EXPECT_TRUE(metrics.succeeded);
@@ -315,11 +384,11 @@ TEST(MapReduceJobTest, ExhaustedAttemptsMarkJobFailed) {
   std::atomic<int> records{0};
   const JobMetrics metrics = job.Run(
       3,
-      [](size_t task, const MapReduceJob<int>::Emit& emit) {
+      [](size_t task, auto& emit) {
         emit(0, static_cast<int>(task));
       },
       nullptr,
-      [&](int32_t, std::vector<int> values) {
+      [&](int32_t, std::span<const int> values) {
         records.fetch_add(static_cast<int>(values.size()));
       });
   EXPECT_FALSE(metrics.succeeded);
@@ -351,11 +420,11 @@ TEST(MapReduceJobTest, RandomFailuresStillProduceExactOutput) {
     std::map<int32_t, uint64_t> sums;
     const JobMetrics metrics = job.Run(
         6,
-        [](size_t task, const MapReduceJob<uint64_t>::Emit& emit) {
+        [](size_t task, auto& emit) {
           for (uint64_t v = 0; v < 20; ++v) emit((task + v) % 7, v);
         },
         nullptr,
-        [&](int32_t key, std::vector<uint64_t> values) {
+        [&](int32_t key, std::span<const uint64_t> values) {
           uint64_t total = 0;
           for (uint64_t v : values) total += v;
           const std::lock_guard<std::mutex> lock(mu);
@@ -393,7 +462,7 @@ TEST(WorkerPoolTest, MeasuresTaskTime) {
   WorkerPool pool(2);
   const auto metrics = pool.Run(4, [&](size_t) {
     volatile double x = 0;
-    for (int i = 0; i < 100000; ++i) x += i;
+    for (int i = 0; i < 100000; ++i) x = x + i;
   });
   ASSERT_EQ(metrics.size(), 4u);
   for (const auto& m : metrics) EXPECT_GE(m.ms, 0.0);
@@ -430,11 +499,11 @@ TEST(WorkerPoolTest, SharedAcrossJobs) {
     std::atomic<int> total{0};
     job.Run(
         5,
-        [](size_t task, const MapReduceJob<int>::Emit& emit) {
+        [](size_t task, auto& emit) {
           emit(static_cast<int32_t>(task), 1);
         },
         nullptr,
-        [&](int32_t, std::vector<int> values) {
+        [&](int32_t, std::span<const int> values) {
           total.fetch_add(static_cast<int>(values.size()));
         });
     EXPECT_EQ(total.load(), 5);
@@ -449,8 +518,8 @@ TEST(MapReduceJobTest, MapRecordsInPopulatedFromSplitSize) {
   MapReduceJob<int> job(options);
   const JobMetrics metrics = job.Run(
       3,
-      [](size_t, const MapReduceJob<int>::Emit& emit) { emit(0, 1); },
-      nullptr, [](int32_t, std::vector<int>) {});
+      [](size_t, auto& emit) { emit(0, 1); },
+      nullptr, [](int32_t, std::span<const int>) {});
   ASSERT_EQ(metrics.map_tasks.size(), 3u);
   EXPECT_EQ(metrics.map_tasks[0].records_in, 10u);
   EXPECT_EQ(metrics.map_tasks[1].records_in, 20u);
@@ -471,15 +540,15 @@ TEST(MapReduceJobTest, ParallelShuffleMatchesSerial) {
     std::map<int32_t, std::vector<uint64_t>> values_by_key;
     const JobMetrics metrics = job.Run(
         6,
-        [](size_t task, const MapReduceJob<uint64_t>::Emit& emit) {
+        [](size_t task, auto& emit) {
           for (uint64_t v = 0; v < 30; ++v) {
             emit(static_cast<int32_t>((task * 3 + v) % 11), task * 100 + v);
           }
         },
         nullptr,
-        [&](int32_t key, std::vector<uint64_t> values) {
+        [&](int32_t key, std::span<const uint64_t> values) {
           const std::lock_guard<std::mutex> lock(mu);
-          values_by_key[key] = std::move(values);
+          values_by_key[key].assign(values.begin(), values.end());
         });
     EXPECT_EQ(metrics.shuffle_records, 6u * 30u);
     return values_by_key;
@@ -530,15 +599,15 @@ TEST(MapReduceJobTest, ParallelShuffleWithSpillSurvivesInjectedFailures) {
     std::map<int32_t, std::vector<uint64_t>> values_by_key;
     const JobMetrics metrics = job.Run(
         6,
-        [](size_t task, const MapReduceJob<uint64_t>::Emit& emit) {
+        [](size_t task, auto& emit) {
           for (uint64_t v = 0; v < 30; ++v) {
             emit(static_cast<int32_t>((task * 3 + v) % 11), task * 100 + v);
           }
         },
         nullptr,
-        [&](int32_t key, std::vector<uint64_t> values) {
+        [&](int32_t key, std::span<const uint64_t> values) {
           const std::lock_guard<std::mutex> lock(mu);
-          values_by_key[key] = std::move(values);
+          values_by_key[key].assign(values.begin(), values.end());
         });
     EXPECT_TRUE(metrics.succeeded);
     EXPECT_EQ(metrics.shuffle_records, 6u * 30u);
@@ -589,10 +658,10 @@ TEST(MapReduceJobTest, SpillFilesRemovedAfterSuccessAndFailure) {
     MapReduceJob<uint64_t> job(options);
     const JobMetrics metrics = job.Run(
         3,
-        [](size_t task, const MapReduceJob<uint64_t>::Emit& emit) {
+        [](size_t, auto& emit) {
           for (uint64_t v = 0; v < 10; ++v) emit(static_cast<int32_t>(v), v);
         },
-        nullptr, [](int32_t, std::vector<uint64_t>) {});
+        nullptr, [](int32_t, std::span<const uint64_t>) {});
     EXPECT_EQ(metrics.succeeded, !fail);
     EXPECT_GT(metrics.spill_bytes, 0u);
   };
@@ -617,11 +686,11 @@ TEST(MapReduceJobTest, ConsecutiveSpillJobsGetDistinctFiles) {
     std::atomic<uint64_t> sum{0};
     job.Run(
         2,
-        [](size_t, const MapReduceJob<uint64_t>::Emit& emit) {
+        [](size_t, auto& emit) {
           for (uint64_t v = 1; v <= 4; ++v) emit(static_cast<int32_t>(v), v);
         },
         nullptr,
-        [&](int32_t, std::vector<uint64_t> values) {
+        [&](int32_t, std::span<const uint64_t> values) {
           for (uint64_t v : values) sum.fetch_add(v);
         });
     return sum.load();
@@ -639,9 +708,9 @@ TEST(MapReduceJobTest, LegacySpawnPerWaveStillWorks) {
   std::atomic<int> total{0};
   const JobMetrics metrics = job.Run(
       4,
-      [](size_t, const MapReduceJob<int>::Emit& emit) { emit(0, 1); },
+      [](size_t, auto& emit) { emit(0, 1); },
       nullptr,
-      [&](int32_t, std::vector<int> values) {
+      [&](int32_t, std::span<const int> values) {
         total.fetch_add(static_cast<int>(values.size()));
       });
   EXPECT_EQ(total.load(), 4);
@@ -656,10 +725,302 @@ TEST(MapReduceJobTest, CustomSizeFunction) {
   MapReduceJob<int> job(options);
   const JobMetrics metrics = job.Run(
       1,
-      [](size_t, const MapReduceJob<int>::Emit& emit) { emit(0, 7); },
-      nullptr, [](int32_t, std::vector<int>) {},
+      [](size_t, auto& emit) { emit(0, 7); },
+      nullptr, [](int32_t, std::span<const int>) {},
       [](const int&) { return size_t{100}; });
   EXPECT_EQ(metrics.shuffle_bytes, 100u);
+}
+
+TEST(RecordBufferTest, DefaultSpillDirRespectsTmpdir) {
+  const char* old = std::getenv("TMPDIR");
+  const std::string saved = old != nullptr ? old : "";
+  ::setenv("TMPDIR", "/custom/tmpdir", 1);
+  EXPECT_EQ(DefaultSpillDir(), "/custom/tmpdir");
+  MapReduceJob<int>::Options fresh;
+  EXPECT_EQ(fresh.spill_dir, "/custom/tmpdir");
+  ::setenv("TMPDIR", "", 1);  // Empty counts as unset.
+  EXPECT_EQ(DefaultSpillDir(), "/tmp");
+  ::unsetenv("TMPDIR");
+  EXPECT_EQ(DefaultSpillDir(), "/tmp");
+  if (old != nullptr) {
+    ::setenv("TMPDIR", saved.c_str(), 1);
+  } else {
+    ::unsetenv("TMPDIR");
+  }
+}
+
+// The core acceptance test of the zero-copy shuffle: after one warm-up
+// run fills the chunk pool and the grouping scratch, further runs of the
+// same job must not allocate per record — only the O(tasks + reducers)
+// bookkeeping of a wave (task-metric vectors, wave closures) remains.
+TEST(MapReduceJobTest, SteadyStateWaveIsAllocationFree) {
+  constexpr size_t kTasks = 8;
+  constexpr uint64_t kPerTask = 20000;
+  MapReduceJob<uint64_t>::Options options;
+  options.num_reduce_tasks = 4;
+  options.num_threads = 4;
+  MapReduceJob<uint64_t> job(options);
+
+  auto run_once = [&] {
+    std::atomic<uint64_t> sum{0};
+    const JobMetrics metrics = job.Run(
+        kTasks,
+        [](size_t task, auto& emit) {
+          for (uint64_t v = 0; v < kPerTask; ++v) {
+            emit(static_cast<int32_t>((task * 13 + v) % 97),
+                 task * 1000000 + v);
+          }
+        },
+        nullptr,
+        [&](int32_t, std::span<const uint64_t> values) {
+          uint64_t local = 0;
+          for (uint64_t v : values) local += v;
+          sum.fetch_add(local, std::memory_order_relaxed);
+        });
+    EXPECT_EQ(metrics.shuffle_records, kTasks * kPerTask);
+    return std::pair<uint64_t, size_t>{sum.load(),
+                                       metrics.shuffle_alloc_bytes};
+  };
+
+  const auto [expected, warm_alloc] = run_once();  // Warm-up.
+  EXPECT_GT(warm_alloc, 0u);  // First run builds the arenas.
+  const size_t allocs_before = g_alloc_count.load();
+  const auto [sum2, steady_alloc] = run_once();
+  const size_t allocs = g_alloc_count.load() - allocs_before;
+  EXPECT_EQ(sum2, expected);
+  // The engine's own accounting agrees: no new backing storage.
+  EXPECT_EQ(steady_alloc, 0u);
+  // And the global counter proves it end to end: way below one allocation
+  // per hundred records (the observed count is O(tasks + reducers)).
+  EXPECT_LT(allocs, kTasks * kPerTask / 100);
+}
+
+// Engine-level parity matrix: the columnar record path must be
+// record-for-record identical to the legacy path — same keys, same
+// per-key value order (task-major, emit-stable) — across spill modes,
+// combiner on/off, and injected task retries.
+TEST(MapReduceJobTest, ColumnarMatchesLegacyAcrossTheMatrix) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(::testing::TempDir()) / "zsky_parity_matrix";
+  fs::create_directories(dir);
+  enum class Spill { kOff, kFull, kBudget };
+
+  auto run = [&](bool legacy, Spill spill, bool combiner, bool retry) {
+    MapReduceJob<uint64_t>::Options options;
+    options.num_reduce_tasks = 4;
+    options.num_threads = 4;
+    options.legacy_record_path = legacy;
+    options.enable_combiner = combiner;
+    options.spill_to_disk = spill == Spill::kFull;
+    if (spill == Spill::kBudget) {
+      // Small enough that only the biggest task buffers spill.
+      options.shuffle_memory_budget_bytes = 64 * 1024;
+    }
+    options.spill_dir = dir.string();
+    if (retry) {
+      options.max_task_attempts = 3;
+      options.failure_injector = [](MapReduceJob<uint64_t>::Wave, size_t task,
+                                    uint32_t attempt) {
+        return attempt == 1 && task % 2 == 0;
+      };
+    }
+    MapReduceJob<uint64_t> job(options);
+    std::mutex mu;
+    std::map<int32_t, std::vector<uint64_t>> out;
+    const JobMetrics metrics = job.Run(
+        6,
+        [](size_t task, auto& emit) {
+          // Skewed sizes so the budget spill has distinct "largest" tasks.
+          const uint64_t count = (task + 1) * 1500;
+          for (uint64_t v = 0; v < count; ++v) {
+            emit(static_cast<int32_t>((task * 7 + v) % 23),
+                 task * 1000000 + v);
+          }
+        },
+        [](int32_t, std::span<const uint64_t> values, auto&& emit) {
+          // Order-preserving pairwise sum: collapses records while keeping
+          // the output order dependent on the input order, so any
+          // path-ordering difference shows up in the final values.
+          for (size_t i = 0; i < values.size(); i += 2) {
+            emit(i + 1 < values.size() ? values[i] + values[i + 1]
+                                       : values[i]);
+          }
+        },
+        [&](int32_t key, std::span<const uint64_t> values) {
+          const std::lock_guard<std::mutex> lock(mu);
+          out[key].assign(values.begin(), values.end());
+        });
+    EXPECT_TRUE(metrics.succeeded);
+    if (spill == Spill::kFull) {
+      EXPECT_EQ(metrics.spilled_tasks, 6u);
+    } else if (spill == Spill::kBudget) {
+      EXPECT_GT(metrics.spilled_tasks, 0u);
+      EXPECT_LT(metrics.spilled_tasks, 6u);
+    } else {
+      EXPECT_EQ(metrics.spilled_tasks, 0u);
+    }
+    return out;
+  };
+
+  for (const Spill spill : {Spill::kOff, Spill::kFull, Spill::kBudget}) {
+    for (const bool combiner : {false, true}) {
+      for (const bool retry : {false, true}) {
+        SCOPED_TRACE(testing::Message()
+                     << "spill=" << static_cast<int>(spill)
+                     << " combiner=" << combiner << " retry=" << retry);
+        const auto legacy = run(true, spill, combiner, retry);
+        const auto columnar = run(false, spill, combiner, retry);
+        EXPECT_EQ(legacy, columnar);
+      }
+    }
+  }
+  fs::remove_all(dir);
+}
+
+// The memory budget spills the *largest* buffers first and frees them:
+// buffered bytes after the spill must fit the budget.
+TEST(MapReduceJobTest, MemoryBudgetSpillsLargestTasksFirst) {
+  MapReduceJob<uint64_t>::Options options;
+  options.num_reduce_tasks = 2;
+  options.num_threads = 2;
+  options.spill_dir = ::testing::TempDir();
+  // Task t emits (t+1)*3000 records of 12 bytes: sizes 36 KB .. 216 KB,
+  // 756 KB total. A 300 KB budget must spill the biggest tasks only.
+  options.shuffle_memory_budget_bytes = 300 * 1024;
+  MapReduceJob<uint64_t> job(options);
+  std::mutex mu;
+  std::map<int32_t, uint64_t> sums;
+  const JobMetrics metrics = job.Run(
+      6,
+      [](size_t task, auto& emit) {
+        const uint64_t count = (task + 1) * 3000;
+        for (uint64_t v = 0; v < count; ++v) {
+          emit(static_cast<int32_t>(v % 5), v);
+        }
+      },
+      nullptr,
+      [&](int32_t key, std::span<const uint64_t> values) {
+        uint64_t total = 0;
+        for (uint64_t v : values) total += v;
+        const std::lock_guard<std::mutex> lock(mu);
+        sums[key] += total;
+      });
+  EXPECT_TRUE(metrics.succeeded);
+  EXPECT_GT(metrics.spilled_tasks, 0u);
+  EXPECT_LT(metrics.spilled_tasks, 6u);
+  EXPECT_GT(metrics.spill_bytes, 0u);
+  // Tasks 6+5 (216 KB + 180 KB) suffice: 756 - 396 = 360 > 300, plus task
+  // 4 (144 KB) lands at 216 KB <= 300 KB. Exactly three spills.
+  EXPECT_EQ(metrics.spilled_tasks, 3u);
+
+  // Same sums without any budget.
+  MapReduceJob<uint64_t>::Options plain;
+  plain.num_reduce_tasks = 2;
+  plain.num_threads = 2;
+  MapReduceJob<uint64_t> job2(plain);
+  std::map<int32_t, uint64_t> sums2;
+  job2.Run(
+      6,
+      [](size_t task, auto& emit) {
+        const uint64_t count = (task + 1) * 3000;
+        for (uint64_t v = 0; v < count; ++v) {
+          emit(static_cast<int32_t>(v % 5), v);
+        }
+      },
+      nullptr,
+      [&](int32_t key, std::span<const uint64_t> values) {
+        uint64_t total = 0;
+        for (uint64_t v : values) total += v;
+        const std::lock_guard<std::mutex> lock(mu);
+        sums2[key] += total;
+      });
+  EXPECT_EQ(sums, sums2);
+}
+
+// Pathologically sparse keys (range >> record count) take the
+// stable-sort fallback instead of a huge counting-sort histogram; the
+// grouping contract (ascending keys, task-major stable values) holds.
+TEST(MapReduceJobTest, SparseKeysFallBackToStableSort) {
+  MapReduceJob<uint32_t>::Options options;
+  options.num_reduce_tasks = 1;  // Everything meets in one reducer.
+  options.num_threads = 2;
+  options.parallel_shuffle = false;
+  MapReduceJob<uint32_t> job(options);
+  std::vector<std::pair<int32_t, std::vector<uint32_t>>> seen;
+  job.Run(
+      4,
+      [](size_t task, auto& emit) {
+        for (uint32_t v = 0; v < 50; ++v) {
+          // Keys spaced ~40M apart over the int32 range.
+          emit(static_cast<int32_t>((v % 50) * 40000000 + 3),
+               static_cast<uint32_t>(task * 1000 + v));
+        }
+      },
+      nullptr,
+      [&](int32_t key, std::span<const uint32_t> values) {
+        seen.emplace_back(key,
+                          std::vector<uint32_t>(values.begin(), values.end()));
+      });
+  ASSERT_EQ(seen.size(), 50u);
+  for (size_t i = 1; i < seen.size(); ++i) {
+    EXPECT_LT(seen[i - 1].first, seen[i].first);  // Ascending keys.
+  }
+  for (const auto& [key, values] : seen) {
+    ASSERT_EQ(values.size(), 4u);
+    for (size_t i = 1; i < values.size(); ++i) {
+      EXPECT_LT(values[i - 1], values[i]);  // Task-major stable order.
+    }
+  }
+}
+
+// Value types that are not trivially copyable transparently use the
+// legacy record path — same results, no columnar requirements.
+TEST(MapReduceJobTest, NonTriviallyCopyableValuesUseLegacyPath) {
+  MapReduceJob<std::string>::Options options;
+  options.num_reduce_tasks = 2;
+  options.num_threads = 2;
+  MapReduceJob<std::string> job(options);
+  std::mutex mu;
+  std::map<int32_t, std::string> joined;
+  const JobMetrics metrics = job.Run(
+      3,
+      [](size_t task, auto& emit) {
+        emit(static_cast<int32_t>(task), "t" + std::to_string(task));
+      },
+      [](int32_t, std::span<const std::string> values, auto&& emit) {
+        for (const std::string& v : values) emit(v + "!");
+      },
+      [&](int32_t key, std::span<const std::string> values) {
+        const std::lock_guard<std::mutex> lock(mu);
+        for (const std::string& v : values) joined[key] += v;
+      });
+  EXPECT_EQ(metrics.shuffle_records, 3u);
+  EXPECT_EQ(joined[0], "t0!");
+  EXPECT_EQ(joined[1], "t1!");
+  EXPECT_EQ(joined[2], "t2!");
+}
+
+// An explicit legacy_record_path request wins even for a trivially
+// copyable value (the bench_shuffle ablation baseline).
+TEST(MapReduceJobTest, LegacyRecordPathCanBeForced) {
+  for (const bool legacy : {false, true}) {
+    MapReduceJob<uint32_t>::Options options;
+    options.num_reduce_tasks = 2;
+    options.num_threads = 2;
+    options.legacy_record_path = legacy;
+    MapReduceJob<uint32_t> job(options);
+    std::atomic<uint32_t> sum{0};
+    job.Run(
+        4,
+        [](size_t, auto& emit) {
+          for (uint32_t v = 1; v <= 10; ++v) emit(static_cast<int32_t>(v), v);
+        },
+        nullptr,
+        [&](int32_t, std::span<const uint32_t> values) {
+          for (uint32_t v : values) sum.fetch_add(v);
+        });
+    EXPECT_EQ(sum.load(), 4u * 55u);
+  }
 }
 
 }  // namespace
