@@ -38,6 +38,11 @@ struct ServiceRun {
   double cold_ms = 0.0;
   double cold_preprocess_ms = 0.0;
   double warm_avg_ms = 0.0;
+  // Best-of-kWarmQueries total: the headline warm latency. The average is
+  // kept for QPS, but on a time-sliced host a single outlier can drag the
+  // mean of 5 warm samples above the one cold sample — the minimum is the
+  // robust "what a warm query costs" figure (cf. BestMs in bench_hotpath).
+  double warm_best_ms = 0.0;
   double warm_preprocess_avg_ms = 0.0;
   double serial_qps = 0.0;
   double concurrent_qps = 0.0;
@@ -67,6 +72,9 @@ ServiceRun RunService(const PointSet& points) {
   for (size_t q = 0; q < kWarmQueries; ++q) {
     const SkylineQueryResult warm = service.Query();
     run.warm_avg_ms += warm.metrics.total_ms;
+    if (q == 0 || warm.metrics.total_ms < run.warm_best_ms) {
+      run.warm_best_ms = warm.metrics.total_ms;
+    }
     run.warm_preprocess_avg_ms += warm.metrics.preprocess_ms;
     identical = identical && warm.skyline == cold.skyline &&
                 warm.metrics.plan_reused;
@@ -124,8 +132,10 @@ void WriteJson(const char* path, const ServiceRun& run) {
                run.cold_ms, run.cold_preprocess_ms);
   std::fprintf(f,
                "  \"warm\": {\"avg_total_ms\": %.3f, "
+               "\"best_total_ms\": %.3f, "
                "\"avg_preprocess_ms\": %.3f, \"queries\": %zu},\n",
-               run.warm_avg_ms, run.warm_preprocess_avg_ms, kWarmQueries);
+               run.warm_avg_ms, run.warm_best_ms, run.warm_preprocess_avg_ms,
+               kWarmQueries);
   std::fprintf(f,
                "  \"qps\": {\"serial\": %.2f, \"concurrent\": %.2f, "
                "\"clients\": %zu},\n",
@@ -152,6 +162,7 @@ int Main() {
               run.cold_ms, run.cold_preprocess_ms);
   std::printf("%-32s %10.1fms (preprocess %.1fms)\n", "warm query avg",
               run.warm_avg_ms, run.warm_preprocess_avg_ms);
+  std::printf("%-32s %10.1fms\n", "warm query best", run.warm_best_ms);
   std::printf("%-32s %10.2f\n", "serial QPS", run.serial_qps);
   std::printf("%-32s %10.2f (%zu clients)\n", "concurrent QPS",
               run.concurrent_qps, kConcurrentClients);
@@ -163,6 +174,7 @@ int Main() {
   std::printf("# CSV,cold_ms,%.3f\n", run.cold_ms);
   std::printf("# CSV,cold_preprocess_ms,%.3f\n", run.cold_preprocess_ms);
   std::printf("# CSV,warm_avg_ms,%.3f\n", run.warm_avg_ms);
+  std::printf("# CSV,warm_best_ms,%.3f\n", run.warm_best_ms);
   std::printf("# CSV,serial_qps,%.2f\n", run.serial_qps);
   std::printf("# CSV,concurrent_qps,%.2f\n", run.concurrent_qps);
   std::printf("# CSV,preprocess_excluded_fraction,%.4f\n",

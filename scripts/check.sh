@@ -18,6 +18,12 @@
 # — proving every span/counter call site is race-free while the whole
 # pipeline records.
 #
+# `scripts/check.sh sched` runs the morsel-scheduler + cost-based-planner
+# tests (worker-pool stealing, collapse parity, adaptive service) under
+# ThreadSanitizer, then bench_sched in Release — which self-checks the
+# >=2x straggler-skew reduction — and fails if the scheduled end-to-end
+# time regresses >10% over the committed BENCH_hotpath.json baseline.
+#
 # `scripts/check.sh shuffle` runs the zero-copy shuffle parity matrix
 # (columnar vs legacy record path x spill modes x combiner x retries)
 # under BOTH AddressSanitizer and ThreadSanitizer, then benchmarks the
@@ -76,6 +82,36 @@ if [ "${1:-}" = "asan" ]; then
   cmake --build build-asan
   ctest --test-dir build-asan --output-on-failure
   echo "ASAN CHECKS PASSED"
+  exit 0
+fi
+
+if [ "${1:-}" = "sched" ]; then
+  echo "=== Scheduler + planner tests under TSan ==="
+  cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DZSKY_SANITIZE=thread \
+        -DZSKY_BUILD_BENCHMARKS=OFF -DZSKY_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-tsan --target mapreduce_test executor_test \
+        query_service_test planner_test
+  ctest --test-dir build-tsan --output-on-failure \
+        -R 'WorkerPool|MapReduceJob|Executor|Pipeline|QueryService|ChoosePlan'
+
+  echo "=== bench_sched vs committed hotpath baseline ==="
+  cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build --target bench_sched
+  (cd build && ./bench/bench_sched)
+  baseline=$(grep -o '"hotpath_ms": [0-9.]*' BENCH_hotpath.json \
+             | awk '{print $2}')
+  current=$(grep -o '"sched_ms": [0-9.]*' build/BENCH_sched.json \
+            | awk '{print $2}')
+  echo "end-to-end ms: hotpath baseline=$baseline sched=$current"
+  awk -v b="$baseline" -v c="$current" 'BEGIN {
+    if (c > 1.1 * b) {
+      printf "FAIL: scheduled end-to-end regressed >10%% (%.1f -> %.1f)\n", b, c
+      exit 1
+    }
+    printf "OK: within 10%% of hotpath baseline (%.2fx)\n", c / b
+  }'
+  echo "SCHED CHECKS PASSED"
   exit 0
 fi
 

@@ -65,6 +65,21 @@ void AppendJob(std::string& out, const char* name,
   AppendKey(out, "failed_attempts");
   AppendNumber(out, job.failed_attempts);
   out += ',';
+  AppendKey(out, "morsels_total");
+  AppendNumber(out, job.morsels_total);
+  out += ',';
+  AppendKey(out, "tasks_stolen");
+  AppendNumber(out, job.tasks_stolen);
+  out += ',';
+  AppendKey(out, "collapse_tasks");
+  AppendNumber(out, job.collapse_tasks);
+  out += ',';
+  AppendKey(out, "collapsed_runs");
+  AppendNumber(out, job.collapsed_runs);
+  out += ',';
+  AppendKey(out, "collapse_wall_ms");
+  AppendNumber(out, job.collapse_wall_ms);
+  out += ',';
   AppendKey(out, "succeeded");
   out += job.succeeded ? "true" : "false";
   out += ',';

@@ -99,6 +99,23 @@ struct ExecutorOptions {
   // path (std::function emit, vector-of-pairs buckets, unordered_map
   // regroup) — the ablation baseline bench_shuffle measures against.
   bool zero_copy_shuffle = true;
+  // Morsel-driven work-stealing waves (docs/scheduling.md): per-slot
+  // morsel queues with steal-from-random-victim on the worker pool. Off =
+  // static chunked claiming from one shared counter (the PR-4 behavior) —
+  // the ablation baseline bench_sched measures against.
+  bool morsel_scheduling = true;
+  // Target rows per map morsel: job 1's map wave is widened to
+  // ceil(n / map_morsel_rows) range-over-split tasks when that exceeds
+  // num_map_tasks, so one core-sized split cannot straggle the wave.
+  // Depends only on the data size — never the thread count — so work
+  // counters stay schedule-invariant. 0 keeps num_map_tasks as-is.
+  uint32_t map_morsel_rows = 16384;
+  // Target rows per reduce-side collapse slice: grouped runs of job 1
+  // reducers that exceed max(2 * this, 2 * mean run length) are cut into
+  // key-range slices and pre-collapsed through the combiner as stealable
+  // tasks (see mr::MapReduceJob::Options::reduce_morsel_records). 0
+  // disables the collapse wave.
+  uint32_t reduce_morsel_records = 8192;
 
   // --- Disk-backed shuffle (mr::MapReduceJob spill controls). ---
   // Spill every map task's output to disk between the waves.

@@ -35,6 +35,20 @@ void FoldJobIntoRegistry(const mr::JobMetrics& job, const char* map_hist,
   registry.counter("combiner_records_in").Add(job.combiner_in);
   registry.counter("combiner_records_out").Add(job.combiner_out);
   registry.counter("failed_attempts").Add(job.failed_attempts);
+  registry.counter("morsels_total").Add(job.morsels_total);
+  registry.counter("tasks_stolen").Add(job.tasks_stolen);
+  registry.counter("collapse_tasks").Add(job.collapse_tasks);
+  registry.counter("collapsed_runs").Add(job.collapsed_runs);
+  // Wave balance: one skew sample (max/mean task ms, x1000) per wave, so
+  // serve --stats-every and the benches can watch straggler pressure.
+  if (!job.map_tasks.empty()) {
+    registry.histogram("wave_skew_x1000")
+        .Observe(static_cast<uint64_t>(job.map_stats().skew * 1000.0));
+  }
+  if (!job.reduce_tasks.empty()) {
+    registry.histogram("wave_skew_x1000")
+        .Observe(static_cast<uint64_t>(job.reduce_stats().skew * 1000.0));
+  }
   if (job.shuffle_records > 0) {
     registry.histogram("shuffle_records_per_sec")
         .Observe(static_cast<uint64_t>(job.ShuffleRecordsPerSec()));
@@ -93,7 +107,16 @@ CandidateList RunCandidateJob(const PreparedPlan& plan,
   const ZOrderCodec& codec = *plan.codec;
   const Partitioner& partitioner = *plan.partitioner;
 
-  const size_t num_map_tasks = std::min<size_t>(options.num_map_tasks, n);
+  size_t num_map_tasks = std::min<size_t>(options.num_map_tasks, n);
+  if (options.morsel_scheduling && options.map_morsel_rows > 0) {
+    // Map morselization: widen the wave so no split exceeds
+    // ~map_morsel_rows rows. A function of the data size only, so the
+    // split layout (and every work counter downstream of it) is identical
+    // for every thread count.
+    const size_t morsel_tasks =
+        (n + options.map_morsel_rows - 1) / options.map_morsel_rows;
+    num_map_tasks = std::min<size_t>(n, std::max(num_map_tasks, morsel_tasks));
+  }
   std::atomic<size_t> filtered{0};
   std::atomic<size_t> dropped{0};
   std::mutex candidates_mutex;
@@ -105,6 +128,13 @@ CandidateList RunCandidateJob(const PreparedPlan& plan,
   job1_options.spawn_per_wave = !options.reuse_worker_pool;
   job1_options.parallel_shuffle = options.parallel_shuffle;
   job1_options.legacy_record_path = !options.zero_copy_shuffle;
+  job1_options.morsel_scheduling = options.morsel_scheduling;
+  // Job 1's combiner (a group-local skyline) is idempotent, so oversized
+  // reducer runs may legally be pre-collapsed in slices. The collapse is
+  // part of the morsel subsystem: turning morsel_scheduling off yields the
+  // true static-split baseline (the ablation arm in bench_skew_stragglers).
+  job1_options.reduce_morsel_records =
+      options.morsel_scheduling ? options.reduce_morsel_records : 0;
   job1_options.spill_to_disk = options.spill_to_disk;
   job1_options.shuffle_memory_budget_bytes =
       options.shuffle_memory_budget_bytes;
@@ -253,6 +283,7 @@ SkylineIndices RunMergeJob(const PreparedPlan& plan,
   job2_options.spawn_per_wave = !options.reuse_worker_pool;
   job2_options.parallel_shuffle = options.parallel_shuffle;
   job2_options.legacy_record_path = !options.zero_copy_shuffle;
+  job2_options.morsel_scheduling = options.morsel_scheduling;
   job2_options.spill_to_disk = options.spill_to_disk;
   job2_options.shuffle_memory_budget_bytes =
       options.shuffle_memory_budget_bytes;

@@ -3,6 +3,8 @@
 
 #include <cstddef>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/point_set.h"
 #include "core/options.h"
@@ -43,6 +45,9 @@ struct PlanCostEstimate {
   double szb_filter_rate = 0.0;
   // Fraction of the dataset routed to pruned partitions (ZDG only).
   double pruned_fraction = 0.0;
+  // The largest group's share of the routed records (sample-measured);
+  // the driver of reduce-wave stragglers.
+  double max_group_fraction = 0.0;
 };
 
 // Prices an already-built plan for a dataset of `dataset_size` points
@@ -52,6 +57,61 @@ struct PlanCostEstimate {
 // running a query.
 PlanCostEstimate EstimatePlanCost(const PreparedPlan& plan,
                                   size_t dataset_size);
+
+// Unit costs (microseconds per unit of work) the cost model prices
+// candidate plans with, plus multiplicative feedback factors a serving
+// layer learns from predicted-vs-actual stage times (see
+// QueryServiceOptions::adaptive_planning). The defaults are order-of-
+// magnitude figures for one modern core; the feedback scales absorb the
+// host's true constants after the first measured query.
+struct PlanCalibration {
+  // Mapper side: SZB probe + group routing per input point.
+  double map_us_per_record = 0.05;
+  // Sort-based local skyline: pairwise dominance tests, ~n_g * sky_g.
+  double sb_us_per_pair = 0.002;
+  // Z-search local skyline: ~n_g * log2(n_g) tree work.
+  double zs_us_per_record_log = 0.02;
+  // Final merge work per candidate.
+  double merge_us_per_candidate = 0.15;
+  // Feedback: measured_ms / predicted_ms of the last query, smoothed.
+  double job1_scale = 1.0;
+  double job2_scale = 1.0;
+};
+
+// One candidate configuration ChoosePlan priced, for logs and benches.
+struct PlanCandidateCost {
+  std::string label;
+  double predicted_total_ms = 0.0;
+};
+
+// The cost-based planner's output: the winning configuration plus the
+// model's predictions for it (which the serving layer compares against
+// the measured stage times to calibrate).
+struct PlanChoice {
+  ExecutorOptions options;
+  double estimated_skyline_fraction = 0.0;
+  size_t sample_size = 0;
+  // Cost-model outputs of the winning candidate.
+  PlanCostEstimate estimate;
+  double predicted_job1_ms = 0.0;
+  double predicted_job2_ms = 0.0;
+  double predicted_total_ms = 0.0;
+  std::string rationale;
+  // Every candidate considered, in evaluation order.
+  std::vector<PlanCandidateCost> candidates;
+};
+
+// Cost-based plan selection: enumerates partitioning scheme × local
+// algorithm × reducer count candidates, builds a throwaway mini-plan for
+// each over one shared ~2000-point sample (sample_ratio = 1, so the mini-
+// plan's statistics cover the whole sample), prices it for the full
+// dataset via EstimatePlanCost + `calibration`, and returns the cheapest.
+// Unlike the rule-based PlanQuery above, ChoosePlan may also change
+// num_groups (the reducer count) — pass the result's `options` to
+// PreparePlan to build the real plan. The final-merge algorithm follows
+// the local one (SB locals -> SB merge, ZS locals -> Z-merge).
+PlanChoice ChoosePlan(const PointSet& points, const ExecutorOptions& base,
+                      const PlanCalibration& calibration = {});
 
 }  // namespace zsky
 

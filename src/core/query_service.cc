@@ -1,6 +1,7 @@
 #include "core/query_service.h"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 #include <utility>
 
@@ -39,6 +40,11 @@ QueryService::Stats QueryService::stats() const {
   return stats_;
 }
 
+PlanCalibration QueryService::calibration() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return calibration_;
+}
+
 std::pair<std::shared_ptr<const QueryService::Snapshot>, bool>
 QueryService::AcquireSnapshot() {
   std::unique_lock<std::mutex> lock(mu_);
@@ -48,20 +54,42 @@ QueryService::AcquireSnapshot() {
     // the build, not serve stale data (the fuzz test catches this under
     // TSan timing).
     if (!building_) {
-      if (snapshot_ != nullptr && !has_pending_) return {snapshot_, false};
+      if (snapshot_ != nullptr && !has_pending_ && !replan_pending_) {
+        return {snapshot_, false};
+      }
       break;  // Elected: this thread builds.
     }
     build_cv_.wait(lock);
   }
-  ZSKY_CHECK_MSG(has_pending_, "QueryService::Query before SetDataset");
+  ZSKY_CHECK_MSG(has_pending_ || replan_pending_,
+                 "QueryService::Query before SetDataset");
   building_ = true;
   auto snap = std::make_shared<Snapshot>();
-  snap->points = std::move(pending_points_);
-  pending_points_ = PointSet(1);
-  has_pending_ = false;
+  if (has_pending_) {
+    snap->points = std::move(pending_points_);
+    pending_points_ = PointSet(1);
+    has_pending_ = false;
+  } else {
+    // Replan: same dataset, fresh plan under the updated calibration.
+    snap->points = snapshot_->points;
+  }
+  replan_pending_ = false;
+  snap->calibration = calibration_;
 
   lock.unlock();  // PreparePlan is the expensive part; build unlocked.
-  snap->plan = PreparePlan(snap->points, options_.executor);
+  ExecutorOptions exec = options_.executor;
+  double choose_ms = 0.0;
+  if (options_.adaptive_planning) {
+    Stopwatch choose_watch;
+    snap->choice = ChoosePlan(snap->points, exec, snap->calibration);
+    choose_ms = choose_watch.ElapsedMs();
+    snap->adaptive = true;
+    exec = snap->choice.options;
+    ZSKY_TRACE_INSTANT("service.choose_plan",
+                       "{\"label\":\"" + exec.Label() + "\"}");
+  }
+  snap->plan = PreparePlan(snap->points, exec);
+  snap->plan.build_ms += choose_ms;  // The choice is part of preprocessing.
   lock.lock();
 
   snapshot_ = snap;
@@ -144,6 +172,39 @@ SkylineQueryResult QueryService::RunQuery(const QueryRequest& request) {
   }
   pm.total_ms = pm.preprocess_ms + pipeline_watch.ElapsedMs();
   pm.sim_total_ms = pm.preprocess_ms + pm.sim_job1_ms + pm.sim_job2_ms;
+
+  // Adaptive planning feedback: record predicted-vs-actual per-stage
+  // error, recalibrate the cost model from the measurement, and schedule
+  // a replan when the error is out of tolerance.
+  if (snap->adaptive) {
+    constexpr double kEps = 1e-6;
+    const double pred1 = std::max(snap->choice.predicted_job1_ms, kEps);
+    const double pred2 = std::max(snap->choice.predicted_job2_ms, kEps);
+    const double err1 =
+        std::abs(pm.job1_ms - pred1) / std::max(pm.job1_ms, kEps);
+    const double err2 =
+        std::abs(pm.job2_ms - pred2) / std::max(pm.job2_ms, kEps);
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    registry.histogram("plan_job1_rel_err_pct")
+        .Observe(static_cast<uint64_t>(err1 * 100.0));
+    registry.histogram("plan_job2_rel_err_pct")
+        .Observe(static_cast<uint64_t>(err2 * 100.0));
+
+    const double r1 = std::clamp(pm.job1_ms / pred1, 1e-3, 1e3);
+    const double r2 = std::clamp(pm.job2_ms / pred2, 1e-3, 1e3);
+    std::lock_guard<std::mutex> lock(mu_);
+    calibration_.job1_scale =
+        std::clamp(snap->calibration.job1_scale * r1, 1e-4, 1e6);
+    calibration_.job2_scale =
+        std::clamp(snap->calibration.job2_scale * r2, 1e-4, 1e6);
+    if ((err1 > options_.replan_threshold ||
+         err2 > options_.replan_threshold) &&
+        !replan_pending_ && !has_pending_) {
+      replan_pending_ = true;
+      ++stats_.replans;
+      registry.counter("plan_replans").Increment();
+    }
+  }
   return result;
 }
 

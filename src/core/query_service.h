@@ -11,6 +11,7 @@
 #include "common/point_set.h"
 #include "core/executor.h"
 #include "core/options.h"
+#include "core/planner.h"
 #include "core/query_plan.h"
 #include "mapreduce/worker_pool.h"
 
@@ -36,6 +37,18 @@ struct QueryServiceOptions {
   // once; excess callers block until a slot frees. This caps the queue in
   // front of the pool gate (and the memory the queued queries pin).
   uint32_t max_in_flight = 8;
+
+  // Cost-based adaptive planning (docs/scheduling.md): plan builds run
+  // ChoosePlan over the dataset and use its chosen configuration
+  // (partitioning / local algorithm / merge / num_groups) instead of the
+  // fixed executor settings. After every query the predicted-vs-actual
+  // per-stage error is recorded in the metrics registry
+  // (plan_job1_rel_err_pct / plan_job2_rel_err_pct histograms); when
+  // either stage's relative error exceeds `replan_threshold` the cost
+  // model's calibration is updated from the measurement and the plan is
+  // rebuilt on the next query.
+  bool adaptive_planning = false;
+  double replan_threshold = 0.5;
 };
 
 // Concurrent serving front-end over one dataset snapshot: owns the
@@ -87,11 +100,16 @@ class QueryService {
   struct Stats {
     size_t queries = 0;        // Completed Query() calls.
     size_t plan_builds = 0;    // Cold plan constructions (1 per dataset).
+    size_t replans = 0;        // Rebuilds triggered by prediction error.
     size_t peak_in_flight = 0; // Max concurrently admitted queries seen.
     double plan_build_ms_total = 0.0;
     double query_ms_total = 0.0;  // Sum of per-query total_ms.
   };
   Stats stats() const;
+
+  // Current cost-model calibration (adaptive planning only; defaults
+  // otherwise). Exposed for tests and the CLI's --stats-every report.
+  PlanCalibration calibration() const;
 
  private:
   // One dataset + its plan, immutable once published; queries hold it by
@@ -99,6 +117,14 @@ class QueryService {
   struct Snapshot {
     PointSet points{1};
     PreparedPlan plan;
+    // Adaptive planning: what the cost model chose and predicted for this
+    // snapshot (compared against measured stage times after every query),
+    // and the calibration the prediction was made under — feedback sets
+    // the service calibration to used * (actual / predicted), which is a
+    // fixed point across repeat queries of one snapshot.
+    bool adaptive = false;
+    PlanChoice choice;
+    PlanCalibration calibration;
   };
 
   // Returns the current snapshot, building the plan if this thread is the
@@ -115,6 +141,11 @@ class QueryService {
   uint32_t in_flight_ = 0;
   bool building_ = false;      // A thread is running PreparePlan.
   bool has_pending_ = false;   // SetDataset happened; plan not yet built.
+  // Adaptive planning: prediction error exceeded the threshold; the next
+  // AcquireSnapshot() re-runs ChoosePlan (with the updated calibration)
+  // over the current dataset.
+  bool replan_pending_ = false;
+  PlanCalibration calibration_;
   PointSet pending_points_{1};
   std::shared_ptr<const Snapshot> snapshot_;  // Null until first build.
   Stats stats_;

@@ -102,6 +102,22 @@ class MapReduceJob {
     // Reducers pull their own bucket slices concurrently on the pool
     // instead of one thread regrouping everything.
     bool parallel_shuffle = true;
+    // Morsel-driven scheduling (docs/scheduling.md): when running on a
+    // pool, waves execute with per-slot morsel queues and
+    // steal-from-random-victim (WorkerPool::RunStealing) instead of
+    // chunked claiming from one shared counter. Per-wave steal accounting
+    // lands in JobMetrics::{morsels_total, tasks_stolen}.
+    bool morsel_scheduling = true;
+    // When > 0 (and the job has a combiner), grouped runs whose length
+    // exceeds max(2 * reduce_morsel_records, 2 * mean run length) are
+    // pre-collapsed before the reduce wave: the run is cut into
+    // ~reduce_morsel_records-sized key-range slices, each slice is pushed
+    // through the combiner as its own stealable task, and the reducer
+    // then sees the concatenated combiner output instead of the raw run.
+    // Legal for Hadoop-style combiners, which may run any number of times
+    // (map side and reduce side); leave 0 for combiners that must run at
+    // most once per key (e.g. non-idempotent aggregates).
+    size_t reduce_morsel_records = 0;
     // Seed record path (std::function emit, vector-of-pairs buckets,
     // unordered_map regroup) instead of the columnar zero-copy path.
     // Ablation baseline; value types that are not trivially copyable use
@@ -304,6 +320,12 @@ class MapReduceJob {
     GroupScratch<V> scratch;
     FlatArray<int32_t> spill_keys;
     FlatArray<V> spill_values;
+    // Collapse-wave view (Options::reduce_morsel_records > 0): when the
+    // view was built this run, the reduce task iterates `runs` instead of
+    // the scratch — uncollapsed runs alias the scratch's grouped storage,
+    // collapsed runs alias `collapse_store`.
+    std::vector<std::pair<int32_t, std::span<const V>>> runs;
+    FlatArray<V> collapse_store;
     size_t records = 0;
     size_t bytes = 0;
     size_t copy_bytes = 0;
@@ -368,7 +390,7 @@ class MapReduceJob {
           }
         }
       }
-    });
+    }, metrics);
     metrics.map_wall_ms = map_watch.ElapsedMs();
     gate.Harvest(num_splits, metrics);
     for (size_t task = 0; task < num_splits; ++task) {
@@ -482,6 +504,21 @@ class MapReduceJob {
     }
     metrics.shuffle_wall_ms = shuffle_watch.ElapsedMs();
 
+    // --- Collapse wave (optional): cut oversized grouped runs into
+    // key-range slices and push each slice through the combiner as its
+    // own stealable task, so one giant key is drained by every idle slot
+    // instead of serializing its reducer. ---
+    // Governed by reduce_morsel_records alone: enable_combiner only turns
+    // off *map-side* combining, and a pipeline may legitimately want raw
+    // shuffles but still pre-combine oversized runs in parallel slices
+    // (combiners are allowed to run 0..N times at either side).
+    bool use_runs_view = false;
+    if constexpr (!kIsNull<CombineFn>) {
+      if (options_.reduce_morsel_records > 0) {
+        use_runs_view = CollapseOversizedRuns(r, combine, metrics);
+      }
+    }
+
     // --- Reduce wave: one task per reducer; each reducer walks its
     // grouped runs in ascending key order (Hadoop semantics), handing the
     // user one in-place span per key. ---
@@ -492,12 +529,19 @@ class MapReduceJob {
       ReducerState& state = reduce_state_[reducer];
       state.reduce_in = 0;
       if (!gate.Admit(Wave::kReduce, reducer)) return;
-      for (size_t i = 0; i < state.scratch.num_runs(); ++i) {
-        const std::span<const V> values = state.scratch.run_values(i);
-        state.reduce_in += values.size();
-        reduce(state.scratch.run_key(i), values);
+      if (use_runs_view) {
+        for (const auto& [key, values] : state.runs) {
+          state.reduce_in += values.size();
+          reduce(key, values);
+        }
+      } else {
+        for (size_t i = 0; i < state.scratch.num_runs(); ++i) {
+          const std::span<const V> values = state.scratch.run_values(i);
+          state.reduce_in += values.size();
+          reduce(state.scratch.run_key(i), values);
+        }
       }
-    });
+    }, metrics);
     metrics.reduce_wall_ms = reduce_watch.ElapsedMs();
     gate.Harvest(r, metrics);
     for (uint32_t reducer = 0; reducer < r; ++reducer) {
@@ -511,6 +555,120 @@ class MapReduceJob {
          flat_alloc_before);
     metrics.total_wall_ms = total_watch.ElapsedMs();
     return metrics;
+  }
+
+  // Cuts grouped runs longer than max(2 * reduce_morsel_records,
+  // 2 * mean run length) into ~reduce_morsel_records-sized key-range
+  // slices, combines every slice as its own (stealable) wave task, and
+  // rebuilds each reducer's iteration order as a run view: uncollapsed
+  // runs keep their spans into the grouped scratch, collapsed runs point
+  // at the slices' concatenated combiner output. Returns whether any run
+  // was collapsed (i.e. whether the reduce wave must use the view). The
+  // threshold is a function of the data only — never of the thread count —
+  // so work counters stay schedule-invariant.
+  template <typename CombineFn>
+  bool CollapseOversizedRuns(uint32_t r, CombineFn& combine,
+                             JobMetrics& metrics) {
+    Stopwatch collapse_watch;
+    const size_t target = options_.reduce_morsel_records;
+    struct Slice {
+      uint32_t reducer;
+      size_t run;
+      size_t begin;
+      size_t end;
+    };
+    std::vector<Slice> slices;
+    // A run is a straggler relative to the whole wave, so the mean run
+    // length is global: a reducer holding one giant run (the common skew
+    // shape — one hot key) must not measure that run against itself.
+    size_t total_records = 0;
+    size_t total_runs = 0;
+    for (uint32_t reducer = 0; reducer < r; ++reducer) {
+      total_records += reduce_state_[reducer].scratch.total();
+      total_runs += reduce_state_[reducer].scratch.num_runs();
+    }
+    if (total_runs == 0) return false;
+    const size_t mean = total_records / total_runs;
+    const size_t threshold = std::max(2 * target, 2 * mean);
+    for (uint32_t reducer = 0; reducer < r; ++reducer) {
+      GroupScratch<V>& scratch = reduce_state_[reducer].scratch;
+      const size_t num_runs = scratch.num_runs();
+      for (size_t run = 0; run < num_runs; ++run) {
+        const size_t len = scratch.run_values(run).size();
+        if (len <= threshold) continue;
+        ++metrics.collapsed_runs;
+        const size_t pieces = (len + target - 1) / target;
+        for (size_t k = 0; k < pieces; ++k) {
+          slices.push_back(
+              {reducer, run, k * len / pieces, (k + 1) * len / pieces});
+        }
+      }
+    }
+    if (slices.empty()) return false;
+
+    // Each slice combines into its own arena: outputs are disjoint, so
+    // the wave needs no locking.
+    std::vector<RecordBuffer<V>> slice_out(slices.size());
+    std::vector<size_t> slice_in(slices.size(), 0);
+    metrics.collapse_task_metrics =
+        RunWave("mr.collapse_wave", slices.size(), [&](size_t i) {
+          const Slice& s = slices[i];
+          const GroupScratch<V>& scratch = reduce_state_[s.reducer].scratch;
+          const int32_t key = scratch.run_key(s.run);
+          const std::span<const V> values =
+              scratch.run_values(s.run).subspan(s.begin, s.end - s.begin);
+          slice_in[i] = values.size();
+          RecordBuffer<V>& out = slice_out[i];
+          combine(key, values,
+                  [&](V value) { out.Append(key, value, chunk_pool_); });
+        }, metrics);
+
+    std::vector<size_t> store_need(r, 0);
+    for (size_t i = 0; i < slices.size(); ++i) {
+      store_need[slices[i].reducer] += slice_out[i].size();
+      metrics.combiner_in += slice_in[i];
+      metrics.combiner_out += slice_out[i].size();
+    }
+    // Rebuild each reducer's view. Slices were generated in (reducer,
+    // run, begin) order, so one forward cursor pairs them with runs.
+    size_t slice_pos = 0;
+    for (uint32_t reducer = 0; reducer < r; ++reducer) {
+      ReducerState& state = reduce_state_[reducer];
+      state.runs.clear();
+      V* store = store_need[reducer] > 0
+                     ? state.collapse_store.Ensure(store_need[reducer],
+                                                   flat_alloc_bytes_)
+                     : nullptr;
+      size_t store_pos = 0;
+      for (size_t run = 0; run < state.scratch.num_runs(); ++run) {
+        if (slice_pos >= slices.size() ||
+            slices[slice_pos].reducer != reducer ||
+            slices[slice_pos].run != run) {
+          state.runs.emplace_back(state.scratch.run_key(run),
+                                  state.scratch.run_values(run));
+          continue;
+        }
+        const size_t begin = store_pos;
+        while (slice_pos < slices.size() &&
+               slices[slice_pos].reducer == reducer &&
+               slices[slice_pos].run == run) {
+          for (const RecordChunk<V>& chunk : slice_out[slice_pos].chunks()) {
+            if (chunk.size == 0) continue;
+            std::memcpy(store + store_pos, chunk.values.get(),
+                        chunk.size * sizeof(V));
+            store_pos += chunk.size;
+          }
+          slice_out[slice_pos].ReleaseTo(chunk_pool_);
+          ++slice_pos;
+        }
+        state.runs.emplace_back(
+            state.scratch.run_key(run),
+            std::span<const V>(store + begin, store_pos - begin));
+      }
+    }
+    metrics.collapse_tasks = slices.size();
+    metrics.collapse_wall_ms = collapse_watch.ElapsedMs();
+    return true;
   }
 
   // Spill-file layout (columnar): a header of num_reduce_tasks uint64
@@ -634,7 +792,7 @@ class MapReduceJob {
           }
         }
       }
-    });
+    }, metrics);
     metrics.map_wall_ms = map_watch.ElapsedMs();
     gate.Harvest(num_splits, metrics);
     for (size_t task = 0; task < num_splits; ++task) {
@@ -752,7 +910,7 @@ class MapReduceJob {
         reduce_in[reducer] += values.size();
         reduce(key, std::span<const V>(values));
       }
-    });
+    }, metrics);
     metrics.reduce_wall_ms = reduce_watch.ElapsedMs();
     gate.Harvest(r, metrics);
     for (uint32_t reducer = 0; reducer < r; ++reducer) {
@@ -822,11 +980,23 @@ class MapReduceJob {
 
   // Runs one wave of `count` tasks, on the pool or (legacy mode) on
   // freshly spawned threads. `span_name` labels the wave's trace span.
+  // With morsel scheduling the wave runs on per-slot steal queues and the
+  // wave's steal accounting is accumulated into `metrics`.
   std::vector<TaskMetrics> RunWave(const char* span_name, size_t count,
-                                   const std::function<void(size_t)>& fn) {
+                                   const std::function<void(size_t)>& fn,
+                                   JobMetrics& metrics) {
     ZSKY_TRACE_SPAN_ARGS(span_name,
                          "{\"tasks\":" + std::to_string(count) + "}");
-    if (pool_ != nullptr) return pool_->Run(count, fn);
+    if (pool_ != nullptr) {
+      if (options_.morsel_scheduling) {
+        StealStats stats;
+        std::vector<TaskMetrics> tasks = pool_->RunStealing(count, fn, &stats);
+        metrics.morsels_total += stats.morsels;
+        metrics.tasks_stolen += stats.stolen;
+        return tasks;
+      }
+      return pool_->Run(count, fn);
+    }
     return TaskRunner(options_.num_threads).Run(count, fn);
   }
 

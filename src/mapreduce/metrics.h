@@ -100,6 +100,22 @@ struct JobMetrics {
   size_t failed_attempts = 0;
   bool succeeded = true;
 
+  // Morsel-driven scheduling accounting (docs/scheduling.md). Zero when
+  // the job ran on the static-split path (no pool, or morsel_scheduling
+  // off). `tasks_stolen` counts morsels executed by a slot other than the
+  // owner of the queue they were enqueued on.
+  size_t morsels_total = 0;
+  size_t tasks_stolen = 0;
+
+  // Reduce-side collapse wave (oversized grouped runs re-combined in
+  // key-range slices before the reduce wave; see docs/scheduling.md).
+  // `collapse_tasks` is the number of slice tasks run, `collapsed_runs`
+  // the number of grouped runs that were collapsed.
+  size_t collapse_tasks = 0;
+  size_t collapsed_runs = 0;
+  double collapse_wall_ms = 0.0;
+  std::vector<TaskMetrics> collapse_task_metrics;
+
   WaveStats map_stats() const { return Summarize(map_tasks); }
   WaveStats reduce_stats() const { return Summarize(reduce_tasks); }
 
@@ -111,6 +127,24 @@ struct JobMetrics {
                : 0.0;
   }
 
+  // Reduce-side wave-completion skew on a simulated cluster of `slots`
+  // workers: (collapse + reduce makespan) / the ideal evenly-spread time.
+  // 1.0 means the wave finishes as if perfectly balanced; values above it
+  // mean stragglers idle the other slots. This is the quantity morsel
+  // scheduling + run collapse drive down (docs/scheduling.md) — per-task
+  // max/mean (WaveStats::skew) cannot see the fix, because splitting a
+  // giant task changes the schedule, not the surviving tasks' times.
+  double ReduceCompletionSkew(uint32_t slots) const {
+    if (slots == 0) return 0.0;
+    double work = 0.0;
+    for (const TaskMetrics& t : collapse_task_metrics) work += t.ms;
+    for (const TaskMetrics& t : reduce_tasks) work += t.ms;
+    if (work <= 0.0) return 0.0;
+    const double makespan = MakespanMs(collapse_task_metrics, slots) +
+                            MakespanMs(reduce_tasks, slots);
+    return makespan / (work / static_cast<double>(slots));
+  }
+
   // Simulated cluster time of this job with `slots` parallel task slots
   // and an aggregate shuffle bandwidth of `net_mbps` MiB/s: map-wave
   // makespan + shuffle transfer + reduce-wave makespan.
@@ -120,6 +154,7 @@ struct JobMetrics {
             ? static_cast<double>(shuffle_bytes) / (net_mbps * 1048.576)
             : 0.0;
     return MakespanMs(map_tasks, slots) + shuffle_ms +
+           MakespanMs(collapse_task_metrics, slots) +
            MakespanMs(reduce_tasks, slots);
   }
 };

@@ -7,11 +7,13 @@
 
 namespace zsky::mr {
 
-TaskRunner::TaskRunner(uint32_t num_threads) : num_threads_(num_threads) {
-  if (num_threads_ == 0) {
-    num_threads_ = std::max(1u, std::thread::hardware_concurrency());
-  }
+uint32_t ResolveThreads(uint32_t requested) {
+  if (requested != 0) return requested;
+  return std::max(1u, std::thread::hardware_concurrency());
 }
+
+TaskRunner::TaskRunner(uint32_t num_threads)
+    : num_threads_(ResolveThreads(num_threads)) {}
 
 std::vector<TaskMetrics> TaskRunner::Run(
     size_t count, const std::function<void(size_t)>& fn) const {

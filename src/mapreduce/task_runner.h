@@ -9,6 +9,12 @@
 
 namespace zsky::mr {
 
+// Resolves a requested thread count: 0 selects the hardware concurrency,
+// clamped to at least 1 because std::thread::hardware_concurrency() is
+// allowed to return 0 when the platform cannot report it. Every place that
+// sizes a pool or runner from a user-supplied count goes through this.
+uint32_t ResolveThreads(uint32_t requested);
+
 // Runs a wave of independent tasks on freshly spawned threads, measuring
 // per-task wall time. Models one wave of map (or reduce) slots of a
 // MapReduce cluster: tasks are pulled from a shared queue, so a slow task

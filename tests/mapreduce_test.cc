@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <filesystem>
@@ -9,6 +10,7 @@
 #include <numeric>
 #include <span>
 #include <string>
+#include <thread>
 
 #include "mapreduce/job.h"
 #include "mapreduce/record_buffer.h"
@@ -508,6 +510,167 @@ TEST(WorkerPoolTest, SharedAcrossJobs) {
         });
     EXPECT_EQ(total.load(), 5);
   }
+}
+
+TEST(WorkerPoolStealTest, RunsEveryTaskExactlyOnce) {
+  WorkerPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  StealStats stats;
+  const auto metrics = pool.RunStealing(
+      257, [&](size_t task) { hits[task].fetch_add(1); }, &stats);
+  EXPECT_EQ(metrics.size(), 257u);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(stats.morsels, 257u);
+  ASSERT_EQ(stats.per_slot.size(), pool.slots());
+  size_t executed = 0;
+  for (size_t e : stats.per_slot) executed += e;
+  EXPECT_EQ(executed, 257u);
+}
+
+TEST(WorkerPoolStealTest, ZeroTasksAndReuse) {
+  WorkerPool pool(2);
+  StealStats stats;
+  EXPECT_TRUE(pool.RunStealing(0, [](size_t) { FAIL(); }, &stats).empty());
+  EXPECT_EQ(stats.morsels, 0u);
+  std::atomic<int> counter{0};
+  pool.RunStealing(5, [&](size_t) { counter.fetch_add(1); }, &stats);
+  EXPECT_EQ(counter.load(), 5);
+  // Waves alternate between modes on one pool (a pipeline mixes morselized
+  // and static waves freely).
+  pool.Run(5, [&](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 10);
+  pool.RunStealing(5, [&](size_t) { counter.fetch_add(1); }, nullptr);
+  EXPECT_EQ(counter.load(), 15);
+}
+
+// Deterministic straggler: the first task of queue 0 blocks until every
+// other task in the wave has finished, so queue 0's second task cannot be
+// run by whichever slot is stuck in the straggler. Case analysis makes a
+// steal unavoidable: if slot 0 runs task 0, some other slot must steal
+// task 1; if a thief runs task 0, that already is a steal.
+TEST(WorkerPoolStealTest, StragglerQueueIsDrainedByThieves) {
+  WorkerPool pool(3);
+  const uint32_t slots = pool.slots();
+  ASSERT_GE(slots, 2u);
+  const size_t count = 2 * static_cast<size_t>(slots);
+  std::atomic<size_t> finished{0};
+  StealStats stats;
+  pool.RunStealing(
+      count,
+      [&](size_t task) {
+        if (task == 0) {
+          while (finished.load(std::memory_order_acquire) < count - 1) {
+            std::this_thread::yield();
+          }
+        }
+        finished.fetch_add(1, std::memory_order_release);
+      },
+      &stats);
+  EXPECT_EQ(finished.load(), count);
+  EXPECT_GE(stats.stolen, 1u);
+  EXPECT_EQ(stats.morsels, count);
+}
+
+// With exactly one task per slot, each task spinning until every task has
+// started forces all slots to execute concurrently: a blocked thread holds
+// exactly one task, so by pigeonhole every slot (workers and the caller)
+// runs exactly one.
+TEST(WorkerPoolStealTest, AllSlotsParticipate) {
+  WorkerPool pool(3);
+  const uint32_t slots = pool.slots();
+  const size_t count = slots;
+  std::atomic<size_t> started{0};
+  StealStats stats;
+  pool.RunStealing(
+      count,
+      [&](size_t) {
+        started.fetch_add(1, std::memory_order_acq_rel);
+        while (started.load(std::memory_order_acquire) < count) {
+          std::this_thread::yield();
+        }
+      },
+      &stats);
+  ASSERT_EQ(stats.per_slot.size(), slots);
+  for (size_t e : stats.per_slot) EXPECT_EQ(e, 1u);
+}
+
+// Morsel scheduling must not change what a job computes, only who runs
+// which task: same pool, same job, bit-identical per-key results.
+TEST(MapReduceJobTest, MorselSchedulingMatchesStatic) {
+  WorkerPool pool(4);
+  auto run = [&](bool morsels) {
+    MapReduceJob<uint64_t>::Options options;
+    options.num_reduce_tasks = 3;
+    options.pool = &pool;
+    options.morsel_scheduling = morsels;
+    MapReduceJob<uint64_t> job(options);
+    std::mutex mu;
+    std::map<int32_t, std::vector<uint64_t>> out;
+    const JobMetrics metrics = job.Run(
+        16,
+        [](size_t task, auto& emit) {
+          for (uint64_t v = 0; v < 50; ++v) {
+            emit(static_cast<int32_t>((task * 50 + v) % 23), task * 1000 + v);
+          }
+        },
+        nullptr,
+        [&](int32_t key, std::span<const uint64_t> values) {
+          std::vector<uint64_t> sorted(values.begin(), values.end());
+          std::sort(sorted.begin(), sorted.end());
+          const std::lock_guard<std::mutex> lock(mu);
+          out[key] = std::move(sorted);
+        });
+    if (morsels) {
+      EXPECT_GT(metrics.morsels_total, 0u);
+    } else {
+      EXPECT_EQ(metrics.morsels_total, 0u);
+      EXPECT_EQ(metrics.tasks_stolen, 0u);
+    }
+    return out;
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+// Reduce-side collapse: a pass-through combiner is trivially idempotent,
+// so oversized runs may legally be pre-combined in parallel slices. One
+// key receives the bulk of the records; with a small morsel target its
+// run is sliced, and the reducer must still see the exact same values.
+TEST(MapReduceJobTest, CollapseOversizedRunsMatchesUncollapsed) {
+  WorkerPool pool(4);
+  auto run = [&](size_t morsel_records) {
+    MapReduceJob<uint64_t>::Options options;
+    options.num_reduce_tasks = 2;
+    options.pool = &pool;
+    options.reduce_morsel_records = morsel_records;
+    MapReduceJob<uint64_t> job(options);
+    std::mutex mu;
+    std::map<int32_t, std::pair<size_t, uint64_t>> out;  // key -> (n, sum)
+    const JobMetrics metrics = job.Run(
+        8,
+        [](size_t task, auto& emit) {
+          // Key 0 is the giant run; keys 1..4 stay tiny.
+          for (uint64_t v = 0; v < 2000; ++v) emit(0, task * 2000 + v);
+          emit(static_cast<int32_t>(1 + task % 4), task);
+        },
+        [](int32_t, std::span<const uint64_t> values, auto&& emit) {
+          for (uint64_t v : values) emit(v);  // Pass-through: idempotent.
+        },
+        [&](int32_t key, std::span<const uint64_t> values) {
+          uint64_t sum = 0;
+          for (uint64_t v : values) sum += v;
+          const std::lock_guard<std::mutex> lock(mu);
+          out[key] = {values.size(), sum};
+        });
+    if (morsel_records > 0) {
+      EXPECT_GT(metrics.collapse_tasks, 0u);
+      EXPECT_GE(metrics.collapsed_runs, 1u);
+    } else {
+      EXPECT_EQ(metrics.collapse_tasks, 0u);
+      EXPECT_EQ(metrics.collapsed_runs, 0u);
+    }
+    return out;
+  };
+  EXPECT_EQ(run(512), run(0));
 }
 
 TEST(MapReduceJobTest, MapRecordsInPopulatedFromSplitSize) {

@@ -110,6 +110,100 @@ TEST(PlannerTest, PreservesCallerSettings) {
   EXPECT_EQ(decision.options.bits, kBits);
 }
 
+TEST(ChoosePlanTest, CorrelatedLowDimPicksSortBased) {
+  // Tiny skyline at low dimensionality: pairwise SB locals are priced far
+  // below Z-search (the window stays near 1), so the cost model must land
+  // on the same regime the paper's measurements do.
+  const PointSet points = MakePoints(Distribution::kCorrelated, 20000, 3, 2);
+  ExecutorOptions base;
+  base.bits = kBits;
+  const PlanChoice choice = ChoosePlan(points, base);
+  EXPECT_EQ(choice.options.local, LocalAlgorithm::kSortBased);
+  EXPECT_EQ(choice.options.merge, MergeAlgorithm::kSortBased);
+  EXPECT_EQ(choice.candidates.size(), 12u);
+  EXPECT_GT(choice.predicted_total_ms, 0.0);
+  EXPECT_FALSE(choice.rationale.empty());
+}
+
+TEST(ChoosePlanTest, AnticorrelatedHighDimPicksZSearch) {
+  // Skyline-heavy data: SB's quadratic window explodes, Z-search's
+  // n log n term wins.
+  const PointSet points =
+      MakePoints(Distribution::kAnticorrelated, 20000, 9, 3);
+  ExecutorOptions base;
+  base.bits = kBits;
+  const PlanChoice choice = ChoosePlan(points, base);
+  EXPECT_EQ(choice.options.local, LocalAlgorithm::kZSearch);
+  EXPECT_EQ(choice.options.merge, MergeAlgorithm::kZMerge);
+  EXPECT_GT(choice.estimated_skyline_fraction, 0.10);
+}
+
+TEST(ChoosePlanTest, PredictionsCoverEveryCandidate) {
+  const PointSet points = MakePoints(Distribution::kIndependent, 8000, 5, 4);
+  ExecutorOptions base;
+  base.bits = kBits;
+  base.num_groups = 8;
+  const PlanChoice choice = ChoosePlan(points, base);
+  // 3 schemes x 2 locals x 2 group counts, all priced, winner among them.
+  ASSERT_EQ(choice.candidates.size(), 12u);
+  bool winner_listed = false;
+  for (const PlanCandidateCost& cand : choice.candidates) {
+    EXPECT_GT(cand.predicted_total_ms, 0.0) << cand.label;
+    EXPECT_FALSE(cand.label.empty());
+    if (cand.predicted_total_ms == choice.predicted_total_ms) {
+      winner_listed = true;
+    }
+  }
+  EXPECT_TRUE(winner_listed);
+  // The winner may double the reducer count but never invents other
+  // group figures, and caller-fixed settings survive.
+  EXPECT_TRUE(choice.options.num_groups == 8u ||
+              choice.options.num_groups == 16u);
+  EXPECT_EQ(choice.options.bits, kBits);
+}
+
+TEST(ChoosePlanTest, CalibrationScalesPredictions) {
+  const PointSet points = MakePoints(Distribution::kIndependent, 8000, 5, 4);
+  ExecutorOptions base;
+  base.bits = kBits;
+  const PlanChoice baseline = ChoosePlan(points, base);
+  PlanCalibration doubled;
+  doubled.job1_scale = 2.0;
+  doubled.job2_scale = 2.0;
+  const PlanChoice scaled = ChoosePlan(points, base, doubled);
+  // Uniform scaling doubles every price and therefore keeps the ranking.
+  EXPECT_EQ(scaled.options.Label(), baseline.options.Label());
+  EXPECT_NEAR(scaled.predicted_total_ms, 2.0 * baseline.predicted_total_ms,
+              1e-9 + 1e-6 * baseline.predicted_total_ms);
+}
+
+TEST(ChoosePlanTest, ChosenPlanMatchesEveryAlternative) {
+  // Parity: whatever the cost model picks must return the exact same
+  // skyline as every hand-picked scheme/local alternative it rejected.
+  for (auto dist : {Distribution::kCorrelated, Distribution::kAnticorrelated}) {
+    const PointSet points = MakePoints(dist, 5000, 4, 5);
+    ExecutorOptions base;
+    base.bits = kBits;
+    const PlanChoice choice = ChoosePlan(points, base);
+    const auto chosen =
+        ParallelSkylineExecutor(choice.options).Execute(points);
+    EXPECT_EQ(chosen.skyline, BnlSkyline(points)) << choice.rationale;
+    for (auto scheme : {PartitioningScheme::kZdg, PartitioningScheme::kZhg,
+                        PartitioningScheme::kGrid}) {
+      for (auto local : {LocalAlgorithm::kSortBased, LocalAlgorithm::kZSearch}) {
+        ExecutorOptions alt = base;
+        alt.partitioning = scheme;
+        alt.local = local;
+        alt.merge = local == LocalAlgorithm::kSortBased
+                        ? MergeAlgorithm::kSortBased
+                        : MergeAlgorithm::kZMerge;
+        const auto result = ParallelSkylineExecutor(alt).Execute(points);
+        EXPECT_EQ(result.skyline, chosen.skyline) << alt.Label();
+      }
+    }
+  }
+}
+
 TEST(MetricsJsonTest, WellFormedAndComplete) {
   const PointSet points = MakePoints(Distribution::kIndependent, 4000, 4, 7);
   ExecutorOptions options;

@@ -6,6 +6,7 @@
 
 #include "algo/bnl.h"
 #include "common/quantizer.h"
+#include "core/metrics_registry.h"
 #include "core/query_service.h"
 #include "gen/synthetic.h"
 
@@ -85,6 +86,65 @@ TEST(QueryServiceTest, DatasetSwapInvalidatesThePlan) {
   EXPECT_EQ(after.skyline, BnlSkyline(second));
   EXPECT_EQ(service.stats().plan_builds, 2u);
   EXPECT_TRUE(service.Query().metrics.plan_reused);
+}
+
+// Adaptive planning: the cost model picks the configuration, predicted-
+// vs-actual error is recorded after every query, and a near-zero replan
+// threshold forces the feedback loop through at least one full replan —
+// all without ever changing the answer.
+TEST(QueryServiceTest, AdaptivePlanningReplansAndMatchesOracle) {
+  const PointSet points =
+      MakePoints(Distribution::kAnticorrelated, 3000, 4, 101);
+  QueryServiceOptions options = MakeServiceOptions();
+  options.adaptive_planning = true;
+  options.replan_threshold = 1e-6;  // Any prediction error triggers replan.
+  QueryService service(options, points);
+  const SkylineIndices oracle = BnlSkyline(points);
+
+  const auto err_before =
+      MetricsRegistry::Global().histogram("plan_job1_rel_err_pct").snapshot();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(service.Query().skyline, oracle) << "query " << i;
+  }
+  const QueryService::Stats stats = service.stats();
+  EXPECT_EQ(stats.queries, 5u);
+  EXPECT_GE(stats.replans, 1u);
+  // Replans rebuild the plan: cold build + one per replan, except the last
+  // trigger may still be pending (it builds on the *next* query).
+  EXPECT_GE(stats.plan_builds, stats.replans);
+  EXPECT_LE(stats.plan_builds, 1u + stats.replans);
+  EXPECT_GE(stats.plan_builds, 2u);
+  const auto err_after =
+      MetricsRegistry::Global().histogram("plan_job1_rel_err_pct").snapshot();
+  EXPECT_GE(err_after.count, err_before.count + 5u);
+  // Feedback recalibrated the cost model away from its defaults.
+  const PlanCalibration cal = service.calibration();
+  EXPECT_NE(cal.job1_scale, 1.0);
+}
+
+TEST(QueryServiceTest, AdaptivePlanningHighThresholdNeverReplans) {
+  const PointSet points = MakePoints(Distribution::kIndependent, 2500, 5, 23);
+  QueryServiceOptions options = MakeServiceOptions();
+  options.adaptive_planning = true;
+  options.replan_threshold = 1e9;  // Tolerate any error: plan is stable.
+  QueryService service(options, points);
+  const SkylineIndices oracle = BnlSkyline(points);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(service.Query().skyline, oracle);
+  const QueryService::Stats stats = service.stats();
+  EXPECT_EQ(stats.replans, 0u);
+  EXPECT_EQ(stats.plan_builds, 1u);
+}
+
+TEST(QueryServiceTest, AdaptivePlanningSurvivesDatasetSwap) {
+  const PointSet first = MakePoints(Distribution::kIndependent, 2000, 4, 5);
+  const PointSet second =
+      MakePoints(Distribution::kAnticorrelated, 2400, 4, 6);
+  QueryServiceOptions options = MakeServiceOptions();
+  options.adaptive_planning = true;
+  QueryService service(options, first);
+  EXPECT_EQ(service.Query().skyline, BnlSkyline(first));
+  service.SetDataset(second);
+  EXPECT_EQ(service.Query().skyline, BnlSkyline(second));
 }
 
 TEST(QueryServiceTest, EmptyDatasetYieldsEmptySkyline) {

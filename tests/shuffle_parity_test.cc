@@ -41,11 +41,14 @@ struct ParityCase {
   bool retry;
 };
 
-std::string ParityCaseName(const ::testing::TestParamInfo<ParityCase>& info) {
-  const ParityCase& c = info.param;
+std::string ParityCaseLabel(const ParityCase& c) {
   return std::string(SpillModeName(c.spill)) +
          (c.combiner ? "_combiner" : "_nocombiner") +
          (c.retry ? "_retry" : "_noretry");
+}
+
+std::string ParityCaseName(const ::testing::TestParamInfo<ParityCase>& info) {
+  return ParityCaseLabel(info.param);
 }
 
 class ShuffleParityTest : public ::testing::TestWithParam<ParityCase> {};
@@ -94,7 +97,11 @@ SkylineIndices RunPipeline(const PointSet& points, const ParityCase& c,
 TEST_P(ShuffleParityTest, ColumnarAndLegacySkylinesAreBitIdentical) {
   namespace fs = std::filesystem;
   const ParityCase& c = GetParam();
-  const fs::path dir = fs::path(::testing::TempDir()) / "zsky_shuffle_parity";
+  // Per-test-case directory: parameterized cases run as concurrent
+  // processes under `ctest -j`, and a shared directory would let one
+  // case's remove_all race a sibling's spill-file creation.
+  const fs::path dir = fs::path(::testing::TempDir()) /
+                       ("zsky_shuffle_parity_" + ParityCaseLabel(c));
   fs::create_directories(dir);
 
   const PointSet points = GenerateQuantized(Distribution::kAnticorrelated,

@@ -44,6 +44,7 @@ using namespace zsky;
                "  zsky_cli serve --in FILE [--repeat N] [--concurrency C]\n"
                "                 [--scheme zdg] [--local zs] [--merge zm]"
                " [--groups M] [--json]\n"
+               "                 [--adaptive] [--replan-threshold T]\n"
                "                 [--stats-every N] [--trace-out FILE]\n"
                "  zsky_cli cpu\n");
   std::exit(2);
@@ -56,7 +57,8 @@ std::map<std::string, std::string> ParseFlags(int argc, char** argv,
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) Usage(("unexpected argument " + arg).c_str());
     arg = arg.substr(2);
-    if (arg == "metrics" || arg == "json" || arg == "plan") {
+    if (arg == "metrics" || arg == "json" || arg == "plan" ||
+        arg == "adaptive") {
       flags[arg] = "1";
       continue;
     }
@@ -225,11 +227,15 @@ int RunQuery(const std::map<std::string, std::string>& flags) {
   ExecutorOptions options = StrategyFromFlags(flags, quantizer.bits());
 
   if (flags.count("plan") != 0) {
-    // Let the planner choose the strategy from data statistics.
-    const PlanDecision decision = PlanQuery(points, options);
-    options = decision.options;
-    std::fprintf(stderr, "plan: %s -> %s\n", decision.rationale.c_str(),
-                 options.Label().c_str());
+    // Cost-based plan selection: price every scheme/local/reducer-count
+    // candidate over a sample and run the cheapest.
+    const PlanChoice choice = ChoosePlan(points, options);
+    options = choice.options;
+    std::fprintf(stderr, "plan: %s\n", choice.rationale.c_str());
+    for (const PlanCandidateCost& cand : choice.candidates) {
+      std::fprintf(stderr, "  candidate %-16s predicted %.3f ms\n",
+                   cand.label.c_str(), cand.predicted_total_ms);
+    }
   }
 
   const std::string trace_path = TraceBegin(flags);
@@ -329,6 +335,11 @@ int RunServe(const std::map<std::string, std::string>& flags) {
   service_options.executor = StrategyFromFlags(flags, quantizer.bits());
   service_options.max_in_flight =
       static_cast<uint32_t>(std::max<size_t>(concurrency, 1));
+  // --adaptive: plan builds run the cost-based planner (ChoosePlan) and
+  // replan when predicted-vs-actual stage error exceeds the threshold.
+  service_options.adaptive_planning = flags.count("adaptive") != 0;
+  service_options.replan_threshold = std::strtod(
+      Flag(flags, "replan-threshold", "0.5").c_str(), nullptr);
   QueryService service(service_options, std::move(points));
   const std::string trace_path = TraceBegin(flags);
 
@@ -355,16 +366,21 @@ int RunServe(const std::map<std::string, std::string>& flags) {
       const size_t done = completed.fetch_add(1) + 1;
       if (stats_every > 0 && done % stats_every == 0) {
         const QueryService::Stats snap = service.stats();
+        MetricsRegistry& registry = MetricsRegistry::Global();
         std::fprintf(stderr,
-                     "stats[%zu]: queries=%zu plan_builds=%zu"
+                     "stats[%zu]: queries=%zu plan_builds=%zu replans=%zu"
                      " peak_in_flight=%zu query_ms_total=%.3f"
-                     " avg_ms=%.3f\n",
-                     done, snap.queries, snap.plan_builds, snap.peak_in_flight,
-                     snap.query_ms_total,
+                     " avg_ms=%.3f morsels=%llu stolen=%llu\n",
+                     done, snap.queries, snap.plan_builds, snap.replans,
+                     snap.peak_in_flight, snap.query_ms_total,
                      snap.queries > 0
                          ? snap.query_ms_total /
                                static_cast<double>(snap.queries)
-                         : 0.0);
+                         : 0.0,
+                     static_cast<unsigned long long>(
+                         registry.counter("morsels_total").value()),
+                     static_cast<unsigned long long>(
+                         registry.counter("tasks_stolen").value()));
       }
     }
   };
@@ -389,10 +405,11 @@ int RunServe(const std::map<std::string, std::string>& flags) {
                "serve: %zu queries (%zu warm, concurrency %zu)\n"
                "  cold_ms=%.3f (plan build %.3f)  warm_avg_ms=%.3f"
                "  qps=%.1f\n"
-               "  plan_builds=%zu peak_in_flight=%zu mismatches=%zu\n",
+               "  plan_builds=%zu replans=%zu peak_in_flight=%zu"
+               " mismatches=%zu\n",
                repeat, warm_count, concurrency, cold.metrics.total_ms,
                cold.metrics.preprocess_ms, warm_avg, qps, stats.plan_builds,
-               stats.peak_in_flight, mismatches.load());
+               stats.replans, stats.peak_in_flight, mismatches.load());
   TraceEnd(trace_path);
   if (flags.count("json") != 0) {
     std::fprintf(stderr, "%s\n",
