@@ -29,6 +29,14 @@
 # under BOTH AddressSanitizer and ThreadSanitizer, then benchmarks the
 # record path in Release and fails on a >10% records/sec regression
 # against the committed BENCH_shuffle.json baseline.
+#
+# `scripts/check.sh outofcore` exercises the mmap-backed .zsc subsystem:
+# a CLI gen -> convert -> query round trip, the format/corruption/parity
+# tests under AddressSanitizer (mmap-vs-heap bit-identity, bounded
+# residency, SetDatasetFile), then bench_outofcore in Release — which
+# itself fails if the budget-bounded run's peak RSS exceeds
+# base + budget + allowance — plus a >10% throughput gate against the
+# committed BENCH_outofcore.json baseline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -149,6 +157,58 @@ if [ "${1:-}" = "shuffle" ]; then
     printf "OK: within 10%% of baseline (%.2fx)\n", c / b
   }'
   echo "SHUFFLE CHECKS PASSED"
+  exit 0
+fi
+
+if [ "${1:-}" = "outofcore" ]; then
+  echo "=== CLI gen -> convert -> query round trip (Release) ==="
+  cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build --target zsky_cli bench_outofcore
+  rt="$(mktemp -d)"
+  trap 'rm -rf "$rt"' EXIT
+  ./build/tools/zsky_cli gen --dist anti --n 50000 --dim 6 --seed 7 \
+    --out "$rt/rt.csv"
+  ./build/tools/zsky_cli convert --in "$rt/rt.csv" --out "$rt/rt.zsc"
+  ./build/tools/zsky_cli query --in "$rt/rt.csv" > "$rt/heap.txt"
+  ./build/tools/zsky_cli query --in "$rt/rt.zsc" > "$rt/mmap.txt"
+  if ! diff -q "$rt/heap.txt" "$rt/mmap.txt"; then
+    echo "FAIL: csv and converted .zsc skylines differ"
+    exit 1
+  fi
+  echo "OK: csv and .zsc query output identical ($(head -1 "$rt/heap.txt"))"
+
+  echo "=== Columnar format + out-of-core parity tests under ASan ==="
+  cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DZSKY_SANITIZE=address \
+        -DZSKY_BUILD_BENCHMARKS=OFF -DZSKY_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-asan --target columnar_test outofcore_parity_test \
+        io_test
+  ctest --test-dir build-asan --output-on-failure \
+        -R 'Columnar|DatasetView|OutOfCore|BinaryTest'
+
+  echo "=== bench_outofcore: RSS ceiling + throughput baseline ==="
+  # Re-run the exact committed workload (the baseline may be the 50M
+  # --full headline) so the throughput gate is apples-to-apples. The
+  # bench exits non-zero itself when the budget-bounded run's peak RSS
+  # breaks base + budget + allowance — the out-of-core claim.
+  bn=$(grep -o '"n": [0-9]*' BENCH_outofcore.json | awk '{print $2}')
+  bdim=$(grep -o '"dim": [0-9]*' BENCH_outofcore.json | awk '{print $2}')
+  bmb=$(grep -o '"budget_mb": [0-9]*' BENCH_outofcore.json | awk '{print $2}')
+  (cd build && ./bench/bench_outofcore --n "$bn" --dim "$bdim" \
+    --budget-mb "$bmb")
+  baseline=$(awk -F': ' '/"outofcore_points_per_sec"/ {gsub(/,/, "", $2); print $2}' \
+             BENCH_outofcore.json)
+  current=$(awk -F': ' '/"outofcore_points_per_sec"/ {gsub(/,/, "", $2); print $2}' \
+            build/BENCH_outofcore.json)
+  echo "bounded points/sec: baseline=$baseline current=$current"
+  awk -v b="$baseline" -v c="$current" 'BEGIN {
+    if (c < 0.9 * b) {
+      printf "FAIL: bounded points/sec regressed >10%% (%.0f -> %.0f)\n", b, c
+      exit 1
+    }
+    printf "OK: within 10%% of baseline (%.2fx)\n", c / b
+  }'
+  echo "OUTOFCORE CHECKS PASSED"
   exit 0
 fi
 

@@ -1,0 +1,121 @@
+#include "common/dataset_view.h"
+
+#include <algorithm>
+
+namespace zsky {
+
+PointSet DatasetView::Gather(std::span<const uint32_t> rows) const {
+  PointSet out(dim_);
+  out.Reserve(rows.size());
+  std::vector<Coord>& raw = out.mutable_raw();
+  if (!columnar()) {
+    for (uint32_t r : rows) {
+      ZSKY_DCHECK(r < size_);
+      const Coord* src = rows_ + static_cast<size_t>(r) * dim_;
+      raw.insert(raw.end(), src, src + dim_);
+    }
+    return out;
+  }
+  raw.resize(rows.size() * dim_);
+  // A sorted gather against a residency-bounded backing (the reservoir
+  // sample sweeps the whole file: any uniform fraction touches every
+  // page) is chunked by row span with the consumed pages released behind
+  // each chunk, so peak residency is O(span), not O(dataset).
+  if (has_release_hook() &&
+      std::is_sorted(rows.begin(), rows.end())) {
+    constexpr size_t kReleaseSpanRows = size_t{1} << 20;
+    size_t i0 = 0;
+    while (i0 < rows.size()) {
+      const size_t r0 = rows[i0];
+      size_t i1 = i0;
+      while (i1 < rows.size() && rows[i1] < r0 + kReleaseSpanRows) ++i1;
+      for (uint32_t d = 0; d < dim_; ++d) {
+        const Coord* col = cols_[d];
+        Coord* dst = raw.data() + i0 * dim_ + d;
+        for (size_t i = i0; i < i1; ++i, dst += dim_) {
+          ZSKY_DCHECK(rows[i] < size_);
+          *dst = col[rows[i]];
+        }
+      }
+      ReleaseRows(r0, static_cast<size_t>(rows[i1 - 1]) + 1);
+      i0 = i1;
+    }
+    return out;
+  }
+  // Column-at-a-time gather: each pass reads one contiguous column (at
+  // worst one page fault per distinct page) and scatters into the small
+  // output, instead of dim strided faults per row. Unsorted gathers are
+  // the pipeline's survivor sets — small by construction — so they are
+  // not released.
+  for (uint32_t d = 0; d < dim_; ++d) {
+    const Coord* col = cols_[d];
+    Coord* dst = raw.data() + d;
+    for (size_t i = 0; i < rows.size(); ++i, dst += dim_) {
+      ZSKY_DCHECK(rows[i] < size_);
+      *dst = col[rows[i]];
+    }
+  }
+  return out;
+}
+
+PointSet DatasetView::Materialize(size_t begin, size_t end) const {
+  ZSKY_DCHECK(begin <= end && end <= size_);
+  PointSet out(dim_);
+  out.Reserve(end - begin);
+  std::vector<Coord>& raw = out.mutable_raw();
+  if (!columnar()) {
+    raw.assign(rows_ + begin * dim_, rows_ + end * dim_);
+    return out;
+  }
+  raw.resize((end - begin) * dim_);
+  for (uint32_t d = 0; d < dim_; ++d) {
+    const Coord* col = cols_[d] + begin;
+    Coord* dst = raw.data() + d;
+    for (size_t i = 0; i < end - begin; ++i, dst += dim_) *dst = col[i];
+  }
+  return out;
+}
+
+RowBlockCursor::RowBlockCursor(const DatasetView& view, size_t begin,
+                               size_t end, size_t block_rows)
+    : view_(&view),
+      pos_(begin),
+      end_(end),
+      block_rows_(std::max<size_t>(1, block_rows)) {
+  ZSKY_DCHECK(begin <= end && end <= view.size());
+  if (view.columnar() && pos_ < end_) {
+    buffer_.resize(std::min(block_rows_, end_ - pos_) * view.dim());
+  }
+}
+
+bool RowBlockCursor::Next(Block* block) {
+  if (pos_ >= end_) return false;
+  const uint32_t dim = view_->dim();
+  if (!view_->columnar()) {
+    // One zero-copy block: identical memory walk to the pre-view code.
+    block->data = view_->row(pos_).data();
+    block->first_row = pos_;
+    block->rows = end_ - pos_;
+    pos_ = end_;
+    return true;
+  }
+  const size_t rows = std::min(block_rows_, end_ - pos_);
+  // Transpose columns -> row-major scratch. Column-sequential reads keep
+  // the page cache streaming; the strided writes land in the L1/L2-sized
+  // buffer.
+  for (uint32_t d = 0; d < dim; ++d) {
+    const Coord* col = view_->column(d) + pos_;
+    Coord* dst = buffer_.data() + d;
+    for (size_t i = 0; i < rows; ++i, dst += dim) *dst = col[i];
+  }
+  block->data = buffer_.data();
+  block->first_row = pos_;
+  block->rows = rows;
+  // The block is copied out; a budget-bounded backing may drop the pages
+  // behind the scan now.
+  view_->ReleaseRows(pos_, pos_ + rows);
+  pos_ += rows;
+  return true;
+}
+
+}  // namespace zsky

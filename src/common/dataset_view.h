@@ -1,0 +1,170 @@
+#ifndef ZSKY_COMMON_DATASET_VIEW_H_
+#define ZSKY_COMMON_DATASET_VIEW_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/point_set.h"
+
+namespace zsky {
+
+// A non-owning, layout-polymorphic read view over a dataset.
+//
+// The pipeline (plan build, both MR jobs, the planner) consumes points
+// through this view so the same code serves two physical layouts:
+//  - row-major: a heap-resident PointSet (the in-memory path). Rows are
+//    contiguous; `row()` is a zero-copy span.
+//  - columnar: one contiguous array per dimension, typically sections of
+//    an mmap'd `.zsc` file (io/columnar.h). Rows are gathered on access;
+//    bulk consumers should iterate via RowBlockCursor, which transposes
+//    block-at-a-time with sequential per-column reads (page-cache
+//    friendly) instead of per-row strided loads.
+//
+// The view does not own storage: the backing PointSet / ColumnarDataset
+// must outlive it. Copying a view is cheap (a few pointers).
+class DatasetView {
+ public:
+  // Optional residency hook (columnar backings only): called by
+  // RowBlockCursor after a row range has been copied out, so an mmap
+  // backing under a memory budget can drop the pages behind the scan
+  // (madvise(MADV_DONTNEED)). Plain function pointer + context to keep
+  // common/ free of io/ dependencies.
+  using ReleaseRangeFn = void (*)(void* ctx, size_t row_begin,
+                                  size_t row_end);
+
+  // Empty view (dim 1, no rows).
+  DatasetView() = default;
+
+  // Row-major view over a PointSet. Implicit on purpose: every call site
+  // that used to take `const PointSet&` keeps working unchanged.
+  DatasetView(const PointSet& points)  // NOLINT(runtime/explicit)
+      : dim_(points.dim()),
+        size_(points.size()),
+        rows_(points.raw().data()) {}
+
+  // Row-major view over raw storage (`data` holds size*dim coords).
+  static DatasetView RowMajor(const Coord* data, size_t size, uint32_t dim) {
+    DatasetView view;
+    view.dim_ = dim;
+    view.size_ = size;
+    view.rows_ = data;
+    return view;
+  }
+
+  // Columnar view: `columns[d]` points to a contiguous array of `size`
+  // coords for dimension d. The pointer array itself must stay alive too
+  // (it is borrowed, not copied).
+  static DatasetView Columnar(const Coord* const* columns, size_t size,
+                              uint32_t dim) {
+    DatasetView view;
+    view.dim_ = dim;
+    view.size_ = size;
+    view.cols_ = columns;
+    return view;
+  }
+
+  uint32_t dim() const { return dim_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool columnar() const { return cols_ != nullptr; }
+
+  // Columnar backings only: dimension d's contiguous column.
+  const Coord* column(uint32_t d) const {
+    ZSKY_DCHECK(columnar() && d < dim_);
+    return cols_[d];
+  }
+
+  // Row-major backings only: zero-copy row span.
+  std::span<const Coord> row(size_t i) const {
+    ZSKY_DCHECK(!columnar() && i < size_);
+    return {rows_ + i * dim_, dim_};
+  }
+
+  Coord at(size_t i, uint32_t d) const {
+    ZSKY_DCHECK(i < size_ && d < dim_);
+    return columnar() ? cols_[d][i] : rows_[i * dim_ + d];
+  }
+
+  // Copies row `i` into `out[0..dim)`. Works for both layouts.
+  void CopyRow(size_t i, Coord* out) const {
+    ZSKY_DCHECK(i < size_);
+    if (columnar()) {
+      for (uint32_t d = 0; d < dim_; ++d) out[d] = cols_[d][i];
+    } else {
+      const Coord* src = rows_ + i * dim_;
+      for (uint32_t d = 0; d < dim_; ++d) out[d] = src[d];
+    }
+  }
+
+  // Materializes the listed rows into a heap PointSet (the pipeline's
+  // gather for local skylines / merge trees: only survivors are copied,
+  // the base data stays in the page cache).
+  PointSet Gather(std::span<const uint32_t> rows) const;
+
+  // Materializes rows [begin, end) into a heap PointSet.
+  PointSet Materialize(size_t begin, size_t end) const;
+  PointSet Materialize() const { return Materialize(0, size_); }
+
+  void SetReleaseHook(ReleaseRangeFn fn, void* ctx) {
+    release_fn_ = fn;
+    release_ctx_ = ctx;
+  }
+  bool has_release_hook() const { return release_fn_ != nullptr; }
+  void ReleaseRows(size_t row_begin, size_t row_end) const {
+    if (release_fn_ != nullptr && row_end > row_begin) {
+      release_fn_(release_ctx_, row_begin, row_end);
+    }
+  }
+
+ private:
+  uint32_t dim_ = 1;
+  size_t size_ = 0;
+  const Coord* rows_ = nullptr;        // Row-major base, or null.
+  const Coord* const* cols_ = nullptr; // Per-dimension bases, or null.
+  ReleaseRangeFn release_fn_ = nullptr;
+  void* release_ctx_ = nullptr;
+};
+
+// Iterates a row range of a DatasetView in blocks, presenting every block
+// as row-major coords — the access pattern the SZB filter, the
+// partitioner routing and the SoA kernels want.
+//
+//  - Row-major views yield ONE zero-copy block covering the whole range:
+//    byte-for-byte the pre-view behavior of slicing the PointSet.
+//  - Columnar views yield blocks of up to `block_rows` rows transposed
+//    into an internal buffer. Each column is read sequentially per block;
+//    after the copy the consumed range is reported to the view's release
+//    hook (if any), so a budget-bounded mmap backing can immediately drop
+//    the pages behind the scan.
+class RowBlockCursor {
+ public:
+  // ~256 KiB of buffered rows at 8 dimensions: big enough to amortize the
+  // transpose, small enough to stay cache- and budget-resident.
+  static constexpr size_t kDefaultBlockRows = 8192;
+
+  struct Block {
+    const Coord* data = nullptr;  // Row-major, rows * view.dim() coords.
+    size_t first_row = 0;         // Global row index of data[0].
+    size_t rows = 0;
+  };
+
+  RowBlockCursor(const DatasetView& view, size_t begin, size_t end,
+                 size_t block_rows = kDefaultBlockRows);
+
+  // Fills `block` with the next block; returns false when exhausted.
+  bool Next(Block* block);
+
+ private:
+  const DatasetView* view_;
+  size_t pos_;
+  size_t end_;
+  size_t block_rows_;
+  std::vector<Coord> buffer_;  // Columnar transpose scratch.
+};
+
+}  // namespace zsky
+
+#endif  // ZSKY_COMMON_DATASET_VIEW_H_

@@ -1,0 +1,111 @@
+#include "core/calibration_io.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace zsky {
+
+namespace {
+
+constexpr char kHeader[] = "zsky-calibration v1";
+
+// The serialized fields, in file order. One table drives both directions
+// so a field added here round-trips automatically.
+struct Field {
+  const char* key;
+  double PlanCalibration::* member;
+};
+
+constexpr Field kFields[] = {
+    {"map_us_per_record", &PlanCalibration::map_us_per_record},
+    {"sb_us_per_pair", &PlanCalibration::sb_us_per_pair},
+    {"zs_us_per_record_log", &PlanCalibration::zs_us_per_record_log},
+    {"merge_us_per_candidate", &PlanCalibration::merge_us_per_candidate},
+    {"job1_scale", &PlanCalibration::job1_scale},
+    {"job2_scale", &PlanCalibration::job2_scale},
+};
+
+}  // namespace
+
+std::string SerializeCalibration(const PlanCalibration& cal) {
+  std::ostringstream out;
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << kHeader << "\n";
+  for (const Field& f : kFields) {
+    out << f.key << " " << cal.*(f.member) << "\n";
+  }
+  return out.str();
+}
+
+bool ParseCalibration(const std::string& text, PlanCalibration* cal,
+                      std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    if (error != nullptr) *error = "missing 'zsky-calibration v1' header";
+    return false;
+  }
+  PlanCalibration parsed = *cal;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string key;
+    double value = 0.0;
+    if (!(fields >> key >> value)) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_no) + ": expected 'key value'";
+      }
+      return false;
+    }
+    for (const Field& f : kFields) {
+      if (key == f.key) {
+        parsed.*(f.member) = value;
+        break;
+      }
+    }
+    // Unknown keys fall through silently: forward compatibility.
+  }
+  *cal = parsed;
+  return true;
+}
+
+bool WriteCalibrationFile(const std::string& path, const PlanCalibration& cal,
+                          std::string* error) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    if (error != nullptr) {
+      *error = "open " + path + ": " + std::strerror(errno);
+    }
+    return false;
+  }
+  out << SerializeCalibration(cal);
+  out.flush();
+  if (!out) {
+    if (error != nullptr) {
+      *error = "write " + path + ": " + std::strerror(errno);
+    }
+    return false;
+  }
+  return true;
+}
+
+bool ReadCalibrationFile(const std::string& path, PlanCalibration* cal,
+                         std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) {
+      *error = "open " + path + ": " + std::strerror(errno);
+    }
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return ParseCalibration(text.str(), cal, error);
+}
+
+}  // namespace zsky

@@ -1,0 +1,47 @@
+#ifndef ZSKY_CORE_CALIBRATION_IO_H_
+#define ZSKY_CORE_CALIBRATION_IO_H_
+
+#include <string>
+
+#include "core/planner.h"
+
+namespace zsky {
+
+// Persistence for the cost model's learned PlanCalibration, so a serving
+// process restarted against the same dataset starts from the constants the
+// previous run converged to instead of the order-of-magnitude defaults
+// (QueryService saves on shutdown and loads on construction when
+// QueryServiceOptions::calibration_file is set; `zsky_cli serve
+// --calibration-file` wires it through).
+//
+// The format is a versioned text file — one "key value" pair per line:
+//
+//   zsky-calibration v1
+//   map_us_per_record 0.05
+//   sb_us_per_pair 0.002
+//   ...
+//
+// Unknown keys are ignored (a newer writer's extra constants do not break
+// an older reader); missing keys keep their defaults. Values round-trip
+// exactly (printed with max_digits10 precision).
+
+// Renders `cal` in the v1 text format.
+std::string SerializeCalibration(const PlanCalibration& cal);
+
+// Parses the v1 text format into `cal` (fields not mentioned keep the
+// values `cal` already holds). Returns false and sets `error` on a bad
+// header line or an unparsable value; unknown keys are skipped silently.
+bool ParseCalibration(const std::string& text, PlanCalibration* cal,
+                      std::string* error);
+
+// File wrappers. WriteCalibrationFile replaces `path` atomically enough
+// for the single-writer serve loop (truncate + write + flush);
+// ReadCalibrationFile fails on a missing or malformed file.
+bool WriteCalibrationFile(const std::string& path, const PlanCalibration& cal,
+                          std::string* error);
+bool ReadCalibrationFile(const std::string& path, PlanCalibration* cal,
+                         std::string* error);
+
+}  // namespace zsky
+
+#endif  // ZSKY_CORE_CALIBRATION_IO_H_

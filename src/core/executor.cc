@@ -22,7 +22,7 @@ ParallelSkylineExecutor::ParallelSkylineExecutor(const ExecutorOptions& options)
 }
 
 SkylineQueryResult ParallelSkylineExecutor::Execute(
-    const PointSet& points) const {
+    const DatasetView& points) const {
   SkylineQueryResult result;
   if (points.empty()) return result;
 
@@ -41,7 +41,7 @@ SkylineQueryResult ParallelSkylineExecutor::Execute(
 }
 
 SkylineQueryResult ParallelSkylineExecutor::ExecuteWithPlan(
-    const PreparedPlan& plan, const PointSet& points) const {
+    const PreparedPlan& plan, const DatasetView& points) const {
   SkylineQueryResult result;
   PhaseMetrics& pm = result.metrics;
   if (points.empty()) return result;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "algo/skyline.h"
+#include "common/dataset_view.h"
 #include "common/point_set.h"
 #include "core/options.h"
 #include "index/zmerge.h"
@@ -86,6 +87,11 @@ class ParallelSkylineExecutor {
 
   // Computes the skyline of `points`. Coordinates must fit in
   // options().bits bits per dimension (the Quantizer guarantees this).
+  // `points` is a DatasetView: heap PointSets convert implicitly, and an
+  // mmap'd columnar dataset (io/columnar.h) runs the identical pipeline
+  // out of core — bit-identical results across backings by construction.
+  // The view is only borrowed for the call; the backing must stay alive
+  // until Execute returns.
   //
   // Safe to call repeatedly, but SINGLE-CALLER: concurrent calls on one
   // executor are not supported. They would not corrupt results (each call
@@ -94,7 +100,7 @@ class ParallelSkylineExecutor {
   // per-phase timings become meaningless and latency degrades for both.
   // For concurrent serving use QueryService, which admits queries
   // concurrently and tickets their pipeline execution through the pool.
-  SkylineQueryResult Execute(const PointSet& points) const;
+  SkylineQueryResult Execute(const DatasetView& points) const;
 
   // Runs phases 2+3 against a previously built plan, skipping the
   // preprocessing entirely (metrics report preprocess_ms = 0 and
@@ -104,7 +110,7 @@ class ParallelSkylineExecutor {
   // tree geometry and filter toggles); bit-identical to Execute() by
   // construction. Same single-caller contract as Execute().
   SkylineQueryResult ExecuteWithPlan(const PreparedPlan& plan,
-                                     const PointSet& points) const;
+                                     const DatasetView& points) const;
 
  private:
   ExecutorOptions options_;

@@ -92,8 +92,8 @@ uint32_t SimSlots(const ExecutorOptions& options) {
 
 CandidateList RunCandidateJob(const PreparedPlan& plan,
                               const ExecutorOptions& options,
-                              const PointSet& points, mr::WorkerPool* pool,
-                              PhaseMetrics& pm) {
+                              const DatasetView& points,
+                              mr::WorkerPool* pool, PhaseMetrics& pm) {
   CandidateList candidates;
   if (points.empty()) return candidates;
   ZSKY_CHECK(plan.partitioner != nullptr);
@@ -159,37 +159,48 @@ CandidateList RunCandidateJob(const PreparedPlan& plan,
     const size_t end = (task + 1) * n / num_map_tasks;
     size_t local_filtered = 0;
     size_t local_dropped = 0;
-    // Pass 1: gather the split's survivors of the sample-skyline filter.
-    // With the batched filter each probe is one SIMD block scan (tile
-    // early-exit) instead of a pointer-chasing tree walk; the tree only
-    // sees points the block could not reject.
+    // The split is a row-range over the view: a heap backing yields it as
+    // one zero-copy block (the pre-view memory walk, byte for byte), an
+    // mmap'd columnar backing as transposed blocks streamed through the
+    // page cache — and released behind the scan under a residency budget.
     std::vector<uint32_t> survivors;
-    survivors.reserve(end - begin);
-    for (size_t row = begin; row < end; ++row) {
-      const auto p = points[row];
-      bool dominated = false;
-      if (plan.szb_block.has_value()) {
-        dominated = plan.szb_block->AnyDominates(p);
-        if (!dominated && plan.szb_tree != nullptr) {
+    RowBlockCursor cursor(points, begin, end);
+    RowBlockCursor::Block block;
+    while (cursor.Next(&block)) {
+      // Pass 1 (per block): survivors of the sample-skyline filter. With
+      // the batched filter each probe is one SIMD block scan (tile
+      // early-exit) instead of a pointer-chasing tree walk; the tree only
+      // sees points the block could not reject.
+      survivors.clear();
+      survivors.reserve(block.rows);
+      for (size_t i = 0; i < block.rows; ++i) {
+        const std::span<const Coord> p(block.data + i * dim, dim);
+        bool dominated = false;
+        if (plan.szb_block.has_value()) {
+          dominated = plan.szb_block->AnyDominates(p);
+          if (!dominated && plan.szb_tree != nullptr) {
+            dominated = plan.szb_tree->ExistsDominatorOf(p);
+          }
+        } else if (plan.szb_tree != nullptr) {
           dominated = plan.szb_tree->ExistsDominatorOf(p);
         }
-      } else if (plan.szb_tree != nullptr) {
-        dominated = plan.szb_tree->ExistsDominatorOf(p);
+        if (dominated) {
+          ++local_filtered;
+        } else {
+          survivors.push_back(static_cast<uint32_t>(i));
+        }
       }
-      if (dominated) {
-        ++local_filtered;
-      } else {
-        survivors.push_back(static_cast<uint32_t>(row));
+      // Pass 2 (per block, while it is still cache-hot): route the
+      // survivors.
+      for (uint32_t i : survivors) {
+        const std::span<const Coord> p(block.data + i * dim, dim);
+        const int32_t gid = partitioner.GroupOf(p);
+        if (gid == kDroppedGroup) {
+          ++local_dropped;
+          continue;
+        }
+        emit(gid, static_cast<uint32_t>(block.first_row + i));
       }
-    }
-    // Pass 2: route the survivors.
-    for (uint32_t row : survivors) {
-      const int32_t gid = partitioner.GroupOf(points[row]);
-      if (gid == kDroppedGroup) {
-        ++local_dropped;
-        continue;
-      }
-      emit(gid, row);
     }
     filtered.fetch_add(local_filtered, std::memory_order_relaxed);
     dropped.fetch_add(local_dropped, std::memory_order_relaxed);
@@ -199,7 +210,7 @@ CandidateList RunCandidateJob(const PreparedPlan& plan,
   // row vector.
   auto local_skyline_of_rows =
       [&](std::span<const uint32_t> rows) -> std::vector<uint32_t> {
-    const PointSet local = PointSet::Gather(points, rows);
+    const PointSet local = points.Gather(rows);
     const SkylineIndices sky =
         LocalSkyline(codec, local, options.local, plan.tree_options,
                      options.use_block_kernel);
@@ -240,8 +251,9 @@ CandidateList RunCandidateJob(const PreparedPlan& plan,
 
 SkylineIndices RunMergeJob(const PreparedPlan& plan,
                            const ExecutorOptions& options,
-                           const PointSet& points, CandidateList candidates,
-                           mr::WorkerPool* pool, PhaseMetrics& pm) {
+                           const DatasetView& points,
+                           CandidateList candidates, mr::WorkerPool* pool,
+                           PhaseMetrics& pm) {
   if (points.empty()) return {};
   ZSKY_CHECK(plan.dim == points.dim());
 
@@ -325,7 +337,7 @@ SkylineIndices RunMergeJob(const PreparedPlan& plan,
     std::vector<std::unique_ptr<ZBTree>> group_trees;
     std::vector<const ZBTree*> tree_ptrs;
     for (auto& [gid, rows] : by_group) {
-      const PointSet group_points = PointSet::Gather(points, rows);
+      const PointSet group_points = points.Gather(rows);
       group_trees.push_back(std::make_unique<ZBTree>(
           &codec, group_points, std::move(rows), plan.tree_options));
       tree_ptrs.push_back(group_trees.back().get());
@@ -346,7 +358,7 @@ SkylineIndices RunMergeJob(const PreparedPlan& plan,
         std::vector<uint32_t> rows;
         rows.reserve(values.size());
         for (const Candidate& c : values) rows.push_back(c.row);
-        const PointSet all = PointSet::Gather(points, rows);
+        const PointSet all = points.Gather(rows);
         const LocalAlgorithm merge_algo =
             options.merge == MergeAlgorithm::kZSearch
                 ? LocalAlgorithm::kZSearch
@@ -386,7 +398,7 @@ SkylineIndices RunMergeJob(const PreparedPlan& plan,
     if (pool != nullptr && partials.size() > 1) {
       pool->Run(partials.size(), [&](size_t i) {
         if (partials[i].empty()) return;
-        const PointSet partial_points = PointSet::Gather(points, partials[i]);
+        const PointSet partial_points = points.Gather(partials[i]);
         partial_trees[i] = std::make_unique<ZBTree>(
             &codec, partial_points, std::move(partials[i]),
             plan.tree_options);
@@ -394,7 +406,7 @@ SkylineIndices RunMergeJob(const PreparedPlan& plan,
     } else {
       for (size_t i = 0; i < partials.size(); ++i) {
         if (partials[i].empty()) continue;
-        const PointSet partial_points = PointSet::Gather(points, partials[i]);
+        const PointSet partial_points = points.Gather(partials[i]);
         partial_trees[i] = std::make_unique<ZBTree>(
             &codec, partial_points, std::move(partials[i]),
             plan.tree_options);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "algo/skyline.h"
+#include "common/dataset_view.h"
 #include "common/point_set.h"
 #include "core/executor.h"
 #include "core/options.h"
@@ -32,6 +33,13 @@ using CandidateList = std::vector<std::pair<int32_t, uint32_t>>;
 // different partitioning scheme, group count, or bit width is undefined.
 // `pool` may be null; then jobs follow options.reuse_worker_pool (own pool
 // vs spawn-per-wave, the legacy ablation path).
+//
+// `points` is a DatasetView: heap PointSets convert implicitly and take
+// the exact pre-view code path (zero-copy row blocks), while mmap'd
+// columnar datasets (io/columnar.h) are consumed as row-ranges over the
+// view — map splits stream blocks via RowBlockCursor, and only filter
+// survivors / merge candidates are ever materialized on the heap. The
+// result is bit-identical across backings by construction.
 
 // MR job 1 (Algorithm 3): filter each point against the plan's sample
 // skyline, route survivors to groups, compute per-group local skylines.
@@ -39,8 +47,8 @@ using CandidateList = std::vector<std::pair<int32_t, uint32_t>>;
 // dropped_by_pruning.
 CandidateList RunCandidateJob(const PreparedPlan& plan,
                               const ExecutorOptions& options,
-                              const PointSet& points, mr::WorkerPool* pool,
-                              PhaseMetrics& pm);
+                              const DatasetView& points,
+                              mr::WorkerPool* pool, PhaseMetrics& pm);
 
 // MR job 2 (Section 5.3): merge the candidates into the global skyline
 // (Z-merge, parallel two-level Z-merge, or a centralized re-run). Fills
@@ -48,8 +56,9 @@ CandidateList RunCandidateJob(const PreparedPlan& plan,
 // ascending row order.
 SkylineIndices RunMergeJob(const PreparedPlan& plan,
                            const ExecutorOptions& options,
-                           const PointSet& points, CandidateList candidates,
-                           mr::WorkerPool* pool, PhaseMetrics& pm);
+                           const DatasetView& points,
+                           CandidateList candidates, mr::WorkerPool* pool,
+                           PhaseMetrics& pm);
 
 }  // namespace zsky
 

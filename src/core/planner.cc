@@ -10,7 +10,8 @@
 
 namespace zsky {
 
-PlanDecision PlanQuery(const PointSet& points, const ExecutorOptions& base) {
+PlanDecision PlanQuery(const DatasetView& points,
+                       const ExecutorOptions& base) {
   PlanDecision decision;
   decision.options = base;
   ExecutorOptions& options = decision.options;
@@ -196,7 +197,7 @@ std::pair<double, double> PriceCandidate(const ExecutorOptions& cand,
 
 }  // namespace
 
-PlanChoice ChoosePlan(const PointSet& points, const ExecutorOptions& base,
+PlanChoice ChoosePlan(const DatasetView& points, const ExecutorOptions& base,
                       const PlanCalibration& calibration) {
   PlanChoice choice;
   choice.options = base;

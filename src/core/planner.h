@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/dataset_view.h"
 #include "common/point_set.h"
 #include "core/options.h"
 
@@ -30,8 +31,11 @@ struct PlanDecision {
 //  - very high dimensionality (>= 32): skip the SZB filter (it filters
 //    almost nothing and costs a query per point).
 // `base` carries the caller's fixed settings (num_groups, bits, threads);
-// the planner fills partitioning/local/merge/sample knobs.
-PlanDecision PlanQuery(const PointSet& points, const ExecutorOptions& base);
+// the planner fills partitioning/local/merge/sample knobs. `points` is a
+// DatasetView (heap PointSets convert implicitly) — only a ~2000-point
+// sample is ever materialized, so planning over an mmap'd dataset touches
+// a vanishing fraction of its pages.
+PlanDecision PlanQuery(const DatasetView& points, const ExecutorOptions& base);
 
 // Predicted per-query cost drivers of running the pipeline under a plan.
 // All quantities are sample-extrapolated — nothing is executed.
@@ -110,7 +114,7 @@ struct PlanChoice {
 // num_groups (the reducer count) — pass the result's `options` to
 // PreparePlan to build the real plan. The final-merge algorithm follows
 // the local one (SB locals -> SB merge, ZS locals -> Z-merge).
-PlanChoice ChoosePlan(const PointSet& points, const ExecutorOptions& base,
+PlanChoice ChoosePlan(const DatasetView& points, const ExecutorOptions& base,
                       const PlanCalibration& calibration = {});
 
 }  // namespace zsky

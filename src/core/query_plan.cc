@@ -31,7 +31,7 @@ GroupingStrategy ToGroupingStrategy(PartitioningScheme scheme) {
 
 }  // namespace
 
-PreparedPlan PreparePlan(const PointSet& points,
+PreparedPlan PreparePlan(const DatasetView& points,
                          const ExecutorOptions& options) {
   ZSKY_CHECK(options.num_groups >= 1);
   ZSKY_CHECK(options.expansion >= 1);

@@ -4,6 +4,7 @@
 #include <memory>
 #include <optional>
 
+#include "common/dataset_view.h"
 #include "common/dominance_block.h"
 #include "common/point_set.h"
 #include "core/options.h"
@@ -83,7 +84,12 @@ struct PreparedPlan {
 // Coordinates must fit in options.bits bits per dimension. An empty
 // `points` yields an empty plan (partitioner == nullptr); callers must not
 // run the pipeline over it.
-PreparedPlan PreparePlan(const PointSet& points,
+//
+// `points` is a DatasetView (heap PointSets convert implicitly), so the
+// build works unchanged over an mmap'd columnar dataset (io/columnar.h):
+// only the reservoir sample is ever materialized — the build streams row
+// indices, never the dataset.
+PreparedPlan PreparePlan(const DatasetView& points,
                          const ExecutorOptions& options);
 
 }  // namespace zsky

@@ -8,6 +8,7 @@
 #include "common/macros.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
+#include "core/calibration_io.h"
 #include "core/metrics_registry.h"
 #include "core/pipeline.h"
 
@@ -19,6 +20,15 @@ QueryService::QueryService(const QueryServiceOptions& options)
   // The service owns the one pool every query runs on; the pipeline must
   // use it (spawn-per-wave is the legacy single-shot ablation path).
   options_.executor.reuse_worker_pool = true;
+  if (!options_.calibration_file.empty()) {
+    // Best-effort warm start: a missing or malformed file is a cold start,
+    // not an error (first run, wiped state dir).
+    std::string error;
+    if (ReadCalibrationFile(options_.calibration_file, &calibration_,
+                            &error)) {
+      MetricsRegistry::Global().counter("calibration_loads").Increment();
+    }
+  }
 }
 
 QueryService::QueryService(const QueryServiceOptions& options, PointSet points)
@@ -26,13 +36,42 @@ QueryService::QueryService(const QueryServiceOptions& options, PointSet points)
   SetDataset(std::move(points));
 }
 
+QueryService::~QueryService() {
+  if (options_.calibration_file.empty()) return;
+  std::string error;
+  if (WriteCalibrationFile(options_.calibration_file, calibration(),
+                           &error)) {
+    MetricsRegistry::Global().counter("calibration_saves").Increment();
+  }
+}
+
 void QueryService::SetDataset(PointSet points) {
   std::lock_guard<std::mutex> lock(mu_);
   pending_points_ = std::move(points);
+  pending_mapped_.reset();
   has_pending_ = true;
   // The cached plan (if any) is now stale: the next AcquireSnapshot()
   // rebuilds before serving. In-flight queries keep the snapshot they
   // already acquired and finish against the old dataset.
+}
+
+bool QueryService::SetDatasetFile(const std::string& path,
+                                  std::string* error) {
+  ColumnarDataset::Options map_options;
+  // Under a shuffle budget the whole query runs memory-bounded: the
+  // mapping drops pages behind each scan so the dataset never accumulates
+  // in the resident set.
+  map_options.bounded_residency =
+      options_.executor.shuffle_memory_budget_bytes > 0;
+  std::shared_ptr<const ColumnarDataset> mapped =
+      ColumnarDataset::Open(path, error, map_options);
+  if (mapped == nullptr) return false;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_points_ = PointSet(1);
+  pending_mapped_ = std::move(mapped);
+  has_pending_ = true;
+  return true;
 }
 
 QueryService::Stats QueryService::stats() const {
@@ -66,13 +105,24 @@ QueryService::AcquireSnapshot() {
   building_ = true;
   auto snap = std::make_shared<Snapshot>();
   if (has_pending_) {
-    snap->points = std::move(pending_points_);
-    pending_points_ = PointSet(1);
+    if (pending_mapped_ != nullptr) {
+      snap->mapped = std::move(pending_mapped_);
+      pending_mapped_.reset();
+    } else {
+      snap->points = std::move(pending_points_);
+      pending_points_ = PointSet(1);
+    }
     has_pending_ = false;
   } else {
-    // Replan: same dataset, fresh plan under the updated calibration.
-    snap->points = snapshot_->points;
+    // Replan: same dataset, fresh plan under the updated calibration. A
+    // mapped dataset is shared by pointer; heap points are copied.
+    snap->mapped = snapshot_->mapped;
+    if (snap->mapped == nullptr) snap->points = snapshot_->points;
   }
+  // The view borrows the snapshot's own backing, so it is built only after
+  // the points/mapping have reached their final address.
+  snap->view = snap->mapped != nullptr ? snap->mapped->view()
+                                       : DatasetView(snap->points);
   replan_pending_ = false;
   snap->calibration = calibration_;
 
@@ -81,14 +131,14 @@ QueryService::AcquireSnapshot() {
   double choose_ms = 0.0;
   if (options_.adaptive_planning) {
     Stopwatch choose_watch;
-    snap->choice = ChoosePlan(snap->points, exec, snap->calibration);
+    snap->choice = ChoosePlan(snap->view, exec, snap->calibration);
     choose_ms = choose_watch.ElapsedMs();
     snap->adaptive = true;
     exec = snap->choice.options;
     ZSKY_TRACE_INSTANT("service.choose_plan",
                        "{\"label\":\"" + exec.Label() + "\"}");
   }
-  snap->plan = PreparePlan(snap->points, exec);
+  snap->plan = PreparePlan(snap->view, exec);
   snap->plan.build_ms += choose_ms;  // The choice is part of preprocessing.
   lock.lock();
 
@@ -141,7 +191,7 @@ SkylineQueryResult QueryService::RunQuery(const QueryRequest& request) {
   PhaseMetrics& pm = result.metrics;
   pm.plan_reused = !built_now;
   pm.preprocess_ms = built_now ? snap->plan.build_ms : 0.0;
-  if (snap->points.empty()) {
+  if (snap->view.empty()) {
     pm.total_ms = pm.preprocess_ms;
     pm.sim_total_ms = pm.preprocess_ms;
     return result;
@@ -166,8 +216,8 @@ SkylineQueryResult QueryService::RunQuery(const QueryRequest& request) {
     // executor's documented single-caller hazard).
     std::lock_guard<std::mutex> ticket(pool_mu_);
     CandidateList candidates =
-        RunCandidateJob(snap->plan, run_options, snap->points, &pool_, pm);
-    result.skyline = RunMergeJob(snap->plan, run_options, snap->points,
+        RunCandidateJob(snap->plan, run_options, snap->view, &pool_, pm);
+    result.skyline = RunMergeJob(snap->plan, run_options, snap->view,
                                  std::move(candidates), &pool_, pm);
   }
   pm.total_ms = pm.preprocess_ms + pipeline_watch.ElapsedMs();

@@ -6,13 +6,16 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <utility>
 
+#include "common/dataset_view.h"
 #include "common/point_set.h"
 #include "core/executor.h"
 #include "core/options.h"
 #include "core/planner.h"
 #include "core/query_plan.h"
+#include "io/columnar.h"
 #include "mapreduce/worker_pool.h"
 
 namespace zsky {
@@ -49,6 +52,14 @@ struct QueryServiceOptions {
   // rebuilt on the next query.
   bool adaptive_planning = false;
   double replan_threshold = 0.5;
+
+  // When non-empty, the learned PlanCalibration is persisted across
+  // restarts: the constructor loads the file if it exists (a missing or
+  // malformed file silently keeps the defaults — cold start) and the
+  // destructor writes the current calibration back. A restarted server
+  // therefore resumes from the constants the previous run converged to
+  // instead of re-learning them from scratch (core/calibration_io.h).
+  std::string calibration_file;
 };
 
 // Concurrent serving front-end over one dataset snapshot: owns the
@@ -81,6 +92,8 @@ class QueryService {
   // Convenience: construct and install the first dataset. The plan is
   // still built lazily by the first Query().
   QueryService(const QueryServiceOptions& options, PointSet points);
+  // Persists the calibration when options().calibration_file is set.
+  ~QueryService();
 
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
@@ -91,6 +104,16 @@ class QueryService {
   // invalidated and rebuilt by the next Query(). Safe to call while
   // queries are in flight.
   void SetDataset(PointSet points);
+
+  // Out-of-core variant: mmaps a `.zsc` columnar file (io/columnar.h) and
+  // installs it as the dataset snapshot — the points are served straight
+  // from the page cache, never heap-materialized. When the executor's
+  // shuffle_memory_budget_bytes is non-zero the mapping runs with bounded
+  // residency (pages are dropped behind every map scan), so the service's
+  // resident set stays O(budget + plan) instead of O(dataset). Returns
+  // false and sets `error` on a missing or malformed file; the current
+  // snapshot is untouched. Same swap semantics as SetDataset.
+  bool SetDatasetFile(const std::string& path, std::string* error);
 
   // Computes the skyline of the current dataset snapshot. Must not be
   // called before a dataset is installed.
@@ -113,9 +136,14 @@ class QueryService {
 
  private:
   // One dataset + its plan, immutable once published; queries hold it by
-  // shared_ptr so SetDataset can swap underneath them.
+  // shared_ptr so SetDataset can swap underneath them. The dataset is
+  // either heap `points` or an mmap'd `mapped` file; `view` abstracts the
+  // two for the pipeline and is set once the backing is in place (it
+  // borrows storage owned by this snapshot, so it lives exactly as long).
   struct Snapshot {
     PointSet points{1};
+    std::shared_ptr<const ColumnarDataset> mapped;
+    DatasetView view;
     PreparedPlan plan;
     // Adaptive planning: what the cost model chose and predicted for this
     // snapshot (compared against measured stage times after every query),
@@ -147,6 +175,9 @@ class QueryService {
   bool replan_pending_ = false;
   PlanCalibration calibration_;
   PointSet pending_points_{1};
+  // Pending mmap'd dataset (SetDatasetFile); mutually exclusive with
+  // pending_points_ holding data.
+  std::shared_ptr<const ColumnarDataset> pending_mapped_;
   std::shared_ptr<const Snapshot> snapshot_;  // Null until first build.
   Stats stats_;
 

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <limits>
 
 namespace zsky {
 
@@ -24,6 +25,14 @@ bool ReadRaw(std::string_view& bytes, T* value) {
 }
 
 }  // namespace
+
+bool CheckedCoordBytes(uint64_t count, uint32_t dim, uint64_t* bytes) {
+  if (dim == 0 || dim > kMaxDeserializedDim) return false;
+  const uint64_t per_row = static_cast<uint64_t>(dim) * sizeof(Coord);
+  if (count > std::numeric_limits<uint64_t>::max() / per_row) return false;
+  *bytes = count * per_row;
+  return true;
+}
 
 std::string SerializePointSet(const PointSet& points) {
   std::string out;
@@ -54,13 +63,28 @@ std::optional<PointSet> DeserializePointSet(std::string_view bytes,
   if (!ReadRaw(bytes, &version) || version != kVersion) {
     return fail("unsupported version");
   }
-  if (!ReadRaw(bytes, &dim) || dim == 0) return fail("bad dimension");
+  if (!ReadRaw(bytes, &dim) || dim == 0 || dim > kMaxDeserializedDim) {
+    return fail("bad dimension");
+  }
   if (!ReadRaw(bytes, &count)) return fail("truncated header");
-  const uint64_t expected = count * dim * sizeof(Coord);
-  if (bytes.size() != expected) return fail("payload size mismatch");
+  // The header's u64 count is untrusted: size math must be checked in
+  // 64-bit BEFORE it reaches resize()/memcpy — a crafted count can wrap
+  // count * dim * sizeof(Coord) to a small "expected" value while
+  // count * dim itself wraps differently, turning the copy below into a
+  // heap overflow.
+  uint64_t expected = 0;
+  if (!CheckedCoordBytes(count, dim, &expected)) {
+    return fail("count overflows size arithmetic");
+  }
+  if (expected > std::numeric_limits<size_t>::max()) {
+    return fail("count overflows size arithmetic");
+  }
+  if (bytes.size() < expected) return fail("truncated payload");
+  if (bytes.size() > expected) return fail("payload size mismatch");
   PointSet points(dim);
-  points.mutable_raw().resize(count * dim);
-  std::memcpy(points.mutable_raw().data(), bytes.data(), expected);
+  points.mutable_raw().resize(static_cast<size_t>(count) * dim);
+  std::memcpy(points.mutable_raw().data(), bytes.data(),
+              static_cast<size_t>(expected));
   return points;
 }
 

@@ -12,6 +12,18 @@ namespace zsky {
 //   magic "ZSKY" | version u32 | dim u32 | count u64 | coords u32[]
 // Little-endian, no alignment padding.
 
+// Dimensionality ceiling accepted by the deserializers. Far above any real
+// dataset (the paper tops out at 512-d) but small enough that a corrupted
+// header cannot demand an absurd allocation.
+inline constexpr uint32_t kMaxDeserializedDim = 1u << 16;
+
+// Computes count * dim * sizeof(Coord) in checked 64-bit arithmetic.
+// Returns false (leaving *bytes untouched) when dim is 0, dim exceeds
+// kMaxDeserializedDim, or the product overflows — the validation every
+// header parser (this format and io/columnar.h's `.zsc`) must run BEFORE
+// trusting an attacker-controlled u64 count.
+bool CheckedCoordBytes(uint64_t count, uint32_t dim, uint64_t* bytes);
+
 // Serializes `points` to a byte string.
 std::string SerializePointSet(const PointSet& points);
 

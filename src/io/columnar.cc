@@ -1,0 +1,332 @@
+#include "io/columnar.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <limits>
+
+#include "io/binary.h"
+
+namespace zsky {
+
+namespace {
+
+// Residency sweep window: the mapping's resident set under a bounded
+// scan stays at or below roughly this many consumed bytes between
+// whole-mapping MADV_DONTNEED sweeps (see ReleaseRows).
+constexpr uint64_t kResidencySweepBytes = 32ull << 20;
+
+uint64_t AlignUp(uint64_t value, uint64_t alignment) {
+  return (value + alignment - 1) / alignment * alignment;
+}
+
+template <typename T>
+void PutRaw(char* dst, const T& value) {
+  std::memcpy(dst, &value, sizeof(T));
+}
+
+template <typename T>
+T GetRaw(const char* src) {
+  T value;
+  std::memcpy(&value, src, sizeof(T));
+  return value;
+}
+
+}  // namespace
+
+uint64_t ColumnarHeaderBytes(uint32_t dim) {
+  // magic + version + dim + bits + count + per-column offsets.
+  return 4 + 4 + 4 + 4 + 8 + 8ull * dim;
+}
+
+// --- ColumnarWriter ---------------------------------------------------
+
+ColumnarWriter::ColumnarWriter(const std::string& path, uint32_t dim,
+                               uint64_t count, uint32_t bits)
+    : path_(path), dim_(dim), bits_(bits), count_(count) {
+  uint64_t column_bytes = 0;
+  if (!CheckedCoordBytes(count, dim, &column_bytes) || dim == 0) {
+    error_ = "invalid dim/count";
+    return;
+  }
+  column_bytes /= dim;  // Bytes per single column.
+  uint64_t offset = AlignUp(ColumnarHeaderBytes(dim), kColumnarAlignment);
+  col_offsets_.reserve(dim);
+  for (uint32_t d = 0; d < dim; ++d) {
+    col_offsets_.push_back(offset);
+    offset = AlignUp(offset + column_bytes, kColumnarAlignment);
+  }
+  fd_ = ::open(path.c_str(), O_CREAT | O_TRUNC | O_RDWR, 0644);
+  if (fd_ < 0) {
+    error_ = "cannot create " + path + ": " + std::strerror(errno);
+    return;
+  }
+  if (::ftruncate(fd_, static_cast<off_t>(offset)) != 0) {
+    Fail("cannot preallocate " + path + ": " + std::strerror(errno));
+    return;
+  }
+  const size_t chunk = static_cast<size_t>(
+      std::min<uint64_t>(count == 0 ? 1 : count, kChunkRows));
+  chunk_.resize(dim);
+  for (auto& buf : chunk_) buf.reserve(chunk);
+}
+
+ColumnarWriter::~ColumnarWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void ColumnarWriter::Fail(const std::string& reason) {
+  if (error_.empty()) error_ = reason;
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool ColumnarWriter::WriteAt(uint64_t offset, const void* data,
+                             size_t bytes) {
+  const char* src = static_cast<const char*>(data);
+  while (bytes > 0) {
+    const ssize_t wrote =
+        ::pwrite(fd_, src, bytes, static_cast<off_t>(offset));
+    if (wrote <= 0) {
+      if (wrote < 0 && errno == EINTR) continue;
+      Fail("short write to " + path_ + ": " + std::strerror(errno));
+      return false;
+    }
+    src += wrote;
+    offset += static_cast<uint64_t>(wrote);
+    bytes -= static_cast<size_t>(wrote);
+  }
+  return true;
+}
+
+bool ColumnarWriter::FlushChunk() {
+  if (rows_buffered_ == 0) return true;
+  for (uint32_t d = 0; d < dim_; ++d) {
+    const uint64_t offset =
+        col_offsets_[d] + rows_written_ * sizeof(Coord);
+    if (!WriteAt(offset, chunk_[d].data(),
+                 chunk_[d].size() * sizeof(Coord))) {
+      return false;
+    }
+    chunk_[d].clear();
+  }
+  rows_written_ += rows_buffered_;
+  rows_buffered_ = 0;
+  return true;
+}
+
+bool ColumnarWriter::AppendRows(const Coord* row_major, size_t rows) {
+  if (!ok()) return false;
+  if (rows_written_ + rows_buffered_ + rows > count_) {
+    Fail("more rows appended than declared");
+    return false;
+  }
+  for (size_t i = 0; i < rows; ++i) {
+    const Coord* row = row_major + i * dim_;
+    for (uint32_t d = 0; d < dim_; ++d) chunk_[d].push_back(row[d]);
+    if (++rows_buffered_ == kChunkRows) {
+      if (!FlushChunk()) return false;
+    }
+  }
+  return true;
+}
+
+bool ColumnarWriter::Finish() {
+  if (!ok()) return false;
+  if (finished_) return true;
+  if (!FlushChunk()) return false;
+  if (rows_written_ != count_) {
+    Fail("row count mismatch: declared " + std::to_string(count_) +
+         ", appended " + std::to_string(rows_written_));
+    return false;
+  }
+  std::vector<char> header(ColumnarHeaderBytes(dim_));
+  char* p = header.data();
+  std::memcpy(p, kColumnarMagic, sizeof(kColumnarMagic));
+  p += sizeof(kColumnarMagic);
+  PutRaw(p, kColumnarVersion);
+  p += 4;
+  PutRaw(p, dim_);
+  p += 4;
+  PutRaw(p, bits_);
+  p += 4;
+  PutRaw(p, count_);
+  p += 8;
+  for (uint32_t d = 0; d < dim_; ++d) {
+    PutRaw(p, col_offsets_[d]);
+    p += 8;
+  }
+  if (!WriteAt(0, header.data(), header.size())) return false;
+  if (::fsync(fd_) != 0) {
+    Fail("fsync failed: " + std::string(std::strerror(errno)));
+    return false;
+  }
+  ::close(fd_);
+  fd_ = -1;
+  finished_ = true;
+  return true;
+}
+
+bool WriteColumnarFile(const std::string& path, const DatasetView& points,
+                       uint32_t bits, std::string* error) {
+  ColumnarWriter writer(path, points.dim(), points.size(), bits);
+  RowBlockCursor cursor(points, 0, points.size());
+  RowBlockCursor::Block block;
+  while (writer.ok() && cursor.Next(&block)) {
+    writer.AppendRows(block.data, block.rows);
+  }
+  const bool ok = writer.ok() && writer.Finish();
+  if (!ok && error != nullptr) *error = writer.error();
+  return ok;
+}
+
+// --- ColumnarDataset --------------------------------------------------
+
+std::unique_ptr<ColumnarDataset> ColumnarDataset::Open(
+    const std::string& path, std::string* error, const Options& options) {
+  auto fail = [&](const std::string& reason) {
+    if (error != nullptr) *error = reason;
+    return nullptr;
+  };
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return fail("cannot open " + path + ": " + std::strerror(errno));
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return fail("cannot stat " + path);
+  }
+  const uint64_t file_bytes = static_cast<uint64_t>(st.st_size);
+  // The smallest valid file: a 1-d header. Checked before any field read.
+  if (file_bytes < ColumnarHeaderBytes(1)) {
+    ::close(fd);
+    return fail("truncated header");
+  }
+  void* map = ::mmap(nullptr, file_bytes, PROT_READ, MAP_SHARED, fd, 0);
+  if (map == MAP_FAILED) {
+    ::close(fd);
+    return fail("mmap failed: " + std::string(std::strerror(errno)));
+  }
+  auto reject = [&](const std::string& reason) {
+    ::munmap(map, file_bytes);
+    ::close(fd);
+    return fail(reason);
+  };
+
+  const char* base = static_cast<const char*>(map);
+  if (std::memcmp(base, kColumnarMagic, sizeof(kColumnarMagic)) != 0) {
+    return reject("bad magic");
+  }
+  const uint32_t version = GetRaw<uint32_t>(base + 4);
+  if (version != kColumnarVersion) return reject("unsupported version");
+  const uint32_t dim = GetRaw<uint32_t>(base + 8);
+  const uint32_t bits = GetRaw<uint32_t>(base + 12);
+  const uint64_t count = GetRaw<uint64_t>(base + 16);
+  if (dim == 0 || dim > kMaxDeserializedDim) return reject("bad dimension");
+  if (bits == 0 || bits > 32) return reject("bad bit width");
+  // All size math on the untrusted count/dim runs through the same
+  // checked-64-bit helper as the binary format before anything is
+  // dereferenced.
+  uint64_t total_coord_bytes = 0;
+  if (!CheckedCoordBytes(count, dim, &total_coord_bytes)) {
+    return reject("count overflows size arithmetic");
+  }
+  const uint64_t column_bytes = total_coord_bytes / dim;
+  const uint64_t header_bytes = ColumnarHeaderBytes(dim);
+  if (file_bytes < header_bytes) return reject("truncated header");
+
+  auto ds = std::unique_ptr<ColumnarDataset>(new ColumnarDataset());
+  ds->columns_.reserve(dim);
+  for (uint32_t d = 0; d < dim; ++d) {
+    const uint64_t offset = GetRaw<uint64_t>(base + 24 + 8ull * d);
+    if (offset < header_bytes || offset % sizeof(Coord) != 0 ||
+        offset > file_bytes || file_bytes - offset < column_bytes) {
+      ds->columns_.clear();  // ds holds no mapping yet; safe to drop.
+      return reject("column " + std::to_string(d) + " out of bounds");
+    }
+    ds->columns_.push_back(reinterpret_cast<const Coord*>(base + offset));
+  }
+
+  ds->path_ = path;
+  ds->options_ = options;
+  ds->fd_ = fd;
+  ds->map_ = map;
+  ds->map_bytes_ = file_bytes;
+  ds->dim_ = dim;
+  ds->bits_ = bits;
+  ds->count_ = count;
+  if (options.sequential) {
+    ::madvise(map, file_bytes, MADV_SEQUENTIAL);
+  }
+  if (options.willneed) {
+    ::madvise(map, file_bytes, MADV_WILLNEED);
+  }
+  return ds;
+}
+
+ColumnarDataset::~ColumnarDataset() {
+  if (map_ != nullptr) ::munmap(map_, map_bytes_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+namespace {
+
+void ReleaseRowsThunk(void* ctx, size_t row_begin, size_t row_end) {
+  static_cast<const ColumnarDataset*>(ctx)->ReleaseRows(row_begin, row_end);
+}
+
+}  // namespace
+
+DatasetView ColumnarDataset::view() const {
+  DatasetView view = DatasetView::Columnar(columns_.data(), count_, dim_);
+  if (options_.bounded_residency) {
+    view.SetReleaseHook(&ReleaseRowsThunk,
+                        const_cast<void*>(static_cast<const void*>(this)));
+  }
+  return view;
+}
+
+void ColumnarDataset::ReleaseRows(size_t row_begin, size_t row_end) const {
+  if (row_end <= row_begin) return;
+  // Per-range madvise(MADV_DONTNEED) is defeated by modern kernels: a
+  // fault near a released boundary re-maps tens to hundreds of KiB of a
+  // neighbor's already-dropped pages (fault-around, large-folio
+  // mapping), and across thousands of ragged per-morsel releases from
+  // concurrent workers most of the file creeps back in (measured ~80%
+  // resident despite releases covering every row). So the release hook
+  // only METERS consumed bytes, and once a sweep window's worth has
+  // accumulated it drops the whole mapping's page tables in a single
+  // call — O(1) syscalls per window, immune to the kernel's mapping
+  // granularity. A concurrent scanner loses its current block's pages
+  // and re-faults them straight from the page cache; the dataset is
+  // read-only, so contents are never at risk.
+  const uint64_t bytes =
+      static_cast<uint64_t>(row_end - row_begin) * dim_ * sizeof(Coord);
+  const uint64_t seen =
+      released_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (seen >= kResidencySweepBytes) {
+    uint64_t expected = seen;
+    // One winner sweeps and resets the meter; racing callers just keep
+    // accumulating toward the next window.
+    if (released_bytes_.compare_exchange_strong(expected, 0,
+                                                std::memory_order_relaxed)) {
+      ::madvise(map_, map_bytes_, MADV_DONTNEED);
+    }
+  }
+}
+
+void ColumnarDataset::DropPageCache() const {
+  ::madvise(map_, map_bytes_, MADV_DONTNEED);
+  ::posix_fadvise(fd_, 0, 0, POSIX_FADV_DONTNEED);
+  if (options_.sequential) {
+    ::madvise(map_, map_bytes_, MADV_SEQUENTIAL);
+  }
+}
+
+}  // namespace zsky

@@ -135,9 +135,14 @@ class MapReduceJob {
     // paper's intermediate-data disk overhead).
     bool spill_to_disk = false;
     // When > 0 and spill_to_disk is off: memory budget for buffered map
-    // output. After the map wave, the largest task buffers are spilled
-    // (and their memory freed) until the buffered bytes fit the budget —
-    // a partial, need-driven spill instead of all-or-nothing.
+    // output, accounted at chunk CAPACITY (what the arenas actually pin,
+    // not just the records in them — a many-task job with near-empty
+    // buckets pins far more than its record bytes). Enforced during the
+    // map wave: a task finishing while the wave is over budget spills
+    // (and frees) its own buffers immediately, so peak resident stays
+    // ~budget + the in-flight tasks, never O(tasks). After the wave the
+    // largest remaining buffers are spilled until the rest fits — a
+    // partial, need-driven spill instead of all-or-nothing.
     size_t shuffle_memory_budget_bytes = 0;
     std::string spill_dir = DefaultSpillDir();
 
@@ -347,6 +352,15 @@ class MapReduceJob {
     if (map_state_.size() < num_splits) map_state_.resize(num_splits);
     if (reduce_state_.size() < r) reduce_state_.resize(r);
 
+    // Spill bookkeeping lives above the map wave because the budget is
+    // enforced *inside* it: worker threads write only their own task's
+    // slots, so no locking is needed.
+    std::vector<std::string> spill_paths(num_splits);
+    std::vector<uint8_t> spilled(num_splits, 0);
+    std::vector<size_t> spill_bytes_by_task(num_splits, 0);
+    std::atomic<size_t> wave_buffered_bytes{0};
+    const SpillFileGuard spill_guard{&spill_paths};
+
     // --- Map wave: each task appends into its own per-reducer arenas,
     // then (optionally) collapses them key-by-key through the combiner. ---
     Stopwatch map_watch;
@@ -390,6 +404,28 @@ class MapReduceJob {
           }
         }
       }
+
+      // Mid-wave budget enforcement: once the wave's buffered capacity
+      // crosses the budget, every task that finishes spills itself right
+      // here on the worker thread — its output is complete, nobody else
+      // touches its state, and waiting for the wave barrier would let the
+      // buffered set grow O(tasks).
+      if (options_.shuffle_memory_budget_bytes > 0) {
+        size_t capacity = 0;
+        for (const RecordBuffer<V>& bucket : state.buckets) {
+          capacity += bucket.chunks().size() * RecordChunk<V>::kBytes;
+        }
+        const size_t now = wave_buffered_bytes.fetch_add(
+                               capacity, std::memory_order_relaxed) +
+                           capacity;
+        if (now > options_.shuffle_memory_budget_bytes && capacity > 0) {
+          spill_paths[task] =
+              SpillColumnar(task, state, &spill_bytes_by_task[task]);
+          for (RecordBuffer<V>& bucket : state.buckets) bucket.Free();
+          spilled[task] = 1;
+          wave_buffered_bytes.fetch_sub(capacity, std::memory_order_relaxed);
+        }
+      }
     }, metrics);
     metrics.map_wall_ms = map_watch.ElapsedMs();
     gate.Harvest(num_splits, metrics);
@@ -402,25 +438,31 @@ class MapReduceJob {
 
     // --- Spill: write chosen tasks' arenas out as sectioned columnar
     // files and free their memory. All tasks under spill_to_disk; under a
-    // memory budget, only the largest buffers until the rest fits. ---
-    std::vector<std::string> spill_paths(num_splits);
-    std::vector<uint8_t> spilled(num_splits, 0);
-    const SpillFileGuard spill_guard{&spill_paths};
+    // memory budget, only the largest remaining buffers (capacity
+    // accounting, matching the mid-wave check) until the rest fits. ---
     if (options_.spill_to_disk || options_.shuffle_memory_budget_bytes > 0) {
       std::vector<size_t> task_bytes(num_splits, 0);
       for (size_t task = 0; task < num_splits; ++task) {
+        if (spilled[task]) continue;  // Already on disk from mid-wave.
         for (const RecordBuffer<V>& bucket : map_state_[task].buckets) {
-          task_bytes[task] += bucket.bytes();
+          task_bytes[task] += bucket.chunks().size() * RecordChunk<V>::kBytes;
         }
       }
-      spilled = ChooseSpills(task_bytes);
+      const std::vector<uint8_t> choose = ChooseSpills(task_bytes);
       for (size_t task = 0; task < num_splits; ++task) {
-        if (!spilled[task]) continue;
-        spill_paths[task] = SpillColumnar(task, map_state_[task], metrics);
+        if (spilled[task] || !choose[task]) continue;
+        spill_paths[task] =
+            SpillColumnar(task, map_state_[task], &spill_bytes_by_task[task]);
         for (RecordBuffer<V>& bucket : map_state_[task].buckets) {
           bucket.Free();
         }
+        spilled[task] = 1;
+      }
+    }
+    for (size_t task = 0; task < num_splits; ++task) {
+      if (spilled[task]) {
         ++metrics.spilled_tasks;
+        metrics.spill_bytes += spill_bytes_by_task[task];
       }
     }
 
@@ -678,8 +720,11 @@ class MapReduceJob {
   // two freads straight into flat scratch.
   static constexpr size_t kSpillRecordBytes = sizeof(int32_t) + sizeof(V);
 
+  // `spill_bytes` is a per-task slot, not the shared JobMetrics: mid-wave
+  // spills run concurrently on worker threads, and per-task accumulation
+  // keeps them race-free (summed into metrics after the wave).
   std::string SpillColumnar(size_t task, MapTaskState& state,
-                            JobMetrics& metrics) const {
+                            size_t* spill_bytes) const {
     ZSKY_TRACE_SPAN_ARGS("mr.spill_write",
                          "{\"task\":" + std::to_string(task) + "}");
     const std::string path = SpillFilePath(task);
@@ -691,7 +736,7 @@ class MapReduceJob {
     std::FILE* file = std::fopen(path.c_str(), "wb");
     ZSKY_CHECK_MSG(file != nullptr, "cannot create spill file");
     std::fwrite(state.spill_counts.data(), sizeof(uint64_t), r, file);
-    metrics.spill_bytes += r * sizeof(uint64_t);
+    *spill_bytes += r * sizeof(uint64_t);
     for (uint32_t reducer = 0; reducer < r; ++reducer) {
       const RecordBuffer<V>& bucket = state.buckets[reducer];
       for (const RecordChunk<V>& chunk : bucket.chunks()) {
@@ -702,7 +747,7 @@ class MapReduceJob {
         if (chunk.size == 0) continue;
         std::fwrite(chunk.values.get(), sizeof(V), chunk.size, file);
       }
-      metrics.spill_bytes += bucket.size() * kSpillRecordBytes;
+      *spill_bytes += bucket.size() * kSpillRecordBytes;
     }
     std::fclose(file);
     return path;

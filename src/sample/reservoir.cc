@@ -1,5 +1,6 @@
 #include "sample/reservoir.h"
 
+#include <algorithm>
 #include <numeric>
 
 namespace zsky {
@@ -19,9 +20,13 @@ std::vector<uint32_t> ReservoirSampleIndices(size_t n, size_t k, Rng& rng) {
   return reservoir;
 }
 
-PointSet ReservoirSample(const PointSet& points, size_t k, Rng& rng) {
-  const auto rows = ReservoirSampleIndices(points.size(), k, rng);
-  return PointSet::Gather(points, rows);
+PointSet ReservoirSample(const DatasetView& points, size_t k, Rng& rng) {
+  auto rows = ReservoirSampleIndices(points.size(), k, rng);
+  // Ascending row order: a disk-backed columnar view is gathered with a
+  // forward-moving access pattern (at most one fault per touched page)
+  // instead of the reservoir's scrambled slot order.
+  std::sort(rows.begin(), rows.end());
+  return points.Gather(rows);
 }
 
 }  // namespace zsky

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/dataset_view.h"
 #include "common/point_set.h"
 #include "common/rng.h"
 
@@ -15,8 +16,11 @@ namespace zsky {
 std::vector<uint32_t> ReservoirSampleIndices(size_t n, size_t k, Rng& rng);
 
 // Convenience: gathers a uniform sample of `k` points from `points`.
-// If k >= points.size(), returns a copy of all points.
-PointSet ReservoirSample(const PointSet& points, size_t k, Rng& rng);
+// If k >= points.size(), returns a copy of all points. Only the k sampled
+// rows are materialized (gathered in ascending row order, so an mmap'd
+// columnar backing is read near-sequentially), never the full dataset —
+// this is what lets plan construction stream over out-of-core datasets.
+PointSet ReservoirSample(const DatasetView& points, size_t k, Rng& rng);
 
 }  // namespace zsky
 

@@ -21,6 +21,7 @@
 #include "algo/subspace.h"
 #include "algo/verify.h"
 #include "common/cpu.h"
+#include "common/dataset_view.h"
 #include "common/dominance.h"
 #include "common/point_set.h"
 #include "common/quantizer.h"
@@ -28,6 +29,7 @@
 #include "common/stopwatch.h"
 #include "common/trace.h"
 #include "core/analysis.h"
+#include "core/calibration_io.h"
 #include "core/executor.h"
 #include "core/mr_gpmrs.h"
 #include "core/metrics_json.h"
@@ -43,6 +45,7 @@
 #include "core/windowed_skyline.h"
 #include "gen/synthetic.h"
 #include "io/binary.h"
+#include "io/columnar.h"
 #include "io/csv.h"
 #include "io/plan_io.h"
 #include "index/bbs.h"

@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/dataset_view.h"
+#include "common/quantizer.h"
+#include "gen/synthetic.h"
+#include "io/binary.h"
+#include "io/columnar.h"
+
+namespace zsky {
+namespace {
+
+// Pid-qualified: ctest runs each test case of this binary as its own
+// process, often in parallel, so a fixed filename would be shared by
+// sibling processes (truncating a file another process has mmap'd is a
+// SIGBUS).
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + std::to_string(::getpid()) + "_" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(ColumnarFormatTest, RoundTripMatchesHeap) {
+  const PointSet ps = GenerateQuantized(Distribution::kAnticorrelated, 1777,
+                                        5, 11, Quantizer(12));
+  const std::string path = TempPath("columnar_roundtrip.zsc");
+  std::string error;
+  ASSERT_TRUE(WriteColumnarFile(path, ps, 12, &error)) << error;
+
+  const auto ds = ColumnarDataset::Open(path, &error);
+  ASSERT_NE(ds, nullptr) << error;
+  EXPECT_EQ(ds->dim(), 5u);
+  EXPECT_EQ(ds->bits(), 12u);
+  EXPECT_EQ(ds->size(), 1777u);
+
+  const DatasetView view = ds->view();
+  ASSERT_TRUE(view.columnar());
+  ASSERT_EQ(view.size(), ps.size());
+  for (size_t i = 0; i < ps.size(); ++i) {
+    for (uint32_t d = 0; d < ps.dim(); ++d) {
+      ASSERT_EQ(view.at(i, d), ps[i][d]) << "row " << i << " dim " << d;
+    }
+  }
+  // Full materialization round-trips byte for byte.
+  EXPECT_EQ(view.Materialize().raw(), ps.raw());
+  std::remove(path.c_str());
+}
+
+TEST(ColumnarFormatTest, ColumnsAreAligned) {
+  const PointSet ps = GenerateQuantized(Distribution::kIndependent, 100, 3,
+                                        5, Quantizer(8));
+  const std::string path = TempPath("columnar_aligned.zsc");
+  std::string error;
+  ASSERT_TRUE(WriteColumnarFile(path, ps, 8, &error)) << error;
+  const auto ds = ColumnarDataset::Open(path, &error);
+  ASSERT_NE(ds, nullptr) << error;
+  const DatasetView view = ds->view();
+  for (uint32_t d = 0; d < 3; ++d) {
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(view.column(d)) %
+                  kColumnarAlignment,
+              0u)
+        << "column " << d;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ColumnarFormatTest, StreamingWriterMatchesOneShot) {
+  const PointSet ps = GenerateQuantized(Distribution::kCorrelated, 2049, 4,
+                                        23, Quantizer(16));
+  const std::string one_shot = TempPath("columnar_oneshot.zsc");
+  const std::string streamed = TempPath("columnar_streamed.zsc");
+  std::string error;
+  ASSERT_TRUE(WriteColumnarFile(one_shot, ps, 16, &error)) << error;
+
+  // Append in deliberately ragged chunks; the file must come out
+  // byte-identical to the one-shot conversion.
+  ColumnarWriter writer(streamed, 4, ps.size(), 16);
+  ASSERT_TRUE(writer.ok()) << writer.error();
+  const size_t chunks[] = {1, 777, 1000, 271};
+  size_t offset = 0;
+  for (const size_t rows : chunks) {
+    ASSERT_TRUE(writer.AppendRows(ps.raw().data() + offset * 4, rows))
+        << writer.error();
+    offset += rows;
+  }
+  ASSERT_EQ(offset, ps.size());
+  ASSERT_TRUE(writer.Finish()) << writer.error();
+
+  EXPECT_EQ(ReadFileBytes(one_shot), ReadFileBytes(streamed));
+  std::remove(one_shot.c_str());
+  std::remove(streamed.c_str());
+}
+
+TEST(ColumnarFormatTest, WriterEnforcesDeclaredCount) {
+  const PointSet ps = GenerateQuantized(Distribution::kIndependent, 10, 2, 3,
+                                        Quantizer(8));
+  const std::string path = TempPath("columnar_count.zsc");
+  {
+    // Appending past the declared count fails.
+    ColumnarWriter writer(path, 2, 5, 8);
+    ASSERT_TRUE(writer.ok()) << writer.error();
+    EXPECT_FALSE(writer.AppendRows(ps.raw().data(), 10));
+  }
+  {
+    // Finishing short fails.
+    ColumnarWriter writer(path, 2, 10, 8);
+    ASSERT_TRUE(writer.ok()) << writer.error();
+    ASSERT_TRUE(writer.AppendRows(ps.raw().data(), 4));
+    EXPECT_FALSE(writer.Finish());
+    EXPECT_NE(writer.error().find("declared 10"), std::string::npos)
+        << writer.error();
+  }
+  std::remove(path.c_str());
+}
+
+// Reuses the hostile-header discipline of io/binary.h: every field of the
+// .zsc header is attacker-controlled until validated.
+class ColumnarCorruptTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const PointSet ps = GenerateQuantized(Distribution::kIndependent, 64, 3,
+                                          9, Quantizer(8));
+    path_ = TempPath("columnar_corrupt.zsc");
+    std::string error;
+    ASSERT_TRUE(WriteColumnarFile(path_, ps, 8, &error)) << error;
+    bytes_ = ReadFileBytes(path_);
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  // Writes a mutated copy and expects Open to reject it with `substring`
+  // in the error.
+  void ExpectReject(const std::string& mutated, const char* substring) {
+    WriteFileBytes(path_, mutated);
+    std::string error;
+    EXPECT_EQ(ColumnarDataset::Open(path_, &error), nullptr);
+    EXPECT_NE(error.find(substring), std::string::npos)
+        << "error was: " << error;
+  }
+
+  // Returns bytes_ with a little-endian value patched in at `offset`.
+  template <typename T>
+  std::string Patch(size_t offset, T value) {
+    std::string out = bytes_;
+    std::memcpy(out.data() + offset, &value, sizeof(T));
+    return out;
+  }
+
+  std::string path_;
+  std::string bytes_;
+};
+
+TEST_F(ColumnarCorruptTest, RejectsBadMagic) {
+  std::string bad = bytes_;
+  bad[0] = 'X';
+  ExpectReject(bad, "bad magic");
+}
+
+TEST_F(ColumnarCorruptTest, RejectsBadVersion) {
+  ExpectReject(Patch<uint32_t>(4, 99), "unsupported version");
+}
+
+TEST_F(ColumnarCorruptTest, RejectsBadDim) {
+  ExpectReject(Patch<uint32_t>(8, 0), "bad dimension");
+  ExpectReject(Patch<uint32_t>(8, kMaxDeserializedDim + 1), "bad dimension");
+}
+
+TEST_F(ColumnarCorruptTest, RejectsBadBits) {
+  ExpectReject(Patch<uint32_t>(12, 0), "bad bit width");
+  ExpectReject(Patch<uint32_t>(12, 33), "bad bit width");
+}
+
+TEST_F(ColumnarCorruptTest, RejectsOverflowingCount) {
+  // count * dim * sizeof(Coord) wraps 64-bit; checked math must reject
+  // it before any column bound is trusted.
+  ExpectReject(Patch<uint64_t>(16, std::numeric_limits<uint64_t>::max()),
+               "count overflows");
+  ExpectReject(Patch<uint64_t>(16, uint64_t{1} << 62), "count overflows");
+}
+
+TEST_F(ColumnarCorruptTest, RejectsCountBeyondFile) {
+  // The header claims a million rows the file does not hold: every
+  // column's extent check fails against the real file size.
+  ExpectReject(Patch<uint64_t>(16, 1u << 20), "out of bounds");
+}
+
+TEST_F(ColumnarCorruptTest, RejectsColumnOffsetOutOfBounds) {
+  // First col_offset lives at byte 24 (dim = 3). Point it past EOF, into
+  // the header, and at a misaligned byte.
+  ExpectReject(Patch<uint64_t>(24, uint64_t{1} << 40), "out of bounds");
+  ExpectReject(Patch<uint64_t>(24, 4), "out of bounds");
+  ExpectReject(Patch<uint64_t>(24, ColumnarHeaderBytes(3) + 1),
+               "out of bounds");
+}
+
+TEST_F(ColumnarCorruptTest, RejectsTruncatedFile) {
+  ExpectReject(bytes_.substr(0, 10), "truncated header");
+  ExpectReject("", "truncated header");
+  // Cut into the columns: the header parses but the extents don't fit.
+  ExpectReject(bytes_.substr(0, bytes_.size() - 8), "out of bounds");
+}
+
+TEST(DatasetViewTest, GatherAndCursorMatchAcrossLayouts) {
+  const PointSet ps = GenerateQuantized(Distribution::kAnticorrelated, 5000,
+                                        4, 31, Quantizer(12));
+  const std::string path = TempPath("columnar_view.zsc");
+  std::string error;
+  ASSERT_TRUE(WriteColumnarFile(path, ps, 12, &error)) << error;
+  const auto ds = ColumnarDataset::Open(path, &error);
+  ASSERT_NE(ds, nullptr) << error;
+
+  const DatasetView heap(ps);
+  const DatasetView cold = ds->view();
+
+  // Gather of a scattered row list is layout-independent.
+  const std::vector<uint32_t> rows = {0, 17, 4999, 2500, 2500, 1, 4096};
+  EXPECT_EQ(heap.Gather(rows).raw(), cold.Gather(rows).raw());
+
+  // A row-major cursor yields one zero-copy block over the whole range.
+  {
+    RowBlockCursor cursor(heap, 100, 4100, 512);
+    RowBlockCursor::Block block;
+    ASSERT_TRUE(cursor.Next(&block));
+    EXPECT_EQ(block.data, ps.raw().data() + 100 * 4);
+    EXPECT_EQ(block.first_row, 100u);
+    EXPECT_EQ(block.rows, 4000u);
+    EXPECT_FALSE(cursor.Next(&block));
+  }
+  // A columnar cursor transposes block-at-a-time; concatenated blocks
+  // reproduce the heap bytes exactly.
+  {
+    RowBlockCursor cursor(cold, 100, 4100, 512);
+    RowBlockCursor::Block block;
+    std::vector<Coord> assembled;
+    size_t expect_row = 100;
+    while (cursor.Next(&block)) {
+      EXPECT_EQ(block.first_row, expect_row);
+      EXPECT_LE(block.rows, 512u);
+      assembled.insert(assembled.end(), block.data,
+                       block.data + block.rows * 4);
+      expect_row += block.rows;
+    }
+    EXPECT_EQ(expect_row, 4100u);
+    EXPECT_TRUE(std::equal(assembled.begin(), assembled.end(),
+                           ps.raw().begin() + 100 * 4));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ColumnarResidencyTest, ReleaseAndDropPreserveContents) {
+  const PointSet ps = GenerateQuantized(Distribution::kIndependent, 20000, 6,
+                                        77, Quantizer(16));
+  const std::string path = TempPath("columnar_residency.zsc");
+  std::string error;
+  ASSERT_TRUE(WriteColumnarFile(path, ps, 16, &error)) << error;
+
+  ColumnarDataset::Options options;
+  options.bounded_residency = true;
+  const auto ds = ColumnarDataset::Open(path, &error, options);
+  ASSERT_NE(ds, nullptr) << error;
+  const DatasetView view = ds->view();
+  ASSERT_TRUE(view.has_release_hook());
+
+  // Stream the whole dataset (the cursor releases behind the scan), then
+  // drop the page cache outright; the mapping must still read back
+  // exactly — MADV_DONTNEED on a file-backed map zaps residency, never
+  // contents.
+  RowBlockCursor cursor(view, 0, view.size());
+  RowBlockCursor::Block block;
+  size_t seen = 0;
+  while (cursor.Next(&block)) seen += block.rows;
+  EXPECT_EQ(seen, ps.size());
+  ds->DropPageCache();
+  EXPECT_EQ(view.Materialize().raw(), ps.raw());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace zsky

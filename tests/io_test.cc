@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <limits>
 
 #include "algo/bnl.h"
 #include "common/quantizer.h"
@@ -127,20 +128,87 @@ TEST(BinaryTest, EmptySetRoundTrip) {
   EXPECT_TRUE(back->empty());
 }
 
+// Builds a syntactically valid .zpt header with arbitrary (untrusted)
+// fields, for the corrupt-file matrix below.
+std::string CraftBinaryHeader(uint32_t version, uint32_t dim,
+                              uint64_t count) {
+  std::string out("ZSKY", 4);
+  out.append(reinterpret_cast<const char*>(&version), sizeof(version));
+  out.append(reinterpret_cast<const char*>(&dim), sizeof(dim));
+  out.append(reinterpret_cast<const char*>(&count), sizeof(count));
+  return out;
+}
+
 TEST(BinaryTest, RejectsCorruptInput) {
   const PointSet ps = GenerateQuantized(Distribution::kIndependent, 10, 2, 4,
                                         Quantizer(8));
-  std::string bytes = SerializePointSet(ps);
+  const std::string bytes = SerializePointSet(ps);
   std::string error;
+
   EXPECT_FALSE(DeserializePointSet("nope", &error).has_value());
   EXPECT_EQ(error, "bad magic");
-  std::string truncated = bytes.substr(0, bytes.size() - 3);
-  EXPECT_FALSE(DeserializePointSet(truncated, &error).has_value());
+  EXPECT_FALSE(DeserializePointSet("", &error).has_value());
+  EXPECT_EQ(error, "bad magic");
+
+  // Truncation at every header boundary: magic | version | dim | count.
+  EXPECT_FALSE(DeserializePointSet(bytes.substr(0, 3), &error).has_value());
+  EXPECT_EQ(error, "bad magic");
+  EXPECT_FALSE(DeserializePointSet(bytes.substr(0, 6), &error).has_value());
+  EXPECT_EQ(error, "unsupported version");
+  EXPECT_FALSE(DeserializePointSet(bytes.substr(0, 10), &error).has_value());
+  EXPECT_EQ(error, "bad dimension");
+  EXPECT_FALSE(DeserializePointSet(bytes.substr(0, 14), &error).has_value());
+  EXPECT_EQ(error, "truncated header");
+
+  // Truncated and padded payloads are distinct failures.
+  EXPECT_FALSE(
+      DeserializePointSet(bytes.substr(0, bytes.size() - 3), &error)
+          .has_value());
+  EXPECT_EQ(error, "truncated payload");
+  EXPECT_FALSE(DeserializePointSet(bytes + "xx", &error).has_value());
   EXPECT_EQ(error, "payload size mismatch");
+
   std::string wrong_version = bytes;
   wrong_version[4] = 99;
   EXPECT_FALSE(DeserializePointSet(wrong_version, &error).has_value());
   EXPECT_EQ(error, "unsupported version");
+}
+
+TEST(BinaryTest, RejectsHostileHeaderFields) {
+  std::string error;
+
+  // dim = 0 and dim beyond the cap.
+  EXPECT_FALSE(DeserializePointSet(CraftBinaryHeader(1, 0, 4), &error)
+                   .has_value());
+  EXPECT_EQ(error, "bad dimension");
+  EXPECT_FALSE(
+      DeserializePointSet(CraftBinaryHeader(1, kMaxDeserializedDim + 1, 4),
+                          &error)
+          .has_value());
+  EXPECT_EQ(error, "bad dimension");
+
+  // Counts whose byte size wraps 64-bit arithmetic. Before the checked
+  // math, count * dim * sizeof(Coord) could wrap to a tiny "expected"
+  // size, pass the length check, and turn the memcpy into a heap
+  // overflow.
+  const uint64_t kMax = std::numeric_limits<uint64_t>::max();
+  for (const uint64_t count : {kMax, kMax / 2, uint64_t{1} << 61}) {
+    EXPECT_FALSE(DeserializePointSet(CraftBinaryHeader(1, 2, count), &error)
+                     .has_value());
+    EXPECT_EQ(error, "count overflows size arithmetic") << count;
+  }
+  // Exact wrap-to-zero: count * dim * 4 == 2^64, so the unchecked product
+  // is 0 and an empty payload would "match".
+  EXPECT_FALSE(
+      DeserializePointSet(CraftBinaryHeader(1, 4, uint64_t{1} << 60), &error)
+          .has_value());
+  EXPECT_EQ(error, "count overflows size arithmetic");
+
+  // A plausible-but-unbacked count: header says a million rows, payload
+  // has none.
+  EXPECT_FALSE(DeserializePointSet(CraftBinaryHeader(1, 4, 1000000), &error)
+                   .has_value());
+  EXPECT_EQ(error, "truncated payload");
 }
 
 TEST(BinaryTest, FileRoundTrip) {

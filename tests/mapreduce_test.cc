@@ -976,8 +976,14 @@ TEST(MapReduceJobTest, ColumnarMatchesLegacyAcrossTheMatrix) {
     options.enable_combiner = combiner;
     options.spill_to_disk = spill == Spill::kFull;
     if (spill == Spill::kBudget) {
-      // Small enough that only the biggest task buffers spill.
-      options.shuffle_memory_budget_bytes = 64 * 1024;
+      // The paths account differently, so each gets a budget that forces
+      // a *partial* spill under its own accounting: the legacy path
+      // counts record bytes (378 KB total, largest tasks spill until the
+      // rest fits 128 KB), the columnar path counts pinned chunk capacity
+      // (~384 KB per task — the first finisher stays under 512 KB and
+      // later tasks spill themselves mid-wave).
+      options.shuffle_memory_budget_bytes =
+          legacy ? 128 * 1024 : 512 * 1024;
     }
     options.spill_dir = dir.string();
     if (retry) {
@@ -1047,8 +1053,11 @@ TEST(MapReduceJobTest, MemoryBudgetSpillsLargestTasksFirst) {
   options.num_reduce_tasks = 2;
   options.num_threads = 2;
   options.spill_dir = ::testing::TempDir();
-  // Task t emits (t+1)*3000 records of 12 bytes: sizes 36 KB .. 216 KB,
-  // 756 KB total. A 300 KB budget must spill the biggest tasks only.
+  // The budget counts chunk CAPACITY, what the arenas pin: task t emits
+  // (t+1)*3000 records split over 2 buckets, so tasks 0..4 pin one 96 KB
+  // chunk per bucket (192 KB) and task 5 (4500 records/bucket) pins 384
+  // KB. A 300 KB budget keeps only the first task to finish buffered;
+  // every later task self-spills mid-wave.
   options.shuffle_memory_budget_bytes = 300 * 1024;
   MapReduceJob<uint64_t> job(options);
   std::mutex mu;
@@ -1072,9 +1081,9 @@ TEST(MapReduceJobTest, MemoryBudgetSpillsLargestTasksFirst) {
   EXPECT_GT(metrics.spilled_tasks, 0u);
   EXPECT_LT(metrics.spilled_tasks, 6u);
   EXPECT_GT(metrics.spill_bytes, 0u);
-  // Tasks 6+5 (216 KB + 180 KB) suffice: 756 - 396 = 360 > 300, plus task
-  // 4 (144 KB) lands at 216 KB <= 300 KB. Exactly three spills.
-  EXPECT_EQ(metrics.spilled_tasks, 3u);
+  // Whatever the completion order, the first finished task (192 KB) fits
+  // the budget and every subsequent one crosses it: exactly five spills.
+  EXPECT_EQ(metrics.spilled_tasks, 5u);
 
   // Same sums without any budget.
   MapReduceJob<uint64_t>::Options plain;

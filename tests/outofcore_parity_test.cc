@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "algo/bnl.h"
+#include "common/quantizer.h"
+#include "core/executor.h"
+#include "core/query_plan.h"
+#include "core/query_service.h"
+#include "gen/synthetic.h"
+#include "io/columnar.h"
+
+namespace zsky {
+namespace {
+
+constexpr uint32_t kBits = 12;
+
+// The tentpole guarantee of the out-of-core subsystem: the pipeline over
+// an mmap'd columnar dataset is BIT-identical to the pipeline over the
+// same points on the heap — for every partitioning scheme and local
+// algorithm, and against the centralized BNL oracle. Both paths run the
+// same code over a DatasetView, so any divergence is a layout bug
+// (transpose, gather, or block-boundary error), exactly what this matrix
+// exists to catch (scripts/check.sh runs it under ASan too).
+
+struct ParityCase {
+  PartitioningScheme partitioning;
+  LocalAlgorithm local;
+};
+
+std::string ParityCaseName(const ::testing::TestParamInfo<ParityCase>& info) {
+  std::string name =
+      std::string(PartitioningSchemeName(info.param.partitioning)) + "_" +
+      std::string(LocalAlgorithmName(info.param.local));
+  for (char& ch : name) {
+    if (ch == '-') ch = '_';
+  }
+  return name;
+}
+
+class OutOfCoreParityTest : public ::testing::TestWithParam<ParityCase> {
+ protected:
+  static void SetUpTestSuite() {
+    points_ = new PointSet(GenerateQuantized(Distribution::kAnticorrelated,
+                                             3000, 4, 913, Quantizer(kBits)));
+    // Pid-qualified: ctest runs each parameterized case as its own
+    // (often parallel) process, and truncating a file a sibling process
+    // has mmap'd is a SIGBUS.
+    path_ = new std::string(::testing::TempDir() + "/" +
+                            std::to_string(::getpid()) +
+                            "_outofcore_parity.zsc");
+    std::string error;
+    ASSERT_TRUE(WriteColumnarFile(*path_, *points_, kBits, &error)) << error;
+  }
+  static void TearDownTestSuite() {
+    std::remove(path_->c_str());
+    delete points_;
+    delete path_;
+    points_ = nullptr;
+    path_ = nullptr;
+  }
+
+  static PointSet* points_;
+  static std::string* path_;
+};
+
+PointSet* OutOfCoreParityTest::points_ = nullptr;
+std::string* OutOfCoreParityTest::path_ = nullptr;
+
+TEST_P(OutOfCoreParityTest, MmapMatchesHeapAndOracle) {
+  const ParityCase& c = GetParam();
+  ExecutorOptions options;
+  options.partitioning = c.partitioning;
+  options.local = c.local;
+  options.merge = MergeAlgorithm::kZMerge;
+  options.num_groups = 6;
+  options.expansion = 3;
+  options.sample_ratio = 0.05;
+  options.bits = kBits;
+  options.num_map_tasks = 7;
+  options.num_threads = 4;
+
+  std::string error;
+  const auto mapped = ColumnarDataset::Open(*path_, &error);
+  ASSERT_NE(mapped, nullptr) << error;
+
+  const ParallelSkylineExecutor executor(options);
+  const SkylineIndices heap = executor.Execute(*points_).skyline;
+  const SkylineIndices mmapped = executor.Execute(mapped->view()).skyline;
+  EXPECT_EQ(heap, mmapped) << options.Label();
+  EXPECT_EQ(mmapped, BnlSkyline(*points_)) << options.Label();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemesAndLocals, OutOfCoreParityTest,
+    ::testing::ValuesIn([] {
+      std::vector<ParityCase> cases;
+      for (PartitioningScheme scheme :
+           {PartitioningScheme::kRandom, PartitioningScheme::kGrid,
+            PartitioningScheme::kAngle, PartitioningScheme::kQuadTree,
+            PartitioningScheme::kNaiveZ, PartitioningScheme::kZhg,
+            PartitioningScheme::kZdg}) {
+        for (LocalAlgorithm local :
+             {LocalAlgorithm::kSortBased, LocalAlgorithm::kZSearch,
+              LocalAlgorithm::kBbs}) {
+          cases.push_back({scheme, local});
+        }
+      }
+      return cases;
+    }()),
+    ParityCaseName);
+
+// Bounded residency (release hook armed, pages dropped behind every map
+// scan) and a shuffle budget must not change a single result bit.
+TEST(OutOfCoreBoundedTest, BudgetAndResidencyPreserveResults) {
+  const PointSet points = GenerateQuantized(Distribution::kAnticorrelated,
+                                            5000, 6, 4242, Quantizer(kBits));
+  const std::string path = ::testing::TempDir() + "/" +
+                           std::to_string(::getpid()) +
+                           "_outofcore_bounded.zsc";
+  std::string error;
+  ASSERT_TRUE(WriteColumnarFile(path, points, kBits, &error)) << error;
+
+  ExecutorOptions options;
+  options.partitioning = PartitioningScheme::kZdg;
+  options.local = LocalAlgorithm::kZSearch;
+  options.merge = MergeAlgorithm::kZMerge;
+  options.num_groups = 4;
+  options.bits = kBits;
+  options.num_threads = 2;
+  const SkylineIndices heap =
+      ParallelSkylineExecutor(options).Execute(points).skyline;
+
+  ColumnarDataset::Options map_options;
+  map_options.bounded_residency = true;
+  const auto mapped = ColumnarDataset::Open(path, &error, map_options);
+  ASSERT_NE(mapped, nullptr) << error;
+  ASSERT_TRUE(mapped->view().has_release_hook());
+
+  ExecutorOptions bounded = options;
+  bounded.shuffle_memory_budget_bytes = 64 * 1024;
+  const SkylineIndices out_of_core =
+      ParallelSkylineExecutor(bounded).Execute(mapped->view()).skyline;
+  EXPECT_EQ(heap, out_of_core);
+  EXPECT_EQ(out_of_core, BnlSkyline(points));
+  std::remove(path.c_str());
+}
+
+// QueryService::SetDatasetFile serves the mmap'd file bit-identically to
+// SetDataset over the same points, across the plan build and warm reuse.
+TEST(OutOfCoreServiceTest, SetDatasetFileMatchesHeapService) {
+  const PointSet points = GenerateQuantized(Distribution::kAnticorrelated,
+                                            4000, 5, 99, Quantizer(kBits));
+  const std::string path = ::testing::TempDir() + "/" +
+                           std::to_string(::getpid()) +
+                           "_outofcore_service.zsc";
+  std::string error;
+  ASSERT_TRUE(WriteColumnarFile(path, points, kBits, &error)) << error;
+
+  QueryServiceOptions options;
+  options.executor.partitioning = PartitioningScheme::kZdg;
+  options.executor.local = LocalAlgorithm::kZSearch;
+  options.executor.num_groups = 4;
+  options.executor.bits = kBits;
+  options.executor.num_threads = 2;
+  options.executor.shuffle_memory_budget_bytes = 256 * 1024;
+
+  QueryService heap_service(options, PointSet(points));
+  QueryService mmap_service(options);
+  ASSERT_TRUE(mmap_service.SetDatasetFile(path, &error)) << error;
+
+  const SkylineIndices heap_cold = heap_service.Query().skyline;
+  const SkylineIndices mmap_cold = mmap_service.Query().skyline;
+  EXPECT_EQ(heap_cold, mmap_cold);
+  EXPECT_EQ(mmap_cold, BnlSkyline(points));
+  // Warm path (plan reuse) stays identical too.
+  const SkylineQueryResult warm = mmap_service.Query();
+  EXPECT_TRUE(warm.metrics.plan_reused);
+  EXPECT_EQ(warm.skyline, heap_cold);
+
+  // A malformed path leaves the installed snapshot untouched.
+  EXPECT_FALSE(mmap_service.SetDatasetFile("/nonexistent/x.zsc", &error));
+  EXPECT_EQ(mmap_service.Query().skyline, heap_cold);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace zsky

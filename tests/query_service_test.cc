@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "algo/bnl.h"
 #include "common/quantizer.h"
+#include "core/calibration_io.h"
 #include "core/metrics_registry.h"
 #include "core/query_service.h"
 #include "gen/synthetic.h"
@@ -220,6 +223,81 @@ TEST(QueryServiceTest, AdmissionIsBounded) {
 
   EXPECT_EQ(mismatches.load(), 0);
   EXPECT_LE(service.stats().peak_in_flight, 2u);
+}
+
+TEST(CalibrationPersistenceTest, TextRoundTripIsExact) {
+  PlanCalibration cal;
+  cal.map_us_per_record = 0.123456789012345;
+  cal.sb_us_per_pair = 1e-7;
+  cal.zs_us_per_record_log = 3.25;
+  cal.merge_us_per_candidate = 0.5;
+  cal.job1_scale = 128.375;
+  cal.job2_scale = 11.40625;
+
+  std::string error;
+  PlanCalibration parsed;
+  ASSERT_TRUE(ParseCalibration(SerializeCalibration(cal), &parsed, &error))
+      << error;
+  // max_digits10 serialization: bit-exact, not approximately equal.
+  EXPECT_EQ(parsed.map_us_per_record, cal.map_us_per_record);
+  EXPECT_EQ(parsed.sb_us_per_pair, cal.sb_us_per_pair);
+  EXPECT_EQ(parsed.zs_us_per_record_log, cal.zs_us_per_record_log);
+  EXPECT_EQ(parsed.merge_us_per_candidate, cal.merge_us_per_candidate);
+  EXPECT_EQ(parsed.job1_scale, cal.job1_scale);
+  EXPECT_EQ(parsed.job2_scale, cal.job2_scale);
+
+  // Unknown keys are ignored so newer writers stay readable.
+  ASSERT_TRUE(ParseCalibration(
+      SerializeCalibration(cal) + "future_knob 3.5\n", &parsed, &error))
+      << error;
+  EXPECT_EQ(parsed.job1_scale, cal.job1_scale);
+
+  // Garbage is rejected, not silently defaulted.
+  EXPECT_FALSE(ParseCalibration("not a calibration file\n", &parsed, &error));
+  EXPECT_FALSE(
+      ParseCalibration("zsky-calibration v1\njob1_scale\n", &parsed, &error));
+}
+
+TEST(CalibrationPersistenceTest, SurvivesServiceRestart) {
+  const std::string path =
+      ::testing::TempDir() + "/query_service_calibration.txt";
+  std::remove(path.c_str());
+  const PointSet points =
+      MakePoints(Distribution::kAnticorrelated, 3000, 4, 101);
+
+  QueryServiceOptions options = MakeServiceOptions();
+  options.calibration_file = path;
+  options.adaptive_planning = true;
+  options.replan_threshold = 1e-6;  // Any prediction error recalibrates.
+
+  // First lifetime: learn a calibration, save it on shutdown.
+  PlanCalibration learned;
+  {
+    QueryService service(options, points);
+    const SkylineIndices oracle = BnlSkyline(points);
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(service.Query().skyline, oracle);
+    learned = service.calibration();
+    EXPECT_NE(learned.job1_scale, 1.0);
+  }
+
+  // Second lifetime: the learned model is back before the first query.
+  {
+    QueryService service(options, points);
+    const PlanCalibration restored = service.calibration();
+    EXPECT_EQ(restored.job1_scale, learned.job1_scale);
+    EXPECT_EQ(restored.job2_scale, learned.job2_scale);
+    EXPECT_EQ(restored.map_us_per_record, learned.map_us_per_record);
+    EXPECT_EQ(service.Query().skyline, BnlSkyline(points));
+  }
+
+  // A missing file is a clean first boot, not an error.
+  std::remove(path.c_str());
+  {
+    QueryService service(options, points);
+    EXPECT_EQ(service.calibration().job1_scale, PlanCalibration{}.job1_scale);
+    EXPECT_EQ(service.Query().skyline, BnlSkyline(points));
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

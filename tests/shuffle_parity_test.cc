@@ -76,9 +76,11 @@ SkylineIndices RunPipeline(const PointSet& points, const ParityCase& c,
       options.spill_to_disk = true;
       break;
     case SpillMode::kBudget:
-      // Far below job 1's buffered map output on 4000 points, so the
-      // largest task buffers spill and the rest stay in memory.
-      options.shuffle_memory_budget_bytes = 4 * 1024;
+      // The budget is accounted at chunk capacity (~64 KiB per non-empty
+      // bucket), so each of job 1's map tasks pins a few hundred KiB.
+      // 1 MiB holds the first task or two and forces the rest to spill
+      // mid-wave: a partial spill whatever the completion order.
+      options.shuffle_memory_budget_bytes = 1024 * 1024;
       break;
   }
   if (c.retry) {

@@ -2,13 +2,19 @@
 // CSV files with any strategy combination.
 //
 //   zsky_cli gen   --dist <indep|corr|anti> --n <rows> --dim <d>
-//                  [--seed S] [--out file.csv]
-//   zsky_cli query --in file.csv [--scheme grid|angle|quadtree|naive-z|
-//                  zhg|zdg] [--local sb|zs] [--merge sb|zs|zm]
+//                  [--seed S] [--out file.csv|file.zsc]
+//   zsky_cli convert --in file.csv --out file.zsc [--max col1,col3]
+//   zsky_cli query --in file.csv|file.zsc [--scheme grid|angle|quadtree|
+//                  naive-z|zhg|zdg] [--local sb|zs] [--merge sb|zs|zm]
 //                  [--groups M] [--max col1,col3] [--topk K]
-//                  [--rank count|sum] [--metrics]
+//                  [--rank count|sum] [--budget BYTES] [--metrics]
 //
 // `--max` lists columns to maximize (everything else is minimized).
+//
+// `.zsc` inputs are mmap'd columnar datasets (docs/storage.md): the query
+// runs out of core, and `--budget` bounds both the shuffle arena and the
+// mapping's resident set. `gen --out file.zsc` streams the dataset to disk
+// in chunks, so generating 50M+ rows never materializes them in memory.
 
 #include <algorithm>
 #include <atomic>
@@ -32,20 +38,25 @@ using namespace zsky;
   std::fprintf(stderr,
                "usage:\n"
                "  zsky_cli gen   --dist indep|corr|anti --n N --dim D"
-               " [--seed S] [--out FILE]\n"
-               "  zsky_cli query --in FILE [--scheme zdg] [--local zs]"
+               " [--seed S] [--out FILE[.zsc]]\n"
+               "  zsky_cli convert --in FILE.csv|.zpt --out FILE.zsc"
+               " [--max c0,c2,...]\n"
+               "  zsky_cli query --in FILE[.zsc] [--scheme zdg] [--local zs]"
                " [--merge zm]\n"
                "                 [--groups M] [--max c0,c2,...]"
                " [--topk K] [--rank count|sum]\n"
-               "                 [--plan] [--metrics] [--json]"
-               " [--trace-out FILE]\n"
+               "                 [--budget BYTES] [--plan] [--metrics]"
+               " [--json] [--trace-out FILE]\n"
                "  zsky_cli skyband --in FILE --k K [--groups M]"
                " [--metrics]\n"
-               "  zsky_cli serve --in FILE [--repeat N] [--concurrency C]\n"
+               "  zsky_cli serve --in FILE[.zsc] [--repeat N]"
+               " [--concurrency C]\n"
                "                 [--scheme zdg] [--local zs] [--merge zm]"
                " [--groups M] [--json]\n"
-               "                 [--adaptive] [--replan-threshold T]\n"
-               "                 [--stats-every N] [--trace-out FILE]\n"
+               "                 [--budget BYTES] [--adaptive]"
+               " [--replan-threshold T]\n"
+               "                 [--calibration-file FILE]"
+               " [--stats-every N] [--trace-out FILE]\n"
                "  zsky_cli cpu\n");
   std::exit(2);
 }
@@ -72,6 +83,11 @@ std::string Flag(const std::map<std::string, std::string>& flags,
                  const std::string& name, const std::string& fallback) {
   auto it = flags.find(name);
   return it == flags.end() ? fallback : it->second;
+}
+
+bool HasSuffix(const std::string& s, const char* suffix) {
+  const size_t len = std::strlen(suffix);
+  return s.size() >= len && s.compare(s.size() - len, len, suffix) == 0;
 }
 
 // --trace-out support, shared by `query` and `serve`. Arms the global
@@ -115,6 +131,32 @@ int RunGen(const std::map<std::string, std::string>& flags) {
       std::strtoull(Flag(flags, "seed", "42").c_str(), nullptr, 10);
   if (n == 0 || dim == 0) Usage("--n and --dim must be positive");
 
+  const std::string out = Flag(flags, "out", "");
+  if (HasSuffix(out, ".zsc")) {
+    // Streaming columnar output: quantized chunks go straight to the
+    // ColumnarWriter, so --n 50000000 never materializes 50M rows —
+    // peak memory is one chunk regardless of N. Each chunk is generated
+    // under seed + chunk index (deterministic in the flags).
+    const Quantizer quantizer(16);
+    constexpr size_t kGenChunkRows = 1 << 20;
+    ColumnarWriter writer(out, dim, n, quantizer.bits());
+    for (size_t begin = 0; begin < n && writer.ok();
+         begin += kGenChunkRows) {
+      const size_t rows = std::min(kGenChunkRows, n - begin);
+      const PointSet chunk = GenerateQuantized(
+          dist, rows, dim, seed + begin / kGenChunkRows, quantizer);
+      writer.AppendRows(chunk.raw().data(), chunk.size());
+    }
+    if (!writer.ok() || !writer.Finish()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", out.c_str(),
+                   writer.error().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %zu rows x %u cols to %s (columnar)\n", n,
+                 dim, out.c_str());
+    return 0;
+  }
+
   CsvTable table;
   table.dim = dim;
   table.rows = n;
@@ -124,7 +166,6 @@ int RunGen(const std::map<std::string, std::string>& flags) {
   table.values = GenerateSynthetic(dist, n, dim, seed);
   const std::string csv = WriteCsv(table, CsvOptions{});
 
-  const std::string out = Flag(flags, "out", "");
   if (out.empty()) {
     std::fwrite(csv.data(), 1, csv.size(), stdout);
   } else {
@@ -183,16 +224,9 @@ ExecutorOptions StrategyFromFlags(
   return options;
 }
 
-int RunQuery(const std::map<std::string, std::string>& flags) {
-  const std::string in = Flag(flags, "in", "");
-  if (in.empty()) Usage("query requires --in");
-  std::string error;
-  auto table = ReadCsvFile(in, CsvOptions{}, &error);
-  if (!table.has_value()) {
-    std::fprintf(stderr, "csv error: %s\n", error.c_str());
-    return 1;
-  }
-
+// `--max` parsing (column names or indices), shared by query and convert.
+std::vector<uint32_t> ParseMaximize(
+    const std::map<std::string, std::string>& flags, const CsvTable& table) {
   std::vector<uint32_t> maximize;
   const std::string max_flag = Flag(flags, "max", "");
   size_t pos = 0;
@@ -204,8 +238,8 @@ int RunQuery(const std::map<std::string, std::string>& flags) {
     if (token.empty()) continue;
     // Accept column names or indices.
     bool matched = false;
-    for (uint32_t c = 0; c < table->dim; ++c) {
-      if (table->columns[c] == token) {
+    for (uint32_t c = 0; c < table.dim; ++c) {
+      if (table.columns[c] == token) {
         maximize.push_back(c);
         matched = true;
         break;
@@ -214,15 +248,129 @@ int RunQuery(const std::map<std::string, std::string>& flags) {
     if (!matched) {
       char* end = nullptr;
       const unsigned long index = std::strtoul(token.c_str(), &end, 10);
-      if (end == nullptr || *end != '\0' || index >= table->dim) {
+      if (end == nullptr || *end != '\0' || index >= table.dim) {
         Usage(("unknown column in --max: " + token).c_str());
       }
       maximize.push_back(static_cast<uint32_t>(index));
     }
   }
+  return maximize;
+}
+
+// Smallest bit width that holds every coordinate of `points` (>= 1).
+uint32_t BitsForCoords(const PointSet& points) {
+  Coord max_coord = 0;
+  for (const Coord c : points.raw()) max_coord = std::max(max_coord, c);
+  uint32_t bits = 1;
+  while (bits < 32 && (max_coord >> bits) != 0) ++bits;
+  return bits;
+}
+
+// csv/.zpt -> .zsc conversion. CSV goes through the same quantization as
+// `query` (Quantizer(16) + --max), so converting and then querying the
+// .zsc gives bit-identical skylines to querying the CSV directly.
+int RunConvert(const std::map<std::string, std::string>& flags) {
+  const std::string in = Flag(flags, "in", "");
+  const std::string out = Flag(flags, "out", "");
+  if (in.empty() || out.empty()) Usage("convert requires --in and --out");
+  if (!HasSuffix(out, ".zsc")) Usage("convert --out must end in .zsc");
+
+  std::string error;
+  PointSet points(1);
+  uint32_t bits = 16;
+  if (HasSuffix(in, ".zpt")) {
+    auto loaded = ReadPointSetFile(in, &error);
+    if (!loaded.has_value()) {
+      std::fprintf(stderr, "read error: %s\n", error.c_str());
+      return 1;
+    }
+    points = std::move(*loaded);
+    // .zpt carries no resolution metadata; record the tightest width that
+    // covers the data.
+    bits = BitsForCoords(points);
+  } else {
+    auto table = ReadCsvFile(in, CsvOptions{}, &error);
+    if (!table.has_value()) {
+      std::fprintf(stderr, "csv error: %s\n", error.c_str());
+      return 1;
+    }
+    const Quantizer quantizer(16);
+    points = TableToPoints(*table, ParseMaximize(flags, *table), quantizer);
+    bits = quantizer.bits();
+  }
+
+  if (!WriteColumnarFile(out, points, bits, &error)) {
+    std::fprintf(stderr, "convert error: %s\n", error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %zu rows x %u cols (%u bits) to %s\n",
+               points.size(), points.dim(), bits, out.c_str());
+  return 0;
+}
+
+// Out-of-core query path: mmap the .zsc and run the pipeline over its
+// columnar view. No CSV table exists, so --max/--topk (which need raw
+// column values) are rejected; quantization happened at convert time.
+int RunQueryColumnar(const std::map<std::string, std::string>& flags,
+                     const std::string& in) {
+  if (flags.count("max") != 0 || flags.count("topk") != 0) {
+    Usage("--max/--topk are csv-input features; bake --max in at convert "
+          "time");
+  }
+  const size_t budget =
+      std::strtoull(Flag(flags, "budget", "0").c_str(), nullptr, 10);
+  ColumnarDataset::Options map_options;
+  map_options.bounded_residency = budget > 0;
+  std::string error;
+  const auto dataset = ColumnarDataset::Open(in, &error, map_options);
+  if (dataset == nullptr) {
+    std::fprintf(stderr, "zsc error: %s\n", error.c_str());
+    return 1;
+  }
+
+  ExecutorOptions options = StrategyFromFlags(flags, dataset->bits());
+  options.shuffle_memory_budget_bytes = budget;
+  if (flags.count("plan") != 0) {
+    const PlanChoice choice = ChoosePlan(dataset->view(), options);
+    options = choice.options;
+    std::fprintf(stderr, "plan: %s\n", choice.rationale.c_str());
+  }
+
+  const std::string trace_path = TraceBegin(flags);
+  const SkylineQueryResult result =
+      ParallelSkylineExecutor(options).Execute(dataset->view());
+  TraceEnd(trace_path);
+
+  std::printf("skyline rows (%zu of %zu):\n", result.skyline.size(),
+              dataset->size());
+  for (uint32_t row : result.skyline) std::printf("%u\n", row);
+  if (flags.count("metrics") != 0) {
+    std::fprintf(stderr, "%s\n%s",
+                 FormatRunSummary(options, dataset->size(), result).c_str(),
+                 FormatPhaseMetrics(result.metrics).c_str());
+  }
+  if (flags.count("json") != 0) {
+    std::fprintf(stderr, "%s\n",
+                 MetricsToJson(result.metrics, &MetricsRegistry::Global())
+                     .c_str());
+  }
+  return 0;
+}
+
+int RunQuery(const std::map<std::string, std::string>& flags) {
+  const std::string in = Flag(flags, "in", "");
+  if (in.empty()) Usage("query requires --in");
+  if (HasSuffix(in, ".zsc")) return RunQueryColumnar(flags, in);
+  std::string error;
+  auto table = ReadCsvFile(in, CsvOptions{}, &error);
+  if (!table.has_value()) {
+    std::fprintf(stderr, "csv error: %s\n", error.c_str());
+    return 1;
+  }
 
   const Quantizer quantizer(16);
-  const PointSet points = TableToPoints(*table, maximize, quantizer);
+  const PointSet points =
+      TableToPoints(*table, ParseMaximize(flags, *table), quantizer);
 
   ExecutorOptions options = StrategyFromFlags(flags, quantizer.bits());
 
@@ -313,14 +461,34 @@ int RunSkyband(const std::map<std::string, std::string>& flags) {
 int RunServe(const std::map<std::string, std::string>& flags) {
   const std::string in = Flag(flags, "in", "");
   if (in.empty()) Usage("serve requires --in");
+  const bool columnar = HasSuffix(in, ".zsc");
+  const size_t budget =
+      std::strtoull(Flag(flags, "budget", "0").c_str(), nullptr, 10);
   std::string error;
-  auto table = ReadCsvFile(in, CsvOptions{}, &error);
-  if (!table.has_value()) {
-    std::fprintf(stderr, "csv error: %s\n", error.c_str());
-    return 1;
+  PointSet points(1);
+  size_t total_rows = 0;
+  uint32_t bits = 16;
+  if (columnar) {
+    // Peek the header for the coordinate resolution; the service mmaps
+    // the file itself via SetDatasetFile below.
+    const auto peek = ColumnarDataset::Open(in, &error);
+    if (peek == nullptr) {
+      std::fprintf(stderr, "zsc error: %s\n", error.c_str());
+      return 1;
+    }
+    bits = peek->bits();
+    total_rows = peek->size();
+  } else {
+    auto table = ReadCsvFile(in, CsvOptions{}, &error);
+    if (!table.has_value()) {
+      std::fprintf(stderr, "csv error: %s\n", error.c_str());
+      return 1;
+    }
+    const Quantizer quantizer(16);
+    points = TableToPoints(*table, {}, quantizer);
+    bits = quantizer.bits();
+    total_rows = points.size();
   }
-  const Quantizer quantizer(16);
-  PointSet points = TableToPoints(*table, {}, quantizer);
 
   const size_t repeat = std::max<size_t>(
       1, std::strtoull(Flag(flags, "repeat", "8").c_str(), nullptr, 10));
@@ -332,7 +500,8 @@ int RunServe(const std::map<std::string, std::string>& flags) {
       std::strtoull(Flag(flags, "stats-every", "0").c_str(), nullptr, 10);
 
   QueryServiceOptions service_options;
-  service_options.executor = StrategyFromFlags(flags, quantizer.bits());
+  service_options.executor = StrategyFromFlags(flags, bits);
+  service_options.executor.shuffle_memory_budget_bytes = budget;
   service_options.max_in_flight =
       static_cast<uint32_t>(std::max<size_t>(concurrency, 1));
   // --adaptive: plan builds run the cost-based planner (ChoosePlan) and
@@ -340,13 +509,24 @@ int RunServe(const std::map<std::string, std::string>& flags) {
   service_options.adaptive_planning = flags.count("adaptive") != 0;
   service_options.replan_threshold = std::strtod(
       Flag(flags, "replan-threshold", "0.5").c_str(), nullptr);
-  QueryService service(service_options, std::move(points));
+  // --calibration-file: persist the learned cost-model constants across
+  // restarts (loaded now, written on shutdown).
+  service_options.calibration_file = Flag(flags, "calibration-file", "");
+  QueryService service(service_options);
+  if (columnar) {
+    if (!service.SetDatasetFile(in, &error)) {
+      std::fprintf(stderr, "zsc error: %s\n", error.c_str());
+      return 1;
+    }
+  } else {
+    service.SetDataset(std::move(points));
+  }
   const std::string trace_path = TraceBegin(flags);
 
   // Cold query: pays the plan build.
   const SkylineQueryResult cold = service.Query();
   std::printf("skyline rows (%zu of %zu):\n", cold.skyline.size(),
-              table->rows);
+              total_rows);
   for (uint32_t row : cold.skyline) std::printf("%u\n", row);
 
   // Warm queries: plan reused; issued from `concurrency` client threads.
@@ -438,6 +618,7 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const auto flags = ParseFlags(argc, argv, 2);
   if (command == "gen") return RunGen(flags);
+  if (command == "convert") return RunConvert(flags);
   if (command == "query") return RunQuery(flags);
   if (command == "skyband") return RunSkyband(flags);
   if (command == "serve") return RunServe(flags);
