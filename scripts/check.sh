@@ -30,6 +30,16 @@
 # record path in Release and fails on a >10% records/sec regression
 # against the committed BENCH_shuffle.json baseline.
 #
+# `scripts/check.sh queries` exercises the QueryDesc variant surface
+# (constrained / subspace / k-skyband, docs/queries.md): the full
+# scheme x local x variant parity matrix plus the QueryService variant
+# fuzz under AddressSanitizer, a CLI flag round trip, then bench_queries
+# in Release — which self-checks structural RZ-region pruning
+# (regions_pruned_by_box > 0) and the win over full-skyline-then-filter
+# at <= 10% box selectivity — with a >10% regression gate on the headline
+# 10%-selectivity constrained latency vs the committed
+# BENCH_queries.json baseline.
+#
 # `scripts/check.sh outofcore` exercises the mmap-backed .zsc subsystem:
 # a CLI gen -> convert -> query round trip, the format/corruption/parity
 # tests under AddressSanitizer (mmap-vs-heap bit-identity, bounded
@@ -64,7 +74,7 @@ if [ "${1:-}" = "tsan" ]; then
         -DZSKY_SANITIZE=thread \
         -DZSKY_BUILD_BENCHMARKS=OFF -DZSKY_BUILD_EXAMPLES=OFF >/dev/null
   cmake --build build-tsan --target mapreduce_test executor_test \
-        query_service_test
+        query_service_test fuzz_test
   ctest --test-dir build-tsan --output-on-failure \
         -R 'WorkerPool|MapReduceJob|TaskRunner|Executor|Pipeline|QueryService'
   echo "TSAN CHECKS PASSED"
@@ -157,6 +167,47 @@ if [ "${1:-}" = "shuffle" ]; then
     printf "OK: within 10%% of baseline (%.2fx)\n", c / b
   }'
   echo "SHUFFLE CHECKS PASSED"
+  exit 0
+fi
+
+if [ "${1:-}" = "queries" ]; then
+  echo "=== Query-variant parity matrix + service fuzz under ASan ==="
+  cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DZSKY_SANITIZE=address \
+        -DZSKY_BUILD_BENCHMARKS=OFF -DZSKY_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-asan --target query_variants_test query_plan_test \
+        fuzz_test query_service_test
+  ctest --test-dir build-asan --output-on-failure \
+        -R 'QueryVariant|VariantCache|BoxPruning|ConstrainedOracle|QueryServiceVariant|QueryServiceFuzz|ProjectDimsInto|PlanReuse|EstimatePlanCost'
+
+  echo "=== CLI variant-flag round trip (Release) ==="
+  cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build --target zsky_cli bench_queries
+  qt="$(mktemp -d)"
+  trap 'rm -rf "$qt"' EXIT
+  ./build/tools/zsky_cli gen --dist anti --n 20000 --dim 4 --seed 7 \
+    --out "$qt/q.csv"
+  ./build/tools/zsky_cli query --in "$qt/q.csv" \
+    --lo 0,0,0,0 --hi 6553,65535,65535,65535 --k 2 > "$qt/boxed.txt"
+  ./build/tools/zsky_cli query --in "$qt/q.csv" --dims 0,2 --flip 2 \
+    > "$qt/sub.txt"
+  echo "OK: $(head -1 "$qt/boxed.txt") / $(head -1 "$qt/sub.txt")"
+
+  echo "=== bench_queries: pruning win + latency baseline ==="
+  (cd build && ./bench/bench_queries)
+  baseline=$(grep -o '"constrained_ms_sel10": [0-9.]*' BENCH_queries.json \
+             | awk '{print $2}')
+  current=$(grep -o '"constrained_ms_sel10": [0-9.]*' \
+            build/BENCH_queries.json | awk '{print $2}')
+  echo "10%-selectivity constrained ms: baseline=$baseline current=$current"
+  awk -v b="$baseline" -v c="$current" 'BEGIN {
+    if (c > 1.1 * b) {
+      printf "FAIL: constrained query regressed >10%% (%.1f -> %.1f)\n", b, c
+      exit 1
+    }
+    printf "OK: within 10%% of baseline (%.2fx)\n", c / b
+  }'
+  echo "QUERIES CHECKS PASSED"
   exit 0
 fi
 

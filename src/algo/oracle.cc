@@ -1,0 +1,47 @@
+#include "algo/oracle.h"
+
+#include <vector>
+
+#include "algo/subspace.h"
+#include "common/dominance.h"
+
+namespace zsky {
+
+SkylineIndices OracleQuery(const PointSet& points, const QueryDesc& desc,
+                           Coord max_coord) {
+  SkylineIndices result;
+  if (points.empty()) return result;
+  const uint32_t dim = points.dim();
+  desc.CheckValid(dim);
+
+  // Candidates: the rows inside the box, in original row order.
+  std::vector<uint32_t> inside;
+  inside.reserve(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (desc.InBox(points[i])) inside.push_back(static_cast<uint32_t>(i));
+  }
+  if (inside.empty()) return result;
+
+  // Transform once into the query space; dominance below is the plain
+  // minimization test over the projected coords.
+  const std::vector<uint32_t> dims = desc.EffectiveDims(dim);
+  const std::vector<uint8_t> flips = desc.EffectiveFlips(dim);
+  PointSet q(static_cast<uint32_t>(dims.size()));
+  q.Reserve(inside.size());
+  std::vector<Coord> row(dims.size());
+  for (uint32_t r : inside) {
+    ProjectRowInto(points[r], dims, flips, max_coord, row);
+    q.Append(row);
+  }
+
+  for (size_t i = 0; i < inside.size(); ++i) {
+    uint32_t dominators = 0;
+    for (size_t j = 0; j < inside.size() && dominators < desc.k; ++j) {
+      if (j != i && Dominates(q[j], q[i])) ++dominators;
+    }
+    if (dominators < desc.k) result.push_back(inside[i]);
+  }
+  return result;
+}
+
+}  // namespace zsky

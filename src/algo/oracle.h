@@ -1,0 +1,25 @@
+#ifndef ZSKY_ALGO_ORACLE_H_
+#define ZSKY_ALGO_ORACLE_H_
+
+#include "algo/skyline.h"
+#include "common/point_set.h"
+#include "common/query_desc.h"
+
+namespace zsky {
+
+// BNL-style serial oracle for every QueryDesc variant: filters to the
+// constraint box, projects/flips onto the selected dims, and keeps the
+// points with fewer than k dominators among the in-box points. O(n^2)
+// dominance counting with early exit — the reference answer the parallel
+// pipeline is proven bit-identical against (tests/query_variants_test.cc,
+// the fuzz suites). Returns ascending row indices into `points`.
+//
+// `max_coord` bounds the coordinate domain for direction flips (pass
+// codec.max_coord(), i.e. (1 << bits) - 1); it is unused when the desc has
+// no flips.
+SkylineIndices OracleQuery(const PointSet& points, const QueryDesc& desc,
+                           Coord max_coord);
+
+}  // namespace zsky
+
+#endif  // ZSKY_ALGO_ORACLE_H_

@@ -1,0 +1,75 @@
+#include "common/query_desc.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace zsky {
+
+bool QueryDesc::has_flips() const {
+  for (uint8_t f : maximize) {
+    if (f != 0) return true;
+  }
+  return false;
+}
+
+void QueryDesc::Canonicalize() {
+  std::sort(dims.begin(), dims.end());
+  dims.erase(std::unique(dims.begin(), dims.end()), dims.end());
+  if (!has_flips()) maximize.clear();
+}
+
+void QueryDesc::CheckValid(uint32_t dim) const {
+  ZSKY_CHECK(k >= 1);
+  ZSKY_CHECK(box_lo.size() == box_hi.size());
+  if (has_box()) {
+    ZSKY_CHECK(box_lo.size() == dim);
+    for (uint32_t d = 0; d < dim; ++d) ZSKY_CHECK(box_lo[d] <= box_hi[d]);
+  }
+  ZSKY_CHECK(dims.size() <= dim);
+  // Strictly ascending (Canonicalize() produces this); uniqueness matters —
+  // a repeated dim would masquerade as a wider projection.
+  for (size_t j = 0; j < dims.size(); ++j) {
+    ZSKY_CHECK(dims[j] < dim);
+    if (j > 0) ZSKY_CHECK(dims[j] > dims[j - 1]);
+  }
+  ZSKY_CHECK(maximize.empty() || maximize.size() == dim);
+}
+
+std::string QueryDesc::ShapeKey() const {
+  std::string key = "k";
+  key += std::to_string(k);
+  key += "|d";
+  for (uint32_t d : dims) {
+    key += std::to_string(d);
+    key += ',';
+  }
+  key += "|f";
+  // An all-zero maximize is the same shape as an empty one; encode only
+  // the set bits so the two spellings share a cache entry.
+  for (size_t d = 0; d < maximize.size(); ++d) {
+    if (maximize[d] != 0) {
+      key += std::to_string(d);
+      key += ',';
+    }
+  }
+  return key;
+}
+
+std::vector<uint32_t> QueryDesc::EffectiveDims(uint32_t dim) const {
+  if (!dims.empty()) return dims;
+  std::vector<uint32_t> all(dim);
+  for (uint32_t d = 0; d < dim; ++d) all[d] = d;
+  return all;
+}
+
+std::vector<uint8_t> QueryDesc::EffectiveFlips(uint32_t dim) const {
+  const std::vector<uint32_t> eff = EffectiveDims(dim);
+  std::vector<uint8_t> flips(eff.size(), 0);
+  if (!maximize.empty()) {
+    for (size_t j = 0; j < eff.size(); ++j) flips[j] = maximize[eff[j]];
+  }
+  return flips;
+}
+
+}  // namespace zsky

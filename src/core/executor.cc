@@ -23,6 +23,11 @@ ParallelSkylineExecutor::ParallelSkylineExecutor(const ExecutorOptions& options)
 
 SkylineQueryResult ParallelSkylineExecutor::Execute(
     const DatasetView& points) const {
+  return Execute(points, QueryDesc{});
+}
+
+SkylineQueryResult ParallelSkylineExecutor::Execute(
+    const DatasetView& points, const QueryDesc& desc) const {
   SkylineQueryResult result;
   if (points.empty()) return result;
 
@@ -30,7 +35,7 @@ SkylineQueryResult ParallelSkylineExecutor::Execute(
   // Phase 1: learn the plan from scratch (the one-shot path; repeated
   // queries should PreparePlan once and amortize this).
   const PreparedPlan plan = PreparePlan(points, options_);
-  result = ExecuteWithPlan(plan, points);
+  result = ExecuteWithPlan(plan, points, desc);
 
   PhaseMetrics& pm = result.metrics;
   pm.plan_reused = false;
@@ -42,12 +47,19 @@ SkylineQueryResult ParallelSkylineExecutor::Execute(
 
 SkylineQueryResult ParallelSkylineExecutor::ExecuteWithPlan(
     const PreparedPlan& plan, const DatasetView& points) const {
+  return ExecuteWithPlan(plan, points, QueryDesc{});
+}
+
+SkylineQueryResult ParallelSkylineExecutor::ExecuteWithPlan(
+    const PreparedPlan& plan, const DatasetView& points,
+    const QueryDesc& desc) const {
   SkylineQueryResult result;
   PhaseMetrics& pm = result.metrics;
   if (points.empty()) return result;
   ZSKY_CHECK(plan.partitioner != nullptr);
   ZSKY_CHECK(plan.dim == points.dim());
   ZSKY_CHECK(plan.options.bits == options_.bits);
+  desc.CheckValid(points.dim());
 
   Stopwatch total_watch;
   pm.plan_reused = true;
@@ -58,10 +70,10 @@ SkylineQueryResult ParallelSkylineExecutor::ExecuteWithPlan(
   pm.num_groups = plan.partitioner->num_groups();
 
   CandidateList candidates =
-      RunCandidateJob(plan, options_, points, pool_.get(), pm);
+      RunCandidateJob(plan, options_, points, pool_.get(), pm, desc);
   result.skyline =
       RunMergeJob(plan, options_, points, std::move(candidates), pool_.get(),
-                  pm);
+                  pm, desc);
 
   pm.total_ms = total_watch.ElapsedMs();
   pm.sim_total_ms = pm.preprocess_ms + pm.sim_job1_ms + pm.sim_job2_ms;

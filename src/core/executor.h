@@ -8,6 +8,7 @@
 #include "algo/skyline.h"
 #include "common/dataset_view.h"
 #include "common/point_set.h"
+#include "common/query_desc.h"
 #include "core/options.h"
 #include "index/zmerge.h"
 #include "mapreduce/metrics.h"
@@ -42,6 +43,15 @@ struct PhaseMetrics {
   size_t candidates = 0;          // Skyline candidates emitted by job 1.
   size_t filtered_by_szb = 0;     // Points dropped by the SZB-tree filter.
   size_t dropped_by_pruning = 0;  // Points in pruned partitions (ZDG).
+
+  // Query-variant metrics (common/query_desc.h).
+  size_t dropped_by_box = 0;        // Points outside the constraint box.
+  size_t regions_pruned_by_box = 0; // Partitions/cells whose whole RZ-region
+                                    // fell outside the box (dropped before
+                                    // any point was tested).
+  size_t subspace_plan_rebuilds = 0;  // Plan variants this query built (0 on
+                                      // the warm path).
+  uint32_t skyband_k = 1;             // k of the query (1 = plain skyline).
 
   // Preprocessing plan shape.
   size_t sample_size = 0;
@@ -102,6 +112,13 @@ class ParallelSkylineExecutor {
   // concurrently and tickets their pipeline execution through the pool.
   SkylineQueryResult Execute(const DatasetView& points) const;
 
+  // Variant-aware one-shot execution: computes the skyline described by
+  // `desc` (constraint box / dimension subset / directions / k-skyband —
+  // see common/query_desc.h). A default desc is bit-identical to
+  // Execute(points).
+  SkylineQueryResult Execute(const DatasetView& points,
+                             const QueryDesc& desc) const;
+
   // Runs phases 2+3 against a previously built plan, skipping the
   // preprocessing entirely (metrics report preprocess_ms = 0 and
   // plan_reused = true). `plan` must have been built by PreparePlan() from
@@ -111,6 +128,14 @@ class ParallelSkylineExecutor {
   // construction. Same single-caller contract as Execute().
   SkylineQueryResult ExecuteWithPlan(const PreparedPlan& plan,
                                      const DatasetView& points) const;
+
+  // Variant-aware plan reuse: shapes (dims/flips/k) resolve through the
+  // plan's variant cache, the box is handled per query — so a desc that
+  // only changes the box takes the same warm path as the plain query
+  // (plan_reused stays true, subspace_plan_rebuilds stays 0).
+  SkylineQueryResult ExecuteWithPlan(const PreparedPlan& plan,
+                                     const DatasetView& points,
+                                     const QueryDesc& desc) const;
 
  private:
   ExecutorOptions options_;

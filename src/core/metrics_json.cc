@@ -109,9 +109,11 @@ std::string MetricsToJson(const PhaseMetrics& pm,
                           const MetricsRegistry* registry) {
   std::string out = "{";
   // Schema history: v1 had no version key; v2 added "metrics_schema" and
-  // the optional "registry" block.
+  // the optional "registry" block; v3 added the query-variant fields
+  // (dropped_by_box, regions_pruned_by_box, subspace_plan_rebuilds,
+  // skyband_k).
   AppendKey(out, "metrics_schema");
-  out += "2";
+  out += "3";
   out += ',';
   AppendKey(out, "preprocess_ms");
   AppendNumber(out, pm.preprocess_ms);
@@ -145,6 +147,18 @@ std::string MetricsToJson(const PhaseMetrics& pm,
   out += ',';
   AppendKey(out, "dropped_by_pruning");
   AppendNumber(out, pm.dropped_by_pruning);
+  out += ',';
+  AppendKey(out, "dropped_by_box");
+  AppendNumber(out, pm.dropped_by_box);
+  out += ',';
+  AppendKey(out, "regions_pruned_by_box");
+  AppendNumber(out, pm.regions_pruned_by_box);
+  out += ',';
+  AppendKey(out, "subspace_plan_rebuilds");
+  AppendNumber(out, pm.subspace_plan_rebuilds);
+  out += ',';
+  AppendKey(out, "skyband_k");
+  AppendNumber(out, static_cast<size_t>(pm.skyband_k));
   out += ',';
   AppendKey(out, "sample_size");
   AppendNumber(out, pm.sample_size);

@@ -8,7 +8,9 @@
 #include <span>
 #include <utility>
 
+#include "algo/skyband.h"
 #include "algo/sort_based.h"
+#include "algo/subspace.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
 #include "core/metrics_registry.h"
@@ -83,6 +85,252 @@ SkylineIndices LocalSkyline(const ZOrderCodec& codec, const PointSet& points,
   return {};
 }
 
+// k-aware local skyline: k == 1 keeps the per-algorithm dispatch
+// bit-identical; k > 1 computes a local k-band (kSortBased keeps the
+// comparison-based reference, the Z-order algorithms share ZOrderSkyband).
+// Local bands compose: a point a band drops has >= k dominators among the
+// points it keeps, so band-of-bands still contains the true global band
+// and the final recount in job 2 is exact (induction over drops).
+SkylineIndices LocalSkylineK(const ZOrderCodec& codec, const PointSet& points,
+                             LocalAlgorithm algorithm,
+                             const ZBTree::Options& tree_options,
+                             bool use_block_kernel, uint32_t k) {
+  if (k <= 1) {
+    return LocalSkyline(codec, points, algorithm, tree_options,
+                        use_block_kernel);
+  }
+  if (points.empty()) return {};
+  if (algorithm == LocalAlgorithm::kSortBased) return NaiveSkyband(points, k);
+  return ZOrderSkyband(codec, points, k);
+}
+
+// Gathers `rows` from the dataset into query space: identity projections
+// reuse the view's Gather verbatim; otherwise each row is projected (and
+// direction-flipped) through the variant's transform.
+PointSet GatherTransformed(const DatasetView& points,
+                           std::span<const uint32_t> rows,
+                           const PreparedVariant& v, Coord max_coord) {
+  if (v.identity_projection) return points.Gather(rows);
+  const uint32_t vdim = static_cast<uint32_t>(v.dims.size());
+  PointSet out(vdim);
+  std::vector<Coord>& raw = out.mutable_raw();
+  raw.resize(static_cast<size_t>(rows.size()) * vdim);
+  std::vector<Coord> orig(points.dim());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    points.CopyRow(rows[i], orig.data());
+    ProjectRowInto(orig, v.dims, v.flip, max_coord,
+                   std::span<Coord>(raw.data() + i * vdim, vdim));
+  }
+  return out;
+}
+
+bool IsZScheme(PartitioningScheme scheme) {
+  return scheme == PartitioningScheme::kNaiveZ ||
+         scheme == PartitioningScheme::kZhg ||
+         scheme == PartitioningScheme::kZdg;
+}
+
+// Per-region routing decision of the desc-aware mapper. The mapper routes
+// FIRST (one encode + partition lookup), so a kDropBox region rejects its
+// points before the per-point box test or filter probe ever runs — the
+// structural constraint-pruning win over post-filtering.
+enum class RouteState : uint8_t {
+  kRoute,           // Route via group[]; per-point box test required.
+  kRouteInsideBox,  // Region entirely inside the box: skip the box test.
+  kDropBox,         // Region entirely outside the box: drop the point.
+};
+
+// The per-query routing state: a region table over the partitioner's
+// partitions (Z-order schemes) or cells (grid), plus the resolved mapper
+// filter. Built once per query by BuildQueryRouting; everything here is
+// box-dependent and therefore deliberately NOT cached in the plan or its
+// variants (the shape/box split of common/query_desc.h).
+struct QueryRouting {
+  bool table_active = false;
+  std::vector<RouteState> state;  // Per partition (Z) / cell (grid).
+  std::vector<int32_t> group;     // Resolved group per partition/cell.
+  size_t regions_pruned_by_box = 0;
+  // Constrained filter: skyline/k-band of the IN-BOX sample points in
+  // query space. The plan's full-space filter is unsound under a box (a
+  // dominator outside the box must not reject an in-box point), so it is
+  // replaced per query; a dominator inside the box dominates in the query
+  // too, so this one is sound.
+  SzbFilter box_filter;
+  const DominanceBlock* probe_block = nullptr;
+  const ZBTree* probe_tree = nullptr;
+};
+
+// True iff the region (in query space) is disjoint from the transformed
+// box: no point of it can satisfy the constraint.
+bool RegionOutsideBox(const RZRegion& region, std::span<const Coord> tlo,
+                      std::span<const Coord> thi) {
+  const std::span<const Coord> rmin = region.min_corner();
+  const std::span<const Coord> rmax = region.max_corner();
+  for (size_t j = 0; j < tlo.size(); ++j) {
+    if (rmin[j] > thi[j] || rmax[j] < tlo[j]) return true;
+  }
+  return false;
+}
+
+bool RegionInsideBox(const RZRegion& region, std::span<const Coord> tlo,
+                     std::span<const Coord> thi) {
+  const std::span<const Coord> rmin = region.min_corner();
+  const std::span<const Coord> rmax = region.max_corner();
+  for (size_t j = 0; j < tlo.size(); ++j) {
+    if (rmin[j] < tlo[j] || rmax[j] > thi[j]) return false;
+  }
+  return true;
+}
+
+void BuildQueryRouting(QueryRouting& r, const PreparedPlan& plan,
+                       const PreparedVariant& v, const QueryDesc& desc,
+                       const ExecutorOptions& options,
+                       const ZOrderCodec& vcodec,
+                       const ZOrderGroupedPartitioner* zgroup,
+                       const GridPartitioner* grid, uint32_t num_groups) {
+  const Coord max_coord = plan.codec->max_coord();
+
+  // The mapper filter for this query. Box queries build a fresh filter
+  // from the in-box sample; shape-only queries probe the variant's cached
+  // filter; the identity shape probes the plan's.
+  if (desc.has_box()) {
+    if (options.enable_szb_filter && IsZScheme(options.partitioning) &&
+        !plan.sample.empty()) {
+      std::vector<uint32_t> in_rows;
+      for (size_t i = 0; i < plan.sample.size(); ++i) {
+        if (desc.InBox(plan.sample[i])) {
+          in_rows.push_back(static_cast<uint32_t>(i));
+        }
+      }
+      if (!in_rows.empty()) {
+        // ProjectDimsInto preserves row order, so the variant's
+        // transformed sample is row-parallel to the base sample and the
+        // in-box rows can be gathered from it directly.
+        const PointSet& tsample =
+            v.identity_projection ? plan.sample : v.sample;
+        const PointSet sub = PointSet::Gather(tsample, in_rows);
+        PointSet band(sub.dim());
+        if (desc.k == 1) {
+          for (uint32_t idx :
+               SortBasedSkyline(sub, options.use_block_kernel)) {
+            band.AppendFrom(sub, idx);
+          }
+        } else {
+          for (uint32_t idx : ZOrderSkyband(vcodec, sub, desc.k)) {
+            band.AppendFrom(sub, idx);
+          }
+        }
+        r.box_filter =
+            BuildSzbFilter(&vcodec, band, desc.k, options, plan.tree_options);
+      }
+    }
+    r.probe_block =
+        r.box_filter.block.has_value() ? &*r.box_filter.block : nullptr;
+    r.probe_tree = r.box_filter.tree.get();
+  } else if (v.identity) {
+    r.probe_block = plan.szb_block.has_value() ? &*plan.szb_block : nullptr;
+    r.probe_tree = plan.szb_tree.get();
+  } else {
+    r.probe_block =
+        v.filter.block.has_value() ? &*v.filter.block : nullptr;
+    r.probe_tree = v.filter.tree.get();
+  }
+
+  // Transform the box into query space: per selected dim j (original dim
+  // d), a flipped dim maps [lo, hi] to [max - hi, max - lo]. Track whether
+  // the box constrains any UNprojected dim — if so, a region lying inside
+  // the projected box does not imply its points pass the full box test.
+  std::vector<Coord> tlo;
+  std::vector<Coord> thi;
+  bool box_all_projected = true;
+  if (desc.has_box()) {
+    const size_t vdim = v.dims.size();
+    tlo.resize(vdim);
+    thi.resize(vdim);
+    std::vector<uint8_t> selected(plan.dim, 0);
+    for (size_t j = 0; j < vdim; ++j) {
+      const uint32_t d = v.dims[j];
+      selected[d] = 1;
+      if (v.flip[j] != 0) {
+        // Clamp to the coordinate domain first: data never exceeds
+        // max_coord, so the clamp is membership-preserving and keeps the
+        // unsigned subtraction safe.
+        const Coord lo_c = std::min(desc.box_lo[d], max_coord);
+        const Coord hi_c = std::min(desc.box_hi[d], max_coord);
+        tlo[j] = max_coord - hi_c;
+        thi[j] = max_coord - lo_c;
+      } else {
+        tlo[j] = desc.box_lo[d];
+        thi[j] = desc.box_hi[d];
+      }
+    }
+    for (uint32_t d = 0; d < plan.dim; ++d) {
+      if (selected[d] == 0 &&
+          (desc.box_lo[d] > 0 || desc.box_hi[d] < max_coord)) {
+        box_all_projected = false;
+      }
+    }
+  }
+
+  if (zgroup != nullptr) {
+    // Z-order schemes: the partitions are RZ-regions in query space. A
+    // table is needed when a box can prune regions, or when ZDG's static
+    // partition pruning must be revisited (its "fully dominated" proof
+    // uses unconstrained 1-dominance, so it is unsound under a box — the
+    // dominating region may lie outside it — and under k > 1, where k
+    // dominators are needed).
+    const bool need_table =
+        desc.has_box() ||
+        (desc.k > 1 && zgroup->pruned_partition_count() > 0);
+    if (!need_table) return;
+    const size_t nparts = zgroup->num_partitions();
+    r.table_active = true;
+    r.state.assign(nparts, RouteState::kRoute);
+    r.group.assign(nparts, 0);
+    for (size_t i = 0; i < nparts; ++i) {
+      const RZRegion& region = zgroup->partition_region(i);
+      if (desc.has_box() && RegionOutsideBox(region, tlo, thi)) {
+        r.state[i] = RouteState::kDropBox;
+        ++r.regions_pruned_by_box;
+        continue;
+      }
+      const int32_t g = zgroup->group_of_partition(i);
+      if (g == kDroppedGroup) {
+        // Reroute instead of dropping (see above). Grouping is
+        // result-invariant — it only shapes load balance — so any
+        // deterministic assignment is correct.
+        r.group[i] = static_cast<int32_t>(i % num_groups);
+      } else {
+        r.group[i] = g;
+        if (desc.has_box() && box_all_projected &&
+            RegionInsideBox(region, tlo, thi)) {
+          r.state[i] = RouteState::kRouteInsideBox;
+        }
+      }
+    }
+  } else if (grid != nullptr && desc.has_box()) {
+    // Grid cells are boxes too (MR-GPMRS's bitstring view), so they get
+    // the same region-level pruning.
+    const size_t cells = grid->num_groups();
+    r.table_active = true;
+    r.state.assign(cells, RouteState::kRoute);
+    r.group.assign(cells, 0);
+    for (size_t c = 0; c < cells; ++c) {
+      r.group[c] = static_cast<int32_t>(c);
+      const RZRegion region =
+          grid->CellRegion(static_cast<uint32_t>(c), vcodec.max_coord());
+      if (RegionOutsideBox(region, tlo, thi)) {
+        r.state[c] = RouteState::kDropBox;
+        ++r.regions_pruned_by_box;
+      } else if (box_all_projected && RegionInsideBox(region, tlo, thi)) {
+        r.state[c] = RouteState::kRouteInsideBox;
+      }
+    }
+  }
+  // Angle/quadtree/random partitions have no coordinate-box region, so box
+  // queries over them fall back to the per-point test (table inactive).
+}
+
 // Number of simulated cluster slots for the sim_* metrics.
 uint32_t SimSlots(const ExecutorOptions& options) {
   return options.sim_workers != 0 ? options.sim_workers : options.num_groups;
@@ -93,19 +341,48 @@ uint32_t SimSlots(const ExecutorOptions& options) {
 CandidateList RunCandidateJob(const PreparedPlan& plan,
                               const ExecutorOptions& options,
                               const DatasetView& points,
-                              mr::WorkerPool* pool, PhaseMetrics& pm) {
+                              mr::WorkerPool* pool, PhaseMetrics& pm,
+                              const QueryDesc& desc) {
   CandidateList candidates;
   if (points.empty()) return candidates;
   ZSKY_CHECK(plan.partitioner != nullptr);
   ZSKY_CHECK(plan.dim == points.dim());
+
+  // Resolve the query's shape through the plan's variant cache. The
+  // identity shape is pre-seeded, so the default desc never builds (and
+  // subspace_plan_rebuilds stays 0 — the warm-path invariant).
+  bool built_variant = false;
+  const std::shared_ptr<const PreparedVariant> vp =
+      plan.Variant(desc, &built_variant);
+  const PreparedVariant& v = *vp;
+  pm.skyband_k = desc.k;
+  pm.subspace_plan_rebuilds += built_variant ? 1 : 0;
 
   ZSKY_TRACE_SPAN_ARGS("pipeline.job1",
                        "{\"points\":" + std::to_string(points.size()) + "}");
   Stopwatch job1_watch;
   const size_t n = points.size();
   const uint32_t dim = points.dim();
-  const ZOrderCodec& codec = *plan.codec;
-  const Partitioner& partitioner = *plan.partitioner;
+  const Coord max_coord = plan.codec->max_coord();
+  const ZOrderCodec& codec =
+      v.identity_projection ? *plan.codec : *v.codec;
+  const Partitioner& partitioner =
+      v.identity_projection ? *plan.partitioner : *v.partitioner;
+  const ZOrderGroupedPartitioner* zgroup =
+      v.identity_projection ? plan.zgroup : v.zgroup;
+  const GridPartitioner* grid = v.identity_projection ? plan.grid : v.grid;
+  if (!v.identity_projection) {
+    pm.num_partitions = v.num_partitions;
+    pm.pruned_partitions = v.pruned_partitions;
+  }
+
+  QueryRouting routing;
+  BuildQueryRouting(routing, plan, v, desc, options, codec, zgroup, grid,
+                    partitioner.num_groups());
+  pm.regions_pruned_by_box = routing.regions_pruned_by_box;
+  // The plain full-space skyline takes the two-pass block loop below,
+  // byte-for-byte the pre-QueryDesc code path.
+  const bool plain = v.identity && !desc.has_box();
 
   size_t num_map_tasks = std::min<size_t>(options.num_map_tasks, n);
   if (options.morsel_scheduling && options.map_morsel_rows > 0) {
@@ -119,6 +396,7 @@ CandidateList RunCandidateJob(const PreparedPlan& plan,
   }
   std::atomic<size_t> filtered{0};
   std::atomic<size_t> dropped{0};
+  std::atomic<size_t> box_dropped{0};
   std::mutex candidates_mutex;
 
   typename mr::MapReduceJob<uint32_t>::Options job1_options;
@@ -129,10 +407,11 @@ CandidateList RunCandidateJob(const PreparedPlan& plan,
   job1_options.parallel_shuffle = options.parallel_shuffle;
   job1_options.legacy_record_path = !options.zero_copy_shuffle;
   job1_options.morsel_scheduling = options.morsel_scheduling;
-  // Job 1's combiner (a group-local skyline) is idempotent, so oversized
-  // reducer runs may legally be pre-collapsed in slices. The collapse is
-  // part of the morsel subsystem: turning morsel_scheduling off yields the
-  // true static-split baseline (the ablation arm in bench_skew_stragglers).
+  // Job 1's combiner (a group-local skyline/band) is idempotent, so
+  // oversized reducer runs may legally be pre-collapsed in slices. The
+  // collapse is part of the morsel subsystem: turning morsel_scheduling
+  // off yields the true static-split baseline (the ablation arm in
+  // bench_skew_stragglers).
   job1_options.reduce_morsel_records =
       options.morsel_scheduling ? options.reduce_morsel_records : 0;
   job1_options.spill_to_disk = options.spill_to_disk;
@@ -159,44 +438,107 @@ CandidateList RunCandidateJob(const PreparedPlan& plan,
     const size_t end = (task + 1) * n / num_map_tasks;
     size_t local_filtered = 0;
     size_t local_dropped = 0;
+    size_t local_box_dropped = 0;
     // The split is a row-range over the view: a heap backing yields it as
     // one zero-copy block (the pre-view memory walk, byte for byte), an
     // mmap'd columnar backing as transposed blocks streamed through the
     // page cache — and released behind the scan under a residency budget.
     std::vector<uint32_t> survivors;
+    std::vector<Coord> qbuf(codec.dim());
     RowBlockCursor cursor(points, begin, end);
     RowBlockCursor::Block block;
     while (cursor.Next(&block)) {
-      // Pass 1 (per block): survivors of the sample-skyline filter. With
-      // the batched filter each probe is one SIMD block scan (tile
-      // early-exit) instead of a pointer-chasing tree walk; the tree only
-      // sees points the block could not reject.
-      survivors.clear();
-      survivors.reserve(block.rows);
-      for (size_t i = 0; i < block.rows; ++i) {
-        const std::span<const Coord> p(block.data + i * dim, dim);
-        bool dominated = false;
-        if (plan.szb_block.has_value()) {
-          dominated = plan.szb_block->AnyDominates(p);
-          if (!dominated && plan.szb_tree != nullptr) {
+      if (plain) {
+        // Pass 1 (per block): survivors of the sample-skyline filter. With
+        // the batched filter each probe is one SIMD block scan (tile
+        // early-exit) instead of a pointer-chasing tree walk; the tree
+        // only sees points the block could not reject.
+        survivors.clear();
+        survivors.reserve(block.rows);
+        for (size_t i = 0; i < block.rows; ++i) {
+          const std::span<const Coord> p(block.data + i * dim, dim);
+          bool dominated = false;
+          if (plan.szb_block.has_value()) {
+            dominated = plan.szb_block->AnyDominates(p);
+            if (!dominated && plan.szb_tree != nullptr) {
+              dominated = plan.szb_tree->ExistsDominatorOf(p);
+            }
+          } else if (plan.szb_tree != nullptr) {
             dominated = plan.szb_tree->ExistsDominatorOf(p);
           }
-        } else if (plan.szb_tree != nullptr) {
-          dominated = plan.szb_tree->ExistsDominatorOf(p);
+          if (dominated) {
+            ++local_filtered;
+          } else {
+            survivors.push_back(static_cast<uint32_t>(i));
+          }
+        }
+        // Pass 2 (per block, while it is still cache-hot): route the
+        // survivors.
+        for (uint32_t i : survivors) {
+          const std::span<const Coord> p(block.data + i * dim, dim);
+          const int32_t gid = partitioner.GroupOf(p);
+          if (gid == kDroppedGroup) {
+            ++local_dropped;
+            continue;
+          }
+          emit(gid, static_cast<uint32_t>(block.first_row + i));
+        }
+        continue;
+      }
+      // Desc-aware path: transform, route FIRST (so a box-pruned region
+      // rejects the point before the box test or the filter probe), then
+      // box-test, then probe.
+      for (size_t i = 0; i < block.rows; ++i) {
+        const std::span<const Coord> p(block.data + i * dim, dim);
+        std::span<const Coord> q = p;
+        if (!v.identity_projection) {
+          ProjectRowInto(p, v.dims, v.flip, max_coord, qbuf);
+          q = qbuf;
+        }
+        int32_t gid;
+        if (routing.table_active) {
+          const size_t part = zgroup != nullptr
+                                  ? zgroup->PartitionOf(q)
+                                  : static_cast<size_t>(partitioner.GroupOf(q));
+          const RouteState state = routing.state[part];
+          if (state == RouteState::kDropBox) {
+            ++local_box_dropped;
+            continue;
+          }
+          if (state == RouteState::kRoute && !desc.InBox(p)) {
+            ++local_box_dropped;
+            continue;
+          }
+          gid = routing.group[part];
+        } else {
+          if (!desc.InBox(p)) {
+            ++local_box_dropped;
+            continue;
+          }
+          gid = partitioner.GroupOf(q);
+          if (gid == kDroppedGroup) {
+            // Only reachable without a box and with k == 1 (otherwise the
+            // route table reroutes), where the static ZDG drop is sound.
+            ++local_dropped;
+            continue;
+          }
+        }
+        bool dominated = false;
+        if (desc.k > 1) {
+          if (routing.probe_tree != nullptr) {
+            dominated =
+                routing.probe_tree->CountDominatorsOf(q, desc.k) >= desc.k;
+          }
+        } else if (routing.probe_block != nullptr) {
+          dominated = routing.probe_block->AnyDominates(q);
+          if (!dominated && routing.probe_tree != nullptr) {
+            dominated = routing.probe_tree->ExistsDominatorOf(q);
+          }
+        } else if (routing.probe_tree != nullptr) {
+          dominated = routing.probe_tree->ExistsDominatorOf(q);
         }
         if (dominated) {
           ++local_filtered;
-        } else {
-          survivors.push_back(static_cast<uint32_t>(i));
-        }
-      }
-      // Pass 2 (per block, while it is still cache-hot): route the
-      // survivors.
-      for (uint32_t i : survivors) {
-        const std::span<const Coord> p(block.data + i * dim, dim);
-        const int32_t gid = partitioner.GroupOf(p);
-        if (gid == kDroppedGroup) {
-          ++local_dropped;
           continue;
         }
         emit(gid, static_cast<uint32_t>(block.first_row + i));
@@ -204,16 +546,17 @@ CandidateList RunCandidateJob(const PreparedPlan& plan,
     }
     filtered.fetch_add(local_filtered, std::memory_order_relaxed);
     dropped.fetch_add(local_dropped, std::memory_order_relaxed);
+    box_dropped.fetch_add(local_box_dropped, std::memory_order_relaxed);
   };
   // The reducers consume their rows as spans straight into the shuffle's
-  // grouped storage; Gather copies the points once, with no intermediate
-  // row vector.
+  // grouped storage; the gather copies (and for variants, transforms) the
+  // points once, with no intermediate row vector.
   auto local_skyline_of_rows =
       [&](std::span<const uint32_t> rows) -> std::vector<uint32_t> {
-    const PointSet local = points.Gather(rows);
+    const PointSet local = GatherTransformed(points, rows, v, max_coord);
     const SkylineIndices sky =
-        LocalSkyline(codec, local, options.local, plan.tree_options,
-                     options.use_block_kernel);
+        LocalSkylineK(codec, local, options.local, plan.tree_options,
+                      options.use_block_kernel, desc.k);
     std::vector<uint32_t> out;
     out.reserve(sky.size());
     for (uint32_t i : sky) out.push_back(rows[i]);
@@ -239,12 +582,18 @@ CandidateList RunCandidateJob(const PreparedPlan& plan,
   pm.candidates = candidates.size();
   pm.filtered_by_szb = filtered.load();
   pm.dropped_by_pruning = dropped.load();
+  pm.dropped_by_box = box_dropped.load();
   pm.sim_job1_ms = pm.job1.SimulatedMs(SimSlots(options), options.sim_net_mbps);
 
   MetricsRegistry& registry = MetricsRegistry::Global();
   registry.counter("records_pruned_by_szb").Add(pm.filtered_by_szb);
   registry.counter("records_dropped_by_grouping").Add(pm.dropped_by_pruning);
   registry.counter("candidates_emitted").Add(candidates.size());
+  if (!desc.IsDefault()) {
+    registry.counter("records_dropped_by_box").Add(pm.dropped_by_box);
+    registry.counter("regions_pruned_by_box").Add(pm.regions_pruned_by_box);
+    registry.histogram("skyband_k").Observe(desc.k);
+  }
   FoldJobIntoRegistry(pm.job1, "job1_map_task_us", "job1_reduce_task_us");
   return candidates;
 }
@@ -253,7 +602,7 @@ SkylineIndices RunMergeJob(const PreparedPlan& plan,
                            const ExecutorOptions& options,
                            const DatasetView& points,
                            CandidateList candidates, mr::WorkerPool* pool,
-                           PhaseMetrics& pm) {
+                           PhaseMetrics& pm, const QueryDesc& desc) {
   if (points.empty()) return {};
   ZSKY_CHECK(plan.dim == points.dim());
 
@@ -261,7 +610,12 @@ SkylineIndices RunMergeJob(const PreparedPlan& plan,
       "pipeline.job2",
       "{\"candidates\":" + std::to_string(candidates.size()) + "}");
   Stopwatch job2_watch;
-  const ZOrderCodec& codec = *plan.codec;
+  // Job 1 already resolved (and cached) this shape; here it is a lookup.
+  const std::shared_ptr<const PreparedVariant> vp = plan.Variant(desc);
+  const PreparedVariant& v = *vp;
+  const Coord max_coord = plan.codec->max_coord();
+  const ZOrderCodec& codec =
+      v.identity_projection ? *plan.codec : *v.codec;
   // MR value type of job 2. A plain struct rather than std::pair: pair is
   // not trivially copyable (user-provided assignment), which would force
   // the engine off its columnar record path.
@@ -275,8 +629,8 @@ SkylineIndices RunMergeJob(const PreparedPlan& plan,
       parallel_merge ? std::max<uint32_t>(1, options.merge_reducers) : 1;
   std::mutex result_mutex;
   SkylineIndices final_skyline;
-  // With parallel merge, each reducer produces a partial skyline; the
-  // master then merges the partials once (two-level merge tree).
+  // With parallel merge, each reducer produces a partial skyline (k-band);
+  // the master then merges the partials once (two-level merge tree).
   std::vector<SkylineIndices> partials;
 
   // The seed (like the paper's formulation) ran job 2's map phase as a
@@ -337,7 +691,8 @@ SkylineIndices RunMergeJob(const PreparedPlan& plan,
     std::vector<std::unique_ptr<ZBTree>> group_trees;
     std::vector<const ZBTree*> tree_ptrs;
     for (auto& [gid, rows] : by_group) {
-      const PointSet group_points = points.Gather(rows);
+      const PointSet group_points =
+          GatherTransformed(points, rows, v, max_coord);
       group_trees.push_back(std::make_unique<ZBTree>(
           &codec, group_points, std::move(rows), plan.tree_options));
       tree_ptrs.push_back(group_trees.back().get());
@@ -347,28 +702,43 @@ SkylineIndices RunMergeJob(const PreparedPlan& plan,
   auto job2_reduce = [&](int32_t /*key*/, std::span<const Candidate> values) {
     SkylineIndices merged;
     ZMergeStats stats;
-    switch (options.merge) {
-      case MergeAlgorithm::kZMerge:
-      case MergeAlgorithm::kParallelZMerge: {
-        merged = zmerge_by_group(values, &stats);
-        break;
+    if (desc.k > 1) {
+      // k-skyband merge: every algorithm becomes a band recount over the
+      // reducer's candidates. Exact because job 1's local bands kept, for
+      // each dropped point, >= k of its dominators among the candidates
+      // (see LocalSkylineK), and the same induction applies again to the
+      // master recount over the partials below.
+      std::vector<uint32_t> rows;
+      rows.reserve(values.size());
+      for (const Candidate& c : values) rows.push_back(c.row);
+      const PointSet all = GatherTransformed(points, rows, v, max_coord);
+      for (uint32_t i : ZOrderSkyband(codec, all, desc.k)) {
+        merged.push_back(rows[i]);
       }
-      case MergeAlgorithm::kZSearch:
-      case MergeAlgorithm::kSortBased: {
-        std::vector<uint32_t> rows;
-        rows.reserve(values.size());
-        for (const Candidate& c : values) rows.push_back(c.row);
-        const PointSet all = points.Gather(rows);
-        const LocalAlgorithm merge_algo =
-            options.merge == MergeAlgorithm::kZSearch
-                ? LocalAlgorithm::kZSearch
-                : LocalAlgorithm::kSortBased;
-        for (uint32_t i :
-             LocalSkyline(codec, all, merge_algo, plan.tree_options,
-                          options.use_block_kernel)) {
-          merged.push_back(rows[i]);
+    } else {
+      switch (options.merge) {
+        case MergeAlgorithm::kZMerge:
+        case MergeAlgorithm::kParallelZMerge: {
+          merged = zmerge_by_group(values, &stats);
+          break;
         }
-        break;
+        case MergeAlgorithm::kZSearch:
+        case MergeAlgorithm::kSortBased: {
+          std::vector<uint32_t> rows;
+          rows.reserve(values.size());
+          for (const Candidate& c : values) rows.push_back(c.row);
+          const PointSet all = GatherTransformed(points, rows, v, max_coord);
+          const LocalAlgorithm merge_algo =
+              options.merge == MergeAlgorithm::kZSearch
+                  ? LocalAlgorithm::kZSearch
+                  : LocalAlgorithm::kSortBased;
+          for (uint32_t i :
+               LocalSkyline(codec, all, merge_algo, plan.tree_options,
+                            options.use_block_kernel)) {
+            merged.push_back(rows[i]);
+          }
+          break;
+        }
       }
     }
     const std::lock_guard<std::mutex> lock(result_mutex);
@@ -394,32 +764,46 @@ SkylineIndices RunMergeJob(const PreparedPlan& plan,
         "pipeline.final_merge",
         "{\"partials\":" + std::to_string(partials.size()) + "}");
     Stopwatch final_watch;
-    std::vector<std::unique_ptr<ZBTree>> partial_trees(partials.size());
-    if (pool != nullptr && partials.size() > 1) {
-      pool->Run(partials.size(), [&](size_t i) {
-        if (partials[i].empty()) return;
-        const PointSet partial_points = points.Gather(partials[i]);
-        partial_trees[i] = std::make_unique<ZBTree>(
-            &codec, partial_points, std::move(partials[i]),
-            plan.tree_options);
-      });
-    } else {
-      for (size_t i = 0; i < partials.size(); ++i) {
-        if (partials[i].empty()) continue;
-        const PointSet partial_points = points.Gather(partials[i]);
-        partial_trees[i] = std::make_unique<ZBTree>(
-            &codec, partial_points, std::move(partials[i]),
-            plan.tree_options);
+    if (desc.k > 1) {
+      // Master-side band recount over the union of the partial bands.
+      std::vector<uint32_t> rows;
+      for (const SkylineIndices& partial : partials) {
+        rows.insert(rows.end(), partial.begin(), partial.end());
       }
+      const PointSet all = GatherTransformed(points, rows, v, max_coord);
+      for (uint32_t i : ZOrderSkyband(codec, all, desc.k)) {
+        final_skyline.push_back(rows[i]);
+      }
+    } else {
+      std::vector<std::unique_ptr<ZBTree>> partial_trees(partials.size());
+      if (pool != nullptr && partials.size() > 1) {
+        pool->Run(partials.size(), [&](size_t i) {
+          if (partials[i].empty()) return;
+          const PointSet partial_points =
+              GatherTransformed(points, partials[i], v, max_coord);
+          partial_trees[i] = std::make_unique<ZBTree>(
+              &codec, partial_points, std::move(partials[i]),
+              plan.tree_options);
+        });
+      } else {
+        for (size_t i = 0; i < partials.size(); ++i) {
+          if (partials[i].empty()) continue;
+          const PointSet partial_points =
+              GatherTransformed(points, partials[i], v, max_coord);
+          partial_trees[i] = std::make_unique<ZBTree>(
+              &codec, partial_points, std::move(partials[i]),
+              plan.tree_options);
+        }
+      }
+      std::vector<const ZBTree*> tree_ptrs;
+      for (const auto& tree : partial_trees) {
+        if (tree != nullptr) tree_ptrs.push_back(tree.get());
+      }
+      ZMergeStats stats;
+      final_skyline = ZMergeAll(codec, tree_ptrs, plan.tree_options, &stats);
+      pm.merge_stats.subtrees_discarded += stats.subtrees_discarded;
+      pm.merge_stats.points_tested += stats.points_tested;
     }
-    std::vector<const ZBTree*> tree_ptrs;
-    for (const auto& tree : partial_trees) {
-      if (tree != nullptr) tree_ptrs.push_back(tree.get());
-    }
-    ZMergeStats stats;
-    final_skyline = ZMergeAll(codec, tree_ptrs, plan.tree_options, &stats);
-    pm.merge_stats.subtrees_discarded += stats.subtrees_discarded;
-    pm.merge_stats.points_tested += stats.points_tested;
     final_merge_ms = final_watch.ElapsedMs();
   }
   pm.job2_ms = job2_watch.ElapsedMs();

@@ -41,24 +41,40 @@ using CandidateList = std::vector<std::pair<int32_t, uint32_t>>;
 // survivors / merge candidates are ever materialized on the heap. The
 // result is bit-identical across backings by construction.
 
+// Both jobs take a QueryDesc (common/query_desc.h) selecting the query
+// variant. The default desc is the plain full-space skyline and keeps the
+// seed's exact code path. A non-default desc resolves its shape through
+// the plan's variant cache (PreparedPlan::Variant) and handles the
+// constraint box per query: the mapper routes each point first so that
+// whole partitions whose RZ-region falls outside the box are dropped
+// before the point is box-tested or probed against the filter
+// (pm.regions_pruned_by_box), in-box survivors are filtered against the
+// skyline/k-band of the *in-box* sample (a full-space filter would be
+// unsound under a box), and k > 1 swaps every local/merge skyline for a
+// k-skyband. The same desc must be passed to both jobs.
+
 // MR job 1 (Algorithm 3): filter each point against the plan's sample
 // skyline, route survivors to groups, compute per-group local skylines.
-// Fills pm.job1 / job1_ms / sim_job1_ms, candidates, filtered_by_szb and
-// dropped_by_pruning.
+// Fills pm.job1 / job1_ms / sim_job1_ms, candidates, filtered_by_szb,
+// dropped_by_pruning, dropped_by_box, regions_pruned_by_box,
+// subspace_plan_rebuilds and skyband_k.
 CandidateList RunCandidateJob(const PreparedPlan& plan,
                               const ExecutorOptions& options,
                               const DatasetView& points,
-                              mr::WorkerPool* pool, PhaseMetrics& pm);
+                              mr::WorkerPool* pool, PhaseMetrics& pm,
+                              const QueryDesc& desc = {});
 
 // MR job 2 (Section 5.3): merge the candidates into the global skyline
-// (Z-merge, parallel two-level Z-merge, or a centralized re-run). Fills
-// pm.job2 / job2_ms / sim_job2_ms / merge_stats. Returns the skyline in
-// ascending row order.
+// (Z-merge, parallel two-level Z-merge, or a centralized re-run). For
+// desc.k > 1 every merge algorithm becomes an exact skyband recount over
+// the candidates (reducers emit partial k-bands, the master recounts their
+// union). Fills pm.job2 / job2_ms / sim_job2_ms / merge_stats. Returns the
+// band in ascending row order.
 SkylineIndices RunMergeJob(const PreparedPlan& plan,
                            const ExecutorOptions& options,
                            const DatasetView& points,
                            CandidateList candidates, mr::WorkerPool* pool,
-                           PhaseMetrics& pm);
+                           PhaseMetrics& pm, const QueryDesc& desc = {});
 
 }  // namespace zsky
 

@@ -131,6 +131,37 @@ PlanCostEstimate EstimatePlanCost(const PreparedPlan& plan,
   return estimate;
 }
 
+PlanCostEstimate EstimatePlanCost(const PreparedPlan& plan,
+                                  size_t dataset_size,
+                                  const QueryDesc& desc) {
+  PlanCostEstimate estimate = EstimatePlanCost(plan, dataset_size);
+  if (desc.IsDefault()) return estimate;
+
+  // Box selectivity, measured on the plan's sample (the post-constraint
+  // survivor estimate). An unconstrained desc keeps selectivity 1.
+  double selectivity = 1.0;
+  if (desc.has_box() && !plan.sample.empty()) {
+    size_t inside = 0;
+    for (size_t i = 0; i < plan.sample.size(); ++i) {
+      if (desc.InBox(plan.sample[i])) ++inside;
+    }
+    selectivity = static_cast<double>(inside) /
+                  static_cast<double>(plan.sample.size());
+  }
+  const double k = static_cast<double>(desc.k);
+  const double cap = static_cast<double>(dataset_size) * selectivity;
+  estimate.expected_shuffle_records = static_cast<size_t>(std::min(
+      cap,
+      static_cast<double>(estimate.expected_shuffle_records) * selectivity *
+          k));
+  estimate.expected_candidates = std::min(
+      estimate.expected_shuffle_records,
+      static_cast<size_t>(static_cast<double>(estimate.expected_candidates) *
+                          selectivity * k) +
+          (estimate.expected_shuffle_records > 0 ? 1 : 0));
+  return estimate;
+}
+
 namespace {
 
 // Prices one candidate configuration for a dataset of `n` points using a
@@ -198,7 +229,8 @@ std::pair<double, double> PriceCandidate(const ExecutorOptions& cand,
 }  // namespace
 
 PlanChoice ChoosePlan(const DatasetView& points, const ExecutorOptions& base,
-                      const PlanCalibration& calibration) {
+                      const PlanCalibration& calibration,
+                      const QueryDesc* desc) {
   PlanChoice choice;
   choice.options = base;
   if (points.empty()) {
@@ -249,7 +281,9 @@ PlanChoice ChoosePlan(const DatasetView& points, const ExecutorOptions& base,
         ExecutorOptions mini = cand;
         mini.sample_ratio = 1.0;
         const PreparedPlan plan = PreparePlan(sample, mini);
-        const PlanCostEstimate est = EstimatePlanCost(plan, n);
+        const PlanCostEstimate est =
+            desc != nullptr ? EstimatePlanCost(plan, n, *desc)
+                            : EstimatePlanCost(plan, n);
         const auto [job1_ms, job2_ms] = PriceCandidate(
             cand, est, choice.estimated_skyline_fraction, n, calibration);
         const double total_ms = job1_ms + job2_ms;

@@ -8,6 +8,7 @@
 
 #include "common/dataset_view.h"
 #include "common/point_set.h"
+#include "common/query_desc.h"
 #include "core/options.h"
 
 namespace zsky {
@@ -62,6 +63,15 @@ struct PlanCostEstimate {
 PlanCostEstimate EstimatePlanCost(const PreparedPlan& plan,
                                   size_t dataset_size);
 
+// Desc-aware pricing: starts from the full-space estimate and rescales the
+// shuffle/candidate volumes by the query's post-constraint survivor
+// estimate — the in-box fraction of the plan's sample (box selectivity)
+// and the k-band thickness (a k-band is ~k skylines deep, and the counting
+// filter passes ~k times as many points). A default desc returns the base
+// estimate unchanged.
+PlanCostEstimate EstimatePlanCost(const PreparedPlan& plan,
+                                  size_t dataset_size, const QueryDesc& desc);
+
 // Unit costs (microseconds per unit of work) the cost model prices
 // candidate plans with, plus multiplicative feedback factors a serving
 // layer learns from predicted-vs-actual stage times (see
@@ -114,8 +124,13 @@ struct PlanChoice {
 // num_groups (the reducer count) — pass the result's `options` to
 // PreparePlan to build the real plan. The final-merge algorithm follows
 // the local one (SB locals -> SB merge, ZS locals -> Z-merge).
+// When `desc` is non-null the candidates are priced for that query variant
+// (EstimatePlanCost's desc overload): a tight constraint box shrinks the
+// predicted shuffle/merge volumes, which can flip the choice toward
+// cheaper partitioners.
 PlanChoice ChoosePlan(const DatasetView& points, const ExecutorOptions& base,
-                      const PlanCalibration& calibration = {});
+                      const PlanCalibration& calibration = {},
+                      const QueryDesc* desc = nullptr);
 
 }  // namespace zsky
 

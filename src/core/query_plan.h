@@ -1,12 +1,16 @@
 #ifndef ZSKY_CORE_QUERY_PLAN_H_
 #define ZSKY_CORE_QUERY_PLAN_H_
 
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <string>
 
 #include "common/dataset_view.h"
 #include "common/dominance_block.h"
 #include "common/point_set.h"
+#include "common/query_desc.h"
 #include "core/options.h"
 #include "index/zbtree.h"
 #include "partition/grid_partitioner.h"
@@ -15,6 +19,65 @@
 #include "zorder/zorder_codec.h"
 
 namespace zsky {
+
+struct PreparedPlan;
+
+// The SZB mapper filter over a sample band: for k == 1 (`band` is a
+// dominance-free skyline) the batched DominanceBlock head + ZB-tree
+// overflow; for k > 1 (`band` is a k-band) a pure ZB-tree, since the probe
+// is CountDominatorsOf rather than an exists-test. Built by the plan, by
+// plan variants, and per query for the constrained in-box filter
+// (pipeline.cc) — one construction path for all three.
+struct SzbFilter {
+  std::optional<DominanceBlock> block;
+  std::unique_ptr<ZBTree> tree;
+
+  bool empty() const { return !block.has_value() && tree == nullptr; }
+};
+
+SzbFilter BuildSzbFilter(const ZOrderCodec* codec, const PointSet& band,
+                         uint32_t k, const ExecutorOptions& options,
+                         const ZBTree::Options& tree_options);
+
+// One cached per-shape derivation of a PreparedPlan (see
+// common/query_desc.h for the shape/box split): the Z-order codec
+// re-derived over the projected (and direction-flipped) dims, a
+// partitioner learned from the transformed sample, and the k-aware sample
+// band + mapper filter. Built lazily by PreparedPlan::Variant() and shared
+// by every query whose desc has the same canonical shape.
+//
+// The constraint box is deliberately NOT part of a variant: boxes are
+// per-query state (the pipeline derives the in-box filter and the
+// RZ-region prune table at query time), so a desc that only changes the
+// box reuses both the plan and its variant — the warm-path invariant.
+//
+// For the identity projection (all dims, no flips) the codec and
+// partitioner fields stay null and consumers fall back to the base plan's
+// artifacts; nothing is rebuilt. k > 1 with identity projection replaces
+// only the sample band + filter. A variant never stores pointers into the
+// plan object itself, so the plan stays movable until the first Variant()
+// call (which only ever happens once the plan has settled in a snapshot).
+struct PreparedVariant {
+  std::vector<uint32_t> dims;  // Ascending original dims (full list).
+  std::vector<uint8_t> flip;   // Parallel to dims; 1 = larger-is-better.
+  uint32_t k = 1;
+  // True iff dims == all and no flips: codec/partitioner alias the plan's.
+  bool identity_projection = false;
+  // True iff the whole shape is the identity (identity projection AND
+  // k == 1): the sample band + filter alias the plan's too.
+  bool identity = false;
+
+  std::unique_ptr<ZOrderCodec> codec;        // Null when identity_projection.
+  std::unique_ptr<Partitioner> partitioner;  // Null when identity_projection.
+  const ZOrderGroupedPartitioner* zgroup = nullptr;  // Typed aliases into
+  const GridPartitioner* grid = nullptr;             // `partitioner`.
+  PointSet sample{1};       // Transformed sample (empty when identity proj.).
+  PointSet sample_band{1};  // Its skyline (k == 1) / k-band (empty when
+                            // identity).
+  SzbFilter filter;         // Empty when identity (probe the plan's).
+  size_t num_partitions = 0;
+  size_t pruned_partitions = 0;
+};
 
 // The master-side preprocessing artifacts of the paper's Phase 1 (Section
 // 5.1), packaged as a reusable value: reservoir sample, partition pivots +
@@ -73,6 +136,24 @@ struct PreparedPlan {
   bool HasSzbFilter() const {
     return szb_block.has_value() || szb_tree != nullptr;
   }
+
+  // Lazily built per-shape variants (common/query_desc.h), keyed by
+  // ShapeKey(). Behind a unique_ptr so the plan stays movable (a mutex is
+  // not) — moving the plan carries the cache along; its entries never
+  // point back into the plan object, so they survive the move.
+  struct VariantCache {
+    std::mutex mu;
+    std::map<std::string, std::shared_ptr<const PreparedVariant>> by_shape;
+  };
+  std::unique_ptr<VariantCache> variants = std::make_unique<VariantCache>();
+
+  // Returns the cached variant for `desc`'s shape, building it on first
+  // use (`built`, when non-null, reports whether this call built — the
+  // pipeline's subspace_plan_rebuilds counter). Thread-safe; the identity
+  // shape is pre-seeded at PreparePlan time so the common case takes one
+  // map lookup and no build ever.
+  std::shared_ptr<const PreparedVariant> Variant(const QueryDesc& desc,
+                                                 bool* built = nullptr) const;
 };
 
 // Builds the plan for `points`: samples, learns partition pivots and the

@@ -85,7 +85,7 @@ PlanCalibration QueryService::calibration() const {
 }
 
 std::pair<std::shared_ptr<const QueryService::Snapshot>, bool>
-QueryService::AcquireSnapshot() {
+QueryService::AcquireSnapshot(const QueryDesc& desc) {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     // While a rebuild is running, has_pending_ is already false but
@@ -131,7 +131,10 @@ QueryService::AcquireSnapshot() {
   double choose_ms = 0.0;
   if (options_.adaptive_planning) {
     Stopwatch choose_watch;
-    snap->choice = ChoosePlan(snap->view, exec, snap->calibration);
+    // Price candidates for the electing query's variant: a tight box
+    // shrinks the predicted shuffle/merge volumes (post-constraint
+    // survivor estimate from the sample).
+    snap->choice = ChoosePlan(snap->view, exec, snap->calibration, &desc);
     choose_ms = choose_watch.ElapsedMs();
     snap->adaptive = true;
     exec = snap->choice.options;
@@ -180,7 +183,7 @@ SkylineQueryResult QueryService::Query(const QueryRequest& request) {
 }
 
 SkylineQueryResult QueryService::RunQuery(const QueryRequest& request) {
-  auto acquired = AcquireSnapshot();
+  auto acquired = AcquireSnapshot(request.desc);
   const std::shared_ptr<const Snapshot>& snap = acquired.first;
   const bool built_now = acquired.second;
   ZSKY_TRACE_SPAN_ARGS(
@@ -215,10 +218,12 @@ SkylineQueryResult QueryService::RunQuery(const QueryRequest& request) {
     // pool. Without this, two queries' waves interleave arbitrarily (the
     // executor's documented single-caller hazard).
     std::lock_guard<std::mutex> ticket(pool_mu_);
-    CandidateList candidates =
-        RunCandidateJob(snap->plan, run_options, snap->view, &pool_, pm);
-    result.skyline = RunMergeJob(snap->plan, run_options, snap->view,
-                                 std::move(candidates), &pool_, pm);
+    CandidateList candidates = RunCandidateJob(snap->plan, run_options,
+                                               snap->view, &pool_, pm,
+                                               request.desc);
+    result.skyline =
+        RunMergeJob(snap->plan, run_options, snap->view,
+                    std::move(candidates), &pool_, pm, request.desc);
   }
   pm.total_ms = pm.preprocess_ms + pipeline_watch.ElapsedMs();
   pm.sim_total_ms = pm.preprocess_ms + pm.sim_job1_ms + pm.sim_job2_ms;

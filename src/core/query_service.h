@@ -30,6 +30,12 @@ struct QueryRequest {
   std::optional<uint32_t> merge_reducers;
   std::optional<uint32_t> num_map_tasks;
   std::optional<uint32_t> job2_map_tasks;
+  // The query variant (common/query_desc.h): constraint box, dimension
+  // subset, per-dimension directions, k-skyband. Shapes resolve through
+  // the snapshot plan's variant cache; the box is pure per-query state —
+  // neither invalidates the cached plan (a box-only change keeps
+  // plan_reused = true and subspace_plan_rebuilds = 0).
+  QueryDesc desc;
 };
 
 struct QueryServiceOptions {
@@ -156,8 +162,12 @@ class QueryService {
   };
 
   // Returns the current snapshot, building the plan if this thread is the
-  // one elected to; second = true iff this call built the plan.
-  std::pair<std::shared_ptr<const Snapshot>, bool> AcquireSnapshot();
+  // one elected to; second = true iff this call built the plan. The
+  // elected builder's `desc` informs the adaptive planner's cost model
+  // (post-constraint survivor pricing); it never shapes the plan cache
+  // key — all variants share one snapshot.
+  std::pair<std::shared_ptr<const Snapshot>, bool> AcquireSnapshot(
+      const QueryDesc& desc);
   SkylineQueryResult RunQuery(const QueryRequest& request);
 
   QueryServiceOptions options_;

@@ -1,6 +1,9 @@
 #include "index/constrained.h"
 
-#include "index/zsearch.h"
+#include <algorithm>
+#include <vector>
+
+#include "common/dominance.h"
 
 namespace zsky {
 
@@ -8,12 +11,39 @@ SkylineIndices ConstrainedSkyline(const ZOrderCodec& codec,
                                   const PointSet& points, const RTree& tree,
                                   std::span<const Coord> lo,
                                   std::span<const Coord> hi) {
-  const std::vector<uint32_t> inside = tree.QueryBox(lo, hi);
+  std::vector<uint32_t> inside = tree.QueryBox(lo, hi);
   if (inside.empty()) return {};
-  const PointSet region = PointSet::Gather(points, inside);
+
+  // Operate on the indices in place — no Gather copy of the region. The
+  // in-box rows are visited in Z-order, so every possible dominator of a
+  // point precedes it (Z-order is monotone w.r.t. dominance) and one scan
+  // against the growing skyline is exact. Only the addresses are
+  // materialized (num_words words per in-box row).
+  const size_t words = codec.num_words();
+  std::vector<uint64_t> addresses(inside.size() * words);
+  for (size_t i = 0; i < inside.size(); ++i) {
+    codec.EncodeTo(points[inside[i]],
+                   std::span<uint64_t>(addresses.data() + i * words, words));
+  }
+  std::vector<uint32_t> order(inside.size());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return std::lexicographical_compare(
+        addresses.data() + a * words, addresses.data() + (a + 1) * words,
+        addresses.data() + b * words, addresses.data() + (b + 1) * words);
+  });
+
   SkylineIndices result;
-  for (uint32_t i : ZSearchSkyline(codec, region)) {
-    result.push_back(inside[i]);
+  for (uint32_t i : order) {
+    const std::span<const Coord> p = points[inside[i]];
+    bool dominated = false;
+    for (uint32_t kept : result) {
+      if (Dominates(points[kept], p)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) result.push_back(inside[i]);
   }
   SortSkyline(result);
   return result;

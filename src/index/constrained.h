@@ -12,7 +12,10 @@ namespace zsky {
 
 // Constrained skyline: the skyline of the points inside the closed box
 // [lo, hi] — the classic "skyline within my filters" query. Served from an
-// R-tree window query followed by Z-search over the qualifying points.
+// R-tree window query followed by a Z-ordered dominance scan over the
+// qualifying row indices in place (no copy of the region's points is ever
+// made). Doubles as the constrained oracle for the parallel pipeline's
+// parity tests (see also algo/oracle.h for the all-variant oracle).
 //
 // `tree` must index `points` with identity ids (the default RTree
 // construction); returned indices are rows into `points`.

@@ -484,7 +484,7 @@ int32_t ZOrderGroupedPartitioner::GroupOfAddress(const ZAddress& z) const {
   return group_of_[idx];
 }
 
-int32_t ZOrderGroupedPartitioner::GroupOf(std::span<const Coord> p) const {
+size_t ZOrderGroupedPartitioner::PartitionOf(std::span<const Coord> p) const {
   // Allocation-free hot path: encode into a reused scratch buffer and
   // binary-search the partition lower bounds.
   thread_local std::vector<uint64_t> scratch;
@@ -509,7 +509,11 @@ int32_t ZOrderGroupedPartitioner::GroupOf(std::span<const Coord> p) const {
     }
   }
   ZSKY_DCHECK(lo >= 1);
-  return group_of_[lo - 1];
+  return lo - 1;
+}
+
+int32_t ZOrderGroupedPartitioner::GroupOf(std::span<const Coord> p) const {
+  return group_of_[PartitionOf(p)];
 }
 
 }  // namespace zsky

@@ -69,6 +69,13 @@ class ZOrderGroupedPartitioner : public Partitioner {
 
   int32_t GroupOfAddress(const ZAddress& z) const;
 
+  // Partition index (the Z-range containing p's address) in
+  // [0, num_partitions()); allocation-free like GroupOf. Query variants
+  // use it to consult a per-query partition table (constraint-box region
+  // pruning, k-skyband reroutes of ZDG-pruned partitions) before the
+  // partition's static group assignment is applied.
+  size_t PartitionOf(std::span<const Coord> p) const;
+
   const ZOrderCodec& codec() const { return *codec_; }
 
   // --- Introspection (tests, benches, executor). ---

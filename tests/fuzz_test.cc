@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "algo/bnl.h"
+#include "algo/oracle.h"
 #include "common/dominance.h"
 #include "common/quantizer.h"
 #include "common/rng.h"
@@ -190,10 +191,13 @@ INSTANTIATE_TEST_SUITE_P(Seeds, WindowedFuzz,
                          ::testing::Values(11u, 12u, 13u));
 
 // QueryService randomized-op fuzz: a seeded sequence of SetDataset swaps,
-// single queries, and concurrent query bursts against one service, every
-// answer checked against the BNL oracle over the dataset that was current
-// when the batch was issued. Exercises plan invalidation + lazy rebuild,
-// bounded admission, and the shared-pool ticket under churn.
+// single queries with random QueryDescs (random boxes, dim subsets,
+// directions, k in 1..4), and concurrent query bursts against one
+// service, every answer checked against the all-variant oracle over the
+// dataset that was current when the batch was issued. Exercises plan
+// invalidation + lazy rebuild, the per-plan variant cache under
+// concurrent shape misses, bounded admission, and the shared-pool ticket
+// under churn.
 class QueryServiceFuzz : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(QueryServiceFuzz, RandomOpSequenceMatchesBnlOracle) {
@@ -224,15 +228,47 @@ TEST_P(QueryServiceFuzz, RandomOpSequenceMatchesBnlOracle) {
     return ps;
   };
 
-  auto sorted_oracle = [](const PointSet& ps) {
-    SkylineIndices expected = BnlSkyline(ps);
+  constexpr Coord kMaxCoord = (1u << kBits) - 1;
+  // Random query variant: box / dim subset / direction flips / k are each
+  // drawn independently, so defaults, single-axis variants, and fully
+  // combined descs all occur.
+  auto random_desc = [&] {
+    QueryDesc desc;
+    if (rng.NextBounded(2) == 0) {
+      desc.box_lo.assign(dim, 0);
+      desc.box_hi.assign(dim, kMaxCoord);
+      const uint64_t constrained = 1 + rng.NextBounded(2);
+      for (uint64_t c = 0; c < constrained; ++c) {
+        const size_t d = rng.NextBounded(dim);
+        const Coord a = static_cast<Coord>(rng.NextBounded(kMaxCoord + 1));
+        const Coord b = static_cast<Coord>(rng.NextBounded(kMaxCoord + 1));
+        desc.box_lo[d] = std::min(a, b);
+        desc.box_hi[d] = std::max(a, b);
+      }
+    }
+    if (rng.NextBounded(3) == 0) {
+      for (uint32_t d = 0; d < dim; ++d) {
+        if (rng.NextBounded(2) == 0) desc.dims.push_back(d);
+      }
+    }
+    if (rng.NextBounded(3) == 0) {
+      desc.maximize.assign(dim, 0);
+      desc.maximize[rng.NextBounded(dim)] = 1;
+    }
+    desc.k = 1 + static_cast<uint32_t>(rng.NextBounded(4));
+    desc.Canonicalize();
+    return desc;
+  };
+
+  auto sorted_oracle = [kMaxCoord](const PointSet& ps,
+                                   const QueryDesc& desc) {
+    SkylineIndices expected = OracleQuery(ps, desc, kMaxCoord);
     std::sort(expected.begin(), expected.end());
     return expected;
   };
 
   PointSet current = make_dataset();
   service.SetDataset(current);
-  SkylineIndices expected = sorted_oracle(current);
 
   for (int step = 0; step < 14; ++step) {
     const uint64_t op = rng.NextBounded(4);
@@ -240,26 +276,36 @@ TEST_P(QueryServiceFuzz, RandomOpSequenceMatchesBnlOracle) {
       // Swap the dataset; in-flight state must not leak into the oracle.
       current = make_dataset();
       service.SetDataset(current);
-      expected = sorted_oracle(current);
     } else if (op < 3) {
-      SkylineIndices got = service.Query().skyline;
+      QueryRequest request;
+      request.desc = random_desc();
+      const SkylineIndices expected = sorted_oracle(current, request.desc);
+      SkylineIndices got = service.Query(request).skyline;
       std::sort(got.begin(), got.end());
       ASSERT_EQ(got, expected) << "seed " << seed << " step " << step;
     } else {
-      // Concurrent burst: more clients than admission slots.
+      // Concurrent burst: more clients than admission slots, each with its
+      // own random variant (descs drawn up front — the rng is not
+      // thread-safe).
       constexpr size_t kClients = 6;
+      std::vector<QueryRequest> requests(kClients);
+      std::vector<SkylineIndices> expected(kClients);
+      for (size_t c = 0; c < kClients; ++c) {
+        requests[c].desc = random_desc();
+        expected[c] = sorted_oracle(current, requests[c].desc);
+      }
       std::vector<SkylineIndices> got(kClients);
       std::vector<std::thread> clients;
       clients.reserve(kClients);
       for (size_t c = 0; c < kClients; ++c) {
-        clients.emplace_back([&service, &got, c] {
-          got[c] = service.Query().skyline;
+        clients.emplace_back([&service, &requests, &got, c] {
+          got[c] = service.Query(requests[c]).skyline;
           std::sort(got[c].begin(), got[c].end());
         });
       }
       for (std::thread& t : clients) t.join();
       for (size_t c = 0; c < kClients; ++c) {
-        ASSERT_EQ(got[c], expected)
+        ASSERT_EQ(got[c], expected[c])
             << "seed " << seed << " step " << step << " client " << c;
       }
     }

@@ -71,6 +71,19 @@ TEST_P(PlanReuseParityTest, ReusedPlanMatchesOneShot) {
     EXPECT_EQ(warm.metrics.preprocess_ms, 0.0);
     EXPECT_GT(cold.metrics.preprocess_ms, 0.0);
   }
+
+  // Variant axis: a box-only desc rides the same prepared plan (no shape
+  // rebuild — the box is per-query state) and stays bit-identical to a
+  // one-shot run of the same desc.
+  QueryDesc desc;
+  desc.box_lo = {0, 0, 0, 0};
+  desc.box_hi = {3000, 3500, (1u << kBits) - 1, (1u << kBits) - 1};
+  const SkylineQueryResult warm_boxed =
+      executor.ExecuteWithPlan(plan, points, desc);
+  const SkylineQueryResult cold_boxed = executor.Execute(points, desc);
+  EXPECT_EQ(warm_boxed.skyline, cold_boxed.skyline) << options.Label();
+  EXPECT_TRUE(warm_boxed.metrics.plan_reused);
+  EXPECT_EQ(warm_boxed.metrics.subspace_plan_rebuilds, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(

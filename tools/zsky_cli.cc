@@ -7,9 +7,19 @@
 //   zsky_cli query --in file.csv|file.zsc [--scheme grid|angle|quadtree|
 //                  naive-z|zhg|zdg] [--local sb|zs] [--merge sb|zs|zm]
 //                  [--groups M] [--max col1,col3] [--topk K]
-//                  [--rank count|sum] [--budget BYTES] [--metrics]
+//                  [--rank count|sum] [--lo a,b,...] [--hi a,b,...]
+//                  [--dims c0,c2] [--flip c1] [--k K] [--budget BYTES]
+//                  [--metrics]
 //
 // `--max` lists columns to maximize (everything else is minimized).
+//
+// Query variants (`query` and `serve`, see docs/queries.md): `--lo`/`--hi`
+// give an inclusive constraint box in the quantized coordinate domain
+// [0, 2^bits-1], one value per column; `--dims` restricts dominance to a
+// column subset (subspace skyline); `--flip` flips the dominance
+// direction of listed columns at query time (unlike `--max`, which bakes
+// the flip into the stored coordinates); `--k` asks for the k-skyband
+// (points with fewer than k dominators).
 //
 // `.zsc` inputs are mmap'd columnar datasets (docs/storage.md): the query
 // runs out of core, and `--budget` bounds both the shuffle arena and the
@@ -45,6 +55,8 @@ using namespace zsky;
                " [--merge zm]\n"
                "                 [--groups M] [--max c0,c2,...]"
                " [--topk K] [--rank count|sum]\n"
+               "                 [--lo a,b,...] [--hi a,b,...]"
+               " [--dims c0,c2,...] [--flip c1,...] [--k K]\n"
                "                 [--budget BYTES] [--plan] [--metrics]"
                " [--json] [--trace-out FILE]\n"
                "  zsky_cli skyband --in FILE --k K [--groups M]"
@@ -53,6 +65,8 @@ using namespace zsky;
                " [--concurrency C]\n"
                "                 [--scheme zdg] [--local zs] [--merge zm]"
                " [--groups M] [--json]\n"
+               "                 [--lo a,b,...] [--hi a,b,...]"
+               " [--dims c0,c2,...] [--flip c1,...] [--k K]\n"
                "                 [--budget BYTES] [--adaptive]"
                " [--replan-threshold T]\n"
                "                 [--calibration-file FILE]"
@@ -224,6 +238,67 @@ ExecutorOptions StrategyFromFlags(
   return options;
 }
 
+// Comma-separated list of non-negative integers ("3,1,4").
+std::vector<uint32_t> ParseUintList(const std::string& value,
+                                    const char* flag_name) {
+  std::vector<uint32_t> out;
+  size_t pos = 0;
+  while (pos < value.size()) {
+    const size_t comma = value.find(',', pos);
+    const std::string token = value.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? value.size() : comma + 1;
+    if (token.empty()) continue;
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(token.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      Usage(("bad value in --" + std::string(flag_name) + ": " + token)
+                .c_str());
+    }
+    out.push_back(static_cast<uint32_t>(parsed));
+  }
+  return out;
+}
+
+// Query-variant flags (`--lo`/`--hi`/`--dims`/`--flip`/`--k`), shared by
+// `query` and `serve`. Box bounds are in the quantized coordinate domain;
+// `--dims`/`--flip` take column indices.
+QueryDesc DescFromFlags(const std::map<std::string, std::string>& flags,
+                        uint32_t dim) {
+  QueryDesc desc;
+  const std::string lo = Flag(flags, "lo", "");
+  const std::string hi = Flag(flags, "hi", "");
+  if (lo.empty() != hi.empty()) Usage("--lo and --hi must be given together");
+  if (!lo.empty()) {
+    desc.box_lo = ParseUintList(lo, "lo");
+    desc.box_hi = ParseUintList(hi, "hi");
+    if (desc.box_lo.size() != dim || desc.box_hi.size() != dim) {
+      Usage("--lo/--hi need one value per column");
+    }
+  }
+  desc.dims = ParseUintList(Flag(flags, "dims", ""), "dims");
+  std::sort(desc.dims.begin(), desc.dims.end());
+  desc.dims.erase(std::unique(desc.dims.begin(), desc.dims.end()),
+                  desc.dims.end());
+  const std::vector<uint32_t> flip =
+      ParseUintList(Flag(flags, "flip", ""), "flip");
+  if (!flip.empty()) {
+    desc.maximize.assign(dim, 0);
+    for (uint32_t d : flip) {
+      if (d >= dim) Usage("--flip column out of range");
+      desc.maximize[d] = 1;
+    }
+  }
+  desc.k = static_cast<uint32_t>(
+      std::strtoul(Flag(flags, "k", "1").c_str(), nullptr, 10));
+  for (uint32_t d : desc.dims) {
+    if (d >= dim) Usage("--dims column out of range");
+  }
+  if (desc.k == 0) Usage("--k must be >= 1");
+  desc.Canonicalize();
+  return desc;
+}
+
 // `--max` parsing (column names or indices), shared by query and convert.
 std::vector<uint32_t> ParseMaximize(
     const std::map<std::string, std::string>& flags, const CsvTable& table) {
@@ -330,15 +405,16 @@ int RunQueryColumnar(const std::map<std::string, std::string>& flags,
 
   ExecutorOptions options = StrategyFromFlags(flags, dataset->bits());
   options.shuffle_memory_budget_bytes = budget;
+  const QueryDesc desc = DescFromFlags(flags, dataset->view().dim());
   if (flags.count("plan") != 0) {
-    const PlanChoice choice = ChoosePlan(dataset->view(), options);
+    const PlanChoice choice = ChoosePlan(dataset->view(), options, {}, &desc);
     options = choice.options;
     std::fprintf(stderr, "plan: %s\n", choice.rationale.c_str());
   }
 
   const std::string trace_path = TraceBegin(flags);
   const SkylineQueryResult result =
-      ParallelSkylineExecutor(options).Execute(dataset->view());
+      ParallelSkylineExecutor(options).Execute(dataset->view(), desc);
   TraceEnd(trace_path);
 
   std::printf("skyline rows (%zu of %zu):\n", result.skyline.size(),
@@ -373,11 +449,13 @@ int RunQuery(const std::map<std::string, std::string>& flags) {
       TableToPoints(*table, ParseMaximize(flags, *table), quantizer);
 
   ExecutorOptions options = StrategyFromFlags(flags, quantizer.bits());
+  const QueryDesc desc = DescFromFlags(flags, points.dim());
 
   if (flags.count("plan") != 0) {
     // Cost-based plan selection: price every scheme/local/reducer-count
-    // candidate over a sample and run the cheapest.
-    const PlanChoice choice = ChoosePlan(points, options);
+    // candidate over a sample and run the cheapest (under the query's
+    // variant — a tight box shrinks the predicted volumes).
+    const PlanChoice choice = ChoosePlan(points, options, {}, &desc);
     options = choice.options;
     std::fprintf(stderr, "plan: %s\n", choice.rationale.c_str());
     for (const PlanCandidateCost& cand : choice.candidates) {
@@ -388,7 +466,7 @@ int RunQuery(const std::map<std::string, std::string>& flags) {
 
   const std::string trace_path = TraceBegin(flags);
   const SkylineQueryResult result =
-      ParallelSkylineExecutor(options).Execute(points);
+      ParallelSkylineExecutor(options).Execute(points, desc);
   TraceEnd(trace_path);
 
   const size_t topk =
@@ -468,6 +546,7 @@ int RunServe(const std::map<std::string, std::string>& flags) {
   PointSet points(1);
   size_t total_rows = 0;
   uint32_t bits = 16;
+  uint32_t dim = 1;
   if (columnar) {
     // Peek the header for the coordinate resolution; the service mmaps
     // the file itself via SetDatasetFile below.
@@ -478,6 +557,7 @@ int RunServe(const std::map<std::string, std::string>& flags) {
     }
     bits = peek->bits();
     total_rows = peek->size();
+    dim = peek->view().dim();
   } else {
     auto table = ReadCsvFile(in, CsvOptions{}, &error);
     if (!table.has_value()) {
@@ -488,7 +568,10 @@ int RunServe(const std::map<std::string, std::string>& flags) {
     points = TableToPoints(*table, {}, quantizer);
     bits = quantizer.bits();
     total_rows = points.size();
+    dim = points.dim();
   }
+  QueryRequest request;
+  request.desc = DescFromFlags(flags, dim);
 
   const size_t repeat = std::max<size_t>(
       1, std::strtoull(Flag(flags, "repeat", "8").c_str(), nullptr, 10));
@@ -524,7 +607,7 @@ int RunServe(const std::map<std::string, std::string>& flags) {
   const std::string trace_path = TraceBegin(flags);
 
   // Cold query: pays the plan build.
-  const SkylineQueryResult cold = service.Query();
+  const SkylineQueryResult cold = service.Query(request);
   std::printf("skyline rows (%zu of %zu):\n", cold.skyline.size(),
               total_rows);
   for (uint32_t row : cold.skyline) std::printf("%u\n", row);
@@ -540,7 +623,7 @@ int RunServe(const std::map<std::string, std::string>& flags) {
     for (;;) {
       const size_t i = next.fetch_add(1);
       if (i >= warm_count) return;
-      const SkylineQueryResult warm = service.Query();
+      const SkylineQueryResult warm = service.Query(request);
       warm_ms[i] = warm.metrics.total_ms;
       if (warm.skyline != cold.skyline) mismatches.fetch_add(1);
       const size_t done = completed.fetch_add(1) + 1;
