@@ -40,6 +40,16 @@
 # 10%-selectivity constrained latency vs the committed
 # BENCH_queries.json baseline.
 #
+# `scripts/check.sh updates` exercises the incremental-maintenance write
+# path (docs/updates.md): the mutation fuzz + committed corpus replays,
+# the scheme x local update-parity matrix, and the QueryService update
+# unit tests under AddressSanitizer; the concurrent mutator/reader fuzz
+# under ThreadSanitizer; a CLI insert/delete round trip; then
+# bench_updates in Release — which self-checks skyline invariance, the
+# >=10x dominated-insert win over rebuild, and the <=2x median-latency
+# ratio under a live mutate mix — with a >10% regression gate on concurrent
+# inserts/sec vs the committed BENCH_updates.json baseline.
+#
 # `scripts/check.sh outofcore` exercises the mmap-backed .zsc subsystem:
 # a CLI gen -> convert -> query round trip, the format/corruption/parity
 # tests under AddressSanitizer (mmap-vs-heap bit-identity, bounded
@@ -260,6 +270,69 @@ if [ "${1:-}" = "outofcore" ]; then
     printf "OK: within 10%% of baseline (%.2fx)\n", c / b
   }'
   echo "OUTOFCORE CHECKS PASSED"
+  exit 0
+fi
+
+if [ "${1:-}" = "updates" ]; then
+  echo "=== Mutation fuzz + update parity + unit tests under ASan ==="
+  cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DZSKY_SANITIZE=address \
+        -DZSKY_BUILD_BENCHMARKS=OFF -DZSKY_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-asan --target fuzz_test update_parity_test \
+        query_service_test
+  ctest --test-dir build-asan --output-on-failure \
+        -R 'QueryServiceMutate|QueryServiceUpdates|UpdateParity|QueryServiceFuzz'
+
+  echo "=== Concurrent mutators/readers under TSan ==="
+  cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DZSKY_SANITIZE=thread \
+        -DZSKY_BUILD_BENCHMARKS=OFF -DZSKY_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-tsan --target fuzz_test query_service_test
+  ctest --test-dir build-tsan --output-on-failure \
+        -R 'QueryServiceMutate|QueryServiceUpdates'
+
+  echo "=== CLI insert/delete round trip (Release) ==="
+  cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build --target zsky_cli bench_updates
+  ut="$(mktemp -d)"
+  trap 'rm -rf "$ut"' EXIT
+  ./build/tools/zsky_cli gen --dist anti --n 20000 --dim 4 --seed 7 \
+    --out "$ut/u.csv"
+  # Inserting the origin must collapse the skyline to exactly the new id.
+  ./build/tools/zsky_cli insert --in "$ut/u.csv" --points 0,0,0,0 \
+    > "$ut/ins.txt"
+  if [ "$(sed -n 2p "$ut/ins.txt")" != 20000 ] || \
+     [ "$(wc -l < "$ut/ins.txt")" -ne 2 ]; then
+    echo "FAIL: origin insert did not yield skyline {20000}"
+    cat "$ut/ins.txt"
+    exit 1
+  fi
+  # Deleting a skyline member must remove its (stable, pre-merge) id.
+  ./build/tools/zsky_cli query --in "$ut/u.csv" > "$ut/base.txt"
+  victim="$(sed -n 2p "$ut/base.txt")"
+  ./build/tools/zsky_cli delete --in "$ut/u.csv" --ids "$victim" \
+    > "$ut/del.txt"
+  if grep -qx "$victim" "$ut/del.txt"; then
+    echo "FAIL: deleted row $victim still in skyline"
+    exit 1
+  fi
+  echo "OK: insert -> {20000}, delete removed row $victim"
+
+  echo "=== bench_updates: delta win + latency ratio + inserts/sec baseline ==="
+  (cd build && ./bench/bench_updates)
+  baseline=$(awk -F': ' '/"inserts_per_sec_concurrent"/ {gsub(/,/, "", $2); print $2}' \
+             BENCH_updates.json)
+  current=$(awk -F': ' '/"inserts_per_sec_concurrent"/ {gsub(/,/, "", $2); print $2}' \
+            build/BENCH_updates.json)
+  echo "concurrent inserts/sec: baseline=$baseline current=$current"
+  awk -v b="$baseline" -v c="$current" 'BEGIN {
+    if (c < 0.9 * b) {
+      printf "FAIL: inserts/sec regressed >10%% (%.0f -> %.0f)\n", b, c
+      exit 1
+    }
+    printf "OK: within 10%% of baseline (%.2fx)\n", c / b
+  }'
+  echo "UPDATES CHECKS PASSED"
   exit 0
 fi
 

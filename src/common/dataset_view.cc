@@ -76,6 +76,25 @@ PointSet DatasetView::Materialize(size_t begin, size_t end) const {
   return out;
 }
 
+PointSet DatasetView::GatherAlive(const uint8_t* alive) const {
+  PointSet out(dim_);
+  if (alive == nullptr) return Materialize();
+  size_t alive_rows = 0;
+  for (size_t i = 0; i < size_; ++i) alive_rows += alive[i] != 0 ? 1 : 0;
+  out.Reserve(alive_rows);
+  std::vector<Coord>& raw = out.mutable_raw();
+  RowBlockCursor cursor(*this, 0, size_);
+  RowBlockCursor::Block block;
+  while (cursor.Next(&block)) {
+    for (size_t i = 0; i < block.rows; ++i) {
+      if (alive[block.first_row + i] == 0) continue;
+      const Coord* src = block.data + i * dim_;
+      raw.insert(raw.end(), src, src + dim_);
+    }
+  }
+  return out;
+}
+
 RowBlockCursor::RowBlockCursor(const DatasetView& view, size_t begin,
                                size_t end, size_t block_rows)
     : view_(&view),

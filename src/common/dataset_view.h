@@ -108,6 +108,13 @@ class DatasetView {
   PointSet Materialize(size_t begin, size_t end) const;
   PointSet Materialize() const { return Materialize(0, size_); }
 
+  // Materializes the rows whose `alive` flag is non-zero, in row order
+  // (every row when `alive` is null) — the write path's merge gather
+  // (docs/updates.md). `alive`, when set, must have size() entries.
+  // Streams via RowBlockCursor, so an mmap'd columnar backing is read
+  // sequentially and released behind the scan.
+  PointSet GatherAlive(const uint8_t* alive) const;
+
   void SetReleaseHook(ReleaseRangeFn fn, void* ctx) {
     release_fn_ = fn;
     release_ctx_ = ctx;

@@ -1,0 +1,116 @@
+#include "core/delta.h"
+
+#include <algorithm>
+
+#include "algo/skyband.h"
+#include "algo/sort_based.h"
+#include "algo/subspace.h"
+#include "common/dominance.h"
+#include "zorder/zorder_codec.h"
+
+namespace zsky {
+
+void RecomputeDeltaCandidates(DeltaState& delta) {
+  const size_t n = delta.inserted.size();
+  delta.inserted_candidate.assign(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    if (delta.inserted_alive[i] == 0) continue;
+    const std::span<const Coord> p = delta.inserted[i];
+    bool dominated =
+        delta.band_block != nullptr && delta.band_block->AnyDominates(p);
+    if (!dominated) {
+      for (size_t j = 0; j < n && !dominated; ++j) {
+        if (j == i || delta.inserted_alive[j] == 0) continue;
+        dominated = Dominates(delta.inserted[j], p);
+      }
+    }
+    delta.inserted_candidate[i] = dominated ? 0 : 1;
+  }
+}
+
+SkylineIndices DefaultSkylineWithDelta(const DeltaState& delta) {
+  SkylineIndices out;
+  // The candidates, as one SoA block for the band-side probes.
+  DominanceBlock candidates(delta.inserted.dim());
+  std::vector<uint32_t> candidate_ids;
+  for (size_t i = 0; i < delta.inserted.size(); ++i) {
+    if (delta.inserted_candidate[i] == 0) continue;
+    candidates.Append(delta.inserted[i]);
+    candidate_ids.push_back(static_cast<uint32_t>(delta.base_rows + i));
+  }
+  // Band members survive unless a candidate dominates them (the band is
+  // already mutually non-dominated, and non-candidate delta rows are
+  // dominated by something alive, hence — transitively — by a band member
+  // or candidate, so they can never eject a band member a candidate
+  // couldn't).
+  if (delta.base_band != nullptr && !delta.base_band->empty()) {
+    const SkylineIndices& band = *delta.base_band;
+    std::vector<Coord> buf(delta.inserted.dim());
+    for (size_t j = 0; j < band.size(); ++j) {
+      delta.band_block->CopyPoint(j, buf);
+      if (candidates.empty() || !candidates.AnyDominates(buf)) {
+        out.push_back(band[j]);
+      }
+    }
+  }
+  // Band ids are ascending and < base_rows; candidate ids are ascending
+  // (insertion order) and >= base_rows — the concatenation is sorted.
+  out.insert(out.end(), candidate_ids.begin(), candidate_ids.end());
+  return out;
+}
+
+SkylineIndices OverlayQueryRecount(const DatasetView& base,
+                                   const DeltaState& delta,
+                                   const SkylineIndices& base_result,
+                                   const QueryDesc& desc, Coord max_coord,
+                                   uint32_t bits, bool use_block_kernel) {
+  const uint32_t dim = base.dim();
+  const std::vector<uint32_t> dims = desc.EffectiveDims(dim);
+  const std::vector<uint8_t> flips = desc.EffectiveFlips(dim);
+  bool any_flip = false;
+  for (uint8_t f : flips) any_flip |= (f != 0);
+  const bool identity = !any_flip && dims.size() == dim;
+  const uint32_t qdim = static_cast<uint32_t>(dims.size());
+
+  // The union, transformed into query space, with logical ids alongside.
+  PointSet qpoints(qdim);
+  std::vector<uint32_t> ids;
+  qpoints.Reserve(base_result.size() + delta.alive_delta_rows());
+  std::vector<Coord> orig(dim);
+  std::vector<Coord> proj(qdim);
+  auto append = [&](std::span<const Coord> p, uint32_t id) {
+    if (identity) {
+      qpoints.Append(p);
+    } else {
+      ProjectRowInto(p, dims, flips, max_coord, proj);
+      qpoints.Append(proj);
+    }
+    ids.push_back(id);
+  };
+  for (uint32_t r : base_result) {
+    base.CopyRow(r, orig.data());
+    append(orig, r);
+  }
+  for (size_t i = 0; i < delta.inserted.size(); ++i) {
+    if (delta.inserted_alive[i] == 0) continue;
+    const std::span<const Coord> p = delta.inserted[i];
+    if (!desc.InBox(p)) continue;
+    append(p, static_cast<uint32_t>(delta.base_rows + i));
+  }
+
+  SkylineIndices kept;
+  if (qpoints.empty()) return kept;
+  if (desc.k <= 1) {
+    kept = SortBasedSkyline(qpoints, use_block_kernel);
+  } else {
+    const ZOrderCodec codec(qdim, bits);
+    kept = ZOrderSkyband(codec, qpoints, desc.k);
+  }
+  SkylineIndices out;
+  out.reserve(kept.size());
+  for (uint32_t i : kept) out.push_back(ids[i]);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace zsky

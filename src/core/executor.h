@@ -53,6 +53,12 @@ struct PhaseMetrics {
                                       // the warm path).
   uint32_t skyband_k = 1;             // k of the query (1 = plain skyline).
 
+  // Write-path metrics (docs/updates.md); 0 for read-only snapshots.
+  size_t dropped_by_tombstone = 0;  // Deleted base rows skipped by the
+                                    // pipeline's alive mask.
+  size_t delta_rows = 0;            // Alive delta-buffer rows overlaid on
+                                    // this query's result.
+
   // Preprocessing plan shape.
   size_t sample_size = 0;
   size_t sample_skyline_size = 0;

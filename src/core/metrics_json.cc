@@ -111,9 +111,10 @@ std::string MetricsToJson(const PhaseMetrics& pm,
   // Schema history: v1 had no version key; v2 added "metrics_schema" and
   // the optional "registry" block; v3 added the query-variant fields
   // (dropped_by_box, regions_pruned_by_box, subspace_plan_rebuilds,
-  // skyband_k).
+  // skyband_k); v4 added the write-path fields (dropped_by_tombstone,
+  // delta_rows).
   AppendKey(out, "metrics_schema");
-  out += "3";
+  out += "4";
   out += ',';
   AppendKey(out, "preprocess_ms");
   AppendNumber(out, pm.preprocess_ms);
@@ -159,6 +160,12 @@ std::string MetricsToJson(const PhaseMetrics& pm,
   out += ',';
   AppendKey(out, "skyband_k");
   AppendNumber(out, static_cast<size_t>(pm.skyband_k));
+  out += ',';
+  AppendKey(out, "dropped_by_tombstone");
+  AppendNumber(out, pm.dropped_by_tombstone);
+  out += ',';
+  AppendKey(out, "delta_rows");
+  AppendNumber(out, pm.delta_rows);
   out += ',';
   AppendKey(out, "sample_size");
   AppendNumber(out, pm.sample_size);

@@ -342,7 +342,7 @@ CandidateList RunCandidateJob(const PreparedPlan& plan,
                               const ExecutorOptions& options,
                               const DatasetView& points,
                               mr::WorkerPool* pool, PhaseMetrics& pm,
-                              const QueryDesc& desc) {
+                              const QueryDesc& desc, const uint8_t* alive) {
   CandidateList candidates;
   if (points.empty()) return candidates;
   ZSKY_CHECK(plan.partitioner != nullptr);
@@ -397,6 +397,7 @@ CandidateList RunCandidateJob(const PreparedPlan& plan,
   std::atomic<size_t> filtered{0};
   std::atomic<size_t> dropped{0};
   std::atomic<size_t> box_dropped{0};
+  std::atomic<size_t> tombstoned{0};
   std::mutex candidates_mutex;
 
   typename mr::MapReduceJob<uint32_t>::Options job1_options;
@@ -439,6 +440,7 @@ CandidateList RunCandidateJob(const PreparedPlan& plan,
     size_t local_filtered = 0;
     size_t local_dropped = 0;
     size_t local_box_dropped = 0;
+    size_t local_tombstoned = 0;
     // The split is a row-range over the view: a heap backing yields it as
     // one zero-copy block (the pre-view memory walk, byte for byte), an
     // mmap'd columnar backing as transposed blocks streamed through the
@@ -456,6 +458,10 @@ CandidateList RunCandidateJob(const PreparedPlan& plan,
         survivors.clear();
         survivors.reserve(block.rows);
         for (size_t i = 0; i < block.rows; ++i) {
+          if (alive != nullptr && alive[block.first_row + i] == 0) {
+            ++local_tombstoned;
+            continue;
+          }
           const std::span<const Coord> p(block.data + i * dim, dim);
           bool dominated = false;
           if (plan.szb_block.has_value()) {
@@ -489,6 +495,10 @@ CandidateList RunCandidateJob(const PreparedPlan& plan,
       // rejects the point before the box test or the filter probe), then
       // box-test, then probe.
       for (size_t i = 0; i < block.rows; ++i) {
+        if (alive != nullptr && alive[block.first_row + i] == 0) {
+          ++local_tombstoned;
+          continue;
+        }
         const std::span<const Coord> p(block.data + i * dim, dim);
         std::span<const Coord> q = p;
         if (!v.identity_projection) {
@@ -547,6 +557,7 @@ CandidateList RunCandidateJob(const PreparedPlan& plan,
     filtered.fetch_add(local_filtered, std::memory_order_relaxed);
     dropped.fetch_add(local_dropped, std::memory_order_relaxed);
     box_dropped.fetch_add(local_box_dropped, std::memory_order_relaxed);
+    tombstoned.fetch_add(local_tombstoned, std::memory_order_relaxed);
   };
   // The reducers consume their rows as spans straight into the shuffle's
   // grouped storage; the gather copies (and for variants, transforms) the
@@ -583,12 +594,17 @@ CandidateList RunCandidateJob(const PreparedPlan& plan,
   pm.filtered_by_szb = filtered.load();
   pm.dropped_by_pruning = dropped.load();
   pm.dropped_by_box = box_dropped.load();
+  pm.dropped_by_tombstone = tombstoned.load();
   pm.sim_job1_ms = pm.job1.SimulatedMs(SimSlots(options), options.sim_net_mbps);
 
   MetricsRegistry& registry = MetricsRegistry::Global();
   registry.counter("records_pruned_by_szb").Add(pm.filtered_by_szb);
   registry.counter("records_dropped_by_grouping").Add(pm.dropped_by_pruning);
   registry.counter("candidates_emitted").Add(candidates.size());
+  if (pm.dropped_by_tombstone > 0) {
+    registry.counter("records_dropped_by_tombstone")
+        .Add(pm.dropped_by_tombstone);
+  }
   if (!desc.IsDefault()) {
     registry.counter("records_dropped_by_box").Add(pm.dropped_by_box);
     registry.counter("regions_pruned_by_box").Add(pm.regions_pruned_by_box);

@@ -58,11 +58,19 @@ using CandidateList = std::vector<std::pair<int32_t, uint32_t>>;
 // Fills pm.job1 / job1_ms / sim_job1_ms, candidates, filtered_by_szb,
 // dropped_by_pruning, dropped_by_box, regions_pruned_by_box,
 // subspace_plan_rebuilds and skyband_k.
+//
+// `alive`, when non-null, is the write path's tombstone mask
+// (docs/updates.md): points.size() entries, rows with alive[row] == 0 are
+// skipped before any transform, route, or probe — the pipeline computes
+// over the surviving rows exactly as if the dataset never contained the
+// dead ones (pm.dropped_by_tombstone counts the skips). A null mask is
+// byte-for-byte the unmasked code path.
 CandidateList RunCandidateJob(const PreparedPlan& plan,
                               const ExecutorOptions& options,
                               const DatasetView& points,
                               mr::WorkerPool* pool, PhaseMetrics& pm,
-                              const QueryDesc& desc = {});
+                              const QueryDesc& desc = {},
+                              const uint8_t* alive = nullptr);
 
 // MR job 2 (Section 5.3): merge the candidates into the global skyline
 // (Z-merge, parallel two-level Z-merge, or a centralized re-run). For

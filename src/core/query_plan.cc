@@ -105,6 +105,54 @@ PartitionerBuild BuildPartitioner(const ZOrderCodec* codec,
   return build;
 }
 
+// Pre-seeds the identity shape so the default desc's Variant() lookup
+// never builds anything (and never contends beyond one map find).
+void SeedIdentityVariant(PreparedPlan& plan) {
+  auto identity = std::make_shared<PreparedVariant>();
+  identity->dims.resize(plan.dim);
+  for (uint32_t d = 0; d < plan.dim; ++d) identity->dims[d] = d;
+  identity->flip.assign(plan.dim, 0);
+  identity->identity_projection = true;
+  identity->identity = true;
+  plan.variants->by_shape.emplace(QueryDesc{}.ShapeKey(),
+                                  std::move(identity));
+}
+
+// The sample-derived tail of plan construction, shared by PreparePlan and
+// PatchPlanForDeletes: learns the partitioner from plan.sample, computes
+// the sample skyline, and builds the SZB mapper filter.
+void FinishPlanFromSample(PreparedPlan& plan,
+                          const ExecutorOptions& options) {
+  {
+    PartitionerBuild build =
+        BuildPartitioner(plan.codec.get(), plan.sample, options);
+    plan.partitioner = std::move(build.partitioner);
+    plan.zgroup = build.zgroup;
+    plan.grid = build.grid;
+    plan.sample_skyline = std::move(build.sample_skyline);
+    plan.num_partitions = build.num_partitions;
+    plan.pruned_partitions = build.pruned_partitions;
+  }
+  if (plan.sample_skyline.empty()) {
+    // Non-Z path: compute the sample skyline for metrics and (potential)
+    // filter reuse.
+    for (uint32_t idx :
+         SortBasedSkyline(plan.sample, options.use_block_kernel)) {
+      plan.sample_skyline.AppendFrom(plan.sample, idx);
+    }
+  }
+
+  // The SZB-tree mapper filter is part of the paper's Z-order pipeline
+  // (Algorithm 3 lines 2-3); the Grid/Angle baselines as published have no
+  // sample-skyline prefilter, so it only activates for Z-order schemes.
+  if (options.enable_szb_filter && IsZScheme(options.partitioning)) {
+    SzbFilter filter = BuildSzbFilter(plan.codec.get(), plan.sample_skyline,
+                                      1, options, plan.tree_options);
+    plan.szb_block = std::move(filter.block);
+    plan.szb_tree = std::move(filter.tree);
+  }
+}
+
 }  // namespace
 
 SzbFilter BuildSzbFilter(const ZOrderCodec* codec, const PointSet& band,
@@ -160,18 +208,7 @@ PreparedPlan PreparePlan(const DatasetView& points,
   plan.tree_options.block_leaf_scan = options.use_block_kernel;
   plan.sample = PointSet(dim);
   plan.sample_skyline = PointSet(dim);
-  // Pre-seed the identity shape so the default desc's Variant() lookup
-  // never builds anything (and never contends beyond one map find).
-  {
-    auto identity = std::make_shared<PreparedVariant>();
-    identity->dims.resize(dim);
-    for (uint32_t d = 0; d < dim; ++d) identity->dims[d] = d;
-    identity->flip.assign(dim, 0);
-    identity->identity_projection = true;
-    identity->identity = true;
-    plan.variants->by_shape.emplace(QueryDesc{}.ShapeKey(),
-                                    std::move(identity));
-  }
+  SeedIdentityVariant(plan);
   if (points.empty()) {
     plan.build_ms = build_watch.ElapsedMs();
     return plan;
@@ -189,44 +226,80 @@ PreparedPlan PreparePlan(const DatasetView& points,
   {
     ZSKY_TRACE_SPAN_ARGS(
         "plan.sample", "{\"target\":" + std::to_string(sample_target) + "}");
-    plan.sample = ReservoirSample(points, sample_target, rng);
+    // Inlined ReservoirSample, keeping the sampled row ids: identical rng
+    // consumption and gather order, so the sample (and every artifact
+    // derived from it) is bit-identical to the pre-sample_rows build.
+    plan.sample_rows = ReservoirSampleIndices(n, sample_target, rng);
+    std::sort(plan.sample_rows.begin(), plan.sample_rows.end());
+    plan.sample = points.Gather(plan.sample_rows);
   }
 
   ZSKY_TRACE_SPAN("plan.partition_and_filter");
-  {
-    PartitionerBuild build =
-        BuildPartitioner(plan.codec.get(), plan.sample, options);
-    plan.partitioner = std::move(build.partitioner);
-    plan.zgroup = build.zgroup;
-    plan.grid = build.grid;
-    plan.sample_skyline = std::move(build.sample_skyline);
-    plan.num_partitions = build.num_partitions;
-    plan.pruned_partitions = build.pruned_partitions;
-  }
-  if (plan.sample_skyline.empty()) {
-    // Non-Z path: compute the sample skyline for metrics and (potential)
-    // filter reuse.
-    for (uint32_t idx :
-         SortBasedSkyline(plan.sample, options.use_block_kernel)) {
-      plan.sample_skyline.AppendFrom(plan.sample, idx);
-    }
-  }
-
-  // The SZB-tree mapper filter is part of the paper's Z-order pipeline
-  // (Algorithm 3 lines 2-3); the Grid/Angle baselines as published have no
-  // sample-skyline prefilter, so it only activates for Z-order schemes.
-  if (options.enable_szb_filter && IsZScheme(options.partitioning)) {
-    SzbFilter filter = BuildSzbFilter(plan.codec.get(), plan.sample_skyline,
-                                      1, options, plan.tree_options);
-    plan.szb_block = std::move(filter.block);
-    plan.szb_tree = std::move(filter.tree);
-  }
+  FinishPlanFromSample(plan, options);
   plan.build_ms = build_watch.ElapsedMs();
   MetricsRegistry& registry = MetricsRegistry::Global();
   registry.counter("plan_builds").Increment();
   registry.histogram("plan_build_us")
       .Observe(static_cast<uint64_t>(plan.build_ms * 1000.0));
   return plan;
+}
+
+std::shared_ptr<const PreparedPlan> PatchPlanForDeletes(
+    const PreparedPlan& plan, const DatasetView& points,
+    const std::vector<uint8_t>& base_alive) {
+  ZSKY_CHECK(base_alive.size() == plan.dataset_size);
+  std::vector<uint32_t> kept;  // Positions into plan.sample still alive.
+  kept.reserve(plan.sample_rows.size());
+  for (size_t i = 0; i < plan.sample_rows.size(); ++i) {
+    if (base_alive[plan.sample_rows[i]] != 0) {
+      kept.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  if (kept.size() == plan.sample_rows.size()) return nullptr;
+
+  ZSKY_TRACE_SPAN_ARGS(
+      "plan.patch", "{\"kept\":" + std::to_string(kept.size()) + "}");
+  Stopwatch patch_watch;
+  auto patched = std::make_shared<PreparedPlan>();
+  patched->options = plan.options;
+  patched->dim = plan.dim;
+  patched->dataset_size = plan.dataset_size;
+  patched->codec = std::make_unique<ZOrderCodec>(plan.dim, plan.options.bits);
+  patched->tree_options = plan.tree_options;
+  patched->sample_skyline = PointSet(plan.dim);
+  SeedIdentityVariant(*patched);
+
+  patched->sample = PointSet::Gather(plan.sample, kept);
+  patched->sample_rows.reserve(kept.size());
+  for (uint32_t pos : kept) {
+    patched->sample_rows.push_back(plan.sample_rows[pos]);
+  }
+  if (patched->sample.empty()) {
+    // Every sampled row died but the dataset still has alive rows (the
+    // caller's contract): draw an emergency sample from the first alive
+    // rows so the partitioner and filter never go missing while data
+    // remains. Not statistically uniform — merely sound — and the next
+    // merge replaces it with a real reservoir pass.
+    constexpr size_t kEmergencySampleRows = 256;
+    for (size_t r = 0;
+         r < base_alive.size() &&
+         patched->sample_rows.size() < kEmergencySampleRows;
+         ++r) {
+      if (base_alive[r] != 0) {
+        patched->sample_rows.push_back(static_cast<uint32_t>(r));
+      }
+    }
+    ZSKY_CHECK_MSG(!patched->sample_rows.empty(),
+                   "PatchPlanForDeletes over an all-dead dataset");
+    patched->sample = points.Gather(patched->sample_rows);
+  }
+  FinishPlanFromSample(*patched, patched->options);
+  patched->build_ms = patch_watch.ElapsedMs();
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.counter("plan_patches").Increment();
+  registry.histogram("plan_patch_us")
+      .Observe(static_cast<uint64_t>(patched->build_ms * 1000.0));
+  return patched;
 }
 
 std::shared_ptr<const PreparedVariant> PreparedPlan::Variant(

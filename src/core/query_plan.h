@@ -115,6 +115,12 @@ struct PreparedPlan {
 
   PointSet sample{1};
   PointSet sample_skyline{1};
+  // Ascending dataset row ids `sample` was gathered from (row-parallel to
+  // it). The write path keys plan invalidation on row identity, not
+  // coordinates: the k > 1 counting filter needs k DISTINCT alive rows,
+  // so only the death of a row that was actually sampled can make a
+  // filter artifact unsound (PatchPlanForDeletes).
+  std::vector<uint32_t> sample_rows;
 
   // SZB mapper filter (Algorithm 3 lines 2-3); present only for Z-order
   // schemes with the filter enabled. The block covers the head of the
@@ -172,6 +178,25 @@ struct PreparedPlan {
 // indices, never the dataset.
 PreparedPlan PreparePlan(const DatasetView& points,
                          const ExecutorOptions& options);
+
+// Plan patching for the write path (docs/updates.md): rebuilds the
+// sample-derived tail of `plan` after base-row deletes, O(sample) instead
+// of O(dataset). Returns nullptr when no sampled row died — the existing
+// plan stays exactly valid (its sample is still a subset of the alive
+// rows), which is the common case and the reason deletes rarely touch
+// plan state. Otherwise the dead rows are dropped from the stored sample
+// and the cheap tail of PreparePlan re-runs over the survivors: fresh
+// partitioner, sample skyline, SZB filter, and an empty variant cache.
+// When every sampled row died but alive rows remain, an emergency sample
+// is drawn from the first alive rows so the plan never goes filterless
+// while the dataset is non-empty.
+//
+// `base_alive` must have plan.dataset_size entries (0 = deleted), with at
+// least one alive row — callers handle the all-dead dataset themselves
+// (no pipeline ever runs over it).
+std::shared_ptr<const PreparedPlan> PatchPlanForDeletes(
+    const PreparedPlan& plan, const DatasetView& points,
+    const std::vector<uint8_t>& base_alive);
 
 }  // namespace zsky
 

@@ -6,11 +6,13 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <utility>
 
 #include "common/dataset_view.h"
 #include "common/point_set.h"
+#include "core/delta.h"
 #include "core/executor.h"
 #include "core/options.h"
 #include "core/planner.h"
@@ -66,6 +68,43 @@ struct QueryServiceOptions {
   // therefore resumes from the constants the previous run converged to
   // instead of re-learning them from scratch (core/calibration_io.h).
   std::string calibration_file;
+
+  // Write path (docs/updates.md): once the delta buffer holds this many
+  // rows (inserts plus base tombstones) the mutation that crossed the
+  // threshold folds it into a fresh base snapshot — full reservoir
+  // sample, new plan, compacted logical ids. 0 disables automatic merges
+  // (Merge() still works).
+  size_t delta_merge_threshold = 8192;
+};
+
+// Outcome of one Insert/Delete batch (or an explicit Merge). `ok` is
+// false only for malformed requests (dimension mismatch, no dataset);
+// the batch is then rejected wholesale and service state is untouched.
+struct MutationResult {
+  bool ok = true;
+  std::string error;
+  size_t applied = 0;    // Rows inserted / ids tombstoned.
+  size_t fast_path = 0;  // Inserts rejected by the plan's sample-skyline
+                         // filter: proven dominated by one SIMD probe,
+                         // touched nothing but the delta buffer.
+  size_t rejected = 0;   // Delete ids out of range or already dead
+                         // (skipped; the rest of the batch applies).
+  uint32_t first_id = 0; // Logical id of the batch's first inserted row.
+  bool merged = false;   // This mutation crossed the merge threshold.
+  size_t repair_partitions = 0;  // Partitions the delete repair rescanned
+                                 // (box-pruned pipeline re-run).
+  double ms = 0.0;
+};
+
+// Write-side state of the current snapshot (delta_stats()).
+struct DeltaStats {
+  bool active = false;      // Mutations pending since the last merge /
+                            // SetDataset (delta overlay in effect).
+  size_t logical_rows = 0;  // Base + delta rows, including tombstones.
+  size_t alive_rows = 0;
+  size_t delta_rows = 0;    // Buffered delta rows (including dead).
+  size_t base_dead = 0;     // Tombstoned base rows.
+  size_t band_size = 0;     // Maintained base-skyline size.
 };
 
 // Concurrent serving front-end over one dataset snapshot: owns the
@@ -75,7 +114,8 @@ struct QueryServiceOptions {
 // Layering (see docs/architecture.md):
 //   plan     (core/query_plan.h)  — built once per dataset, immutable;
 //   pipeline (core/pipeline.h)    — per-query MR jobs over `const plan&`;
-//   service  (this file)          — snapshots, admission, pool ticketing.
+//   service  (this file)          — snapshots, admission, pool ticketing,
+//                                   and the write path (core/delta.h).
 //
 // Concurrency contract:
 //  - Query() is safe from any number of threads. Admission is bounded by
@@ -92,6 +132,13 @@ struct QueryServiceOptions {
 //  - SetDataset() atomically swaps the snapshot and invalidates the cached
 //    plan. In-flight queries finish against the snapshot they acquired;
 //    queries admitted afterwards see the new dataset.
+//  - Insert()/Delete()/Merge() are safe from any number of threads and
+//    concurrently with queries; mutations serialize against each other.
+//    Every mutation publishes a NEW immutable snapshot (shared base +
+//    copy-on-write delta), so an in-flight query computes over exactly
+//    the logical dataset that existed when it acquired its snapshot —
+//    epoch-based reclamation by shared_ptr: the old snapshot (and any
+//    merge-produced file) lives until its last reader drops it.
 class QueryService {
  public:
   explicit QueryService(const QueryServiceOptions& options);
@@ -107,8 +154,9 @@ class QueryService {
   const QueryServiceOptions& options() const { return options_; }
 
   // Installs or replaces the dataset snapshot; the cached plan is
-  // invalidated and rebuilt by the next Query(). Safe to call while
-  // queries are in flight.
+  // invalidated and rebuilt by the next Query(), and any pending delta
+  // buffer is discarded with the old snapshot. Safe to call while queries
+  // are in flight.
   void SetDataset(PointSet points);
 
   // Out-of-core variant: mmaps a `.zsc` columnar file (io/columnar.h) and
@@ -119,12 +167,46 @@ class QueryService {
   // resident set stays O(budget + plan) instead of O(dataset). Returns
   // false and sets `error` on a missing or malformed file; the current
   // snapshot is untouched. Same swap semantics as SetDataset.
+  //
+  // A file-backed snapshot accepts mutations like a heap one: the delta
+  // buffer lives on the heap over the read-only mapping, and a merge
+  // streams a new `.zsc` beside the original (owned by the merged
+  // snapshot and unlinked when its last reader drops it).
   bool SetDatasetFile(const std::string& path, std::string* error);
 
   // Computes the skyline of the current dataset snapshot. Must not be
   // called before a dataset is installed.
   SkylineQueryResult Query() { return Query(QueryRequest{}); }
   SkylineQueryResult Query(const QueryRequest& request);
+
+  // --- Write path (docs/updates.md) -----------------------------------
+  //
+  // Logical row ids: base rows keep their dataset row ids; a row inserted
+  // while the base holds B logical-delta rows gets the next id after the
+  // current id space. Deletes address these ids. A merge COMPACTS ids
+  // (alive base rows in ascending order, then alive delta rows in
+  // insertion order), so ids are stable only between merges —
+  // MutationResult::merged / first_id let callers track the renumbering.
+
+  // Inserts a batch of points (dimensions must match the base dataset).
+  // A point the plan's sample-skyline filter proves dominated touches
+  // nothing but the delta buffer (result.fast_path); every insert leaves
+  // the base plan untouched. Requires an installed dataset.
+  MutationResult Insert(const PointSet& points);
+
+  // Tombstones the given logical ids. Out-of-range or already-dead ids
+  // are counted in result.rejected and skipped. Deleting a point of the
+  // maintained base skyline triggers exclusive-dominance-region repair: a
+  // box-constrained pipeline re-run over only the partitions intersecting
+  // the deleted points' dominance region (result.repair_partitions).
+  MutationResult Delete(std::span<const uint32_t> ids);
+
+  // Folds the delta buffer into a fresh base snapshot now (full plan
+  // rebuild, compacted ids). Returns false when there is nothing to merge
+  // or the merge lost the publish race to a concurrent SetDataset.
+  bool Merge();
+
+  DeltaStats delta_stats() const;
 
   struct Stats {
     size_t queries = 0;        // Completed Query() calls.
@@ -133,6 +215,13 @@ class QueryService {
     size_t peak_in_flight = 0; // Max concurrently admitted queries seen.
     double plan_build_ms_total = 0.0;
     double query_ms_total = 0.0;  // Sum of per-query total_ms.
+    // Write path.
+    size_t inserts = 0;            // Rows inserted.
+    size_t deletes = 0;            // Rows tombstoned.
+    size_t fast_path_inserts = 0;  // Sample-skyline-filter insert rejects.
+    size_t merges = 0;             // Delta merges folded into the base.
+    size_t repairs = 0;            // Delete batches that repaired the band.
+    size_t plan_patches = 0;       // Plans re-derived by sampled-row death.
   };
   Stats stats() const;
 
@@ -141,16 +230,29 @@ class QueryService {
   PlanCalibration calibration() const;
 
  private:
-  // One dataset + its plan, immutable once published; queries hold it by
-  // shared_ptr so SetDataset can swap underneath them. The dataset is
-  // either heap `points` or an mmap'd `mapped` file; `view` abstracts the
-  // two for the pipeline and is set once the backing is in place (it
-  // borrows storage owned by this snapshot, so it lives exactly as long).
-  struct Snapshot {
+  // The physical dataset backing of a snapshot: either heap `points` or
+  // an mmap'd `mapped` file; `view` abstracts the two for the pipeline
+  // and borrows storage owned by this object. Shared across snapshots
+  // (mutations and replans layer new plans/deltas over the same base), so
+  // it lives exactly as long as the last snapshot or in-flight query that
+  // references it — and a merge-produced `.zsc` (owned_path) is unlinked
+  // by the destructor at that same moment: epoch-based file reclamation.
+  struct SnapshotBase {
     PointSet points{1};
     std::shared_ptr<const ColumnarDataset> mapped;
     DatasetView view;
-    PreparedPlan plan;
+    std::string owned_path;  // Merge-produced file to unlink, or empty.
+    ~SnapshotBase();
+  };
+
+  // One immutable serving epoch: base + plan + (optional) delta. Queries
+  // hold it by shared_ptr so SetDataset / mutations can swap underneath
+  // them. `delta` is null until the first mutation after a SetDataset or
+  // merge — the pristine read path is byte-for-byte the delta-free one.
+  struct Snapshot {
+    std::shared_ptr<const SnapshotBase> base;
+    std::shared_ptr<const PreparedPlan> plan;
+    std::shared_ptr<const DeltaState> delta;
     // Adaptive planning: what the cost model chose and predicted for this
     // snapshot (compared against measured stage times after every query),
     // and the calibration the prediction was made under — feedback sets
@@ -169,6 +271,29 @@ class QueryService {
   std::pair<std::shared_ptr<const Snapshot>, bool> AcquireSnapshot(
       const QueryDesc& desc);
   SkylineQueryResult RunQuery(const QueryRequest& request);
+
+  // Write-path internals; all run under mutate_mu_.
+  // Bootstraps a delta over a pristine snapshot: computes the exact base
+  // skyline (one default pipeline run under the pool ticket) and wraps it
+  // as the maintained band.
+  std::shared_ptr<DeltaState> BootstrapDelta(const Snapshot& snap);
+  // Runs the exclusive-dominance-region repair after band deletes:
+  // re-runs the pipeline constrained to the deleted band points'
+  // dominance box over the alive base, merges resurfacing points into
+  // the band. Fills `repair_partitions`.
+  void RepairBandAfterDeletes(const Snapshot& snap, DeltaState& delta,
+                              const std::vector<uint32_t>& deleted_band_rows,
+                              size_t* repair_partitions);
+  // Publishes `next` as the current snapshot iff the snapshot `from` was
+  // built against is still current and no SetDataset is pending. Returns
+  // false when the mutation must re-read state and retry.
+  bool TryPublish(const std::shared_ptr<const Snapshot>& from,
+                  std::shared_ptr<const Snapshot> next);
+  // Folds the delta when it crossed options_.delta_merge_threshold
+  // (caller holds mutate_mu_).
+  void MaybeAutoMerge(MutationResult* result);
+  // The merge itself (caller holds mutate_mu_).
+  bool MergeLocked(MutationResult* result);
 
   QueryServiceOptions options_;
   mr::WorkerPool pool_;
@@ -190,10 +315,19 @@ class QueryService {
   std::shared_ptr<const ColumnarDataset> pending_mapped_;
   std::shared_ptr<const Snapshot> snapshot_;  // Null until first build.
   Stats stats_;
+  // Monotonic merge-file counter (names never collide even when a merged
+  // snapshot is still alive while the next merge runs).
+  uint64_t merge_files_ = 0;
 
   // Pool ticket: serializes whole pipeline executions on pool_ (acquired
-  // after admission, held across both MR jobs and the final merge).
+  // after admission, held across both MR jobs and the final merge; the
+  // write path takes it for band bootstrap and delete repair).
   std::mutex pool_mu_;
+
+  // Serializes mutations (Insert/Delete/Merge) against each other; never
+  // blocks queries. Ordering: mutate_mu_ > mu_ and mutate_mu_ > pool_mu_;
+  // mu_ and pool_mu_ are never held together.
+  std::mutex mutate_mu_;
 };
 
 }  // namespace zsky

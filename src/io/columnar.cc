@@ -187,6 +187,52 @@ bool WriteColumnarFile(const std::string& path, const DatasetView& points,
   return ok;
 }
 
+bool WriteColumnarMerged(const std::string& path, const DatasetView& base,
+                         const uint8_t* base_alive, const PointSet& delta,
+                         const uint8_t* delta_alive, uint32_t bits,
+                         std::string* error) {
+  const uint32_t dim = base.dim();
+  uint64_t count = 0;
+  for (size_t i = 0; i < base.size(); ++i) {
+    count += (base_alive == nullptr || base_alive[i] != 0) ? 1 : 0;
+  }
+  for (size_t i = 0; i < delta.size(); ++i) {
+    count += (delta_alive == nullptr || delta_alive[i] != 0) ? 1 : 0;
+  }
+  ColumnarWriter writer(path, dim, count, bits);
+  // Alive base rows, streamed block-at-a-time. Contiguous alive runs are
+  // appended as single calls so the all-alive case degenerates to the
+  // plain converter's whole-block appends.
+  RowBlockCursor cursor(base, 0, base.size());
+  RowBlockCursor::Block block;
+  while (writer.ok() && cursor.Next(&block)) {
+    size_t run_begin = 0;
+    while (run_begin < block.rows) {
+      while (run_begin < block.rows && base_alive != nullptr &&
+             base_alive[block.first_row + run_begin] == 0) {
+        ++run_begin;
+      }
+      size_t run_end = run_begin;
+      while (run_end < block.rows &&
+             (base_alive == nullptr ||
+              base_alive[block.first_row + run_end] != 0)) {
+        ++run_end;
+      }
+      if (run_end > run_begin) {
+        writer.AppendRows(block.data + run_begin * dim, run_end - run_begin);
+      }
+      run_begin = run_end;
+    }
+  }
+  for (size_t i = 0; writer.ok() && i < delta.size(); ++i) {
+    if (delta_alive != nullptr && delta_alive[i] == 0) continue;
+    writer.AppendRows(delta[i].data(), 1);
+  }
+  const bool ok = writer.ok() && writer.Finish();
+  if (!ok && error != nullptr) *error = writer.error();
+  return ok;
+}
+
 // --- ColumnarDataset --------------------------------------------------
 
 std::unique_ptr<ColumnarDataset> ColumnarDataset::Open(

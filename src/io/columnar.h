@@ -92,6 +92,20 @@ class ColumnarWriter {
 bool WriteColumnarFile(const std::string& path, const DatasetView& points,
                        uint32_t bits, std::string* error);
 
+// Streams a merged dataset to a new `.zsc`: the rows of `base` whose
+// `base_alive` flag is non-zero (all rows when null), in row order,
+// followed by the rows of `delta` whose `delta_alive` flag is non-zero
+// (same convention). This is the write path's LSM-style merge over an
+// mmap'd base (docs/updates.md): O(chunk) memory like the writer it
+// wraps — the base streams through RowBlockCursor and is never
+// materialized. Dimensions must match; returns false + `error` on I/O
+// failure (a partial file may remain and should be unlinked by the
+// caller).
+bool WriteColumnarMerged(const std::string& path, const DatasetView& base,
+                         const uint8_t* base_alive, const PointSet& delta,
+                         const uint8_t* delta_alive, uint32_t bits,
+                         std::string* error);
+
 // An open, mmap'd `.zsc` dataset. The whole file is mapped read-only
 // (MAP_SHARED); view() exposes the columns to the pipeline without any
 // materialization. Thread-safe for concurrent reads; Release/Drop calls

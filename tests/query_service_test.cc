@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -12,6 +16,7 @@
 #include "core/metrics_registry.h"
 #include "core/query_service.h"
 #include "gen/synthetic.h"
+#include "io/columnar.h"
 
 namespace zsky {
 namespace {
@@ -298,6 +303,158 @@ TEST(CalibrationPersistenceTest, SurvivesServiceRestart) {
     EXPECT_EQ(service.Query().skyline, BnlSkyline(points));
   }
   std::remove(path.c_str());
+}
+
+// --- Write-path unit tests (docs/updates.md) ------------------------------
+
+// A batch of provably dominated inserts is absorbed by the plan's
+// sample-skyline filter: every row lands in the delta buffer as a dead
+// candidate, and no plan state — builds, patches, repairs — moves at all.
+TEST(QueryServiceUpdatesTest, DominatedInsertFastPathTouchesNoPlanState) {
+  const PointSet points =
+      MakePoints(Distribution::kAnticorrelated, 3000, 4, 7);
+  QueryServiceOptions options = MakeServiceOptions();
+  options.delta_merge_threshold = 0;
+  QueryService service(options, PointSet(points));
+  SkylineIndices before_sky = service.Query().skyline;
+  std::sort(before_sky.begin(), before_sky.end());
+  const QueryService::Stats before = service.stats();
+
+  constexpr Coord kMax = (1u << kBits) - 1;
+  PointSet batch(4);
+  for (int i = 0; i < 10; ++i) {
+    batch.Append(std::vector<Coord>(4, kMax));  // The max corner: dominated
+                                                // by every non-corner row.
+  }
+  const MutationResult mr = service.Insert(batch);
+  ASSERT_TRUE(mr.ok) << mr.error;
+  EXPECT_EQ(mr.applied, batch.size());
+  EXPECT_EQ(mr.fast_path, batch.size());
+
+  const QueryService::Stats after = service.stats();
+  EXPECT_EQ(after.plan_builds, before.plan_builds);
+  EXPECT_EQ(after.plan_patches, before.plan_patches);
+  EXPECT_EQ(after.repairs, before.repairs);
+  EXPECT_EQ(after.fast_path_inserts, before.fast_path_inserts + batch.size());
+
+  // The rows are buffered (visible in row accounting) but can never
+  // surface in a skyline.
+  const DeltaStats ds = service.delta_stats();
+  EXPECT_TRUE(ds.active);
+  EXPECT_EQ(ds.delta_rows, batch.size());
+  EXPECT_EQ(ds.alive_rows, points.size() + batch.size());
+  SkylineIndices after_sky = service.Query().skyline;
+  std::sort(after_sky.begin(), after_sky.end());
+  EXPECT_EQ(after_sky, before_sky);
+}
+
+// Inserts are accepted on top of an mmap'd base (heap delta over the file),
+// reads stay bit-identical to a heap twin, and Merge() streams a new .zsc
+// next to the original, owned by the snapshot and unlinked when the last
+// reference drops.
+TEST(QueryServiceUpdatesTest, MmapBaseAcceptsInsertsAndMergeStreamsNewFile) {
+  const PointSet points =
+      MakePoints(Distribution::kAnticorrelated, 2000, 4, 19);
+  const std::string path = ::testing::TempDir() + "/" +
+                           std::to_string(::getpid()) + "_updates_base.zsc";
+  std::string error;
+  ASSERT_TRUE(WriteColumnarFile(path, points, kBits, &error)) << error;
+
+  QueryServiceOptions options = MakeServiceOptions();
+  options.delta_merge_threshold = 0;
+  QueryService mmap_service(options);
+  ASSERT_TRUE(mmap_service.SetDatasetFile(path, &error)) << error;
+  QueryService heap_service(options, PointSet(points));
+
+  constexpr Coord kMax = (1u << kBits) - 1;
+  PointSet batch(4);
+  batch.Append(std::vector<Coord>{1, 2, 1, 2});  // Skyline-changing.
+  batch.Append(std::vector<Coord>(4, kMax));     // Dominated.
+  for (QueryService* s : {&mmap_service, &heap_service}) {
+    const MutationResult mr = s->Insert(batch);
+    ASSERT_TRUE(mr.ok) << mr.error;
+    ASSERT_EQ(mr.applied, batch.size());
+  }
+  const std::vector<uint32_t> doomed{3, 4, 5};
+  for (QueryService* s : {&mmap_service, &heap_service}) {
+    ASSERT_EQ(s->Delete(doomed).applied, doomed.size());
+  }
+  auto sorted_query = [](QueryService& s) {
+    SkylineIndices ids = s.Query().skyline;
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  };
+  EXPECT_EQ(sorted_query(mmap_service), sorted_query(heap_service));
+
+  // Merge streams the compacted dataset to <base>.merge-0 and serves it.
+  ASSERT_TRUE(mmap_service.Merge());
+  ASSERT_TRUE(heap_service.Merge());
+  const std::string merged_path = path + ".merge-0";
+  EXPECT_TRUE(std::ifstream(merged_path).good());
+  EXPECT_EQ(sorted_query(mmap_service), sorted_query(heap_service));
+  EXPECT_FALSE(mmap_service.delta_stats().active);
+
+  // Swapping the dataset drops the last reference to the merged snapshot;
+  // the owned file goes with it (epoch-based file reclamation).
+  mmap_service.SetDataset(MakePoints(Distribution::kIndependent, 64, 4, 3));
+  (void)mmap_service.Query();
+  EXPECT_FALSE(std::ifstream(merged_path).good());
+  std::remove(path.c_str());
+}
+
+// Invalid mutations are contained: a dim-mismatched or out-of-domain insert
+// fails whole (ok=false, published state untouched) and bad delete ids are
+// counted per-row in `rejected` while the rest of the batch applies.
+TEST(QueryServiceUpdatesTest, RejectsBadInsertsAndCountsBadDeleteIds) {
+  {
+    QueryService fresh{MakeServiceOptions()};
+    EXPECT_FALSE(fresh.Insert(PointSet(3)).ok);  // Before any dataset.
+    EXPECT_FALSE(fresh.Delete(std::vector<uint32_t>{0}).ok);
+  }
+
+  const PointSet points = MakePoints(Distribution::kIndependent, 500, 3, 23);
+  QueryServiceOptions options = MakeServiceOptions();
+  options.delta_merge_threshold = 0;
+  QueryService service(options, PointSet(points));
+  SkylineIndices before_sky = service.Query().skyline;
+  std::sort(before_sky.begin(), before_sky.end());
+
+  // Dim mismatch: rejected wholesale, nothing published.
+  PointSet wrong_dim(4);
+  wrong_dim.Append(std::vector<Coord>{1, 2, 3, 4});
+  const MutationResult bad_dim = service.Insert(wrong_dim);
+  EXPECT_FALSE(bad_dim.ok);
+  EXPECT_EQ(bad_dim.applied, 0u);
+  EXPECT_FALSE(service.delta_stats().active);
+
+  // Out-of-domain coordinate (beyond the plan codec's max): same contract.
+  PointSet too_big(3);
+  too_big.Append(std::vector<Coord>{1, 2, (1u << kBits)});
+  EXPECT_FALSE(service.Insert(too_big).ok);
+  EXPECT_FALSE(service.delta_stats().active);
+
+  // All-invalid delete batch: ok, zero applied, nothing published.
+  const MutationResult noop =
+      service.Delete(std::vector<uint32_t>{100000, 100001});
+  EXPECT_TRUE(noop.ok);
+  EXPECT_EQ(noop.applied, 0u);
+  EXPECT_EQ(noop.rejected, 2u);
+  EXPECT_FALSE(service.delta_stats().active);
+
+  // Mixed batch: the valid id dies once; its duplicate and the stragglers
+  // are counted, not fatal.
+  const MutationResult mixed =
+      service.Delete(std::vector<uint32_t>{5, 5, 100000});
+  EXPECT_TRUE(mixed.ok);
+  EXPECT_EQ(mixed.applied, 1u);
+  EXPECT_EQ(mixed.rejected, 2u);
+  EXPECT_TRUE(service.delta_stats().active);
+  EXPECT_EQ(service.delta_stats().base_dead, 1u);
+
+  // The untouched-state claim above is behavioral, not just counters.
+  const QueryService::Stats stats = service.stats();
+  EXPECT_EQ(stats.inserts, 0u);
+  EXPECT_EQ(stats.deletes, 1u);
 }
 
 }  // namespace

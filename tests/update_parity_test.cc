@@ -1,0 +1,294 @@
+// Update-parity matrix: after a fixed mutation script (inserts that land on
+// both sides of the skyline, deletes that kill band members and delta rows),
+// the delta-overlay read path must answer every QueryDesc variant exactly —
+// checked three ways, for every (partitioning x local) cell of the pipeline
+// matrix:
+//   1. pre-merge, against the all-variant oracle over the alive rows
+//      (exact logical ids);
+//   2. pre-merge, against a fresh service rebuilt from scratch on the
+//      compacted dataset (identical coordinate multisets — ids differ until
+//      the merge renumbers them);
+//   3. post-Merge(), against the same rebuilt service (bit-identical ids).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algo/oracle.h"
+#include "common/quantizer.h"
+#include "common/rng.h"
+#include "core/query_service.h"
+#include "gen/synthetic.h"
+
+namespace zsky {
+namespace {
+
+constexpr uint32_t kBits = 12;
+constexpr Coord kMax = (1u << kBits) - 1;
+constexpr uint32_t kDim = 4;
+
+// The variant axis: one desc per query class, over 4-dimensional data.
+std::vector<std::pair<std::string, QueryDesc>> VariantAxis() {
+  std::vector<std::pair<std::string, QueryDesc>> axis;
+  axis.emplace_back("full", QueryDesc{});
+  {
+    QueryDesc desc;
+    desc.box_lo = {0, 600, 0, 0};
+    desc.box_hi = {2800, kMax, kMax, 3500};
+    axis.emplace_back("constrained", desc);
+  }
+  {
+    QueryDesc desc;
+    desc.dims = {1, 2, 3};
+    desc.maximize = {0, 0, 1, 0};  // Dominance flipped on dim 2.
+    axis.emplace_back("subspace_flipped", desc);
+  }
+  {
+    QueryDesc desc;
+    desc.k = 3;
+    axis.emplace_back("skyband3", desc);
+  }
+  {
+    QueryDesc desc;
+    desc.box_lo = {0, 0, 0, 0};
+    desc.box_hi = {3000, kMax, 3200, kMax};
+    desc.dims = {1, 3};
+    desc.maximize = {0, 1, 0, 0};
+    desc.k = 2;
+    axis.emplace_back("combined", desc);
+  }
+  for (auto& [name, desc] : axis) desc.Canonicalize();
+  return axis;
+}
+
+struct UpdateCell {
+  PartitioningScheme partitioning;
+  LocalAlgorithm local;
+};
+
+std::string UpdateCellName(const ::testing::TestParamInfo<UpdateCell>& info) {
+  std::string name =
+      std::string(PartitioningSchemeName(info.param.partitioning)) + "_" +
+      std::string(LocalAlgorithmName(info.param.local));
+  for (char& ch : name) {
+    if (ch == '-') ch = '_';
+  }
+  return name;
+}
+
+// Reference logical-id space: base rows then delta rows, with alive flags.
+struct LogicalState {
+  PointSet points{kDim};
+  std::vector<uint8_t> alive;
+
+  void Seed(const PointSet& base) {
+    points = base;
+    alive.assign(base.size(), 1);
+  }
+  void Insert(const PointSet& batch) {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      points.Append(batch[i]);
+      alive.push_back(1);
+    }
+  }
+  void Delete(const std::vector<uint32_t>& ids) {
+    for (uint32_t id : ids) alive[id] = 0;
+  }
+  // Alive rows in logical order — exactly the dataset a merge produces.
+  PointSet Compacted() const {
+    PointSet out(points.dim());
+    for (size_t i = 0; i < points.size(); ++i) {
+      if (alive[i]) out.Append(points[i]);
+    }
+    return out;
+  }
+  // Oracle answer over the alive rows as sorted logical ids.
+  SkylineIndices Oracle(const QueryDesc& desc) const {
+    PointSet alive_ps(points.dim());
+    std::vector<uint32_t> logical;
+    for (size_t i = 0; i < points.size(); ++i) {
+      if (alive[i]) {
+        alive_ps.Append(points[i]);
+        logical.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    SkylineIndices idx = OracleQuery(alive_ps, desc, kMax);
+    SkylineIndices out;
+    out.reserve(idx.size());
+    for (uint32_t i : idx) out.push_back(logical[i]);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+};
+
+// Resolves a sorted id answer to a sorted list of coordinate rows, so two
+// services with different id spaces can be compared for identical content.
+std::vector<std::vector<Coord>> ResolveRows(const PointSet& points,
+                                            const SkylineIndices& ids) {
+  std::vector<std::vector<Coord>> rows;
+  rows.reserve(ids.size());
+  for (uint32_t id : ids) {
+    std::span<const Coord> p = points[id];
+    rows.emplace_back(p.begin(), p.end());
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+class UpdateParityTest : public ::testing::TestWithParam<UpdateCell> {};
+
+TEST_P(UpdateParityTest, DeltaPathMatchesRebuildAcrossVariants) {
+  const UpdateCell& cell = GetParam();
+  QueryServiceOptions options;
+  options.executor.partitioning = cell.partitioning;
+  options.executor.local = cell.local;
+  options.executor.merge = MergeAlgorithm::kZMerge;
+  options.executor.num_groups = 6;
+  options.executor.expansion = 3;
+  options.executor.sample_ratio = 0.05;
+  options.executor.bits = kBits;
+  options.executor.num_map_tasks = 7;
+  options.executor.num_threads = 4;
+  options.delta_merge_threshold = 0;  // Explicit merges only.
+
+  const PointSet base = GenerateQuantized(Distribution::kAnticorrelated, 1200,
+                                          kDim, 20260808, Quantizer(kBits));
+  QueryService mutated(options);
+  mutated.SetDataset(base);
+  LogicalState state;
+  state.Seed(base);
+
+  // --- Fixed mutation script -------------------------------------------
+  // Delete five base skyline members (forces the band-repair pipeline) plus
+  // a stripe of interior rows.
+  SkylineIndices base_sky = OracleQuery(base, QueryDesc{}, kMax);
+  std::sort(base_sky.begin(), base_sky.end());
+  ASSERT_GE(base_sky.size(), 5u);
+  std::vector<uint32_t> doomed(base_sky.begin(), base_sky.begin() + 5);
+  for (uint32_t id = 7; id < base.size() && doomed.size() < 60; id += 23) {
+    if (!std::binary_search(base_sky.begin(), base_sky.end(), id)) {
+      doomed.push_back(id);
+    }
+  }
+  {
+    const MutationResult mr = mutated.Delete(doomed);
+    ASSERT_TRUE(mr.ok) << mr.error;
+    ASSERT_EQ(mr.applied, doomed.size());
+    state.Delete(doomed);
+  }
+  // Insert three bands: dominated rows (near the max corner, fast-path
+  // fodder), contenders (random mid-domain), and strong rows near the min
+  // corner that displace skyline members.
+  Rng rng(99);
+  PointSet batch(kDim);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<Coord> p(kDim);
+    for (auto& c : p) c = static_cast<Coord>(kMax - rng.NextBounded(64));
+    batch.Append(p);
+  }
+  for (int i = 0; i < 50; ++i) {
+    std::vector<Coord> p(kDim);
+    for (auto& c : p) c = static_cast<Coord>(rng.NextBounded(kMax + 1));
+    batch.Append(p);
+  }
+  for (int i = 0; i < 50; ++i) {
+    std::vector<Coord> p(kDim);
+    for (auto& c : p) c = static_cast<Coord>(rng.NextBounded(200));
+    batch.Append(p);
+  }
+  uint32_t first_delta_id = 0;
+  {
+    const MutationResult mr = mutated.Insert(batch);
+    ASSERT_TRUE(mr.ok) << mr.error;
+    ASSERT_EQ(mr.applied, batch.size());
+    // The sample-skyline prefilter (and so the insert fast path) only
+    // exists on the paper's Z-order schemes; baselines probe the band.
+    const bool z_scheme = cell.partitioning == PartitioningScheme::kNaiveZ ||
+                          cell.partitioning == PartitioningScheme::kZhg ||
+                          cell.partitioning == PartitioningScheme::kZdg;
+    if (z_scheme) {
+      ASSERT_GE(mr.fast_path, 1u) << "max-corner inserts must hit the filter";
+    }
+    first_delta_id = mr.first_id;
+    state.Insert(batch);
+  }
+  // Delete a slice of the freshly inserted rows (delta tombstones).
+  std::vector<uint32_t> delta_doomed;
+  for (uint32_t i = 0; i < 20; ++i) {
+    delta_doomed.push_back(first_delta_id + i * 7);
+  }
+  {
+    const MutationResult mr = mutated.Delete(delta_doomed);
+    ASSERT_TRUE(mr.ok) << mr.error;
+    ASSERT_EQ(mr.applied, delta_doomed.size());
+    state.Delete(delta_doomed);
+  }
+  ASSERT_GE(mutated.stats().repairs, 1u);
+  ASSERT_TRUE(mutated.delta_stats().active);
+
+  // Full rebuild from scratch on the compacted dataset: the ground truth
+  // the delta path must be indistinguishable from.
+  const PointSet rebuilt_points = state.Compacted();
+  QueryService rebuilt(options);
+  rebuilt.SetDataset(rebuilt_points);
+
+  const auto axis = VariantAxis();
+
+  // (1) + (2): pre-merge, the delta overlay answers with exact logical ids
+  // and the same coordinate rows as the rebuild.
+  for (const auto& [name, desc] : axis) {
+    QueryRequest request;
+    request.desc = desc;
+    SkylineIndices delta_ids = mutated.Query(request).skyline;
+    std::sort(delta_ids.begin(), delta_ids.end());
+    EXPECT_EQ(delta_ids, state.Oracle(desc)) << "pre-merge " << name;
+
+    SkylineIndices rebuilt_ids = rebuilt.Query(request).skyline;
+    std::sort(rebuilt_ids.begin(), rebuilt_ids.end());
+    EXPECT_EQ(ResolveRows(state.points, delta_ids),
+              ResolveRows(rebuilt_points, rebuilt_ids))
+        << "pre-merge rows " << name;
+  }
+
+  // (3): post-merge both id spaces are compacted the same way, so answers
+  // must be bit-identical.
+  ASSERT_TRUE(mutated.Merge());
+  EXPECT_FALSE(mutated.delta_stats().active);
+  for (const auto& [name, desc] : axis) {
+    QueryRequest request;
+    request.desc = desc;
+    SkylineIndices merged_ids = mutated.Query(request).skyline;
+    std::sort(merged_ids.begin(), merged_ids.end());
+    SkylineIndices rebuilt_ids = rebuilt.Query(request).skyline;
+    std::sort(rebuilt_ids.begin(), rebuilt_ids.end());
+    EXPECT_EQ(merged_ids, rebuilt_ids) << "post-merge " << name;
+    EXPECT_EQ(merged_ids, OracleQuery(rebuilt_points, desc, kMax))
+        << "post-merge oracle " << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemesAndLocals, UpdateParityTest,
+    ::testing::ValuesIn([] {
+      std::vector<UpdateCell> cells;
+      for (PartitioningScheme scheme :
+           {PartitioningScheme::kRandom, PartitioningScheme::kGrid,
+            PartitioningScheme::kAngle, PartitioningScheme::kQuadTree,
+            PartitioningScheme::kNaiveZ, PartitioningScheme::kZhg,
+            PartitioningScheme::kZdg}) {
+        for (LocalAlgorithm local :
+             {LocalAlgorithm::kSortBased, LocalAlgorithm::kZSearch,
+              LocalAlgorithm::kBbs}) {
+          cells.push_back({scheme, local});
+        }
+      }
+      return cells;
+    }()),
+    UpdateCellName);
+
+}  // namespace
+}  // namespace zsky

@@ -32,6 +32,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -61,8 +63,15 @@ using namespace zsky;
                " [--json] [--trace-out FILE]\n"
                "  zsky_cli skyband --in FILE --k K [--groups M]"
                " [--metrics]\n"
+               "  zsky_cli insert --in FILE[.zsc]"
+               " --points \"a,b,...;c,d,...\"|--add FILE\n"
+               "                 [--scheme zdg] [--local zs] [--merge zm]"
+               " [--groups M] [--merge-after]\n"
+               "  zsky_cli delete --in FILE[.zsc] --ids 1,2,3,...\n"
+               "                 [--scheme zdg] [--local zs] [--merge zm]"
+               " [--groups M] [--merge-after]\n"
                "  zsky_cli serve --in FILE[.zsc] [--repeat N]"
-               " [--concurrency C]\n"
+               " [--concurrency C] [--mutate-mix PCT]\n"
                "                 [--scheme zdg] [--local zs] [--merge zm]"
                " [--groups M] [--json]\n"
                "                 [--lo a,b,...] [--hi a,b,...]"
@@ -83,7 +92,7 @@ std::map<std::string, std::string> ParseFlags(int argc, char** argv,
     if (arg.rfind("--", 0) != 0) Usage(("unexpected argument " + arg).c_str());
     arg = arg.substr(2);
     if (arg == "metrics" || arg == "json" || arg == "plan" ||
-        arg == "adaptive") {
+        arg == "adaptive" || arg == "merge-after") {
       flags[arg] = "1";
       continue;
     }
@@ -532,10 +541,172 @@ int RunSkyband(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// Shared by `insert` and `delete` (docs/updates.md): a QueryService over
+// --in — heap-resident for CSV, mmap'd for `.zsc` (mutations layer a heap
+// delta over the read-only mapping; a merge streams a new `.zsc` beside
+// it).
+struct MutableService {
+  std::unique_ptr<QueryService> service;
+  size_t base_rows = 0;
+  uint32_t dim = 1;
+};
+
+bool OpenMutableService(const std::map<std::string, std::string>& flags,
+                        const std::string& in, MutableService* out) {
+  std::string error;
+  uint32_t bits = 16;
+  PointSet points(1);
+  const bool columnar = HasSuffix(in, ".zsc");
+  if (columnar) {
+    const auto peek = ColumnarDataset::Open(in, &error);
+    if (peek == nullptr) {
+      std::fprintf(stderr, "zsc error: %s\n", error.c_str());
+      return false;
+    }
+    bits = peek->bits();
+    out->base_rows = peek->size();
+    out->dim = peek->view().dim();
+  } else {
+    auto table = ReadCsvFile(in, CsvOptions{}, &error);
+    if (!table.has_value()) {
+      std::fprintf(stderr, "csv error: %s\n", error.c_str());
+      return false;
+    }
+    const Quantizer quantizer(16);
+    points = TableToPoints(*table, ParseMaximize(flags, *table), quantizer);
+    bits = quantizer.bits();
+    out->base_rows = points.size();
+    out->dim = points.dim();
+  }
+  QueryServiceOptions service_options;
+  service_options.executor = StrategyFromFlags(flags, bits);
+  out->service = std::make_unique<QueryService>(service_options);
+  if (columnar) {
+    if (!out->service->SetDatasetFile(in, &error)) {
+      std::fprintf(stderr, "zsc error: %s\n", error.c_str());
+      return false;
+    }
+  } else {
+    out->service->SetDataset(std::move(points));
+  }
+  return true;
+}
+
+// Inline batch syntax: "a,b,...;c,d,..." — one point per ';' group.
+PointSet ParsePointsArg(const std::string& value, uint32_t dim) {
+  PointSet batch(dim);
+  size_t pos = 0;
+  while (pos < value.size()) {
+    const size_t semi = value.find(';', pos);
+    const std::string token = value.substr(
+        pos, semi == std::string::npos ? std::string::npos : semi - pos);
+    pos = semi == std::string::npos ? value.size() : semi + 1;
+    if (token.empty()) continue;
+    const std::vector<uint32_t> vals = ParseUintList(token, "points");
+    if (vals.size() != dim) Usage("--points needs one value per column");
+    std::vector<Coord> coords(vals.begin(), vals.end());
+    batch.Append(coords);
+  }
+  return batch;
+}
+
+void PrintMutationSummary(const char* verb, const MutationResult& mr,
+                          const QueryService& service) {
+  const DeltaStats ds = service.delta_stats();
+  std::fprintf(stderr,
+               "%s: applied=%zu fast_path=%zu rejected=%zu first_id=%u"
+               " merged=%d repair_partitions=%zu ms=%.3f\n"
+               "delta: active=%d logical_rows=%zu alive_rows=%zu"
+               " delta_rows=%zu base_dead=%zu band=%zu\n",
+               verb, mr.applied, mr.fast_path, mr.rejected, mr.first_id,
+               mr.merged ? 1 : 0, mr.repair_partitions, mr.ms,
+               ds.active ? 1 : 0, ds.logical_rows, ds.alive_rows,
+               ds.delta_rows, ds.base_dead, ds.band_size);
+}
+
+// `insert`: load --in, insert a batch (--points inline or --add file),
+// print the updated skyline as logical row ids. --merge-after folds the
+// delta into a compacted base before the query.
+int RunInsert(const std::map<std::string, std::string>& flags) {
+  const std::string in = Flag(flags, "in", "");
+  if (in.empty()) Usage("insert requires --in");
+  MutableService ms;
+  if (!OpenMutableService(flags, in, &ms)) return 1;
+
+  PointSet batch(ms.dim);
+  const std::string points_arg = Flag(flags, "points", "");
+  const std::string add = Flag(flags, "add", "");
+  if (points_arg.empty() == add.empty()) {
+    Usage("insert requires exactly one of --points / --add");
+  }
+  if (!points_arg.empty()) {
+    batch = ParsePointsArg(points_arg, ms.dim);
+  } else if (HasSuffix(add, ".zsc")) {
+    std::string error;
+    const auto dataset = ColumnarDataset::Open(add, &error);
+    if (dataset == nullptr) {
+      std::fprintf(stderr, "zsc error: %s\n", error.c_str());
+      return 1;
+    }
+    batch = dataset->view().Materialize();
+  } else {
+    std::string error;
+    auto table = ReadCsvFile(add, CsvOptions{}, &error);
+    if (!table.has_value()) {
+      std::fprintf(stderr, "csv error: %s\n", error.c_str());
+      return 1;
+    }
+    batch = TableToPoints(*table, ParseMaximize(flags, *table),
+                          Quantizer(16));
+  }
+
+  const MutationResult mr = ms.service->Insert(batch);
+  if (!mr.ok) {
+    std::fprintf(stderr, "insert error: %s\n", mr.error.c_str());
+    return 1;
+  }
+  if (flags.count("merge-after") != 0) ms.service->Merge();
+  const SkylineQueryResult result = ms.service->Query();
+  const DeltaStats ds = ms.service->delta_stats();
+  std::printf("skyline rows (%zu of %zu):\n", result.skyline.size(),
+              ds.alive_rows);
+  for (uint32_t row : result.skyline) std::printf("%u\n", row);
+  PrintMutationSummary("insert", mr, *ms.service);
+  return 0;
+}
+
+// `delete`: load --in, tombstone --ids (logical row ids), print the
+// repaired skyline.
+int RunDelete(const std::map<std::string, std::string>& flags) {
+  const std::string in = Flag(flags, "in", "");
+  if (in.empty()) Usage("delete requires --in");
+  const std::vector<uint32_t> ids =
+      ParseUintList(Flag(flags, "ids", ""), "ids");
+  if (ids.empty()) Usage("delete requires --ids");
+  MutableService ms;
+  if (!OpenMutableService(flags, in, &ms)) return 1;
+
+  const MutationResult mr = ms.service->Delete(ids);
+  if (!mr.ok) {
+    std::fprintf(stderr, "delete error: %s\n", mr.error.c_str());
+    return 1;
+  }
+  if (flags.count("merge-after") != 0) ms.service->Merge();
+  const SkylineQueryResult result = ms.service->Query();
+  const DeltaStats ds = ms.service->delta_stats();
+  std::printf("skyline rows (%zu of %zu):\n", result.skyline.size(),
+              ds.alive_rows);
+  for (uint32_t row : result.skyline) std::printf("%u\n", row);
+  PrintMutationSummary("delete", mr, *ms.service);
+  return 0;
+}
+
 // Serving mode: load a dataset once, answer --repeat queries through the
 // QueryService (plan built by the first query, reused by the rest), and
 // report cold/warm latency + sustained QPS. --concurrency > 1 issues the
-// warm queries from that many client threads.
+// warm queries from that many client threads. --mutate-mix P turns ~P% of
+// the warm operations into Insert/Delete batches against the live
+// service (docs/updates.md), exercising the delta overlay under load.
 int RunServe(const std::map<std::string, std::string>& flags) {
   const std::string in = Flag(flags, "in", "");
   if (in.empty()) Usage("serve requires --in");
@@ -581,6 +752,10 @@ int RunServe(const std::map<std::string, std::string>& flags) {
   // completed warm queries (0 = off).
   const size_t stats_every =
       std::strtoull(Flag(flags, "stats-every", "0").c_str(), nullptr, 10);
+  // --mutate-mix P: percentage of warm operations issued as mutations
+  // (2/3 inserts, 1/3 deletes of previously inserted rows).
+  const double mutate_mix =
+      std::strtod(Flag(flags, "mutate-mix", "0").c_str(), nullptr);
 
   QueryServiceOptions service_options;
   service_options.executor = StrategyFromFlags(flags, bits);
@@ -612,20 +787,80 @@ int RunServe(const std::map<std::string, std::string>& flags) {
               total_rows);
   for (uint32_t row : cold.skyline) std::printf("%u\n", row);
 
-  // Warm queries: plan reused; issued from `concurrency` client threads.
+  // Warm operations: plan reused; issued from `concurrency` client
+  // threads. With --mutate-mix some become Insert/Delete batches — the
+  // skyline then legitimately drifts, so the result-stability check only
+  // runs for the pure-read mix.
   const size_t warm_count = repeat - 1;
   std::vector<double> warm_ms(warm_count, 0.0);
   std::atomic<size_t> mismatches{0};
   std::atomic<size_t> next{0};
   std::atomic<size_t> completed{0};
+  std::mutex inserted_mu;
+  std::vector<uint32_t> inserted_ids;
+  const Coord serve_max_coord =
+      bits >= 32 ? ~Coord{0} : ((Coord{1} << bits) - 1);
+  auto mutate = [&](size_t i) {
+    // Deterministic per-op splitmix: the mix is reproducible in the flags.
+    uint64_t s = 0x9e3779b97f4a7c15ull * (i + 1);
+    auto rng = [&s] {
+      s += 0x9e3779b97f4a7c15ull;
+      uint64_t z = s;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      return z ^ (z >> 31);
+    };
+    if (i % 3 != 2) {
+      // Insert a small batch biased toward the dominated region (upper
+      // half of the domain) so the sample-skyline fast path gets traffic.
+      PointSet batch(dim);
+      std::vector<Coord> p(dim);
+      for (size_t r = 0; r < 8; ++r) {
+        for (uint32_t d = 0; d < dim; ++d) {
+          const Coord half = serve_max_coord / 2;
+          p[d] = half + static_cast<Coord>(rng() % (half + 1));
+        }
+        batch.Append(p);
+      }
+      const MutationResult mr = service.Insert(batch);
+      if (mr.ok && mr.applied > 0) {
+        std::lock_guard<std::mutex> lock(inserted_mu);
+        for (size_t r = 0; r < mr.applied; ++r) {
+          inserted_ids.push_back(mr.first_id + static_cast<uint32_t>(r));
+        }
+        // A merge compacts ids; stop deleting by stale id after one.
+        if (mr.merged) inserted_ids.clear();
+      }
+    } else {
+      std::vector<uint32_t> ids;
+      {
+        std::lock_guard<std::mutex> lock(inserted_mu);
+        for (size_t r = 0; r < 4 && !inserted_ids.empty(); ++r) {
+          ids.push_back(inserted_ids.back());
+          inserted_ids.pop_back();
+        }
+      }
+      if (!ids.empty()) service.Delete(ids);
+    }
+  };
   Stopwatch warm_watch;
   auto client = [&] {
     for (;;) {
       const size_t i = next.fetch_add(1);
       if (i >= warm_count) return;
+      if (mutate_mix > 0.0 &&
+          static_cast<double>((i * 2654435761u) % 100) < mutate_mix) {
+        Stopwatch op_watch;
+        mutate(i);
+        warm_ms[i] = op_watch.ElapsedMs();
+        completed.fetch_add(1);
+        continue;
+      }
       const SkylineQueryResult warm = service.Query(request);
       warm_ms[i] = warm.metrics.total_ms;
-      if (warm.skyline != cold.skyline) mismatches.fetch_add(1);
+      if (mutate_mix == 0.0 && warm.skyline != cold.skyline) {
+        mismatches.fetch_add(1);
+      }
       const size_t done = completed.fetch_add(1) + 1;
       if (stats_every > 0 && done % stats_every == 0) {
         const QueryService::Stats snap = service.stats();
@@ -673,6 +908,18 @@ int RunServe(const std::map<std::string, std::string>& flags) {
                repeat, warm_count, concurrency, cold.metrics.total_ms,
                cold.metrics.preprocess_ms, warm_avg, qps, stats.plan_builds,
                stats.replans, stats.peak_in_flight, mismatches.load());
+  if (mutate_mix > 0.0) {
+    const DeltaStats ds = service.delta_stats();
+    std::fprintf(stderr,
+                 "  mutate: inserts=%zu deletes=%zu fast_path=%zu"
+                 " merges=%zu repairs=%zu plan_patches=%zu\n"
+                 "  delta: active=%d logical_rows=%zu alive_rows=%zu"
+                 " delta_rows=%zu band=%zu\n",
+                 stats.inserts, stats.deletes, stats.fast_path_inserts,
+                 stats.merges, stats.repairs, stats.plan_patches,
+                 ds.active ? 1 : 0, ds.logical_rows, ds.alive_rows,
+                 ds.delta_rows, ds.band_size);
+  }
   TraceEnd(trace_path);
   if (flags.count("json") != 0) {
     std::fprintf(stderr, "%s\n",
@@ -704,6 +951,8 @@ int main(int argc, char** argv) {
   if (command == "convert") return RunConvert(flags);
   if (command == "query") return RunQuery(flags);
   if (command == "skyband") return RunSkyband(flags);
+  if (command == "insert") return RunInsert(flags);
+  if (command == "delete") return RunDelete(flags);
   if (command == "serve") return RunServe(flags);
   if (command == "cpu") return RunCpu();
   Usage(("unknown command " + command).c_str());
