@@ -52,11 +52,15 @@
 #
 # `scripts/check.sh outofcore` exercises the mmap-backed .zsc subsystem:
 # a CLI gen -> convert -> query round trip, the format/corruption/parity
-# tests under AddressSanitizer (mmap-vs-heap bit-identity, bounded
-# residency, SetDatasetFile), then bench_outofcore in Release — which
-# itself fails if the budget-bounded run's peak RSS exceeds
-# base + budget + allowance — plus a >10% throughput gate against the
-# committed BENCH_outofcore.json baseline.
+# and columnar-direct tests under AddressSanitizer (mmap-vs-heap
+# bit-identity, bounded residency, SetDatasetFile, direct-vs-cursor
+# parity, sketch pruning), the readahead worker torture under
+# ThreadSanitizer, then bench_outofcore in Release — which itself fails
+# if the budget-bounded run's peak RSS exceeds base + budget + allowance
+# or the direct run transposes any bytes — plus >10% gates on warm
+# bounded throughput AND a separate cold lane (`bench_outofcore --cold`,
+# page cache evicted) against the committed BENCH_outofcore.json
+# baseline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -243,9 +247,16 @@ if [ "${1:-}" = "outofcore" ]; then
         -DZSKY_SANITIZE=address \
         -DZSKY_BUILD_BENCHMARKS=OFF -DZSKY_BUILD_EXAMPLES=OFF >/dev/null
   cmake --build build-asan --target columnar_test outofcore_parity_test \
-        io_test
+        columnar_direct_test io_test
   ctest --test-dir build-asan --output-on-failure \
         -R 'Columnar|DatasetView|OutOfCore|BinaryTest'
+
+  echo "=== Readahead worker torture under TSan ==="
+  cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DZSKY_SANITIZE=thread \
+        -DZSKY_BUILD_BENCHMARKS=OFF -DZSKY_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-tsan --target columnar_direct_test
+  ctest --test-dir build-tsan --output-on-failure -R 'OutOfCoreReadahead'
 
   echo "=== bench_outofcore: RSS ceiling + throughput baseline ==="
   # Re-run the exact committed workload (the baseline may be the 50M
@@ -265,6 +276,31 @@ if [ "${1:-}" = "outofcore" ]; then
   awk -v b="$baseline" -v c="$current" 'BEGIN {
     if (c < 0.9 * b) {
       printf "FAIL: bounded points/sec regressed >10%% (%.0f -> %.0f)\n", b, c
+      exit 1
+    }
+    printf "OK: within 10%% of baseline (%.2fx)\n", c / b
+  }'
+
+  echo "=== bench_outofcore --cold: cold-run throughput baseline ==="
+  # Separate lane: the page cache is dropped before each run, so this
+  # measures the fault-in path the readahead worker hides — a regression
+  # here (a lost madvise, a stalled worker) is invisible to the warm
+  # gate. Gate on the better of the readahead-on/off lanes: which one
+  # wins depends on whether the host has a spare core for the prefetch
+  # worker, while a real cold-path regression slows both.
+  (cd build && ./bench/bench_outofcore --n "$bn" --dim "$bdim" \
+    --budget-mb "$bmb" --cold)
+  cold_best() {
+    awk -F': ' '/"cold_points_per_sec"|"cold_noreadahead_points_per_sec"/ {
+      gsub(/,/, "", $2); if ($2 + 0 > best) best = $2 + 0
+    } END {print best}' "$1"
+  }
+  baseline=$(cold_best BENCH_outofcore.json)
+  current=$(cold_best build/BENCH_outofcore.json)
+  echo "cold points/sec (best lane): baseline=$baseline current=$current"
+  awk -v b="$baseline" -v c="$current" 'BEGIN {
+    if (c < 0.9 * b) {
+      printf "FAIL: cold points/sec regressed >10%% (%.0f -> %.0f)\n", b, c
       exit 1
     }
     printf "OK: within 10%% of baseline (%.2fx)\n", c / b

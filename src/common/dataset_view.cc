@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/scan_counters.h"
+
 namespace zsky {
 
 PointSet DatasetView::Gather(std::span<const uint32_t> rows) const {
@@ -119,6 +121,10 @@ bool RowBlockCursor::Next(Block* block) {
     return true;
   }
   const size_t rows = std::min(block_rows_, end_ - pos_);
+  // Ask the backing for the block after this one before we start copying,
+  // so its page faults overlap the transpose and the consumer's work.
+  view_->WillNeedRows(pos_ + rows,
+                      std::min(end_, pos_ + rows + block_rows_));
   // Transpose columns -> row-major scratch. Column-sequential reads keep
   // the page cache streaming; the strided writes land in the L1/L2-sized
   // buffer.
@@ -127,6 +133,9 @@ bool RowBlockCursor::Next(Block* block) {
     Coord* dst = buffer_.data() + d;
     for (size_t i = 0; i < rows; ++i, dst += dim) *dst = col[i];
   }
+  GlobalScanCounters().transpose_bytes.fetch_add(
+      static_cast<uint64_t>(rows) * dim * sizeof(Coord),
+      std::memory_order_relaxed);
   block->data = buffer_.data();
   block->first_row = pos_;
   block->rows = rows;

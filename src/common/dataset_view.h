@@ -35,6 +35,15 @@ class DatasetView {
   using ReleaseRangeFn = void (*)(void* ctx, size_t row_begin,
                                   size_t row_end);
 
+  // Optional readahead hook (columnar backings only): called by scan
+  // consumers for the row range they will need *next*, so an mmap backing
+  // can fault the pages in on a worker thread while the current range is
+  // being processed (io/columnar.h's async readahead). Same
+  // function-pointer shape as the release hook, for the same layering
+  // reason. Must be cheap and non-blocking: implementations enqueue.
+  using PrefetchRangeFn = void (*)(void* ctx, size_t row_begin,
+                                   size_t row_end);
+
   // Empty view (dim 1, no rows).
   DatasetView() = default;
 
@@ -63,6 +72,7 @@ class DatasetView {
     view.dim_ = dim;
     view.size_ = size;
     view.cols_ = columns;
+    view.soa_stride_ = DetectUniformStride(columns, size, dim);
     return view;
   }
 
@@ -75,6 +85,20 @@ class DatasetView {
   const Coord* column(uint32_t d) const {
     ZSKY_DCHECK(columnar() && d < dim_);
     return cols_[d];
+  }
+
+  // Columnar-direct entry point: when the columns sit at one uniform
+  // element stride (always true for `.zsc` files, whose columns are
+  // uniformly sized and 64-byte aligned inside one mapping), exposes the
+  // whole dataset as a single SoA block the dominance kernels can consume
+  // in place — lane d of row i at base[d * stride + i], no transpose.
+  // Returns false (outputs untouched) for row-major views and for
+  // columnar views assembled from unrelated allocations.
+  bool SoaSpan(const Coord** base, size_t* stride) const {
+    if (soa_stride_ == 0) return false;
+    *base = cols_[0];
+    *stride = soa_stride_;
+    return true;
   }
 
   // Row-major backings only: zero-copy row span.
@@ -126,13 +150,85 @@ class DatasetView {
     }
   }
 
+  void SetPrefetchHook(PrefetchRangeFn fn, void* ctx) {
+    prefetch_fn_ = fn;
+    prefetch_ctx_ = ctx;
+  }
+  bool has_prefetch_hook() const { return prefetch_fn_ != nullptr; }
+  // Drops the readahead hook from this copy of the view — the
+  // ExecutorOptions::readahead ablation switch (the backing's worker is
+  // untouched; it just never hears from this scan).
+  void DisarmPrefetch() {
+    prefetch_fn_ = nullptr;
+    prefetch_ctx_ = nullptr;
+  }
+  void WillNeedRows(size_t row_begin, size_t row_end) const {
+    if (prefetch_fn_ != nullptr && row_end > row_begin) {
+      prefetch_fn_(prefetch_ctx_, row_begin, row_end);
+    }
+  }
+
+  // Per-block min/max sketch (columnar backings whose file carries the
+  // sketch trailer — io/columnar.h). Block b of `block_rows` rows has
+  // per-dimension bounds mins[b * dim + d] / maxs[b * dim + d]. Absent
+  // (num_blocks() == 0) on heap views and on pre-sketch `.zsc` files, in
+  // which case constrained scans simply do not prune.
+  void SetSketch(const Coord* mins, const Coord* maxs, size_t block_rows,
+                 size_t num_blocks) {
+    sketch_mins_ = mins;
+    sketch_maxs_ = maxs;
+    sketch_block_rows_ = block_rows;
+    sketch_blocks_ = num_blocks;
+  }
+  bool has_sketch() const { return sketch_blocks_ != 0; }
+  size_t sketch_block_rows() const { return sketch_block_rows_; }
+  size_t sketch_blocks() const { return sketch_blocks_; }
+  const Coord* sketch_mins(size_t block) const {
+    ZSKY_DCHECK(block < sketch_blocks_);
+    return sketch_mins_ + block * dim_;
+  }
+  const Coord* sketch_maxs(size_t block) const {
+    ZSKY_DCHECK(block < sketch_blocks_);
+    return sketch_maxs_ + block * dim_;
+  }
+
  private:
+  static size_t DetectUniformStride(const Coord* const* columns, size_t size,
+                                    uint32_t dim) {
+    if (size == 0) return 0;
+    if (dim == 1) return size;
+    // uintptr_t arithmetic: columns from one mapping have a well-defined
+    // uniform spacing; columns from unrelated heap allocations (tests,
+    // ad-hoc views) almost never do, and then the cursor path serves.
+    const uintptr_t first = reinterpret_cast<uintptr_t>(columns[0]);
+    const uintptr_t second = reinterpret_cast<uintptr_t>(columns[1]);
+    if (second <= first) return 0;
+    const uintptr_t byte_stride = second - first;
+    if (byte_stride % sizeof(Coord) != 0) return 0;
+    const size_t stride = byte_stride / sizeof(Coord);
+    if (stride < size) return 0;
+    for (uint32_t d = 2; d < dim; ++d) {
+      if (reinterpret_cast<uintptr_t>(columns[d]) !=
+          first + static_cast<uintptr_t>(d) * byte_stride) {
+        return 0;
+      }
+    }
+    return stride;
+  }
+
   uint32_t dim_ = 1;
   size_t size_ = 0;
   const Coord* rows_ = nullptr;        // Row-major base, or null.
   const Coord* const* cols_ = nullptr; // Per-dimension bases, or null.
+  size_t soa_stride_ = 0;              // Uniform column stride, or 0.
   ReleaseRangeFn release_fn_ = nullptr;
   void* release_ctx_ = nullptr;
+  PrefetchRangeFn prefetch_fn_ = nullptr;
+  void* prefetch_ctx_ = nullptr;
+  const Coord* sketch_mins_ = nullptr;
+  const Coord* sketch_maxs_ = nullptr;
+  size_t sketch_block_rows_ = 0;
+  size_t sketch_blocks_ = 0;
 };
 
 // Iterates a row range of a DatasetView in blocks, presenting every block

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "common/dominance_kernels.h"
 #include "common/point_set.h"
 
 namespace zsky {
@@ -39,6 +40,26 @@ size_t SoACountDominators(const Coord* base, size_t stride, uint32_t dim,
 size_t SoAMarkDominatedBy(const Coord* base, size_t stride, uint32_t dim,
                           size_t begin, size_t end, std::span<const Coord> p,
                           uint8_t* out);
+
+// Column-at-a-time SZB probe for the columnar-direct map wave: both sides
+// stay SoA. Flags every wave row in [begin, end) that some point of the
+// filter block (filt / filt_stride / filt_size, same lane layout) strictly
+// dominates: out[i - begin] = 1 iff row i is dominated. Returns the number
+// of dominated rows. filt_size == 0 leaves out all-zero.
+//
+// `pruning` is optional (pass nullptr for a full scan): the two-level
+// min-pruning descriptor built by MaskFilterIndex (see
+// dominance_kernels.h for the layout and skipping rule). A tile or
+// supertile whose min exceeds the row on any dimension cannot hold a
+// dominator and is skipped, which turns the full-block proof an
+// undominated row otherwise pays into a handful of min-checks. Pruning
+// never skips a dominator, so output is bit-identical with and without
+// the index.
+size_t SoAMaskAnyDominated(const Coord* base, size_t stride, uint32_t dim,
+                           size_t begin, size_t end, const Coord* filt,
+                           size_t filt_stride, size_t filt_size,
+                           const simd::MaskFilterPruning* pruning,
+                           uint8_t* out);
 
 // A growable batch of points in structure-of-arrays layout, answering
 // dominance questions against the whole batch with the kernels above.
@@ -87,6 +108,12 @@ class DominanceBlock {
   // Copies stored point `i` out (row-major), mainly for tests.
   void CopyPoint(size_t i, std::span<Coord> out) const;
 
+  // Raw SoA view of the batch, for kernels that take the block as the
+  // *filter* side (SoAMaskAnyDominated): lane k of point i lives at
+  // lanes()[k * lane_stride() + i]. Invalidated by Append/Reserve/Remove.
+  const Coord* lanes() const { return data_.data(); }
+  size_t lane_stride() const { return capacity_; }
+
  private:
   void Regrow(size_t min_capacity);
 
@@ -95,6 +122,39 @@ class DominanceBlock {
   size_t capacity_ = 0;
   // Lane k occupies [k * capacity_, k * capacity_ + size_).
   std::vector<Coord> data_;
+};
+
+// A min-pruned probe index over a DominanceBlock, feeding
+// SoAMaskAnyDominated's tile skipping. Holds a copy of the filter sorted
+// by Morton (bit-interleaved) order — so consecutive points are spatially
+// close and each tile's per-dimension min stays tight — plus the SoA
+// minima of every kMaskTilePoints-sized tile. "Does any filter point
+// dominate p" is invariant under permutation of the filter, so probing
+// the reordered copy answers identically to probing the source block; the
+// clustering only makes the min test selective. Built once per query
+// plan; the source block stays untouched (the row-cursor ablation path
+// keeps probing it directly).
+struct MaskFilterIndex {
+  DominanceBlock block;
+  // Per-dimension tile minima: min of dimension k over tile t lives at
+  // tile_mins[k * tile_stride + t]; super_mins fold kMaskTilesPerSuper
+  // consecutive tiles the same way. Both strides are padded to a multiple
+  // of 8 lanes with ~0u in the padding, so a vector min-check never
+  // qualifies a padding lane (and its scan range would be empty anyway).
+  // tile_stride equals num_supers * kMaskTilesPerSuper exactly, so the
+  // tile group of supertile s — 8 lanes at offset s * kMaskTilesPerSuper —
+  // is always a full in-bounds vector load.
+  std::vector<Coord> tile_mins;
+  size_t tile_stride = 0;
+  std::vector<Coord> super_mins;
+  size_t super_stride = 0;
+
+  explicit MaskFilterIndex(const DominanceBlock& src);
+
+  // The descriptor SoAMaskAnyDominated takes; valid while *this lives.
+  simd::MaskFilterPruning pruning() const {
+    return {tile_mins.data(), tile_stride, super_mins.data(), super_stride};
+  }
 };
 
 }  // namespace zsky

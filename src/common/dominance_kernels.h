@@ -39,11 +39,55 @@ using CountDominatorsFn = size_t (*)(const Coord* base, size_t stride,
 using MarkDominatedByFn = size_t (*)(const Coord* base, size_t stride,
                                      uint32_t dim, size_t begin, size_t end,
                                      const Coord* p, uint8_t* out);
+// The columnar-direct map-wave primitive: both operands are SoA. For each
+// wave row i in [begin, end), sets out[i - begin] to 1 iff some point of
+// the filter block (filt, filt_stride, filt_size) strictly dominates it;
+// returns the number of dominated rows. Equivalent to running
+// MarkDominatedBy once per filter point and OR-ing the bitmaps, which is
+// why every tier produces bit-identical output regardless of early exits.
+//
+// Min-pruning metadata for the mask kernel (built by MaskFilterIndex in
+// dominance_block.h). The filter is grouped into tiles of kMaskTilePoints
+// consecutive points and supertiles of kMaskTilesPerSuper consecutive
+// tiles; `tile_mins` / `super_mins` hold the per-dimension minimum of
+// each, SoA like the filter itself (the min of dimension k for tile t
+// lives at tile_mins[k * tile_stride + t]). A tile (or supertile) can
+// contain a dominator of row p only if its min is <= p in EVERY dimension
+// — a dominator q satisfies q <= p componentwise and the min is <= q —
+// so groups failing the test are skipped without touching their points.
+// Rows no filter point dominates are the expensive case (they otherwise
+// scan the whole block to prove the miss) and reject almost every
+// supertile this way when the tiles are spatially clustered. Pruning
+// never skips a group that holds a dominator, so output stays
+// bit-identical with and without it.
+//
+// Both strides are padded to a multiple of 8 lanes and padding lanes hold
+// ~0u: vector tiers may sweep whole 8-lane groups without bounds checks —
+// a padding lane never passes the min test (and its scan range would be
+// empty anyway).
+struct MaskFilterPruning {
+  const Coord* tile_mins;
+  size_t tile_stride;
+  const Coord* super_mins;
+  size_t super_stride;
+};
+
+using MaskAnyDominatedFn = size_t (*)(const Coord* base, size_t stride,
+                                      uint32_t dim, size_t begin, size_t end,
+                                      const Coord* filt, size_t filt_stride,
+                                      size_t filt_size,
+                                      const MaskFilterPruning* pruning,
+                                      uint8_t* out);
+
+// Filter points per tile / tiles per supertile of the min-pruning index.
+inline constexpr size_t kMaskTilePoints = 8;
+inline constexpr size_t kMaskTilesPerSuper = 8;
 
 struct KernelTable {
   AnyDominatesFn any_dominates;
   CountDominatorsFn count_dominators;
   MarkDominatedByFn mark_dominated_by;
+  MaskAnyDominatedFn mask_any_dominated;
 };
 
 // The table for one tier (for tests/benches that pin a tier in-process).
@@ -65,6 +109,11 @@ size_t CountDominatorsScalar(const Coord* base, size_t stride, uint32_t dim,
 size_t MarkDominatedByScalar(const Coord* base, size_t stride, uint32_t dim,
                              size_t begin, size_t end, const Coord* p,
                              uint8_t* out);
+size_t MaskAnyDominatedScalar(const Coord* base, size_t stride, uint32_t dim,
+                              size_t begin, size_t end, const Coord* filt,
+                              size_t filt_stride, size_t filt_size,
+                              const MaskFilterPruning* pruning,
+                              uint8_t* out);
 
 bool AnyDominatesSse42(const Coord* base, size_t stride, uint32_t dim,
                        size_t begin, size_t end, const Coord* p);
@@ -73,6 +122,11 @@ size_t CountDominatorsSse42(const Coord* base, size_t stride, uint32_t dim,
 size_t MarkDominatedBySse42(const Coord* base, size_t stride, uint32_t dim,
                             size_t begin, size_t end, const Coord* p,
                             uint8_t* out);
+size_t MaskAnyDominatedSse42(const Coord* base, size_t stride, uint32_t dim,
+                             size_t begin, size_t end, const Coord* filt,
+                             size_t filt_stride, size_t filt_size,
+                             const MaskFilterPruning* pruning,
+                             uint8_t* out);
 
 bool AnyDominatesAvx2(const Coord* base, size_t stride, uint32_t dim,
                       size_t begin, size_t end, const Coord* p);
@@ -81,6 +135,11 @@ size_t CountDominatorsAvx2(const Coord* base, size_t stride, uint32_t dim,
 size_t MarkDominatedByAvx2(const Coord* base, size_t stride, uint32_t dim,
                            size_t begin, size_t end, const Coord* p,
                            uint8_t* out);
+size_t MaskAnyDominatedAvx2(const Coord* base, size_t stride, uint32_t dim,
+                            size_t begin, size_t end, const Coord* filt,
+                            size_t filt_stride, size_t filt_size,
+                            const MaskFilterPruning* pruning,
+                            uint8_t* out);
 
 }  // namespace zsky::simd
 

@@ -10,6 +10,7 @@
 
 #include <immintrin.h>
 
+#include <algorithm>
 #include <bit>
 
 namespace zsky::simd {
@@ -127,6 +128,103 @@ size_t MarkDominatedByAvx2(const Coord* base, size_t stride, uint32_t dim,
   return count;
 }
 
+size_t MaskAnyDominatedAvx2(const Coord* base, size_t stride, uint32_t dim,
+                            size_t begin, size_t end, const Coord* filt,
+                            size_t filt_stride, size_t filt_size,
+                            const MaskFilterPruning* pruning, uint8_t* out) {
+  if (dim > kMaxVectorDim) {
+    return MaskAnyDominatedScalar(base, stride, dim, begin, end, filt,
+                                  filt_stride, filt_size, pruning, out);
+  }
+  // Per-row orientation: gather the row straight out of the SoA columns
+  // (no transpose buffer), then scan the filter with the AnyDominates
+  // structure, which compares the row against 8 filter points per op and
+  // exits at the first dominator — dominated rows retire within a vector
+  // or two. Undominated rows are the expensive case (a full-block proof);
+  // with `pruning` the supertile min-check runs first, 8 supertiles per
+  // vector op, then the 8 tiles of each qualifying supertile get one more
+  // vector min-check, and only tiles whose min is <= the row in every
+  // dimension get their points scanned.
+  // The alternative orientation (pin an 8-row wave group in registers and
+  // stream filter points past it with set1 broadcasts) does ~dim× more
+  // vector work per (row, filter) pair and can only exit once ALL eight
+  // rows are dominated; it measured ~3× slower end to end.
+  static_assert(kMaskTilesPerSuper == 8,
+                "supertile tile group must fill one __m256i");
+  Coord row[kMaxVectorDim];
+  int32_t pf[kMaxVectorDim];
+  const __m256i sign = _mm256_set1_epi32(INT32_MIN);
+  const size_t num_tiles =
+      (filt_size + kMaskTilePoints - 1) / kMaskTilePoints;
+  const size_t num_supers =
+      (num_tiles + kMaskTilesPerSuper - 1) / kMaskTilesPerSuper;
+  size_t count = 0;
+  for (size_t i = begin; i < end; ++i) {
+    for (uint32_t k = 0; k < dim; ++k) {
+      row[k] = base[k * stride + i];
+      pf[k] = static_cast<int32_t>(row[k] ^ 0x80000000u);
+    }
+    bool dom = false;
+    if (pruning != nullptr) {
+      for (size_t sg = 0; sg < num_supers && !dom; sg += 8) {
+        // 8 supertiles at once: a lane stays set while its supertile min
+        // is <= the row on every dimension seen so far. The group load is
+        // always in-bounds (super_stride is padded to a multiple of 8).
+        __m256i smay = _mm256_set1_epi32(-1);
+        for (uint32_t k = 0; k < dim; ++k) {
+          const __m256i mins = _mm256_xor_si256(
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                  pruning->super_mins + k * pruning->super_stride + sg)),
+              sign);
+          const __m256i pk = _mm256_set1_epi32(pf[k]);
+          smay = _mm256_andnot_si256(_mm256_cmpgt_epi32(mins, pk), smay);
+          if (_mm256_testz_si256(smay, smay)) break;
+        }
+        uint32_t sm = static_cast<uint32_t>(
+            _mm256_movemask_ps(_mm256_castsi256_ps(smay)));
+        // An all-max row qualifies the ~0u padding lanes too; drop them —
+        // their tile groups sit past the end of tile_mins.
+        if (num_supers - sg < 8) sm &= (1u << (num_supers - sg)) - 1u;
+        while (sm != 0 && !dom) {
+          const size_t s = sg + static_cast<size_t>(std::countr_zero(sm));
+          sm &= sm - 1;
+          // The supertile's 8 tiles in one vector min-check; in-bounds by
+          // the tile_stride == num_supers * kMaskTilesPerSuper invariant.
+          const size_t tbase = s * kMaskTilesPerSuper;
+          __m256i may = _mm256_set1_epi32(-1);
+          for (uint32_t k = 0; k < dim; ++k) {
+            const __m256i mins = _mm256_xor_si256(
+                _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                    pruning->tile_mins + k * pruning->tile_stride + tbase)),
+                sign);
+            const __m256i pk = _mm256_set1_epi32(pf[k]);
+            may = _mm256_andnot_si256(_mm256_cmpgt_epi32(mins, pk), may);
+            if (_mm256_testz_si256(may, may)) break;
+          }
+          uint32_t qm = static_cast<uint32_t>(
+              _mm256_movemask_ps(_mm256_castsi256_ps(may)));
+          while (qm != 0 && !dom) {
+            const size_t t = tbase + static_cast<size_t>(std::countr_zero(qm));
+            qm &= qm - 1;
+            const size_t t0 = t * kMaskTilePoints;
+            const size_t t1 = std::min(filt_size, t0 + kMaskTilePoints);
+            // A qualifying padding tile (possible for the same all-max
+            // rows) has an empty range; skip it.
+            if (t0 < t1) {
+              dom = AnyDominatesAvx2(filt, filt_stride, dim, t0, t1, row);
+            }
+          }
+        }
+      }
+    } else {
+      dom = AnyDominatesAvx2(filt, filt_stride, dim, 0, filt_size, row);
+    }
+    out[i - begin] = static_cast<uint8_t>(dom);
+    count += static_cast<size_t>(dom);
+  }
+  return count;
+}
+
 }  // namespace zsky::simd
 
 #else  // !defined(__AVX2__)
@@ -147,6 +245,14 @@ size_t MarkDominatedByAvx2(const Coord* base, size_t stride, uint32_t dim,
                            size_t begin, size_t end, const Coord* p,
                            uint8_t* out) {
   return MarkDominatedByScalar(base, stride, dim, begin, end, p, out);
+}
+
+size_t MaskAnyDominatedAvx2(const Coord* base, size_t stride, uint32_t dim,
+                            size_t begin, size_t end, const Coord* filt,
+                            size_t filt_stride, size_t filt_size,
+                            const MaskFilterPruning* pruning, uint8_t* out) {
+  return MaskAnyDominatedScalar(base, stride, dim, begin, end, filt,
+                                filt_stride, filt_size, pruning, out);
 }
 
 }  // namespace zsky::simd

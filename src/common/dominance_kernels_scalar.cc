@@ -3,6 +3,7 @@
 // auto-vectorizes at baseline arch flags), with an early exit per tile.
 
 #include <algorithm>
+#include <vector>
 
 #include "common/dominance_block.h"
 #include "common/dominance_kernels.h"
@@ -93,6 +94,66 @@ size_t MarkDominatedByScalar(const Coord* base, size_t stride, uint32_t dim,
       slab[j] = static_cast<uint8_t>(geq[j] & gt[j]);
       count += slab[j];
     }
+  }
+  return count;
+}
+
+size_t MaskAnyDominatedScalar(const Coord* base, size_t stride, uint32_t dim,
+                              size_t begin, size_t end, const Coord* filt,
+                              size_t filt_stride, size_t filt_size,
+                              const MaskFilterPruning* pruning,
+                              uint8_t* out) {
+  // Per-row orientation: gather each wave row's coords out of the SoA
+  // columns and run the AnyDominates scan over the filter block. The scan
+  // stops at the first dominator, which retires dominated rows after a
+  // handful of comparisons. Rows NO filter point dominates are the
+  // expensive case — they must otherwise scan the whole block to prove
+  // the miss — so with `pruning` each supertile, then each tile of a
+  // qualifying supertile, is first checked for "min <= row in every
+  // dimension"; groups failing it cannot hold a dominator and are skipped
+  // (see dominance_kernels.h).
+  std::vector<Coord> row(dim);
+  const size_t num_tiles =
+      (filt_size + kMaskTilePoints - 1) / kMaskTilePoints;
+  const size_t num_supers =
+      (num_tiles + kMaskTilesPerSuper - 1) / kMaskTilesPerSuper;
+  size_t count = 0;
+  for (size_t i = begin; i < end; ++i) {
+    for (uint32_t k = 0; k < dim; ++k) row[k] = base[k * stride + i];
+    bool dom = false;
+    if (pruning != nullptr) {
+      for (size_t s = 0; s < num_supers && !dom; ++s) {
+        bool super_may = true;
+        for (uint32_t k = 0; k < dim; ++k) {
+          if (pruning->super_mins[k * pruning->super_stride + s] > row[k]) {
+            super_may = false;
+            break;
+          }
+        }
+        if (!super_may) continue;
+        const size_t tile_hi =
+            std::min(num_tiles, (s + 1) * kMaskTilesPerSuper);
+        for (size_t t = s * kMaskTilesPerSuper; t < tile_hi && !dom; ++t) {
+          bool may_hold = true;
+          for (uint32_t k = 0; k < dim; ++k) {
+            if (pruning->tile_mins[k * pruning->tile_stride + t] > row[k]) {
+              may_hold = false;
+              break;
+            }
+          }
+          if (!may_hold) continue;
+          const size_t t0 = t * kMaskTilePoints;
+          const size_t t1 = std::min(filt_size, t0 + kMaskTilePoints);
+          dom =
+              AnyDominatesScalar(filt, filt_stride, dim, t0, t1, row.data());
+        }
+      }
+    } else {
+      dom = AnyDominatesScalar(filt, filt_stride, dim, 0, filt_size,
+                               row.data());
+    }
+    out[i - begin] = static_cast<uint8_t>(dom);
+    count += static_cast<size_t>(dom);
   }
   return count;
 }

@@ -9,6 +9,7 @@
 
 #include <smmintrin.h>
 
+#include <algorithm>
 #include <bit>
 
 namespace zsky::simd {
@@ -121,6 +122,105 @@ size_t MarkDominatedBySse42(const Coord* base, size_t stride, uint32_t dim,
   return count;
 }
 
+size_t MaskAnyDominatedSse42(const Coord* base, size_t stride, uint32_t dim,
+                             size_t begin, size_t end, const Coord* filt,
+                             size_t filt_stride, size_t filt_size,
+                             const MaskFilterPruning* pruning, uint8_t* out) {
+  if (dim > kMaxVectorDim) {
+    return MaskAnyDominatedScalar(base, stride, dim, begin, end, filt,
+                                  filt_stride, filt_size, pruning, out);
+  }
+  // Per-row orientation (see MaskAnyDominatedAvx2): gather the row from
+  // the SoA columns, min-check supertiles 4 per vector op, the 8 tiles of
+  // each qualifying supertile in two more vector ops, and scan only tiles
+  // that may hold a dominator; the scan exits at the first dominator
+  // found.
+  static_assert(kMaskTilesPerSuper == 8,
+                "supertile tile group must fill two __m128i");
+  Coord row[kMaxVectorDim];
+  int32_t pf[kMaxVectorDim];
+  const __m128i sign = _mm_set1_epi32(INT32_MIN);
+  const size_t num_tiles =
+      (filt_size + kMaskTilePoints - 1) / kMaskTilePoints;
+  const size_t num_supers =
+      (num_tiles + kMaskTilesPerSuper - 1) / kMaskTilesPerSuper;
+  size_t count = 0;
+  for (size_t i = begin; i < end; ++i) {
+    for (uint32_t k = 0; k < dim; ++k) {
+      row[k] = base[k * stride + i];
+      pf[k] = static_cast<int32_t>(row[k] ^ 0x80000000u);
+    }
+    bool dom = false;
+    if (pruning != nullptr) {
+      for (size_t sg = 0; sg < num_supers && !dom; sg += 4) {
+        // 4 supertiles at once; the group load is always in-bounds
+        // (super_stride is padded to a multiple of 8).
+        __m128i smay = _mm_set1_epi32(-1);
+        for (uint32_t k = 0; k < dim; ++k) {
+          const __m128i mins = _mm_xor_si128(
+              _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+                  pruning->super_mins + k * pruning->super_stride + sg)),
+              sign);
+          const __m128i pk = _mm_set1_epi32(pf[k]);
+          smay = _mm_andnot_si128(_mm_cmpgt_epi32(mins, pk), smay);
+          if (_mm_testz_si128(smay, smay)) break;
+        }
+        uint32_t sm = static_cast<uint32_t>(
+            _mm_movemask_ps(_mm_castsi128_ps(smay)));
+        // An all-max row qualifies the ~0u padding lanes too; drop them —
+        // their tile groups sit past the end of tile_mins.
+        if (num_supers - sg < 4) sm &= (1u << (num_supers - sg)) - 1u;
+        while (sm != 0 && !dom) {
+          const size_t s = sg + static_cast<size_t>(std::countr_zero(sm));
+          sm &= sm - 1;
+          // The supertile's 8 tiles in two 4-lane min-checks; in-bounds by
+          // the tile_stride == num_supers * kMaskTilesPerSuper invariant.
+          const size_t tbase = s * kMaskTilesPerSuper;
+          __m128i may_lo = _mm_set1_epi32(-1);
+          __m128i may_hi = _mm_set1_epi32(-1);
+          for (uint32_t k = 0; k < dim; ++k) {
+            const Coord* lane =
+                pruning->tile_mins + k * pruning->tile_stride + tbase;
+            const __m128i pk = _mm_set1_epi32(pf[k]);
+            const __m128i lo = _mm_xor_si128(
+                _mm_loadu_si128(reinterpret_cast<const __m128i*>(lane)),
+                sign);
+            const __m128i hi = _mm_xor_si128(
+                _mm_loadu_si128(reinterpret_cast<const __m128i*>(lane + 4)),
+                sign);
+            may_lo = _mm_andnot_si128(_mm_cmpgt_epi32(lo, pk), may_lo);
+            may_hi = _mm_andnot_si128(_mm_cmpgt_epi32(hi, pk), may_hi);
+            if (_mm_testz_si128(_mm_or_si128(may_lo, may_hi),
+                                _mm_or_si128(may_lo, may_hi))) {
+              break;
+            }
+          }
+          uint32_t qm =
+              static_cast<uint32_t>(_mm_movemask_ps(_mm_castsi128_ps(may_lo))) |
+              (static_cast<uint32_t>(_mm_movemask_ps(_mm_castsi128_ps(may_hi)))
+               << 4);
+          while (qm != 0 && !dom) {
+            const size_t t = tbase + static_cast<size_t>(std::countr_zero(qm));
+            qm &= qm - 1;
+            const size_t t0 = t * kMaskTilePoints;
+            const size_t t1 = std::min(filt_size, t0 + kMaskTilePoints);
+            // A qualifying padding tile (same all-max rows) has an empty
+            // range; skip it.
+            if (t0 < t1) {
+              dom = AnyDominatesSse42(filt, filt_stride, dim, t0, t1, row);
+            }
+          }
+        }
+      }
+    } else {
+      dom = AnyDominatesSse42(filt, filt_stride, dim, 0, filt_size, row);
+    }
+    out[i - begin] = static_cast<uint8_t>(dom);
+    count += static_cast<size_t>(dom);
+  }
+  return count;
+}
+
 }  // namespace zsky::simd
 
 #else  // !defined(__SSE4_2__)
@@ -141,6 +241,14 @@ size_t MarkDominatedBySse42(const Coord* base, size_t stride, uint32_t dim,
                             size_t begin, size_t end, const Coord* p,
                             uint8_t* out) {
   return MarkDominatedByScalar(base, stride, dim, begin, end, p, out);
+}
+
+size_t MaskAnyDominatedSse42(const Coord* base, size_t stride, uint32_t dim,
+                             size_t begin, size_t end, const Coord* filt,
+                             size_t filt_stride, size_t filt_size,
+                             const MaskFilterPruning* pruning, uint8_t* out) {
+  return MaskAnyDominatedScalar(base, stride, dim, begin, end, filt,
+                                filt_stride, filt_size, pruning, out);
 }
 
 }  // namespace zsky::simd

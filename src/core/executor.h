@@ -59,6 +59,11 @@ struct PhaseMetrics {
   size_t delta_rows = 0;            // Alive delta-buffer rows overlaid on
                                     // this query's result.
 
+  // Process-lifetime high-water mark of candidate-side memory (local
+  // skyline gathers + merge trees) as metered by ScopedCandidateBytes —
+  // the measured term bench_outofcore's RSS ceiling budgets with.
+  size_t candidate_peak_bytes = 0;
+
   // Preprocessing plan shape.
   size_t sample_size = 0;
   size_t sample_skyline_size = 0;

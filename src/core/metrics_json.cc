@@ -80,6 +80,21 @@ void AppendJob(std::string& out, const char* name,
   AppendKey(out, "collapse_wall_ms");
   AppendNumber(out, job.collapse_wall_ms);
   out += ',';
+  AppendKey(out, "transpose_bytes");
+  AppendNumber(out, job.transpose_bytes);
+  out += ',';
+  AppendKey(out, "readahead_bytes");
+  AppendNumber(out, job.readahead_bytes);
+  out += ',';
+  AppendKey(out, "readahead_hits");
+  AppendNumber(out, job.readahead_hits);
+  out += ',';
+  AppendKey(out, "readahead_wasted_bytes");
+  AppendNumber(out, job.readahead_wasted_bytes);
+  out += ',';
+  AppendKey(out, "rows_pruned_by_sketch");
+  AppendNumber(out, job.rows_pruned_by_sketch);
+  out += ',';
   AppendKey(out, "succeeded");
   out += job.succeeded ? "true" : "false";
   out += ',';
@@ -112,9 +127,12 @@ std::string MetricsToJson(const PhaseMetrics& pm,
   // the optional "registry" block; v3 added the query-variant fields
   // (dropped_by_box, regions_pruned_by_box, subspace_plan_rebuilds,
   // skyband_k); v4 added the write-path fields (dropped_by_tombstone,
-  // delta_rows).
+  // delta_rows); v5 added the out-of-core scan fields (per-job
+  // transpose_bytes, readahead_bytes, readahead_hits,
+  // readahead_wasted_bytes, rows_pruned_by_sketch, and the top-level
+  // candidate_peak_bytes).
   AppendKey(out, "metrics_schema");
-  out += "4";
+  out += "5";
   out += ',';
   AppendKey(out, "preprocess_ms");
   AppendNumber(out, pm.preprocess_ms);
@@ -181,6 +199,9 @@ std::string MetricsToJson(const PhaseMetrics& pm,
   out += ',';
   AppendKey(out, "num_groups");
   AppendNumber(out, pm.num_groups);
+  out += ',';
+  AppendKey(out, "candidate_peak_bytes");
+  AppendNumber(out, pm.candidate_peak_bytes);
   out += ',';
   AppendJob(out, "job1", pm.job1);
   out += ',';

@@ -104,6 +104,20 @@ struct ExecutorOptions {
   // static chunked claiming from one shared counter (the PR-4 behavior) —
   // the ablation baseline bench_sched measures against.
   bool morsel_scheduling = true;
+  // Columnar-direct map wave (docs/storage.md): when the dataset view
+  // exposes a uniform-stride SoA span (`.zsc` backings) and the query is
+  // a plain full-space skyline, job 1's SZB filter runs the
+  // column-at-a-time mask kernel straight over the mapped columns —
+  // no RowBlockCursor transpose at all. Off = every backing takes the
+  // cursor path (the ablation baseline bench_outofcore measures against).
+  // Only effective together with use_block_kernel.
+  bool columnar_direct = true;
+  // Async readahead on `.zsc` backings: scans announce the next block's
+  // row range and the dataset's worker thread faults those pages in ahead
+  // of the scan (io/columnar.h). Off = the executor disarms the view's
+  // prefetch hook, so every page fault lands on the scan thread — the
+  // cold-run ablation baseline.
+  bool readahead = true;
   // Target rows per map morsel: job 1's map wave is widened to
   // ceil(n / map_morsel_rows) range-over-split tasks when that exceeds
   // num_map_tasks, so one core-sized split cannot straggle the wave.

@@ -11,6 +11,7 @@
 #include "algo/skyband.h"
 #include "algo/sort_based.h"
 #include "algo/subspace.h"
+#include "common/scan_counters.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
 #include "core/metrics_registry.h"
@@ -41,6 +42,11 @@ void FoldJobIntoRegistry(const mr::JobMetrics& job, const char* map_hist,
   registry.counter("tasks_stolen").Add(job.tasks_stolen);
   registry.counter("collapse_tasks").Add(job.collapse_tasks);
   registry.counter("collapsed_runs").Add(job.collapsed_runs);
+  registry.counter("transpose_bytes").Add(job.transpose_bytes);
+  registry.counter("readahead_bytes").Add(job.readahead_bytes);
+  registry.counter("readahead_hits").Add(job.readahead_hits);
+  registry.counter("readahead_wasted_bytes").Add(job.readahead_wasted_bytes);
+  registry.counter("rows_pruned_by_sketch").Add(job.rows_pruned_by_sketch);
   // Wave balance: one skew sample (max/mean task ms, x1000) per wave, so
   // serve --stats-every and the benches can watch straggler pressure.
   if (!job.map_tasks.empty()) {
@@ -63,6 +69,21 @@ void FoldJobIntoRegistry(const mr::JobMetrics& job, const char* map_hist,
   for (const mr::TaskMetrics& t : job.reduce_tasks) {
     reduce_us.Observe(static_cast<uint64_t>(t.ms * 1000.0));
   }
+}
+
+// Fills a job's out-of-core read-path fields with the change in the
+// process-wide scan counters since `before`. Concurrent queries in one
+// process share the counters, so under overlap the split between jobs is
+// approximate — the registry totals stay exact.
+void FillScanDeltas(mr::JobMetrics& job, const ScanCounterSnapshot& before) {
+  const ScanCounterSnapshot now = SnapshotScanCounters();
+  job.transpose_bytes = now.transpose_bytes - before.transpose_bytes;
+  job.readahead_bytes = now.readahead_bytes - before.readahead_bytes;
+  job.readahead_hits = now.readahead_hits - before.readahead_hits;
+  job.readahead_wasted_bytes =
+      now.readahead_wasted_bytes - before.readahead_wasted_bytes;
+  job.rows_pruned_by_sketch =
+      now.rows_pruned_by_sketch - before.rows_pruned_by_sketch;
 }
 
 SkylineIndices LocalSkyline(const ZOrderCodec& codec, const PointSet& points,
@@ -340,9 +361,13 @@ uint32_t SimSlots(const ExecutorOptions& options) {
 
 CandidateList RunCandidateJob(const PreparedPlan& plan,
                               const ExecutorOptions& options,
-                              const DatasetView& points,
+                              const DatasetView& points_in,
                               mr::WorkerPool* pool, PhaseMetrics& pm,
                               const QueryDesc& desc, const uint8_t* alive) {
+  // Local copy of the (pointer-sized) view so the readahead ablation can
+  // disarm the prefetch hook for this query without touching the backing.
+  DatasetView points = points_in;
+  if (!options.readahead) points.DisarmPrefetch();
   CandidateList candidates;
   if (points.empty()) return candidates;
   ZSKY_CHECK(plan.partitioner != nullptr);
@@ -383,6 +408,27 @@ CandidateList RunCandidateJob(const PreparedPlan& plan,
   // The plain full-space skyline takes the two-pass block loop below,
   // byte-for-byte the pre-QueryDesc code path.
   const bool plain = v.identity && !desc.has_box();
+  // Columnar-direct map wave: when the backing exposes a uniform-stride
+  // SoA span (`.zsc` mappings), the plain path runs the column-at-a-time
+  // mask kernel straight over the mapped columns — zero transpose. The
+  // mask is exactly the per-row AnyDominates answer, and routing/probing
+  // happen in the same row order with the same predicates, so the emitted
+  // candidate stream is bit-identical to the cursor path's.
+  const Coord* soa_base = nullptr;
+  size_t soa_stride = 0;
+  const bool columnar_direct =
+      plain && options.columnar_direct && options.use_block_kernel &&
+      points.SoaSpan(&soa_base, &soa_stride);
+  // Min-pruned probe index over the SZB filter block for the mask wave:
+  // undominated rows skip every filter tile whose per-dimension min
+  // exceeds them somewhere instead of proving a full-block miss. The
+  // plan's block itself stays untouched: the cursor ablation path probes
+  // it in its original order.
+  std::optional<MaskFilterIndex> direct_filter;
+  if (columnar_direct && plan.szb_block.has_value() &&
+      plan.szb_block->size() > 0) {
+    direct_filter.emplace(*plan.szb_block);
+  }
 
   size_t num_map_tasks = std::min<size_t>(options.num_map_tasks, n);
   if (options.morsel_scheduling && options.map_morsel_rows > 0) {
@@ -441,13 +487,73 @@ CandidateList RunCandidateJob(const PreparedPlan& plan,
     size_t local_dropped = 0;
     size_t local_box_dropped = 0;
     size_t local_tombstoned = 0;
+    if (columnar_direct) {
+      // Columnar-direct wave: the SZB filter's block scan runs
+      // column-at-a-time straight over the mapped `.zsc` columns — no
+      // RowBlockCursor, no transpose. Only mask survivors are gathered
+      // row-major (dim strided loads) for the tree probe and the router.
+      // Row order, predicates and counter increments match the cursor
+      // path's two passes exactly, so the emitted stream is
+      // bit-identical.
+      constexpr size_t kDirectRows = RowBlockCursor::kDefaultBlockRows;
+      std::vector<uint8_t> mask(kDirectRows);
+      std::vector<Coord> pbuf(dim);
+      const bool have_block = direct_filter.has_value();
+      simd::MaskFilterPruning pruning{};
+      if (have_block) pruning = direct_filter->pruning();
+      for (size_t b0 = begin; b0 < end; b0 += kDirectRows) {
+        const size_t b1 = std::min(end, b0 + kDirectRows);
+        points.WillNeedRows(b1, std::min(end, b1 + kDirectRows));
+        if (have_block) {
+          SoAMaskAnyDominated(soa_base, soa_stride, dim, b0, b1,
+                              direct_filter->block.lanes(),
+                              direct_filter->block.lane_stride(),
+                              direct_filter->block.size(), &pruning,
+                              mask.data());
+        } else {
+          std::fill_n(mask.data(), b1 - b0, uint8_t{0});
+        }
+        for (size_t i = b0; i < b1; ++i) {
+          if (alive != nullptr && alive[i] == 0) {
+            ++local_tombstoned;
+            continue;
+          }
+          if (mask[i - b0] != 0) {
+            ++local_filtered;
+            continue;
+          }
+          for (uint32_t k = 0; k < dim; ++k) {
+            pbuf[k] = soa_base[k * soa_stride + i];
+          }
+          const std::span<const Coord> p(pbuf.data(), dim);
+          if (plan.szb_tree != nullptr &&
+              plan.szb_tree->ExistsDominatorOf(p)) {
+            ++local_filtered;
+            continue;
+          }
+          const int32_t gid = partitioner.GroupOf(p);
+          if (gid == kDroppedGroup) {
+            ++local_dropped;
+            continue;
+          }
+          emit(gid, static_cast<uint32_t>(i));
+        }
+        points.ReleaseRows(b0, b1);
+      }
+      filtered.fetch_add(local_filtered, std::memory_order_relaxed);
+      dropped.fetch_add(local_dropped, std::memory_order_relaxed);
+      tombstoned.fetch_add(local_tombstoned, std::memory_order_relaxed);
+      return;
+    }
     // The split is a row-range over the view: a heap backing yields it as
     // one zero-copy block (the pre-view memory walk, byte for byte), an
     // mmap'd columnar backing as transposed blocks streamed through the
     // page cache — and released behind the scan under a residency budget.
     std::vector<uint32_t> survivors;
     std::vector<Coord> qbuf(codec.dim());
-    RowBlockCursor cursor(points, begin, end);
+    size_t local_pruned_sketch = 0;
+    auto scan_rows = [&](size_t range_begin, size_t range_end) {
+    RowBlockCursor cursor(points, range_begin, range_end);
     RowBlockCursor::Block block;
     while (cursor.Next(&block)) {
       if (plain) {
@@ -554,6 +660,52 @@ CandidateList RunCandidateJob(const PreparedPlan& plan,
         emit(gid, static_cast<uint32_t>(block.first_row + i));
       }
     }
+    };  // scan_rows
+    if (!plain && desc.has_box() && points.has_sketch() &&
+        v.identity_projection) {
+      // Sketch pruning: a `.zsc` block whose per-column [min, max] is
+      // disjoint from the constraint box (in original coordinates)
+      // contains no in-box row, so every alive row in it would be counted
+      // box_dropped by the per-point path — route state kRouteInsideBox
+      // and sketch-disjointness cannot both hold for an actual point.
+      // Counting the block wholesale therefore keeps results AND counters
+      // bit-identical while skipping the scan (and its page faults)
+      // entirely.
+      const size_t srows = points.sketch_block_rows();
+      size_t seg_begin = begin;
+      size_t at = begin;
+      while (at < end) {
+        const size_t blk = at / srows;
+        const size_t blk_end = std::min(end, (blk + 1) * srows);
+        const Coord* mins = points.sketch_mins(blk);
+        const Coord* maxs = points.sketch_maxs(blk);
+        bool disjoint = false;
+        const size_t box_dims = std::min<size_t>(desc.box_lo.size(), dim);
+        for (size_t d = 0; d < box_dims && !disjoint; ++d) {
+          disjoint = mins[d] > desc.box_hi[d] || maxs[d] < desc.box_lo[d];
+        }
+        if (disjoint) {
+          if (seg_begin < at) scan_rows(seg_begin, at);
+          for (size_t i = at; i < blk_end; ++i) {
+            if (alive != nullptr && alive[i] == 0) {
+              ++local_tombstoned;
+            } else {
+              ++local_box_dropped;
+              ++local_pruned_sketch;
+            }
+          }
+          seg_begin = blk_end;
+        }
+        at = blk_end;
+      }
+      if (seg_begin < end) scan_rows(seg_begin, end);
+    } else {
+      scan_rows(begin, end);
+    }
+    if (local_pruned_sketch > 0) {
+      GlobalScanCounters().rows_pruned_by_sketch.fetch_add(
+          local_pruned_sketch, std::memory_order_relaxed);
+    }
     filtered.fetch_add(local_filtered, std::memory_order_relaxed);
     dropped.fetch_add(local_dropped, std::memory_order_relaxed);
     box_dropped.fetch_add(local_box_dropped, std::memory_order_relaxed);
@@ -565,6 +717,11 @@ CandidateList RunCandidateJob(const PreparedPlan& plan,
   auto local_skyline_of_rows =
       [&](std::span<const uint32_t> rows) -> std::vector<uint32_t> {
     const PointSet local = GatherTransformed(points, rows, v, max_coord);
+    // The gathered candidate rows are the reduce side's working set;
+    // meter them under the candidate gauge so bench_outofcore's RSS
+    // ceiling can budget from measurement instead of a fixed allowance.
+    const ScopedCandidateBytes cand_scope(
+        static_cast<uint64_t>(local.size()) * local.dim() * sizeof(Coord));
     const SkylineIndices sky =
         LocalSkylineK(codec, local, options.local, plan.tree_options,
                       options.use_block_kernel, desc.k);
@@ -586,9 +743,11 @@ CandidateList RunCandidateJob(const PreparedPlan& plan,
     for (uint32_t row : sky) candidates.emplace_back(gid, row);
   };
   const size_t point_bytes = static_cast<size_t>(dim) * sizeof(Coord);
+  const ScanCounterSnapshot scan0 = SnapshotScanCounters();
   pm.job1 = job1.Run(
       num_map_tasks, job1_map, job1_combine, job1_reduce,
       [point_bytes](const uint32_t&) { return point_bytes; });
+  FillScanDeltas(pm.job1, scan0);
   pm.job1_ms = job1_watch.ElapsedMs();
   pm.candidates = candidates.size();
   pm.filtered_by_szb = filtered.load();
@@ -616,9 +775,11 @@ CandidateList RunCandidateJob(const PreparedPlan& plan,
 
 SkylineIndices RunMergeJob(const PreparedPlan& plan,
                            const ExecutorOptions& options,
-                           const DatasetView& points,
+                           const DatasetView& points_in,
                            CandidateList candidates, mr::WorkerPool* pool,
                            PhaseMetrics& pm, const QueryDesc& desc) {
+  DatasetView points = points_in;
+  if (!options.readahead) points.DisarmPrefetch();
   if (points.empty()) return {};
   ZSKY_CHECK(plan.dim == points.dim());
 
@@ -667,8 +828,22 @@ SkylineIndices RunMergeJob(const PreparedPlan& plan,
   job2_options.legacy_record_path = !options.zero_copy_shuffle;
   job2_options.morsel_scheduling = options.morsel_scheduling;
   job2_options.spill_to_disk = options.spill_to_disk;
-  job2_options.shuffle_memory_budget_bytes =
-      options.shuffle_memory_budget_bytes;
+  // Fold job 2's candidate-side working set (reduce-time gathers + merge
+  // trees, roughly two point copies and a row id per candidate) under the
+  // same memory budget that bounds the shuffle, instead of letting it
+  // ride on top: the shuffle's slice of the budget shrinks by the
+  // estimate, floored at a quarter of the budget so tiny budgets still
+  // make progress.
+  size_t job2_budget = options.shuffle_memory_budget_bytes;
+  if (job2_budget > 0) {
+    const size_t cand_est =
+        candidates.size() *
+        (2 * static_cast<size_t>(dim) * sizeof(Coord) + sizeof(uint32_t));
+    job2_budget = std::max(
+        job2_budget / 4,
+        job2_budget > cand_est ? job2_budget - cand_est : job2_budget / 4);
+  }
+  job2_options.shuffle_memory_budget_bytes = job2_budget;
   if (!options.spill_dir.empty()) job2_options.spill_dir = options.spill_dir;
   job2_options.split_size = [&candidates, job2_map_tasks](size_t task) {
     return (task + 1) * candidates.size() / job2_map_tasks -
@@ -716,6 +891,11 @@ SkylineIndices RunMergeJob(const PreparedPlan& plan,
     return ZMergeAll(codec, tree_ptrs, plan.tree_options, stats);
   };
   auto job2_reduce = [&](int32_t /*key*/, std::span<const Candidate> values) {
+    // Candidate working set of this reducer: the gathered points plus the
+    // merge trees built over them (~2 point copies + a row id each).
+    const ScopedCandidateBytes cand_scope(
+        static_cast<uint64_t>(values.size()) *
+        (2 * static_cast<uint64_t>(dim) * sizeof(Coord) + sizeof(uint32_t)));
     SkylineIndices merged;
     ZMergeStats stats;
     if (desc.k > 1) {
@@ -769,6 +949,7 @@ SkylineIndices RunMergeJob(const PreparedPlan& plan,
     }
   };
   const size_t point_bytes = static_cast<size_t>(dim) * sizeof(Coord);
+  const ScanCounterSnapshot scan0 = SnapshotScanCounters();
   pm.job2 = job2.Run(
       job2_map_tasks, job2_map, nullptr, job2_reduce,
       [point_bytes](const Candidate&) { return point_bytes + 4; });
@@ -780,6 +961,13 @@ SkylineIndices RunMergeJob(const PreparedPlan& plan,
         "pipeline.final_merge",
         "{\"partials\":" + std::to_string(partials.size()) + "}");
     Stopwatch final_watch;
+    size_t partial_rows = 0;
+    for (const SkylineIndices& partial : partials) {
+      partial_rows += partial.size();
+    }
+    const ScopedCandidateBytes cand_scope(
+        static_cast<uint64_t>(partial_rows) *
+        (2 * static_cast<uint64_t>(dim) * sizeof(Coord) + sizeof(uint32_t)));
     if (desc.k > 1) {
       // Master-side band recount over the union of the partial bands.
       std::vector<uint32_t> rows;
@@ -822,6 +1010,9 @@ SkylineIndices RunMergeJob(const PreparedPlan& plan,
     }
     final_merge_ms = final_watch.ElapsedMs();
   }
+  FillScanDeltas(pm.job2, scan0);
+  pm.candidate_peak_bytes =
+      GlobalScanCounters().candidate_bytes_peak.load(std::memory_order_relaxed);
   pm.job2_ms = job2_watch.ElapsedMs();
   pm.sim_job2_ms =
       pm.job2.SimulatedMs(SimSlots(options), options.sim_net_mbps) +

@@ -93,6 +93,10 @@ bool QueryService::SetDatasetFile(const std::string& path,
   // in the resident set.
   map_options.bounded_residency =
       options_.executor.shuffle_memory_budget_bytes > 0;
+  // Arm the dataset's readahead worker when the executor wants prefetch;
+  // per-query ablation still works because the pipeline disarms the
+  // view's hook when ExecutorOptions::readahead is off.
+  map_options.readahead = options_.executor.readahead;
   std::shared_ptr<const ColumnarDataset> mapped =
       ColumnarDataset::Open(path, error, map_options);
   if (mapped == nullptr) return false;

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <limits>
 
+#include "common/scan_counters.h"
 #include "io/binary.h"
 
 namespace zsky {
@@ -44,6 +45,26 @@ uint64_t ColumnarHeaderBytes(uint32_t dim) {
   return 4 + 4 + 4 + 4 + 8 + 8ull * dim;
 }
 
+namespace {
+
+// magic + sketch_block_rows + num_blocks.
+constexpr uint64_t kSketchHeaderBytes = 4 + 4 + 8;
+
+uint64_t SketchNumBlocks(uint64_t count) {
+  return (count + kColumnarSketchBlockRows - 1) / kColumnarSketchBlockRows;
+}
+
+}  // namespace
+
+uint64_t ColumnarSketchOffset(uint32_t dim, uint64_t count) {
+  const uint64_t column_bytes = count * sizeof(Coord);
+  uint64_t offset = AlignUp(ColumnarHeaderBytes(dim), kColumnarAlignment);
+  for (uint32_t d = 0; d < dim; ++d) {
+    offset = AlignUp(offset + column_bytes, kColumnarAlignment);
+  }
+  return offset;
+}
+
 // --- ColumnarWriter ---------------------------------------------------
 
 ColumnarWriter::ColumnarWriter(const std::string& path, uint32_t dim,
@@ -61,12 +82,18 @@ ColumnarWriter::ColumnarWriter(const std::string& path, uint32_t dim,
     col_offsets_.push_back(offset);
     offset = AlignUp(offset + column_bytes, kColumnarAlignment);
   }
+  // The sketch trailer's size is known up front (count is declared), so
+  // the preallocation covers it too.
+  sketch_offset_ = offset;
+  const uint64_t num_blocks = SketchNumBlocks(count);
+  const uint64_t total_bytes =
+      offset + kSketchHeaderBytes + 2 * num_blocks * dim * sizeof(Coord);
   fd_ = ::open(path.c_str(), O_CREAT | O_TRUNC | O_RDWR, 0644);
   if (fd_ < 0) {
     error_ = "cannot create " + path + ": " + std::strerror(errno);
     return;
   }
-  if (::ftruncate(fd_, static_cast<off_t>(offset)) != 0) {
+  if (::ftruncate(fd_, static_cast<off_t>(total_bytes)) != 0) {
     Fail("cannot preallocate " + path + ": " + std::strerror(errno));
     return;
   }
@@ -74,6 +101,10 @@ ColumnarWriter::ColumnarWriter(const std::string& path, uint32_t dim,
       std::min<uint64_t>(count == 0 ? 1 : count, kChunkRows));
   chunk_.resize(dim);
   for (auto& buf : chunk_) buf.reserve(chunk);
+  block_mins_.assign(dim, std::numeric_limits<Coord>::max());
+  block_maxs_.assign(dim, std::numeric_limits<Coord>::min());
+  sketch_mins_.reserve(num_blocks * dim);
+  sketch_maxs_.reserve(num_blocks * dim);
 }
 
 ColumnarWriter::~ColumnarWriter() {
@@ -122,6 +153,19 @@ bool ColumnarWriter::FlushChunk() {
   return true;
 }
 
+void ColumnarWriter::FlushSketchBlock() {
+  if (rows_in_sketch_block_ == 0) return;
+  sketch_mins_.insert(sketch_mins_.end(), block_mins_.begin(),
+                      block_mins_.end());
+  sketch_maxs_.insert(sketch_maxs_.end(), block_maxs_.begin(),
+                      block_maxs_.end());
+  std::fill(block_mins_.begin(), block_mins_.end(),
+            std::numeric_limits<Coord>::max());
+  std::fill(block_maxs_.begin(), block_maxs_.end(),
+            std::numeric_limits<Coord>::min());
+  rows_in_sketch_block_ = 0;
+}
+
 bool ColumnarWriter::AppendRows(const Coord* row_major, size_t rows) {
   if (!ok()) return false;
   if (rows_written_ + rows_buffered_ + rows > count_) {
@@ -130,7 +174,14 @@ bool ColumnarWriter::AppendRows(const Coord* row_major, size_t rows) {
   }
   for (size_t i = 0; i < rows; ++i) {
     const Coord* row = row_major + i * dim_;
-    for (uint32_t d = 0; d < dim_; ++d) chunk_[d].push_back(row[d]);
+    for (uint32_t d = 0; d < dim_; ++d) {
+      chunk_[d].push_back(row[d]);
+      block_mins_[d] = std::min(block_mins_[d], row[d]);
+      block_maxs_[d] = std::max(block_maxs_[d], row[d]);
+    }
+    if (++rows_in_sketch_block_ == kColumnarSketchBlockRows) {
+      FlushSketchBlock();
+    }
     if (++rows_buffered_ == kChunkRows) {
       if (!FlushChunk()) return false;
     }
@@ -146,6 +197,26 @@ bool ColumnarWriter::Finish() {
     Fail("row count mismatch: declared " + std::to_string(count_) +
          ", appended " + std::to_string(rows_written_));
     return false;
+  }
+  FlushSketchBlock();
+  const uint64_t num_blocks = SketchNumBlocks(count_);
+  ZSKY_CHECK(sketch_mins_.size() == num_blocks * dim_);
+  {
+    char sketch_header[kSketchHeaderBytes];
+    std::memcpy(sketch_header, kColumnarSketchMagic,
+                sizeof(kColumnarSketchMagic));
+    PutRaw(sketch_header + 4, static_cast<uint32_t>(kColumnarSketchBlockRows));
+    PutRaw(sketch_header + 8, num_blocks);
+    if (!WriteAt(sketch_offset_, sketch_header, sizeof(sketch_header))) {
+      return false;
+    }
+    const uint64_t mins_at = sketch_offset_ + kSketchHeaderBytes;
+    if (!WriteAt(mins_at, sketch_mins_.data(),
+                 sketch_mins_.size() * sizeof(Coord)) ||
+        !WriteAt(mins_at + num_blocks * dim_ * sizeof(Coord),
+                 sketch_maxs_.data(), sketch_maxs_.size() * sizeof(Coord))) {
+      return false;
+    }
   }
   std::vector<char> header(ColumnarHeaderBytes(dim_));
   char* p = header.data();
@@ -299,6 +370,33 @@ std::unique_ptr<ColumnarDataset> ColumnarDataset::Open(
     ds->columns_.push_back(reinterpret_cast<const Coord*>(base + offset));
   }
 
+  // Optional sketch trailer at the aligned end of the last column. A
+  // missing or malformed trailer is NOT an error — pre-sketch files and
+  // files with a damaged tail still serve queries, they just cannot
+  // prune (the sketch is an accelerator, never a correctness input).
+  {
+    const uint64_t trailer = ColumnarSketchOffset(dim, count);
+    if (file_bytes >= trailer && file_bytes - trailer >= kSketchHeaderBytes &&
+        std::memcmp(base + trailer, kColumnarSketchMagic,
+                    sizeof(kColumnarSketchMagic)) == 0) {
+      const uint32_t block_rows = GetRaw<uint32_t>(base + trailer + 4);
+      const uint64_t num_blocks = GetRaw<uint64_t>(base + trailer + 8);
+      const uint64_t body = file_bytes - trailer - kSketchHeaderBytes;
+      // num_blocks <= count (block_rows >= 1), so the byte math below
+      // stays within the already-checked total_coord_bytes range.
+      if (block_rows != 0 && num_blocks <= count &&
+          num_blocks ==
+              (count + block_rows - 1) / block_rows &&
+          body / (2 * sizeof(Coord)) / (dim == 0 ? 1 : dim) >= num_blocks) {
+        ds->sketch_mins_ =
+            reinterpret_cast<const Coord*>(base + trailer + kSketchHeaderBytes);
+        ds->sketch_maxs_ = ds->sketch_mins_ + num_blocks * dim;
+        ds->sketch_block_rows_ = block_rows;
+        ds->sketch_blocks_ = num_blocks;
+      }
+    }
+  }
+
   ds->path_ = path;
   ds->options_ = options;
   ds->fd_ = fd;
@@ -317,6 +415,23 @@ std::unique_ptr<ColumnarDataset> ColumnarDataset::Open(
 }
 
 ColumnarDataset::~ColumnarDataset() {
+  if (ra_started_.load(std::memory_order_acquire)) {
+    {
+      std::lock_guard<std::mutex> lock(ra_mu_);
+      ra_stop_ = true;
+    }
+    ra_cv_.notify_all();
+    ra_thread_.join();
+    // Prefetched ranges nobody ever consumed are wasted effort; account
+    // them now that no more consumption can arrive.
+    for (const RaRange& r : ra_done_) {
+      if (r.end > r.begin && !r.consumed) {
+        GlobalScanCounters().readahead_wasted_bytes.fetch_add(
+            static_cast<uint64_t>(r.end - r.begin) * dim_ * sizeof(Coord),
+            std::memory_order_relaxed);
+      }
+    }
+  }
   if (map_ != nullptr) ::munmap(map_, map_bytes_);
   if (fd_ >= 0) ::close(fd_);
 }
@@ -327,19 +442,30 @@ void ReleaseRowsThunk(void* ctx, size_t row_begin, size_t row_end) {
   static_cast<const ColumnarDataset*>(ctx)->ReleaseRows(row_begin, row_end);
 }
 
+void RequestReadaheadThunk(void* ctx, size_t row_begin, size_t row_end) {
+  static_cast<const ColumnarDataset*>(ctx)->RequestReadahead(row_begin,
+                                                             row_end);
+}
+
 }  // namespace
 
 DatasetView ColumnarDataset::view() const {
   DatasetView view = DatasetView::Columnar(columns_.data(), count_, dim_);
+  void* self = const_cast<void*>(static_cast<const void*>(this));
   if (options_.bounded_residency) {
-    view.SetReleaseHook(&ReleaseRowsThunk,
-                        const_cast<void*>(static_cast<const void*>(this)));
+    view.SetReleaseHook(&ReleaseRowsThunk, self);
+  }
+  if (options_.readahead) {
+    view.SetPrefetchHook(&RequestReadaheadThunk, self);
+  }
+  if (has_sketch()) {
+    view.SetSketch(sketch_mins_, sketch_maxs_, sketch_block_rows_,
+                   sketch_blocks_);
   }
   return view;
 }
 
-void ColumnarDataset::ReleaseRows(size_t row_begin, size_t row_end) const {
-  if (row_end <= row_begin) return;
+void ColumnarDataset::MeterConsumed(uint64_t bytes) const {
   // Per-range madvise(MADV_DONTNEED) is defeated by modern kernels: a
   // fault near a released boundary re-maps tens to hundreds of KiB of a
   // neighbor's already-dropped pages (fault-around, large-folio
@@ -351,9 +477,8 @@ void ColumnarDataset::ReleaseRows(size_t row_begin, size_t row_end) const {
   // call — O(1) syscalls per window, immune to the kernel's mapping
   // granularity. A concurrent scanner loses its current block's pages
   // and re-faults them straight from the page cache; the dataset is
-  // read-only, so contents are never at risk.
-  const uint64_t bytes =
-      static_cast<uint64_t>(row_end - row_begin) * dim_ * sizeof(Coord);
+  // read-only, so contents are never at risk. Readahead touches feed the
+  // same meter, so prefetch cannot outgrow the sweep window either.
   const uint64_t seen =
       released_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
   if (seen >= kResidencySweepBytes) {
@@ -364,6 +489,98 @@ void ColumnarDataset::ReleaseRows(size_t row_begin, size_t row_end) const {
                                                 std::memory_order_relaxed)) {
       ::madvise(map_, map_bytes_, MADV_DONTNEED);
     }
+  }
+}
+
+void ColumnarDataset::ReleaseRows(size_t row_begin, size_t row_end) const {
+  if (row_end <= row_begin) return;
+  if (ra_started_.load(std::memory_order_acquire)) {
+    // Credit the prefetcher: a consumed range that overlaps a completed
+    // (not yet credited) prefetch was a hit — its faults were taken off
+    // the scan thread. One lock per ~block-sized release, not per row.
+    std::lock_guard<std::mutex> lock(ra_mu_);
+    for (RaRange& r : ra_done_) {
+      if (!r.consumed && r.begin < row_end && row_begin < r.end) {
+        r.consumed = true;
+        GlobalScanCounters().readahead_hits.fetch_add(
+            1, std::memory_order_relaxed);
+      }
+    }
+  }
+  MeterConsumed(static_cast<uint64_t>(row_end - row_begin) * dim_ *
+                sizeof(Coord));
+}
+
+void ColumnarDataset::RequestReadahead(size_t row_begin, size_t row_end) const {
+  if (!options_.readahead || row_end <= row_begin || row_begin >= count_) {
+    return;
+  }
+  row_end = std::min<size_t>(row_end, count_);
+  {
+    std::lock_guard<std::mutex> lock(ra_mu_);
+    if (ra_stop_) return;
+    if (!ra_thread_.joinable()) {
+      ra_thread_ = std::thread([this] { ReadaheadMain(); });
+      ra_started_.store(true, std::memory_order_release);
+    }
+    // Latest-wins bounded queue: under pressure the oldest request is the
+    // one whose scan has most likely already arrived, so it goes first.
+    if (ra_pending_.size() >= kRaQueue) {
+      ra_pending_.erase(ra_pending_.begin());
+    }
+    ra_pending_.push_back(RaRange{row_begin, row_end, false});
+  }
+  ra_cv_.notify_one();
+}
+
+void ColumnarDataset::TouchRows(size_t row_begin, size_t row_end) const {
+  const uint64_t page = 4096;
+  for (uint32_t d = 0; d < dim_; ++d) {
+    const char* lo =
+        reinterpret_cast<const char*>(columns_[d] + row_begin);
+    const char* hi = reinterpret_cast<const char*>(columns_[d] + row_end);
+    const char* base = static_cast<const char*>(map_);
+    const uint64_t off_lo = static_cast<uint64_t>(lo - base) / page * page;
+    const uint64_t off_hi = static_cast<uint64_t>(hi - base);
+    ::madvise(const_cast<char*>(base + off_lo),
+              static_cast<size_t>(off_hi - off_lo), MADV_WILLNEED);
+    // WILLNEED starts the disk read but does not populate page tables;
+    // touching one byte per page completes the fault while the scan is
+    // still busy elsewhere, so its own access is a pure cache hit.
+    for (uint64_t off = off_lo; off < off_hi; off += page) {
+      volatile char sink = base[off];
+      (void)sink;
+    }
+  }
+  const uint64_t bytes =
+      static_cast<uint64_t>(row_end - row_begin) * dim_ * sizeof(Coord);
+  GlobalScanCounters().readahead_bytes.fetch_add(bytes,
+                                                 std::memory_order_relaxed);
+  if (options_.bounded_residency) {
+    MeterConsumed(bytes);
+  }
+}
+
+void ColumnarDataset::ReadaheadMain() const {
+  std::unique_lock<std::mutex> lock(ra_mu_);
+  while (true) {
+    ra_cv_.wait(lock, [this] { return ra_stop_ || !ra_pending_.empty(); });
+    if (ra_stop_) return;
+    RaRange req = ra_pending_.front();
+    ra_pending_.erase(ra_pending_.begin());
+    lock.unlock();
+    TouchRows(req.begin, req.end);
+    lock.lock();
+    // Record the completed range for hit/waste accounting; an evicted
+    // record that was never consumed is charged as waste.
+    RaRange& slot = ra_done_[ra_done_next_];
+    ra_done_next_ = (ra_done_next_ + 1) % kRaDone;
+    if (slot.end > slot.begin && !slot.consumed) {
+      GlobalScanCounters().readahead_wasted_bytes.fetch_add(
+          static_cast<uint64_t>(slot.end - slot.begin) * dim_ * sizeof(Coord),
+          std::memory_order_relaxed);
+    }
+    slot = req;
   }
 }
 

@@ -114,6 +114,17 @@ struct JobMetrics {
   size_t collapse_tasks = 0;
   size_t collapsed_runs = 0;
   double collapse_wall_ms = 0.0;
+
+  // Out-of-core read path (deltas of the process-wide ScanCounters over
+  // this job, filled by the pipeline): bytes moved through the
+  // RowBlockCursor transpose (0 when the columnar-direct wave served the
+  // whole scan), readahead effort and payoff, and rows skipped by the
+  // `.zsc` per-block min/max sketch on constrained scans.
+  size_t transpose_bytes = 0;
+  size_t readahead_bytes = 0;
+  size_t readahead_hits = 0;
+  size_t readahead_wasted_bytes = 0;
+  size_t rows_pruned_by_sketch = 0;
   std::vector<TaskMetrics> collapse_task_metrics;
 
   WaveStats map_stats() const { return Summarize(map_tasks); }

@@ -215,7 +215,49 @@ TEST_F(ColumnarCorruptTest, RejectsTruncatedFile) {
   ExpectReject(bytes_.substr(0, 10), "truncated header");
   ExpectReject("", "truncated header");
   // Cut into the columns: the header parses but the extents don't fit.
-  ExpectReject(bytes_.substr(0, bytes_.size() - 8), "out of bounds");
+  // (Truncation must land inside the columns, not the sketch trailer —
+  // a clipped trailer is legal and just disables pruning.)
+  ExpectReject(
+      bytes_.substr(0, static_cast<size_t>(ColumnarSketchOffset(3, 64)) - 8),
+      "out of bounds");
+}
+
+TEST_F(ColumnarCorruptTest, ClippedSketchTrailerIsNotAnError) {
+  // A file cut anywhere at-or-past the end of its columns still opens —
+  // the sketch is simply absent (that is exactly what a pre-sketch writer
+  // produced). Results must not depend on the trailer's presence.
+  const size_t columns_end = static_cast<size_t>(ColumnarSketchOffset(3, 64));
+  for (const size_t cut : {columns_end, columns_end + 3, bytes_.size() - 8}) {
+    WriteFileBytes(path_, bytes_.substr(0, cut));
+    std::string error;
+    const auto ds = ColumnarDataset::Open(path_, &error);
+    ASSERT_NE(ds, nullptr) << "cut at " << cut << ": " << error;
+    EXPECT_FALSE(ds->has_sketch()) << "cut at " << cut;
+    EXPECT_EQ(ds->size(), 64u);
+  }
+  // The intact file carries a valid trailer.
+  WriteFileBytes(path_, bytes_);
+  std::string error;
+  const auto ds = ColumnarDataset::Open(path_, &error);
+  ASSERT_NE(ds, nullptr) << error;
+  EXPECT_TRUE(ds->has_sketch());
+  EXPECT_EQ(ds->sketch_blocks(), 1u);
+}
+
+TEST_F(ColumnarCorruptTest, CorruptSketchTrailerIsIgnored) {
+  const size_t trailer = static_cast<size_t>(ColumnarSketchOffset(3, 64));
+  // Bad magic, impossible block_rows, and an absurd num_blocks each make
+  // the trailer invalid — never the file.
+  for (const auto& mutated :
+       {Patch<uint32_t>(trailer, 0xDEADBEEFu),
+        Patch<uint32_t>(trailer + 4, 0u),
+        Patch<uint64_t>(trailer + 8, uint64_t{1} << 40)}) {
+    WriteFileBytes(path_, mutated);
+    std::string error;
+    const auto ds = ColumnarDataset::Open(path_, &error);
+    ASSERT_NE(ds, nullptr) << error;
+    EXPECT_FALSE(ds->has_sketch());
+  }
 }
 
 TEST(DatasetViewTest, GatherAndCursorMatchAcrossLayouts) {

@@ -59,7 +59,8 @@ using namespace zsky;
                " [--topk K] [--rank count|sum]\n"
                "                 [--lo a,b,...] [--hi a,b,...]"
                " [--dims c0,c2,...] [--flip c1,...] [--k K]\n"
-               "                 [--budget BYTES] [--plan] [--metrics]"
+               "                 [--budget BYTES] [--readahead 0|1] [--plan]"
+               " [--metrics]"
                " [--json] [--trace-out FILE]\n"
                "  zsky_cli skyband --in FILE --k K [--groups M]"
                " [--metrics]\n"
@@ -76,7 +77,8 @@ using namespace zsky;
                " [--groups M] [--json]\n"
                "                 [--lo a,b,...] [--hi a,b,...]"
                " [--dims c0,c2,...] [--flip c1,...] [--k K]\n"
-               "                 [--budget BYTES] [--adaptive]"
+               "                 [--budget BYTES] [--readahead 0|1]"
+               " [--adaptive]"
                " [--replan-threshold T]\n"
                "                 [--calibration-file FILE]"
                " [--stats-every N] [--trace-out FILE]\n"
@@ -244,6 +246,10 @@ ExecutorOptions StrategyFromFlags(
   options.num_groups = static_cast<uint32_t>(
       std::strtoul(Flag(flags, "groups", "8").c_str(), nullptr, 10));
   options.bits = bits;
+  // --readahead 0|1: async prefetch on `.zsc` scans (docs/storage.md).
+  // On by default; 0 is the cold-run ablation baseline. Harmless for CSV
+  // inputs (heap views have no prefetch hook to disarm).
+  options.readahead = Flag(flags, "readahead", "1") != "0";
   return options;
 }
 
@@ -405,6 +411,7 @@ int RunQueryColumnar(const std::map<std::string, std::string>& flags,
       std::strtoull(Flag(flags, "budget", "0").c_str(), nullptr, 10);
   ColumnarDataset::Options map_options;
   map_options.bounded_residency = budget > 0;
+  map_options.readahead = Flag(flags, "readahead", "1") != "0";
   std::string error;
   const auto dataset = ColumnarDataset::Open(in, &error, map_options);
   if (dataset == nullptr) {
